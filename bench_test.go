@@ -1,0 +1,288 @@
+package cage
+
+// Benchmark harness: one testing.B target per table/figure of the
+// paper's evaluation, plus wall-clock microbenchmarks of the simulation
+// substrates themselves. The paper-shaped numbers (modeled milliseconds
+// on the three Tensor G3 cores, overhead percentages) are emitted as
+// custom benchmark metrics; `go test -bench . -benchmem` regenerates
+// everything.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"cage/internal/alloc"
+	"cage/internal/arch"
+	"cage/internal/bench"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/mte"
+	"cage/internal/pac"
+	"cage/internal/polybench"
+	"cage/internal/wasm"
+)
+
+// BenchmarkTable1_InstCycles regenerates paper Table 1: MTE/PAC
+// instruction throughput (instructions/cycle) and latency (cycles) on
+// the three cores.
+func BenchmarkTable1_InstCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, c := range arch.Cores() {
+			_ = c.MeasureAll(1_000_000)
+		}
+	}
+	x3 := arch.NewCortexX3()
+	b.ReportMetric(x3.MeasureThroughput(arch.IRG, 1_000_000), "X3-irg-ipc")
+	b.ReportMetric(x3.MeasureLatency(arch.PACDA, 1_000_000), "X3-pacda-lat")
+	a510 := arch.NewCortexA510()
+	b.ReportMetric(a510.MeasureLatency(arch.AUTDA, 1_000_000), "A510-autda-lat")
+}
+
+// BenchmarkFig4_MTEModes regenerates paper Fig. 4: a 128 MiB memset with
+// MTE disabled / asynchronous / synchronous.
+func BenchmarkFig4_MTEModes(b *testing.B) {
+	var rows []bench.Fig4Row
+	for i := 0; i < b.N; i++ {
+		rows = bench.Fig4Rows()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.NoneMs, r.Core+"-none-ms")
+		b.ReportMetric(r.SyncMs, r.Core+"-sync-ms")
+		b.ReportMetric(r.AsyncMs, r.Core+"-async-ms")
+	}
+}
+
+// BenchmarkTable2_CVEMitigation regenerates paper Table 2: every CVE
+// analog is exploited on the baseline and trapped under Cage.
+func BenchmarkTable2_CVEMitigation(b *testing.B) {
+	var rows []bench.Table2Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.Table2Rows()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mitigated := 0
+	for _, r := range rows {
+		if r.CageTrapped && r.BaselineDamage != 0 {
+			mitigated++
+		}
+	}
+	b.ReportMetric(float64(mitigated), "mitigated-CVEs")
+}
+
+// BenchmarkFig14_PolyBench regenerates paper Fig. 14: the PolyBench/C
+// suite across the six Table 3 variants, priced on the three cores.
+// Means are normalized to the wasm64 baseline = 100.
+func BenchmarkFig14_PolyBench(b *testing.B) {
+	var res *bench.Fig14Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.RunFig14(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, v := range []string{"baseline wasm32", "Cage-mem-safety", "Cage-sandboxing", "Cage"} {
+		for _, c := range res.Cores {
+			name := strings.ReplaceAll(v, " ", "-") + "@" + c
+			b.ReportMetric(res.MeanPct[v][c], name)
+		}
+	}
+}
+
+// BenchmarkFig15_PtrAuth regenerates paper Fig. 15: static vs dynamic vs
+// authenticated dynamic calls on the modified 2mm (kernel region only),
+// normalized to static = 100.
+func BenchmarkFig15_PtrAuth(b *testing.B) {
+	var res *bench.Fig15Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.RunFig15(false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range []string{"dynamic", "ptr-auth"} {
+		for _, c := range res.Cores {
+			b.ReportMetric(res.Pct[mode][c], mode+"@"+c)
+		}
+	}
+}
+
+// BenchmarkFig16_TagInit regenerates paper Table 4 / Fig. 16: the
+// tagged-memory initialization variants over 128 MiB.
+func BenchmarkFig16_TagInit(b *testing.B) {
+	var cells []bench.Fig16Cell
+	for i := 0; i < b.N; i++ {
+		cells = bench.Fig16Cells()
+	}
+	for _, c := range cells {
+		if c.Core == "Cortex-X3" {
+			b.ReportMetric(c.Ms, c.Variant.String()+"-ms")
+		}
+	}
+}
+
+// BenchmarkStartup regenerates the §7.2 startup experiment: instantiate
+// a 128 MiB module under MTE sandboxing and call an empty export.
+func BenchmarkStartup(b *testing.B) {
+	var res *bench.StartupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.RunStartup()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.GranulesTagged), "granules")
+	b.ReportMetric(res.TaggingMs["Cortex-X3"], "X3-tagging-ms")
+}
+
+// BenchmarkMemoryOverhead regenerates the §7.3 accounting.
+func BenchmarkMemoryOverhead(b *testing.B) {
+	var res *bench.MemoryResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = bench.RunMemoryOverhead(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Total, "total-overhead-pct")
+	b.ReportMetric(100*res.TagStorage, "tag-storage-pct")
+}
+
+// --- Substrate wall-clock microbenchmarks ---
+
+// BenchmarkEngineGemm measures raw engine throughput on gemm under the
+// baseline and the full Cage configuration.
+func BenchmarkEngineGemm(b *testing.B) {
+	k, err := polybench.ByName("gemm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opts codegen.Options, feats core.Features) {
+		m, err := polybench.Build(k, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := polybench.RunModule(m, k.TestN, feats, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("baseline64", func(b *testing.B) {
+		run(b, codegen.Options{Wasm64: true}, core.Features{})
+	})
+	b.Run("full-cage", func(b *testing.B) {
+		run(b, codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}, core.CageAll())
+	})
+}
+
+// BenchmarkCompiler measures toolchain throughput end to end.
+func BenchmarkCompiler(b *testing.B) {
+	k, err := polybench.ByName("2mm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := polybench.Build(k, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocator measures hardened malloc/free pairs.
+func BenchmarkAllocator(b *testing.B) {
+	m := &wasm.Module{}
+	m.Mems = []wasm.MemoryType{{Limits: wasm.Limits{Min: 16, Max: 256, HasMax: true}, Memory64: true}}
+	for _, hardened := range []struct {
+		name string
+		feat core.Features
+	}{
+		{"baseline", core.Features{}},
+		{"hardened", core.Features{MemSafety: true, MTEMode: mte.ModeSync}},
+	} {
+		b.Run(hardened.name, func(b *testing.B) {
+			inst, err := exec.NewInstance(m, exec.Config{Features: hardened.feat, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, err := alloc.New(inst, 4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := a.Malloc(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := a.Free(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPACSignAuth measures the simulated PAC primitives.
+func BenchmarkPACSignAuth(b *testing.B) {
+	cfg := pac.DefaultConfig
+	key := pac.KeyFromSeed(1)
+	b.Run("sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = cfg.Sign(uint64(i)<<4, 42, key)
+		}
+	})
+	b.Run("auth", func(b *testing.B) {
+		signed := cfg.Sign(0x8650, 42, key)
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Auth(signed, 42, key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMTETagOps measures the simulated tag memory.
+func BenchmarkMTETagOps(b *testing.B) {
+	mem := mte.NewMemory(1<<20, mte.ModeSync)
+	b.Run("set-tag-range-4k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := mem.SetTagRange(0, 4096, uint8(i%15+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("check-access", func(b *testing.B) {
+		if err := mem.SetTagRange(0, 4096, 5); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if err := mem.CheckAccess(uint64(i%4000), 8, 5, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReportAll exercises the whole harness once per iteration,
+// discarding output; it is the cage-bench CLI's hot path.
+func BenchmarkReportAll(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full harness")
+	}
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunAll(io.Discard, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

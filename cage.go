@@ -1,0 +1,341 @@
+// Package cage is a pure-Go reproduction of "Cage: Hardware-Accelerated
+// Safe WebAssembly" (CGO 2025): a wasm64 toolchain and runtime that
+// provides spatial and temporal memory safety for unmodified C programs
+// using (simulated) Arm MTE and PAC.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - a MiniC compiler with the paper's two sanitizer passes (stack
+//     hardening per Algorithm 1, pointer authentication per Fig. 9)
+//   - a wasm64 engine implementing the Cage instruction extension
+//     (segment.new / segment.set_tag / segment.free / i64.pointer_sign /
+//     i64.pointer_auth, Figs. 7, 10, 11)
+//   - MTE-based sandboxing replacing software bounds checks (Figs. 12, 13)
+//   - a hardened dlmalloc-style allocator (Fig. 8a)
+//   - timing models of the Pixel 8's Cortex-X3/A715/A510 cores that
+//     price executions for the paper's evaluation
+//
+// # Quick start
+//
+//	tc := cage.NewToolchain(cage.FullHardening())
+//	mod, err := tc.CompileSource(`
+//	    extern char* malloc(long n);
+//	    long sum(long n) {
+//	        long* a = (long*)malloc(n * 8);
+//	        long s = 0;
+//	        for (long i = 0; i < n; i++) { a[i] = i; s += a[i]; }
+//	        return s;
+//	    }`)
+//	rt := cage.NewRuntime(cage.FullHardening())
+//	inst, err := rt.Instantiate(mod)
+//	res, err := inst.Invoke("sum", 100)
+package cage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"cage/internal/alloc"
+	"cage/internal/arch"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/minicc"
+	"cage/internal/mte"
+	"cage/internal/pac"
+	"cage/internal/wasi"
+	"cage/internal/wasm"
+)
+
+// Config selects the Cage components for both compilation and execution
+// (paper Table 3 configurations).
+type Config struct {
+	// Wasm64 selects 64-bit linear memory (required by every Cage
+	// feature); false builds the wasm32 guard-page baseline.
+	Wasm64 bool
+	// MemorySafety enables segments: the stack sanitizer at compile
+	// time, tag-checked memory and the hardened allocator at run time.
+	MemorySafety bool
+	// Sandboxing replaces wasm64 software bounds checks with MTE-based
+	// sandboxing.
+	Sandboxing bool
+	// PointerAuth signs and authenticates function pointers.
+	PointerAuth bool
+}
+
+// Preset configurations (paper Table 3).
+
+// Baseline32 is 32-bit WebAssembly with guard-page sandboxing.
+func Baseline32() Config { return Config{} }
+
+// Baseline64 is 64-bit WebAssembly with software bounds checks.
+func Baseline64() Config { return Config{Wasm64: true} }
+
+// MemorySafetyOnly enables only the internal memory-safety extension.
+func MemorySafetyOnly() Config { return Config{Wasm64: true, MemorySafety: true} }
+
+// PointerAuthOnly enables only pointer authentication.
+func PointerAuthOnly() Config { return Config{Wasm64: true, PointerAuth: true} }
+
+// SandboxingOnly enables only MTE-based external sandboxing.
+func SandboxingOnly() Config { return Config{Wasm64: true, Sandboxing: true} }
+
+// FullHardening enables every Cage component.
+func FullHardening() Config {
+	return Config{Wasm64: true, MemorySafety: true, Sandboxing: true, PointerAuth: true}
+}
+
+func (c Config) features() core.Features {
+	return core.Features{
+		MemSafety: c.MemorySafety,
+		Sandbox:   c.Sandboxing,
+		PtrAuth:   c.PointerAuth,
+		MTEMode:   mte.ModeSync,
+	}
+}
+
+func (c Config) codegenOptions() codegen.Options {
+	return codegen.Options{
+		Wasm64:         c.Wasm64,
+		StackSanitizer: c.MemorySafety,
+		PtrAuth:        c.PointerAuth,
+	}
+}
+
+// Module is a compiled WebAssembly module.
+type Module struct {
+	wasm *wasm.Module
+}
+
+// Raw exposes the underlying module representation.
+func (m *Module) Raw() *wasm.Module { return m.wasm }
+
+// Encode serializes the module to the binary format.
+func (m *Module) Encode() ([]byte, error) { return wasm.Encode(m.wasm) }
+
+// DecodeModule parses a binary module image.
+func DecodeModule(bin []byte) (*Module, error) {
+	raw, err := wasm.Decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	if err := wasm.Validate(raw); err != nil {
+		return nil, err
+	}
+	return &Module{wasm: raw}, nil
+}
+
+// Toolchain compiles MiniC source to (hardened) wasm modules.
+type Toolchain struct {
+	cfg Config
+}
+
+// NewToolchain builds a compiler pipeline for the configuration.
+func NewToolchain(cfg Config) *Toolchain { return &Toolchain{cfg: cfg} }
+
+// CompileSource compiles a MiniC translation unit.
+func (tc *Toolchain) CompileSource(src string) (*Module, error) {
+	file, err := minicc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	layout := minicc.Layout64
+	if !tc.cfg.Wasm64 {
+		layout = minicc.Layout32
+	}
+	prog, err := minicc.Analyze(file, layout)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := codegen.Compile(prog, tc.cfg.codegenOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Module{wasm: raw}, nil
+}
+
+// Runtime instantiates modules under a shared process context: one PAC
+// process key and one sandbox-tag allocator (at most 15 sandboxes per
+// process, paper §7.4).
+type Runtime struct {
+	cfg       Config
+	key       pac.Key
+	sandboxes *core.SandboxAllocator
+	seed      uint64
+	stdout    io.Writer
+	stderr    io.Writer
+}
+
+// NewRuntime creates a process-level runtime for the configuration.
+func NewRuntime(cfg Config) *Runtime {
+	return &Runtime{
+		cfg:       cfg,
+		key:       pac.KeyFromSeed(0xCA6E_2025),
+		sandboxes: core.NewSandboxAllocator(core.NewPolicy(cfg.features())),
+		seed:      1,
+	}
+}
+
+// SetStdio routes WASI fd_write output.
+func (rt *Runtime) SetStdio(stdout, stderr io.Writer) {
+	rt.stdout, rt.stderr = stdout, stderr
+}
+
+// EnableExtendedSandboxes lifts the 15-sandbox-per-process limit by
+// reusing tags across instances with disjoint, guard-separated memory
+// ranges — the scaling extension the paper sketches in §6.4.
+func (rt *Runtime) EnableExtendedSandboxes() { rt.sandboxes.EnableTagReuse() }
+
+// Instance is a running module.
+type Instance struct {
+	inst  *exec.Instance
+	alloc *alloc.Allocator
+}
+
+// Instantiate validates, links (WASI + hardened libc + env helpers), and
+// instantiates a module.
+func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
+	binding := &alloc.Binding{}
+	linker := exec.NewLinker()
+	binding.Register(linker)
+	wasi.New(rt.stdout, rt.stderr).Register(linker)
+	registerEnv(linker, rt)
+	rt.seed++
+	inst, err := exec.NewInstance(m.wasm, exec.Config{
+		Features:   rt.cfg.features(),
+		Linker:     linker,
+		ProcessKey: rt.key,
+		Seed:       rt.seed,
+		Sandboxes:  rt.sandboxes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Instance{inst: inst}
+	if heapBase, ok := inst.GlobalValue("__heap_base"); ok {
+		out.alloc, err = alloc.New(inst, heapBase)
+		if err != nil {
+			return nil, err
+		}
+		binding.A = out.alloc
+	}
+	return out, nil
+}
+
+// Invoke calls an exported function with raw 64-bit argument bits.
+func (i *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
+	return i.inst.Invoke(name, args...)
+}
+
+// InvokeF64 calls an exported function returning a double.
+func (i *Instance) InvokeF64(name string, args ...uint64) (float64, error) {
+	res, err := i.inst.Invoke(name, args...)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) == 0 {
+		return 0, fmt.Errorf("cage: %s returned no value", name)
+	}
+	return exec.F64Val(res[0]), nil
+}
+
+// Memory exposes the guest linear memory.
+func (i *Instance) Memory() []byte { return i.inst.Memory() }
+
+// Counter exposes the lowered-code event counter for timing analysis.
+func (i *Instance) Counter() *arch.Counter { return i.inst.Counter() }
+
+// Allocator exposes the hardened allocator (nil if the module declares
+// no memory).
+func (i *Instance) Allocator() *alloc.Allocator { return i.alloc }
+
+// Raw exposes the underlying engine instance.
+func (i *Instance) Raw() *exec.Instance { return i.inst }
+
+// registerEnv installs the small env host surface MiniC programs use,
+// in both the wasm64 ("env") and ILP32 wasm32 ("env32") ABI variants.
+func registerEnv(l *exec.Linker, rt *Runtime) {
+	for _, abi := range []struct {
+		module  string
+		ptr     wasm.ValType
+		ptrMask uint64
+	}{
+		{"env", wasm.I64, (1 << 48) - 1},
+		{"env32", wasm.I32, 0xFFFFFFFF},
+	} {
+		abi := abi
+		l.Define(abi.module, "sqrt", exec.HostFunc{
+			Type: wasm.FuncType{Params: []wasm.ValType{wasm.F64}, Results: []wasm.ValType{wasm.F64}},
+			Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+				return []uint64{exec.F64Bits(math.Sqrt(exec.F64Val(args[0])))}, nil
+			},
+		})
+		l.Define(abi.module, "print_long", exec.HostFunc{
+			Type: wasm.FuncType{Params: []wasm.ValType{abi.ptr}},
+			Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+				if rt.stdout != nil {
+					fmt.Fprintf(rt.stdout, "%d\n", int64(args[0]))
+				}
+				return nil, nil
+			},
+		})
+		l.Define(abi.module, "print_double", exec.HostFunc{
+			Type: wasm.FuncType{Params: []wasm.ValType{wasm.F64}},
+			Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+				if rt.stdout != nil {
+					fmt.Fprintf(rt.stdout, "%g\n", exec.F64Val(args[0]))
+				}
+				return nil, nil
+			},
+		})
+		l.Define(abi.module, "print_str", exec.HostFunc{
+			Type: wasm.FuncType{Params: []wasm.ValType{abi.ptr, abi.ptr}},
+			Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+				if rt.stdout != nil {
+					b, err := inst.ReadBytes(args[0]&abi.ptrMask, args[1]&abi.ptrMask)
+					if err != nil {
+						return nil, err
+					}
+					fmt.Fprintf(rt.stdout, "%s", b)
+				}
+				return nil, nil
+			},
+		})
+		l.Define(abi.module, "sink", exec.HostFunc{
+			Type: wasm.FuncType{Params: []wasm.ValType{abi.ptr}},
+			Fn:   func(_ *exec.Instance, _ []uint64) ([]uint64, error) { return nil, nil },
+		})
+	}
+}
+
+// Trap classification helpers for embedders.
+
+// IsMemorySafetyViolation reports a spatial/temporal violation caught by
+// MTE (tag mismatch) or by a segment instruction (double free, invalid
+// segment).
+func IsMemorySafetyViolation(err error) bool {
+	var t *exec.Trap
+	if errors.As(err, &t) {
+		return t.Code == exec.TrapTagMismatch || t.Code == exec.TrapSegment
+	}
+	// Host-side allocator violations (invalid/double free) surface as
+	// host traps wrapping alloc errors.
+	return errors.Is(err, alloc.ErrInvalidFree)
+}
+
+// IsSandboxViolation reports an attempted sandbox escape.
+func IsSandboxViolation(err error) bool {
+	var t *exec.Trap
+	if errors.As(err, &t) {
+		return t.Code == exec.TrapOutOfBounds || t.Code == exec.TrapTagMismatch
+	}
+	return false
+}
+
+// IsAuthFailure reports a failed pointer authentication.
+func IsAuthFailure(err error) bool {
+	var t *exec.Trap
+	return errors.As(err, &t) && t.Code == exec.TrapAuthFailure
+}

@@ -1,0 +1,58 @@
+// Command cage-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cage-bench [-quick] [-exp all|table1|table2|fig4|fig14|fig15|fig16|startup|mem|security]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cage/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use small problem sizes")
+	exp := flag.String("exp", "all", "which experiment to run")
+	flag.Parse()
+
+	w := os.Stdout
+	var err error
+	switch *exp {
+	case "all":
+		err = bench.RunAll(w, *quick)
+	case "table1":
+		bench.Table1Report(w)
+	case "table2":
+		err = bench.Table2Report(w)
+	case "fig4":
+		bench.Fig4Report(w)
+	case "fig14":
+		var r *bench.Fig14Result
+		if r, err = bench.RunFig14(*quick); err == nil {
+			r.Report(w)
+		}
+	case "fig15":
+		var r *bench.Fig15Result
+		if r, err = bench.RunFig15(*quick); err == nil {
+			r.Report(w)
+		}
+	case "fig16":
+		bench.Fig16Report(w)
+	case "startup":
+		err = bench.StartupReport(w)
+	case "mem":
+		err = bench.MemoryReport(w, *quick)
+	case "security":
+		bench.SecurityReport(w)
+	default:
+		fmt.Fprintf(os.Stderr, "cage-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+// Command cage-cc compiles MiniC source files to Cage-hardened wasm64
+// binaries (or plain wasm32/wasm64 baselines).
+//
+// Usage:
+//
+//	cage-cc [-o out.wasm] [-wasm32] [-no-stack-sanitizer] [-no-ptr-auth] input.c
+//
+// By default the full Cage pipeline runs: the Algorithm 1 stack
+// sanitizer and the pointer-authentication pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cage"
+)
+
+func main() {
+	out := flag.String("o", "a.wasm", "output file")
+	wasm32 := flag.Bool("wasm32", false, "target 32-bit memory (baseline, no hardening)")
+	noStack := flag.Bool("no-stack-sanitizer", false, "disable the stack sanitizer")
+	noAuth := flag.Bool("no-ptr-auth", false, "disable pointer authentication")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cage-cc [flags] input.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-cc: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := cage.FullHardening()
+	if *wasm32 {
+		cfg = cage.Baseline32()
+	}
+	if *noStack {
+		cfg.MemorySafety = false
+	}
+	if *noAuth {
+		cfg.PointerAuth = false
+	}
+	mod, err := cage.NewToolchain(cfg).CompileSource(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-cc: %v\n", err)
+		os.Exit(1)
+	}
+	bin, err := mod.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-cc: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, bin, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cage-cc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(bin))
+}

@@ -1,0 +1,32 @@
+// Command cage-objdump disassembles a wasm binary into a WAT-style text
+// listing, including the Cage extension instructions.
+//
+// Usage:
+//
+//	cage-objdump module.wasm
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cage/internal/wasm"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: cage-objdump module.wasm")
+		os.Exit(2)
+	}
+	bin, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-objdump: %v\n", err)
+		os.Exit(1)
+	}
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-objdump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(wasm.Wat(m))
+}

@@ -1,0 +1,86 @@
+// Command cage-run executes a wasm binary under the Cage runtime.
+//
+// Usage:
+//
+//	cage-run [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox]
+//	         [-invoke name] [-args "1 2 3"] module.wasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cage"
+)
+
+func configByName(name string) (cage.Config, error) {
+	switch name {
+	case "full":
+		return cage.FullHardening(), nil
+	case "baseline32":
+		return cage.Baseline32(), nil
+	case "baseline64":
+		return cage.Baseline64(), nil
+	case "memsafety":
+		return cage.MemorySafetyOnly(), nil
+	case "ptrauth":
+		return cage.PointerAuthOnly(), nil
+	case "sandbox":
+		return cage.SandboxingOnly(), nil
+	}
+	return cage.Config{}, fmt.Errorf("unknown config %q", name)
+}
+
+func main() {
+	cfgName := flag.String("config", "full", "runtime configuration")
+	invoke := flag.String("invoke", "main", "exported function to call")
+	argStr := flag.String("args", "", "space-separated integer arguments")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cage-run [flags] module.wasm")
+		os.Exit(2)
+	}
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
+		os.Exit(2)
+	}
+	bin, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
+		os.Exit(1)
+	}
+	mod, err := cage.DecodeModule(bin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
+		os.Exit(1)
+	}
+	rt := cage.NewRuntime(cfg)
+	rt.SetStdio(os.Stdout, os.Stderr)
+	inst, err := rt.Instantiate(mod)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
+		os.Exit(1)
+	}
+	var args []uint64
+	for _, f := range strings.Fields(*argStr) {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cage-run: bad argument %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		args = append(args, uint64(v))
+	}
+	res, err := inst.Invoke(*invoke, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
+		os.Exit(1)
+	}
+	for _, v := range res {
+		fmt.Printf("%d (0x%x)\n", int64(v), v)
+	}
+}

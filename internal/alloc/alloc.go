@@ -1,0 +1,436 @@
+// Package alloc is the Cage-hardened heap allocator, the reproduction of
+// the paper's modified dlmalloc in wasi-libc (§6.2, Fig. 8a).
+//
+// Layout: the heap is a run of contiguous blocks, each a 16-byte header
+// followed by a 16-byte-aligned payload. Headers are allocator metadata
+// and stay untagged (guard-tagged), so they both protect themselves from
+// heap overflows and act as the guard slots that keep adjacent
+// allocations from ever sharing a tag — an overflow off the end of one
+// allocation always runs into an untagged header first (Fig. 8a).
+//
+// On malloc the allocator rounds the request up to 16 bytes, carves a
+// block, and creates a segment over the payload (segment.new), returning
+// the tagged pointer. On free it verifies ownership and retags via
+// segment.free, catching use-after-free and double-free. Without the
+// memory-safety feature the same allocator runs untagged, which is the
+// wasm64 baseline configuration.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"cage/internal/exec"
+	"cage/internal/mte"
+	"cage/internal/ptrlayout"
+	"cage/internal/wasm"
+)
+
+// HeaderSize is the untagged metadata slot preceding every payload.
+const HeaderSize = 16
+
+// headerMagic guards against corrupted or forged headers; it occupies
+// the top 16 bits of the first header word.
+const headerMagic uint64 = 0xCA6E << 48
+
+// ErrOutOfMemory is returned when the heap cannot grow any further.
+var ErrOutOfMemory = errors.New("alloc: out of memory")
+
+// ErrInvalidFree is returned for frees of unknown or corrupt pointers.
+var ErrInvalidFree = errors.New("alloc: invalid free")
+
+// block is a free-list entry (address of the header, total block size
+// including the header).
+type block struct {
+	addr uint64
+	size uint64
+}
+
+// Allocator manages a heap region inside one instance's linear memory.
+type Allocator struct {
+	inst      *exec.Instance
+	hardened  bool
+	heapStart uint64
+	heapEnd   uint64  // current break
+	free      []block // sorted by address, coalesced
+
+	// Stats for the memory-overhead experiment (§7.3).
+	Allocs uint64
+	Frees  uint64
+	InUse  uint64 // live payload bytes
+	Peak   uint64
+	Meta   uint64 // live metadata bytes
+}
+
+// New creates an allocator for inst managing [heapStart, memSize).
+// heapStart must be 16-byte aligned.
+func New(inst *exec.Instance, heapStart uint64) (*Allocator, error) {
+	if heapStart%16 != 0 {
+		return nil, fmt.Errorf("alloc: heap start %#x not 16-byte aligned", heapStart)
+	}
+	if heapStart > inst.MemorySize() {
+		return nil, fmt.Errorf("alloc: heap start %#x beyond memory", heapStart)
+	}
+	return &Allocator{
+		inst:      inst,
+		hardened:  inst.Features().MemSafety,
+		heapStart: heapStart,
+		heapEnd:   heapStart,
+	}, nil
+}
+
+// Hardened reports whether allocations are tagged.
+func (a *Allocator) Hardened() bool { return a.hardened }
+
+// HeapBytes returns the total bytes the heap has claimed.
+func (a *Allocator) HeapBytes() uint64 { return a.heapEnd - a.heapStart }
+
+// align16 rounds n up to a multiple of 16.
+func align16(n uint64) uint64 { return (n + 15) &^ 15 }
+
+// Malloc allocates size bytes and returns the (tagged) payload pointer.
+func (a *Allocator) Malloc(size uint64) (uint64, error) {
+	if size == 0 {
+		size = 16
+	}
+	payload := align16(size)
+	total := HeaderSize + payload
+
+	hdr, ok := a.takeFree(total)
+	if !ok {
+		var err error
+		hdr, err = a.extend(total)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := a.writeHeader(hdr, payload, false); err != nil {
+		return 0, err
+	}
+	a.Allocs++
+	a.InUse += payload
+	a.Meta += HeaderSize
+	if a.InUse > a.Peak {
+		a.Peak = a.InUse
+	}
+	p := hdr + HeaderSize
+	if !a.hardened {
+		return p, nil
+	}
+	tagged, err := a.inst.HostSegmentNew(p, payload)
+	if err != nil {
+		return 0, fmt.Errorf("alloc: tagging allocation: %w", err)
+	}
+	return tagged, nil
+}
+
+// Calloc allocates zeroed memory for n items of itemSize bytes.
+func (a *Allocator) Calloc(n, itemSize uint64) (uint64, error) {
+	if itemSize != 0 && n > (1<<62)/itemSize {
+		return 0, ErrOutOfMemory
+	}
+	size := n * itemSize
+	p, err := a.Malloc(size)
+	if err != nil {
+		return 0, err
+	}
+	if !a.hardened { // hardened path zeroes via segment.new already
+		addr := ptrlayout.Address(p)
+		buf := a.inst.Memory()
+		for i := addr; i < addr+align16(size); i++ {
+			buf[i] = 0
+		}
+	}
+	return p, nil
+}
+
+// Free releases an allocation; under Cage this retags the segment so
+// dangling pointers fault (temporal safety).
+func (a *Allocator) Free(ptr uint64) error {
+	if ptr == 0 {
+		return nil
+	}
+	addr := ptrlayout.Address(ptr)
+	hdr := addr - HeaderSize
+	payload, free, err := a.readHeader(hdr)
+	if err != nil {
+		return err
+	}
+	if free {
+		if a.hardened {
+			// Cage catches the double free deterministically: the
+			// pointer's tag no longer owns the segment (Fig. 11 eq. 10).
+			return fmt.Errorf("%w: double free at %#x", ErrInvalidFree, addr)
+		}
+		// Baseline dlmalloc behaviour: a double free silently corrupts
+		// the free list, letting a later malloc return an overlapping
+		// block (the CVE-2019-11932 exploitation pattern). Emulate it.
+		a.insertFree(block{addr: hdr, size: HeaderSize + payload})
+		return nil
+	}
+	if a.hardened {
+		if err := a.inst.HostSegmentFree(ptr, payload); err != nil {
+			return err
+		}
+	}
+	if err := a.writeHeader(hdr, payload, true); err != nil {
+		return err
+	}
+	a.Frees++
+	a.InUse -= payload
+	a.Meta -= HeaderSize
+	a.insertFree(block{addr: hdr, size: HeaderSize + payload})
+	return nil
+}
+
+// Realloc resizes an allocation, moving it if needed.
+func (a *Allocator) Realloc(ptr uint64, newSize uint64) (uint64, error) {
+	if ptr == 0 {
+		return a.Malloc(newSize)
+	}
+	if newSize == 0 {
+		return 0, a.Free(ptr)
+	}
+	addr := ptrlayout.Address(ptr)
+	oldPayload, free, err := a.readHeader(addr - HeaderSize)
+	if err != nil {
+		return 0, err
+	}
+	if free {
+		return 0, fmt.Errorf("%w: realloc of freed pointer %#x", ErrInvalidFree, addr)
+	}
+	if align16(newSize) <= oldPayload {
+		return ptr, nil // shrink in place
+	}
+	np, err := a.Malloc(newSize)
+	if err != nil {
+		return 0, err
+	}
+	src := addr
+	dst := ptrlayout.Address(np)
+	buf := a.inst.Memory()
+	copy(buf[dst:dst+oldPayload], buf[src:src+oldPayload])
+	if err := a.Free(ptr); err != nil {
+		return 0, err
+	}
+	return np, nil
+}
+
+// UsableSize returns the payload size backing ptr.
+func (a *Allocator) UsableSize(ptr uint64) (uint64, error) {
+	payload, _, err := a.readHeader(ptrlayout.Address(ptr) - HeaderSize)
+	return payload, err
+}
+
+// takeFree pops a first-fit free block of at least total bytes,
+// splitting the remainder back onto the list.
+func (a *Allocator) takeFree(total uint64) (uint64, bool) {
+	for i, b := range a.free {
+		if b.size < total {
+			continue
+		}
+		rest := b.size - total
+		if rest >= HeaderSize+16 {
+			a.free[i] = block{addr: b.addr + total, size: rest}
+			// Keep the remainder header coherent for diagnostics.
+			_ = a.writeHeader(b.addr+total, rest-HeaderSize, true)
+		} else {
+			total = b.size // absorb the sliver
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		}
+		return b.addr, true
+	}
+	return 0, false
+}
+
+// extend claims fresh space at the break, growing memory when needed.
+func (a *Allocator) extend(total uint64) (uint64, error) {
+	need := a.heapEnd + total
+	if need > a.inst.MemorySize() {
+		pages := (need - a.inst.MemorySize() + wasm.PageSize - 1) / wasm.PageSize
+		if old := a.inst.GrowMemory(pages); old == ^uint64(0) {
+			return 0, ErrOutOfMemory
+		}
+	}
+	hdr := a.heapEnd
+	a.heapEnd += total
+	return hdr, nil
+}
+
+// insertFree adds a block and coalesces address-adjacent neighbours.
+func (a *Allocator) insertFree(nb block) {
+	// Insert sorted by address.
+	i := 0
+	for i < len(a.free) && a.free[i].addr < nb.addr {
+		i++
+	}
+	a.free = append(a.free, block{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = nb
+	// Coalesce with successor.
+	if i+1 < len(a.free) && a.free[i].addr+a.free[i].size == a.free[i+1].addr {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Coalesce with predecessor.
+	if i > 0 && a.free[i-1].addr+a.free[i-1].size == a.free[i].addr {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// writeHeader stores the untagged metadata slot (Fig. 8a). The slot
+// encodes the payload size, a free flag, and a magic value so corrupt
+// frees are detected even unhardened.
+func (a *Allocator) writeHeader(hdr, payload uint64, free bool) error {
+	word := headerMagic | payload<<1
+	if free {
+		word |= 1
+	}
+	if err := a.inst.WriteU64(hdr, word); err != nil {
+		return err
+	}
+	return a.inst.WriteU64(hdr+8, ^word) // checksum word
+}
+
+// readHeader loads and verifies a metadata slot.
+func (a *Allocator) readHeader(hdr uint64) (payload uint64, free bool, err error) {
+	if hdr < a.heapStart || hdr >= a.heapEnd {
+		return 0, false, fmt.Errorf("%w: pointer outside heap", ErrInvalidFree)
+	}
+	word, err := a.inst.ReadU64(hdr)
+	if err != nil {
+		return 0, false, err
+	}
+	check, err := a.inst.ReadU64(hdr + 8)
+	if err != nil {
+		return 0, false, err
+	}
+	if word&0xFFFF_0000_0000_0000 != headerMagic || check != ^word {
+		return 0, false, fmt.Errorf("%w: corrupt allocator metadata at %#x", ErrInvalidFree, hdr)
+	}
+	return (word &^ headerMagic) >> 1, word&1 == 1, nil
+}
+
+// MetadataOverhead reports live metadata bytes per live payload byte,
+// used by the §7.3 memory-overhead accounting.
+func (a *Allocator) MetadataOverhead() float64 {
+	if a.InUse == 0 {
+		return 0
+	}
+	return float64(a.Meta) / float64(a.InUse)
+}
+
+// TagStorageOverhead is MTE's architectural tag-storage cost: 4 bits per
+// 16-byte granule = 1/32 of memory (paper §7.3).
+func TagStorageOverhead() float64 { return 1.0 / (2 * mte.GranuleSize) }
+
+// HostModule is the import-module name for the libc host functions; the
+// wasm32 baseline imports the 32-bit-pointer surface from HostModule32.
+const (
+	HostModule   = "cage_libc"
+	HostModule32 = "cage_libc32"
+)
+
+// Binding lets host functions reach the allocator that is created after
+// the linker (the instance must exist first).
+type Binding struct {
+	A *Allocator
+}
+
+// Register installs malloc/free/calloc/realloc as host functions, in
+// both the wasm64 (HostModule) and wasm32 (HostModule32) ABI variants.
+func (b *Binding) Register(l *exec.Linker) {
+	b.register64(l)
+	b.register32(l)
+}
+
+func (b *Binding) register64(l *exec.Linker) {
+	i64 := []wasm.ValType{wasm.I64}
+	i64i64 := []wasm.ValType{wasm.I64, wasm.I64}
+	l.Define(HostModule, "malloc", exec.HostFunc{
+		Type: wasm.FuncType{Params: i64, Results: i64},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			p, err := b.A.Malloc(args[0])
+			if err != nil {
+				return []uint64{0}, nil // C malloc reports failure as NULL
+			}
+			return []uint64{p}, nil
+		},
+	})
+	l.Define(HostModule, "calloc", exec.HostFunc{
+		Type: wasm.FuncType{Params: i64i64, Results: i64},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			p, err := b.A.Calloc(args[0], args[1])
+			if err != nil {
+				return []uint64{0}, nil
+			}
+			return []uint64{p}, nil
+		},
+	})
+	l.Define(HostModule, "realloc", exec.HostFunc{
+		Type: wasm.FuncType{Params: i64i64, Results: i64},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			p, err := b.A.Realloc(args[0], args[1])
+			if err != nil {
+				return []uint64{0}, nil
+			}
+			return []uint64{p}, nil
+		},
+	})
+	l.Define(HostModule, "free", exec.HostFunc{
+		Type: wasm.FuncType{Params: i64},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			// Invalid frees are memory-safety violations: trap, exactly
+			// as segment.free would (Fig. 11 eq. 10).
+			if err := b.A.Free(args[0]); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		},
+	})
+}
+
+// register32 is the ILP32 ABI of wasi-libc on wasm32: pointers and
+// sizes are i32.
+func (b *Binding) register32(l *exec.Linker) {
+	l.Define(HostModule32, "malloc", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			p, err := b.A.Malloc(args[0] & 0xFFFFFFFF)
+			if err != nil {
+				return []uint64{0}, nil
+			}
+			return []uint64{p & 0xFFFFFFFF}, nil
+		},
+	})
+	l.Define(HostModule32, "calloc", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			p, err := b.A.Calloc(args[0]&0xFFFFFFFF, args[1]&0xFFFFFFFF)
+			if err != nil {
+				return []uint64{0}, nil
+			}
+			return []uint64{p & 0xFFFFFFFF}, nil
+		},
+	})
+	l.Define(HostModule32, "realloc", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			p, err := b.A.Realloc(args[0]&0xFFFFFFFF, args[1]&0xFFFFFFFF)
+			if err != nil {
+				return []uint64{0}, nil
+			}
+			return []uint64{p & 0xFFFFFFFF}, nil
+		},
+	})
+	l.Define(HostModule32, "free", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32}},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			if err := b.A.Free(args[0] & 0xFFFFFFFF); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		},
+	})
+}

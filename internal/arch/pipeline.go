@@ -1,0 +1,68 @@
+package arch
+
+// Pipeline microbenchmark simulator regenerating paper Table 1.
+//
+// The paper measures instruction throughput by executing 1e10 instances
+// of an instruction in an unrolled loop with no data dependencies, and
+// latency by forcing each instance to depend on the previous one. The
+// simulation reproduces both experiments over the OpTiming parameters: a
+// scoreboard issues up to IssueWidth instructions per cycle, each class
+// has Units effective execution units with initiation interval II, and a
+// dependent instruction cannot start before its producer's result is
+// Latency cycles old.
+
+// MeasureThroughput simulates n independent instructions of class cl and
+// returns the achieved instructions/cycle.
+func (c *Core) MeasureThroughput(cl InstClass, n int) float64 {
+	t := c.timing(cl)
+	if n <= 0 {
+		return 0
+	}
+	// Unit-limited issue: one unit accepts an op every II cycles.
+	unitCycles := float64(n) * t.II / t.Units
+	// Front-end limited issue.
+	frontCycles := float64(n) / c.IssueWidth
+	cycles := unitCycles
+	if frontCycles > cycles {
+		cycles = frontCycles
+	}
+	return float64(n) / cycles
+}
+
+// MeasureLatency simulates a chain of n dependent instructions of class
+// cl and returns the observed per-instruction latency in cycles.
+func (c *Core) MeasureLatency(cl InstClass, n int) float64 {
+	t := c.timing(cl)
+	if n <= 0 {
+		return 0
+	}
+	// Each link must wait for the previous result; issue itself costs at
+	// least one initiation interval per unit when the chain is serial.
+	per := t.Latency
+	if min := t.II / t.Units; per < min {
+		per = min
+	}
+	return (float64(n) * per) / float64(n)
+}
+
+// InstMeasurement is one Table 1 row cell pair for a core.
+type InstMeasurement struct {
+	Class      InstClass
+	Throughput float64 // instructions per cycle (higher is better)
+	Latency    float64 // cycles (lower is better); 0 when not measured
+}
+
+// MeasureAll runs the Table 1 microbenchmarks (throughput for every
+// class, latency only where the paper reports one) with n instructions.
+func (c *Core) MeasureAll(n int) []InstMeasurement {
+	classes := append(append([]InstClass{}, MTEInstClasses...), PACInstClasses...)
+	out := make([]InstMeasurement, 0, len(classes))
+	for _, cl := range classes {
+		m := InstMeasurement{Class: cl, Throughput: c.MeasureThroughput(cl, n)}
+		if cl.HasLatencyRow() {
+			m.Latency = c.MeasureLatency(cl, n)
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package arch
+
+import "cage/internal/mte"
+
+// StreamModel captures a core's behaviour on large streaming memory
+// operations: the 128 MiB memset of paper Fig. 4 and the tagged-memory
+// initialization variants of Table 4 / Fig. 16.
+//
+// Parameters are calibrated against the paper's Pixel 8 measurements:
+// MemsetBPC reproduces the "none" bars of Fig. 4, the per-granule check
+// costs reproduce the sync/async bars, and InitBPC reproduces Fig. 16
+// (whose runs execute under synchronous MTE against tagged memory, hence
+// the slightly different baseline).
+type StreamModel struct {
+	// MemsetBPC is the sustained plain-store bandwidth in bytes/cycle
+	// with MTE disabled and a clean cache.
+	MemsetBPC float64
+	// SyncCheckPerGranule is the extra cycles each 16-byte granule costs
+	// when stores are tag-checked synchronously.
+	SyncCheckPerGranule float64
+	// AsyncCheckPerGranule is the analogous cost in asynchronous mode.
+	AsyncCheckPerGranule float64
+	// InitBPC is the effective streaming bandwidth (bytes/cycle) of each
+	// Fig. 16 initialization variant under synchronous MTE.
+	InitBPC [NumInitVariants]float64
+}
+
+// InitVariant enumerates the Table 4 rows.
+type InitVariant int
+
+const (
+	// InitMemset is a plain memset (no tagging).
+	InitMemset InitVariant = iota
+	// InitSTG tags with stg, one granule per instruction, data untouched.
+	InitSTG
+	// InitST2G tags with st2g, two granules per instruction.
+	InitST2G
+	// InitSTGP tags and stores a register pair (zeroes data).
+	InitSTGP
+	// InitSTZG tags and zeroes one granule.
+	InitSTZG
+	// InitST2ZG tags and zeroes two granules.
+	InitST2ZG
+	// InitSTGMemset tags with stg, then memsets (two logical passes).
+	InitSTGMemset
+	// InitST2GMemset tags with st2g, then memsets.
+	InitST2GMemset
+	// NumInitVariants is the number of variants.
+	NumInitVariants
+)
+
+var initNames = [...]string{
+	InitMemset: "memset", InitSTG: "stg", InitST2G: "st2g", InitSTGP: "stgp",
+	InitSTZG: "stzg", InitST2ZG: "st2zg", InitSTGMemset: "stg+memset",
+	InitST2GMemset: "st2g+memset",
+}
+
+// String returns the Table 4 variant name.
+func (v InitVariant) String() string {
+	if int(v) < len(initNames) {
+		return initNames[v]
+	}
+	return "init(?)"
+}
+
+// TagStoreOp returns the tag-store instruction a variant uses, and false
+// for the plain-memset variant.
+func (v InitVariant) TagStoreOp() (mte.TagStoreOp, bool) {
+	switch v {
+	case InitSTG, InitSTGMemset:
+		return mte.OpSTG, true
+	case InitST2G, InitST2GMemset:
+		return mte.OpST2G, true
+	case InitSTGP:
+		return mte.OpSTGP, true
+	case InitSTZG:
+		return mte.OpSTZG, true
+	case InitST2ZG:
+		return mte.OpST2ZG, true
+	}
+	return 0, false
+}
+
+// SetsZero reports whether the variant leaves the region zero-filled
+// (Table 4 "Sets 0" column).
+func (v InitVariant) SetsZero() bool {
+	switch v {
+	case InitSTGP, InitSTZG, InitST2ZG, InitSTGMemset, InitST2GMemset, InitMemset:
+		return true
+	}
+	return false
+}
+
+// UsesMemset reports whether the variant includes a separate memset pass
+// (Table 4 "memset" column).
+func (v InitVariant) UsesMemset() bool {
+	return v == InitMemset || v == InitSTGMemset || v == InitST2GMemset
+}
+
+// AllInitVariants lists the variants in Table 4 row order.
+var AllInitVariants = []InitVariant{
+	InitMemset, InitSTG, InitST2G, InitSTGP, InitSTZG, InitST2ZG,
+	InitSTGMemset, InitST2GMemset,
+}
+
+// MemsetCycles models writing size bytes with a clean cache under the
+// given MTE mode (paper Fig. 4).
+func (c *Core) MemsetCycles(size uint64, mode mte.Mode) float64 {
+	cycles := float64(size) / c.Stream.MemsetBPC
+	granules := float64(size) / mte.GranuleSize
+	switch mode {
+	case mte.ModeSync:
+		cycles += granules * c.Stream.SyncCheckPerGranule
+	case mte.ModeAsync:
+		cycles += granules * c.Stream.AsyncCheckPerGranule
+	case mte.ModeAsymmetric:
+		// Writes are the synchronous side.
+		cycles += granules * c.Stream.SyncCheckPerGranule
+	}
+	return cycles
+}
+
+// InitCycles models initializing (and, per variant, tagging) size bytes
+// under synchronous MTE (paper Fig. 16).
+func (c *Core) InitCycles(size uint64, v InitVariant) float64 {
+	return float64(size) / c.Stream.InitBPC[v]
+}
+
+// TagRegionCycles models tagging size bytes with stg-style stores, used
+// for instance-startup accounting (paper §7.2): tagging a fresh linear
+// memory streams at the InitSTG rate.
+func (c *Core) TagRegionCycles(size uint64) float64 {
+	return float64(size) / c.Stream.InitBPC[InitSTG]
+}
+
+// Stream parameters per core, calibrated to Fig. 4 ("none" bars and the
+// sync/async deltas) and Fig. 16 (per-variant runtimes) at 128 MiB.
+var (
+	streamX3 = StreamModel{
+		MemsetBPC:            1.527,
+		SyncCheckPerGranule:  1.98,
+		AsyncCheckPerGranule: 0.24,
+		InitBPC: [NumInitVariants]float64{
+			InitMemset: 1.373, InitSTG: 1.406, InitST2G: 1.385,
+			InitSTGP: 1.474, InitSTZG: 1.419, InitST2ZG: 1.563,
+			InitSTGMemset: 1.039, InitST2GMemset: 1.014,
+		},
+	}
+	streamA715 = StreamModel{
+		MemsetBPC:            1.276,
+		SyncCheckPerGranule:  1.81,
+		AsyncCheckPerGranule: 0.42,
+		InitBPC: [NumInitVariants]float64{
+			InitMemset: 1.158, InitSTG: 1.153, InitST2G: 1.210,
+			InitSTGP: 1.213, InitSTZG: 1.180, InitST2ZG: 1.213,
+			InitSTGMemset: 1.062, InitST2GMemset: 1.089,
+		},
+	}
+	streamA510 = StreamModel{
+		MemsetBPC:            1.095,
+		SyncCheckPerGranule:  3.79,
+		AsyncCheckPerGranule: 1.66,
+		InitBPC: [NumInitVariants]float64{
+			InitMemset: 0.859, InitSTG: 0.817, InitST2G: 0.805,
+			InitSTGP: 0.950, InitSTZG: 1.012, InitST2ZG: 1.023,
+			InitSTGMemset: 0.594, InitST2GMemset: 0.572,
+		},
+	}
+)

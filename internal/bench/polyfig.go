@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"cage/internal/alloc"
+	"cage/internal/arch"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/polybench"
+)
+
+// --- Fig. 14 ---
+
+// Fig14Result holds the PolyBench sweep: modeled runtimes per (kernel,
+// variant, core) and the normalized means the paper reports.
+type Fig14Result struct {
+	Kernels  []string
+	Variants []string
+	Cores    []string
+	// Millis[kernel][variant][core]
+	Millis map[string]map[string]map[string]float64
+	// MeanPct[variant][core] is the mean runtime normalized to the
+	// wasm64 baseline (=100), as in Fig. 14.
+	MeanPct map[string]map[string]float64
+	// StdPct[variant][core] is the standard deviation across kernels.
+	StdPct map[string]map[string]float64
+}
+
+// RunFig14 executes every kernel under every Table 3 variant, verifying
+// checksums, and prices the event streams on all three cores. quick uses
+// the small test sizes.
+func RunFig14(quick bool) (*Fig14Result, error) {
+	variants := Table3Variants()
+	cores := arch.Cores()
+	res := &Fig14Result{
+		Millis:  make(map[string]map[string]map[string]float64),
+		MeanPct: make(map[string]map[string]float64),
+		StdPct:  make(map[string]map[string]float64),
+	}
+	for _, v := range variants {
+		res.Variants = append(res.Variants, v.Name)
+	}
+	for _, c := range cores {
+		res.Cores = append(res.Cores, c.Name)
+	}
+	for _, k := range polybench.Kernels() {
+		res.Kernels = append(res.Kernels, k.Name)
+		n := k.BenchN
+		if quick {
+			n = k.TestN
+		}
+		want := k.Reference(n)
+		perVariant := make(map[string]map[string]float64)
+		for _, v := range variants {
+			var ctr arch.Counter
+			got, err := polybench.Run(k, n, v.Compile, v.Features, &ctr)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s/%s: %w", k.Name, v.Name, err)
+			}
+			if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+				return nil, fmt.Errorf("fig14 %s/%s: checksum %g, want %g", k.Name, v.Name, got, want)
+			}
+			perCore := make(map[string]float64)
+			for _, c := range cores {
+				perCore[c.Name] = ctr.Millis(c)
+			}
+			perVariant[v.Name] = perCore
+		}
+		res.Millis[k.Name] = perVariant
+	}
+
+	// Normalize to the wasm64 baseline and aggregate.
+	for _, v := range res.Variants {
+		res.MeanPct[v] = make(map[string]float64)
+		res.StdPct[v] = make(map[string]float64)
+		for _, c := range res.Cores {
+			var pcts []float64
+			for _, k := range res.Kernels {
+				base := res.Millis[k]["baseline wasm64"][c]
+				pcts = append(pcts, 100*res.Millis[k][v][c]/base)
+			}
+			mean := 0.0
+			for _, p := range pcts {
+				mean += p
+			}
+			mean /= float64(len(pcts))
+			variance := 0.0
+			for _, p := range pcts {
+				variance += (p - mean) * (p - mean)
+			}
+			res.MeanPct[v][c] = mean
+			res.StdPct[v][c] = math.Sqrt(variance / float64(len(pcts)))
+		}
+	}
+	return res, nil
+}
+
+// Report prints the Fig. 14 summary (normalized means per core) and the
+// per-kernel detail.
+func (r *Fig14Result) Report(w io.Writer) {
+	t := &table{header: append([]string{"Variant"}, r.Cores...)}
+	for _, v := range r.Variants {
+		cells := []string{v}
+		for _, c := range r.Cores {
+			cells = append(cells, fmt.Sprintf("%.1f ± %.1f", r.MeanPct[v][c], r.StdPct[v][c]))
+		}
+		t.add(cells...)
+	}
+	fmt.Fprintln(w, "mean runtime normalized to wasm64 = 100 (lower is better):")
+	t.write(w)
+
+	fmt.Fprintln(w, "\nper-kernel modeled runtimes on Cortex-X3 (ms):")
+	kt := &table{header: append([]string{"Kernel"}, r.Variants...)}
+	kernels := append([]string{}, r.Kernels...)
+	sort.Strings(kernels)
+	for _, k := range kernels {
+		cells := []string{k}
+		for _, v := range r.Variants {
+			cells = append(cells, fmt.Sprintf("%.3f", r.Millis[k][v]["Cortex-X3"]))
+		}
+		kt.add(cells...)
+	}
+	kt.write(w)
+}
+
+// --- Fig. 15 ---
+
+// Fig15Result compares static, dynamic, and authenticated dynamic calls
+// on the modified 2mm.
+type Fig15Result struct {
+	Cores []string
+	// Pct[mode][core]: runtime normalized to static = 100.
+	Pct map[string]map[string]float64
+	// Millis[mode][core]
+	Millis map[string]map[string]float64
+}
+
+// RunFig15 runs the three call variants.
+func RunFig15(quick bool) (*Fig15Result, error) {
+	cores := arch.Cores()
+	res := &Fig15Result{
+		Pct:    make(map[string]map[string]float64),
+		Millis: make(map[string]map[string]float64),
+	}
+	for _, c := range cores {
+		res.Cores = append(res.Cores, c.Name)
+	}
+	modes := []polybench.CallMode{polybench.CallStatic, polybench.CallDynamic, polybench.CallAuthenticated}
+	for _, mode := range modes {
+		k := polybench.TwoMMVariant(mode)
+		n := k.BenchN
+		if quick {
+			n = k.TestN
+		}
+		opts := codegen.Options{Wasm64: true}
+		feats := core.Features{}
+		if mode == polybench.CallAuthenticated {
+			opts.PtrAuth = true
+			feats.PtrAuth = true
+		}
+		m, err := polybench.Build(k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig15 %v: %w", mode, err)
+		}
+		// Measure the kernel region only (the paper's PolyBench timers).
+		got, ctr, err := polybench.RunKernelRegion(m, n, feats)
+		if err != nil {
+			return nil, fmt.Errorf("fig15 %v: %w", mode, err)
+		}
+		want := k.Reference(n)
+		if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			return nil, fmt.Errorf("fig15 %v: checksum %g, want %g", mode, got, want)
+		}
+		ms := make(map[string]float64)
+		for _, c := range cores {
+			ms[c.Name] = ctr.Millis(c)
+		}
+		res.Millis[mode.String()] = ms
+	}
+	for mode, ms := range res.Millis {
+		pct := make(map[string]float64)
+		for coreName, v := range ms {
+			pct[coreName] = 100 * v / res.Millis["static"][coreName]
+		}
+		res.Pct[mode] = pct
+	}
+	return res, nil
+}
+
+// Report prints the Fig. 15 series.
+func (r *Fig15Result) Report(w io.Writer) {
+	t := &table{header: append([]string{"Variant"}, r.Cores...)}
+	for _, mode := range []string{"static", "dynamic", "ptr-auth"} {
+		cells := []string{mode}
+		for _, c := range r.Cores {
+			cells = append(cells, fmt.Sprintf("%.1f", r.Pct[mode][c]))
+		}
+		t.add(cells...)
+	}
+	fmt.Fprintln(w, "runtime normalized to static calls = 100 (lower is better):")
+	t.write(w)
+}
+
+// --- §7.3 memory measurement ---
+
+// RunMemoryOverhead measures the data-footprint difference between
+// wasm32 and wasm64 kernel builds and combines it with the architectural
+// tag-storage cost (paper §7.3).
+func RunMemoryOverhead(quick bool) (*MemoryResult, error) {
+	kernels := polybench.Kernels()
+	if quick {
+		kernels = kernels[:6]
+	}
+	var sum32, sum64 float64
+	var metaSum float64
+	var metaN int
+	for _, k := range kernels {
+		n := k.TestN
+		f32, _, err := footprint(k, n, codegen.Options{Wasm64: false}, core.Features{})
+		if err != nil {
+			return nil, err
+		}
+		f64b, meta, err := footprint(k, n, codegen.Options{Wasm64: true}, core.Features{})
+		if err != nil {
+			return nil, err
+		}
+		sum32 += f32
+		sum64 += f64b
+		metaSum += meta
+		metaN++
+	}
+	over := sum64/sum32 - 1
+	res := &MemoryResult{
+		Wasm64OverWasm32:  over,
+		TagStorage:        TagStorageOverhead(),
+		AllocatorMetadata: metaSum / float64(metaN),
+	}
+	res.Total = res.Wasm64OverWasm32 + res.TagStorage + res.AllocatorMetadata
+	return res, nil
+}
+
+// footprint compiles and runs a kernel, returning its peak data
+// footprint (static data + peak heap) and allocator metadata ratio.
+func footprint(k polybench.Kernel, n int, opts codegen.Options, feats core.Features) (float64, float64, error) {
+	m, err := polybench.Build(k, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	staticBytes := 0.0
+	for _, d := range m.Datas {
+		staticBytes += float64(len(d.Bytes))
+	}
+	a, err := polybench.RunModuleWithAllocator(m, n, feats)
+	if err != nil {
+		return 0, 0, err
+	}
+	// PolyBench allocations coexist until the final frees, so the
+	// metadata high-water mark is one header per allocation.
+	meta := float64(a.Allocs) * alloc.HeaderSize
+	ratio := 0.0
+	if a.Peak > 0 {
+		ratio = meta / float64(a.Peak)
+	}
+	return staticBytes + float64(a.Peak) + meta, ratio, nil
+}

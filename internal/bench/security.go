@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cage/internal/core"
+	"cage/internal/mte"
+)
+
+// SecurityAnalysis reproduces the §7.4 probability analysis.
+type SecurityAnalysis struct {
+	// CollisionInternalOnly is the adjacent-allocation tag-collision
+	// probability with all tag bits available (paper: 1/15).
+	CollisionInternalOnly float64
+	// CollisionCombined is the probability when MTE also carries the
+	// sandbox (paper: 1/7).
+	CollisionCombined float64
+	// MaxSandboxes is the per-process sandbox limit (paper: 15).
+	MaxSandboxes int
+	// PACSigBits is the signature width with MTE enabled (Fig. 3: 10
+	// usable bits on Linux, at least 7 guaranteed).
+	PACSigBits int
+}
+
+// AnalyzeSecurity derives the numbers from the tag policies.
+func AnalyzeSecurity() SecurityAnalysis {
+	internal := core.NewPolicy(core.Features{MemSafety: true, MTEMode: mte.ModeSync})
+	combined := core.NewPolicy(core.CageAll())
+	external := core.NewPolicy(core.Features{Sandbox: true, MTEMode: mte.ModeSync})
+	return SecurityAnalysis{
+		CollisionInternalOnly: internal.CollisionProbability(),
+		CollisionCombined:     combined.CollisionProbability(),
+		MaxSandboxes:          external.MaxSandboxes,
+		PACSigBits:            10,
+	}
+}
+
+// SecurityReport prints the analysis.
+func SecurityReport(w io.Writer) {
+	a := AnalyzeSecurity()
+	fmt.Fprintf(w, "tag collision probability (internal only): 1/%d = %.1f%%\n",
+		int(1/a.CollisionInternalOnly+0.5), 100*a.CollisionInternalOnly)
+	fmt.Fprintf(w, "tag collision probability (with MTE sandboxing): 1/%d = %.1f%%\n",
+		int(1/a.CollisionCombined+0.5), 100*a.CollisionCombined)
+	fmt.Fprintf(w, "sandboxes per process: %d (+1 runtime tag)\n", a.MaxSandboxes)
+	fmt.Fprintf(w, "PAC signature bits alongside MTE: %d\n", a.PACSigBits)
+	fmt.Fprintln(w, "deterministic guarantees: off-by-one overflow/underflow,")
+	fmt.Fprintln(w, "use-after-free and double-free are caught at least until reuse")
+}

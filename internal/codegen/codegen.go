@@ -1,0 +1,328 @@
+// Package codegen lowers type-checked MiniC to Cage-extended wasm64 (or
+// plain wasm32/wasm64 for the baseline configurations of paper Table 3).
+//
+// The two sanitizer passes of the paper run here, after semantic
+// analysis and register allocation decisions (mirroring §6.1 "both
+// sanitizer passes run after all LLVM optimizations"):
+//
+//   - the stack sanitizer consumes the Algorithm 1 analysis results and
+//     emits segment.new/segment.set_tag tagging for unsafe stack slots,
+//     per-frame incrementing tags, untagging epilogues, and the guard
+//     slot of Fig. 8b;
+//   - the pointer-authentication pass signs function-table indices when
+//     a function's address is taken and authenticates before indirect
+//     calls (Fig. 9).
+package codegen
+
+import (
+	"fmt"
+
+	"cage/internal/minicc"
+	"cage/internal/wasm"
+)
+
+// Options selects the target and sanitizers.
+type Options struct {
+	// Wasm64 targets 64-bit memory; false produces the wasm32 baseline.
+	Wasm64 bool
+	// StackSanitizer enables the Algorithm 1 instrumentation.
+	StackSanitizer bool
+	// PtrAuth enables the pointer-authentication pass.
+	PtrAuth bool
+	// StackSize is the shadow-stack size in bytes (default 256 KiB).
+	StackSize uint64
+	// HeapPages is how many 64 KiB pages to reserve beyond data+stack
+	// (default 96).
+	HeapPages uint64
+	// MaxPages caps memory growth (default 4096 pages = 256 MiB).
+	MaxPages uint64
+}
+
+// Defaults fills unset option fields.
+func (o Options) defaults() Options {
+	if o.StackSize == 0 {
+		o.StackSize = 256 * 1024
+	}
+	if o.HeapPages == 0 {
+		o.HeapPages = 96
+	}
+	if o.MaxPages == 0 {
+		o.MaxPages = 4096
+	}
+	return o
+}
+
+// hostModuleFor routes extern functions to their host modules: the
+// allocator interface belongs to the hardened libc (paper §6.2) — in
+// the pointer-width variant matching the target — and everything else
+// to the generic "env" host module.
+func (g *gen) hostModuleFor(name string) string {
+	switch name {
+	case "malloc", "free", "calloc", "realloc":
+		if g.opts.Wasm64 {
+			return "cage_libc"
+		}
+		return "cage_libc32"
+	}
+	if g.opts.Wasm64 {
+		return "env"
+	}
+	return "env32"
+}
+
+// Compile lowers a program to a wasm module.
+func Compile(prog *minicc.Program, opts Options) (*wasm.Module, error) {
+	opts = opts.defaults()
+	if opts.StackSanitizer && !opts.Wasm64 {
+		return nil, fmt.Errorf("codegen: the stack sanitizer requires wasm64 (tag bits)")
+	}
+	if opts.PtrAuth && !opts.Wasm64 {
+		return nil, fmt.Errorf("codegen: pointer authentication requires wasm64")
+	}
+	g := &gen{
+		prog:    prog,
+		opts:    opts,
+		m:       &wasm.Module{},
+		strings: make(map[string]uint64),
+		funcIdx: make(map[*minicc.Symbol]uint32),
+	}
+	if opts.Wasm64 {
+		g.layout = minicc.Layout64
+		g.addrType = wasm.I64
+	} else {
+		g.layout = minicc.Layout32
+		g.addrType = wasm.I32
+	}
+	return g.compile()
+}
+
+type gen struct {
+	prog     *minicc.Program
+	opts     Options
+	m        *wasm.Module
+	layout   minicc.Layout
+	addrType wasm.ValType
+
+	dataEnd   uint64 // next free static address
+	strings   map[string]uint64
+	stringSeg []byte
+	strBase   uint64
+
+	stackBase uint64
+	stackTop  uint64
+	heapBase  uint64
+
+	spGlobal uint32
+	funcIdx  map[*minicc.Symbol]uint32 // function symbol -> wasm index
+	table    []uint32                  // address-taken functions
+}
+
+// compile drives the whole lowering.
+func (g *gen) compile() (*wasm.Module, error) {
+	// Imports first: they occupy the low function indices.
+	for _, ex := range g.prog.File.Externs {
+		ti := g.m.AddType(g.wasmSig(ex.Sig))
+		g.funcIdx[ex.Sym] = uint32(len(g.m.Imports))
+		g.m.Imports = append(g.m.Imports, wasm.Import{
+			Module: g.hostModuleFor(ex.Name), Name: ex.Name, TypeIdx: ti,
+		})
+	}
+	// Static data: globals from address 1024 (0 stays the null page).
+	g.dataEnd = 1024
+	for _, gd := range g.prog.File.Globals {
+		a := uint64(g.layout.Align(gd.Typ))
+		g.dataEnd = (g.dataEnd + a - 1) &^ (a - 1)
+		gd.Sym.GlobalAddr = g.dataEnd
+		g.dataEnd += uint64(g.layout.Size(gd.Typ))
+	}
+	g.strBase = (g.dataEnd + 15) &^ 15
+
+	// Function index assignment for defined functions.
+	for _, fn := range g.prog.File.Funcs {
+		g.funcIdx[fn.Sym] = uint32(len(g.m.Imports) + len(g.m.Funcs))
+		g.m.Funcs = append(g.m.Funcs, wasm.Function{
+			TypeIdx: g.m.AddType(g.wasmSig(fn.Sym.Sig)),
+			Name:    fn.Name,
+		})
+	}
+
+	// Compile bodies.
+	for i, fn := range g.prog.File.Funcs {
+		body, locals, err := g.compileFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		def := &g.m.Funcs[i]
+		def.Locals = locals
+		def.Body = body
+	}
+
+	// Memory layout: data | strings | shadow stack | heap.
+	g.stackBase = g.strBase + uint64(len(g.stringSeg))
+	g.stackBase = (g.stackBase + 15) &^ 15
+	g.stackTop = g.stackBase + g.opts.StackSize
+	g.heapBase = g.stackTop
+	pages := (g.heapBase+wasm.PageSize-1)/wasm.PageSize + g.opts.HeapPages
+	g.m.Mems = []wasm.MemoryType{{
+		Limits:   wasm.Limits{Min: pages, Max: g.opts.MaxPages, HasMax: true},
+		Memory64: g.opts.Wasm64,
+	}}
+
+	// The shadow stack pointer global, initialized to the stack top.
+	g.spGlobal = uint32(len(g.m.Globals))
+	g.m.Globals = append(g.m.Globals, wasm.Global{
+		Type: wasm.GlobalType{Type: g.addrType, Mutable: true},
+		Init: g.stackTop,
+	})
+	heapBaseGlobal := uint32(len(g.m.Globals))
+	g.m.Globals = append(g.m.Globals, wasm.Global{
+		Type: wasm.GlobalType{Type: g.addrType, Mutable: false},
+		Init: g.heapBase,
+	})
+
+	// Patch the placeholder global indices emitted during body
+	// compilation (globals are laid out after bodies).
+	for i := range g.m.Funcs {
+		for j := range g.m.Funcs[i].Body {
+			in := &g.m.Funcs[i].Body[j]
+			if in.Op == wasm.OpGlobalGet || in.Op == wasm.OpGlobalSet {
+				if in.X == spPlaceholder {
+					in.X = uint64(g.spGlobal)
+				}
+			}
+		}
+	}
+
+	// Data segments: global initializers and the string pool.
+	if init := g.globalInitBytes(); len(init) > 0 {
+		g.m.Datas = append(g.m.Datas, wasm.DataSegment{Offset: 1024, Bytes: init})
+	}
+	if len(g.stringSeg) > 0 {
+		g.m.Datas = append(g.m.Datas, wasm.DataSegment{Offset: g.strBase, Bytes: g.stringSeg})
+	}
+
+	// Function table for address-taken functions (paper Fig. 9). Slot 0
+	// stays null so a zero function pointer faults.
+	if len(g.table) > 0 || g.hasIndirectCalls() {
+		g.m.Tables = []wasm.TableType{{Limits: wasm.Limits{Min: uint64(len(g.table)) + 1}}}
+		if len(g.table) > 0 {
+			g.m.Elems = []wasm.ElemSegment{{Offset: 1, Funcs: g.table}}
+		}
+	}
+
+	// Exports: every defined function, the memory, and the heap base.
+	for _, fn := range g.prog.File.Funcs {
+		g.m.Exports = append(g.m.Exports, wasm.Export{
+			Name: fn.Name, Kind: wasm.ExportFunc, Idx: g.funcIdx[fn.Sym],
+		})
+	}
+	g.m.Exports = append(g.m.Exports,
+		wasm.Export{Name: "memory", Kind: wasm.ExportMemory, Idx: 0},
+		wasm.Export{Name: "__heap_base", Kind: wasm.ExportGlobal, Idx: heapBaseGlobal},
+	)
+
+	if err := wasm.Validate(g.m); err != nil {
+		return nil, fmt.Errorf("codegen: generated invalid module: %w", err)
+	}
+	return g.m, nil
+}
+
+// spPlaceholder marks stack-pointer global references until the global
+// index is known.
+const spPlaceholder = 0xFFFF
+
+func (g *gen) hasIndirectCalls() bool {
+	for i := range g.m.Funcs {
+		for _, in := range g.m.Funcs[i].Body {
+			if in.Op == wasm.OpCallIndirect {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wasmSig converts a MiniC signature.
+func (g *gen) wasmSig(sig *minicc.FuncSig) wasm.FuncType {
+	var ft wasm.FuncType
+	for _, p := range sig.Params {
+		ft.Params = append(ft.Params, g.valType(p))
+	}
+	if sig.Ret != minicc.TypeVoid {
+		ft.Results = []wasm.ValType{g.valType(sig.Ret)}
+	}
+	return ft
+}
+
+// valType maps a scalar MiniC type to its wasm value type. Under the
+// ILP32 wasm32 layout, long is 32-bit like in wasi-libc.
+func (g *gen) valType(t *minicc.Type) wasm.ValType {
+	switch t.Kind {
+	case minicc.KChar, minicc.KInt:
+		return wasm.I32
+	case minicc.KLong:
+		if g.layout.LongSize == 8 {
+			return wasm.I64
+		}
+		return wasm.I32
+	case minicc.KFloat:
+		return wasm.F32
+	case minicc.KDouble:
+		return wasm.F64
+	case minicc.KPtr, minicc.KArray, minicc.KFunc:
+		return g.addrType
+	default:
+		return g.addrType
+	}
+}
+
+// internString pools a string literal and returns its static address.
+func (g *gen) internString(s string) uint64 {
+	if addr, ok := g.strings[s]; ok {
+		return addr
+	}
+	addr := g.strBase + uint64(len(g.stringSeg))
+	g.strings[s] = addr
+	g.stringSeg = append(g.stringSeg, []byte(s)...)
+	g.stringSeg = append(g.stringSeg, 0)
+	return addr
+}
+
+// globalInitBytes renders the constant initializers of globals.
+func (g *gen) globalInitBytes() []byte {
+	end := g.dataEnd
+	if end <= 1024 {
+		return nil
+	}
+	buf := make([]byte, end-1024)
+	any := false
+	for _, gd := range g.prog.File.Globals {
+		if gd.Init == nil {
+			continue
+		}
+		bits, width, ok := g.constValue(gd.Init, gd.Typ)
+		if !ok {
+			continue
+		}
+		any = true
+		off := gd.Sym.GlobalAddr - 1024
+		for i := int64(0); i < width; i++ {
+			buf[off+uint64(i)] = byte(bits >> (8 * i))
+		}
+	}
+	if !any {
+		return nil
+	}
+	return buf
+}
+
+// tableSlot assigns (once) a table index for an address-taken function.
+func (g *gen) tableSlot(sym *minicc.Symbol) int32 {
+	if sym.TableIdx >= 0 {
+		return sym.TableIdx
+	}
+	sym.TableIdx = int32(len(g.table) + 1) // slot 0 is null
+	g.table = append(g.table, g.funcIdx[sym])
+	g.prog.TableFuncs = append(g.prog.TableFuncs, sym)
+	return sym.TableIdx
+}

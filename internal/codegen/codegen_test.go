@@ -1,0 +1,658 @@
+package codegen
+
+import (
+	"testing"
+
+	"cage/internal/alloc"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/minicc"
+	"cage/internal/mte"
+	"cage/internal/wasm"
+)
+
+// compile builds a module from MiniC source.
+func compile(t *testing.T, src string, opts Options) *wasm.Module {
+	t.Helper()
+	file, err := minicc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	layout := minicc.Layout64
+	if !opts.Wasm64 {
+		layout = minicc.Layout32
+	}
+	prog, err := minicc.Analyze(file, layout)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	m, err := Compile(prog, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+// instantiate runs a compiled module with the standard host surface.
+func instantiate(t *testing.T, m *wasm.Module, features core.Features) (*exec.Instance, *alloc.Allocator) {
+	t.Helper()
+	linker := exec.NewLinker()
+	binding := &alloc.Binding{}
+	binding.Register(linker)
+	linker.Define("env", "print_long", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I64}},
+		Fn:   func(_ *exec.Instance, _ []uint64) ([]uint64, error) { return nil, nil },
+	})
+	inst, err := exec.NewInstance(m, exec.Config{Features: features, Linker: linker, Seed: 17})
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	heapBase, ok := inst.GlobalValue("__heap_base")
+	if !ok {
+		t.Fatal("no __heap_base export")
+	}
+	a, err := alloc.New(inst, heapBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding.A = a
+	return inst, a
+}
+
+// run64 compiles with full hardening options and runs under features.
+func run64(t *testing.T, src string, opts Options, features core.Features, fn string, args ...uint64) (uint64, error) {
+	t.Helper()
+	opts.Wasm64 = true
+	m := compile(t, src, opts)
+	inst, _ := instantiate(t, m, features)
+	res, err := inst.Invoke(fn, args...)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) == 0 {
+		return 0, nil
+	}
+	return res[0], nil
+}
+
+func cageAll() core.Features { return core.CageAll() }
+
+func hardenedOpts() Options {
+	return Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}
+}
+
+func TestReturn42(t *testing.T) {
+	got, err := run64(t, `long f(void) { return 42; }`, Options{}, core.Features{}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestArithmeticMix(t *testing.T) {
+	src := `
+long f(long a, long b) {
+    int x = (int)a * 3;
+    double d = (double)x / 2.0;
+    long r = (long)(d * 4.0) + b % 7;
+    return r - 1;
+}`
+	got, err := run64(t, src, Options{}, core.Features{}, "f", 10, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=30, d=15.0, (long)(60.0)=60, 23%7=2, 60+2-1=61
+	if got != 61 {
+		t.Errorf("got %d, want 61", got)
+	}
+}
+
+func TestLoopsAndConditionals(t *testing.T) {
+	src := `
+long f(long n) {
+    long acc = 0;
+    for (long i = 1; i <= n; i++) {
+        if (i % 2 == 0) { acc += i; } else { acc -= i; }
+    }
+    long j = 0;
+    while (j < 3) { acc++; j++; }
+    do { acc--; } while (0);
+    return acc;
+}`
+	got, err := run64(t, src, Options{}, core.Features{}, "f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum: -1+2-3+4-5+6-7+8-9+10 = 5; +3 -1 = 7
+	if got != 7 {
+		t.Errorf("got %d, want 7", int64(got))
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+long f(void) {
+    long acc = 0;
+    for (long i = 0; i < 100; i++) {
+        if (i == 5) { continue; }
+        if (i == 10) { break; }
+        acc += i;
+    }
+    return acc;
+}`
+	got, err := run64(t, src, Options{}, core.Features{}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 { // 0+1+2+3+4+6+7+8+9
+		t.Errorf("got %d, want 40", got)
+	}
+}
+
+func TestGlobalArrays(t *testing.T) {
+	src := `
+double data[8][8];
+long n = 8;
+long f(void) {
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            data[i][j] = (double)(i * 8 + j);
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            acc += data[i][j];
+        }
+    }
+    return (long)acc;
+}`
+	got, err := run64(t, src, Options{}, core.Features{}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2016 { // sum 0..63
+		t.Errorf("got %d, want 2016", got)
+	}
+}
+
+func TestRecursionFib(t *testing.T) {
+	src := `
+long fib(long n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}`
+	got, err := run64(t, src, Options{}, core.Features{}, "fib", 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 610 {
+		t.Errorf("fib(15) = %d, want 610", got)
+	}
+}
+
+func TestLocalArrayDynamicIndex(t *testing.T) {
+	// A dynamically-indexed local array is an "unsafe GEP" allocation:
+	// Algorithm 1 instruments it; the program still runs correctly
+	// under full Cage.
+	src := `
+long f(long n) {
+    long buf[16];
+    for (long i = 0; i < 16; i++) { buf[i] = i * n; }
+    long acc = 0;
+    for (long i = 0; i < 16; i++) { acc += buf[i]; }
+    return acc;
+}`
+	for _, tc := range []struct {
+		name string
+		opts Options
+		feat core.Features
+	}{
+		{"baseline", Options{}, core.Features{}},
+		{"cage", hardenedOpts(), cageAll()},
+		{"memsafety", Options{Wasm64: true, StackSanitizer: true}, core.Features{MemSafety: true, MTEMode: mte.ModeSync}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := run64(t, src, tc.opts, tc.feat, "f", 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 360 { // 3 * (0+..+15)
+				t.Errorf("got %d, want 360", got)
+			}
+		})
+	}
+}
+
+func TestAlgorithm1Decisions(t *testing.T) {
+	src := `
+extern void sink(char* p);
+long f(long n) {
+    long safe[4];
+    long unsafe[4];
+    char escaped[8];
+    safe[0] = 1; safe[1] = 2; safe[2] = 3; safe[3] = 4;
+    unsafe[n] = 9;
+    sink(escaped);
+    return safe[0] + unsafe[0];
+}`
+	file, err := minicc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.File.Funcs[0]
+	byName := map[string]*minicc.Symbol{}
+	for _, s := range fn.StackAllocs {
+		byName[s.Name] = s
+	}
+	if byName["safe"] == nil || byName["safe"].Instrument {
+		t.Error("statically-safe array must not be instrumented (Alg. 1)")
+	}
+	if byName["unsafe"] == nil || !byName["unsafe"].Instrument {
+		t.Error("dynamically-indexed array must be instrumented")
+	}
+	if byName["escaped"] == nil || !byName["escaped"].Instrument {
+		t.Error("escaping array must be instrumented")
+	}
+	// allocations[0] ("safe") is untagged: it already guards the frame
+	// boundary, so no guard slot is needed.
+	if fn.NeedsGuardSlot {
+		t.Error("guard slot inserted although the boundary slot is untagged")
+	}
+}
+
+func TestGuardSlotWhenFirstAllocInstrumented(t *testing.T) {
+	src := `
+long f(long n) {
+    long buf[4];
+    buf[n] = 1;
+    return buf[0];
+}`
+	file, _ := minicc.Parse(src)
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.File.Funcs[0].NeedsGuardSlot {
+		t.Error("guard slot missing although the first allocation is tagged (Fig. 8b)")
+	}
+}
+
+func TestStackOverflowTrapsUnderCage(t *testing.T) {
+	// Classic off-by-N stack smash: out-of-bounds write past a local
+	// array. Baseline wasm happily corrupts the neighbouring slot; Cage
+	// traps with a tag mismatch.
+	src := `
+long f(long n) {
+    long target[2];
+    long buf[2];
+    target[0] = 7;
+    for (long i = 0; i < n; i++) {
+        buf[i] = 99;
+    }
+    return target[0];
+}`
+	if _, err := run64(t, src, Options{}, core.Features{}, "f", 4); err != nil {
+		t.Fatalf("baseline must not trap: %v", err)
+	}
+	_, err := run64(t, src, hardenedOpts(), cageAll(), "f", 4)
+	if !exec.IsTrap(err, exec.TrapTagMismatch) {
+		t.Errorf("stack smash under Cage: got %v, want tag mismatch", err)
+	}
+	// In-bounds stays fine.
+	if _, err := run64(t, src, hardenedOpts(), cageAll(), "f", 2); err != nil {
+		t.Errorf("in-bounds run trapped: %v", err)
+	}
+}
+
+func TestStackUseAfterReturnTraps(t *testing.T) {
+	src := `
+long* leak(void) {
+    long buf[4];
+    buf[0] = 1;
+    long* p = &buf[0];
+    return p;
+}
+long f(void) {
+    long* p = leak();
+    return *p;
+}`
+	// Baseline: stale stack reads succeed silently.
+	if _, err := run64(t, src, Options{}, core.Features{}, "f"); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	_, err := run64(t, src, hardenedOpts(), cageAll(), "f")
+	if !exec.IsTrap(err, exec.TrapTagMismatch) {
+		t.Errorf("use-after-return under Cage: got %v", err)
+	}
+}
+
+func TestHeapMallocFree(t *testing.T) {
+	src := `
+extern char* malloc(long n);
+extern void free(char* p);
+long f(long n) {
+    long* a = (long*)malloc(n * 8);
+    for (long i = 0; i < n; i++) { a[i] = i; }
+    long acc = 0;
+    for (long i = 0; i < n; i++) { acc += a[i]; }
+    free((char*)a);
+    return acc;
+}`
+	for _, hardened := range []bool{false, true} {
+		opts, feat := Options{}, core.Features{}
+		if hardened {
+			opts, feat = hardenedOpts(), cageAll()
+		}
+		got, err := run64(t, src, opts, feat, "f", 100)
+		if err != nil {
+			t.Fatalf("hardened=%v: %v", hardened, err)
+		}
+		if got != 4950 {
+			t.Errorf("hardened=%v: got %d, want 4950", hardened, got)
+		}
+	}
+}
+
+func TestHeapUseAfterFreeTraps(t *testing.T) {
+	src := `
+extern char* malloc(long n);
+extern void free(char* p);
+long f(void) {
+    long* a = (long*)malloc(64);
+    a[0] = 42;
+    free((char*)a);
+    return a[0];
+}`
+	if _, err := run64(t, src, Options{}, core.Features{}, "f"); err != nil {
+		t.Fatalf("baseline UAF must not trap: %v", err)
+	}
+	_, err := run64(t, src, hardenedOpts(), cageAll(), "f")
+	if !exec.IsTrap(err, exec.TrapTagMismatch) {
+		t.Errorf("heap UAF under Cage: got %v", err)
+	}
+}
+
+func TestHeapOverflowTraps(t *testing.T) {
+	src := `
+extern char* malloc(long n);
+long f(long n) {
+    char* a = malloc(16);
+    char* b = malloc(16);
+    a[n] = 65;
+    return (long)b[0];
+}`
+	if _, err := run64(t, src, Options{}, core.Features{}, "f", 17); err != nil {
+		t.Fatalf("baseline overflow must not trap: %v", err)
+	}
+	_, err := run64(t, src, hardenedOpts(), cageAll(), "f", 17)
+	if !exec.IsTrap(err, exec.TrapTagMismatch) {
+		t.Errorf("heap overflow under Cage: got %v", err)
+	}
+}
+
+func TestStructsAndPointers(t *testing.T) {
+	src := `
+struct Point { long x; long y; double w; };
+long f(void) {
+    struct Point p;
+    p.x = 3; p.y = 4; p.w = 1.5;
+    struct Point* q = &p;
+    q->x += 10;
+    return q->x * p.y + (long)(p.w * 2.0);
+}`
+	got, err := run64(t, src, hardenedOpts(), cageAll(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 { // 13*4 + 3
+		t.Errorf("got %d, want 55", got)
+	}
+}
+
+func TestFunctionPointersThroughVTable(t *testing.T) {
+	src := `
+struct VTable { long (*op)(long, long); };
+long add(long a, long b) { return a + b; }
+long mul(long a, long b) { return a * b; }
+long f(long sel) {
+    struct VTable vt;
+    if (sel) { vt.op = add; } else { vt.op = mul; }
+    return vt.op(6, 7);
+}`
+	for _, tc := range []struct {
+		name string
+		opts Options
+		feat core.Features
+	}{
+		{"baseline", Options{}, core.Features{}},
+		{"ptrauth", Options{Wasm64: true, PtrAuth: true}, core.Features{PtrAuth: true}},
+		{"full", hardenedOpts(), cageAll()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := run64(t, src, tc.opts, tc.feat, "f", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 13 {
+				t.Errorf("add: got %d", got)
+			}
+			got, err = run64(t, src, tc.opts, tc.feat, "f", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 42 {
+				t.Errorf("mul: got %d", got)
+			}
+		})
+	}
+}
+
+func TestForgedFunctionPointerTrapsUnderPtrAuth(t *testing.T) {
+	// Overwriting a signed function pointer with a raw table index
+	// must fail authentication (paper Fig. 9 / Listing 1 defense).
+	src := `
+long add(long a, long b) { return a + b; }
+long f(void) {
+    long (*op)(long, long);
+    op = add;
+    long* slot = (long*)&op;
+    *slot = 1;
+    return op(1, 2);
+}`
+	// Without pointer auth the forged raw index works.
+	got, err := run64(t, src, Options{Wasm64: true, StackSanitizer: true},
+		core.Features{MemSafety: true, MTEMode: mte.ModeSync}, "f")
+	if err != nil {
+		t.Fatalf("unauthenticated forge should work: %v", err)
+	}
+	if got != 3 {
+		t.Errorf("forged call = %d", got)
+	}
+	// With pointer auth it traps.
+	_, err = run64(t, src, hardenedOpts(), cageAll(), "f")
+	if !exec.IsTrap(err, exec.TrapAuthFailure) {
+		t.Errorf("forged pointer under ptr-auth: got %v", err)
+	}
+}
+
+func TestCageBuiltins(t *testing.T) {
+	src := `
+long f(void) {
+    char* raw = (char*)4096;
+    char* seg = __builtin_segment_new(raw, 32);
+    long* p = (long*)seg;
+    p[0] = 11; p[1] = 31;
+    long acc = p[0] + p[1];
+    __builtin_segment_free(seg, 32);
+    return acc;
+}`
+	got, err := run64(t, src, hardenedOpts(), cageAll(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("builtin segment use = %d", got)
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	src := `
+long strlen_(char* s) {
+    long n = 0;
+    while (s[n]) { n++; }
+    return n;
+}
+long f(void) {
+    char* msg = "hello cage";
+    return strlen_(msg);
+}`
+	got, err := run64(t, src, hardenedOpts(), cageAll(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("strlen = %d", got)
+	}
+}
+
+func TestGlobalScalarInit(t *testing.T) {
+	src := `
+long base = 100;
+double scale = 2.5;
+int neg = -7;
+long f(void) { return base + (long)(scale * 4.0) + neg; }`
+	got, err := run64(t, src, Options{}, core.Features{}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 103 {
+		t.Errorf("got %d, want 103", got)
+	}
+}
+
+func TestTernaryAndLogicalOps(t *testing.T) {
+	src := `
+long f(long a, long b) {
+    long m = a > b ? a : b;
+    long flag = (a > 0 && b > 0) || (a < 0 && b < 0);
+    return m * 10 + flag;
+}`
+	got, err := run64(t, src, Options{}, core.Features{}, "f", 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 91 {
+		t.Errorf("got %d, want 91", got)
+	}
+}
+
+func TestWasm32Baseline(t *testing.T) {
+	src := `
+int g;
+int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) { acc += i; }
+    g = acc;
+    return acc;
+}`
+	m := compile(t, src, Options{Wasm64: false})
+	if m.Mems[0].Memory64 {
+		t.Fatal("wasm32 build produced a 64-bit memory")
+	}
+	inst, _ := instantiate(t, m, core.Features{})
+	res, err := inst.Invoke("f", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint32(res[0]) != 45 {
+		t.Errorf("wasm32 result = %d", res[0])
+	}
+}
+
+func TestSanitizerRejectsWasm32(t *testing.T) {
+	file, _ := minicc.Parse(`long f(void) { return 0; }`)
+	prog, err := minicc.Analyze(file, minicc.Layout32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(prog, Options{Wasm64: false, StackSanitizer: true}); err == nil {
+		t.Error("stack sanitizer accepted on wasm32")
+	}
+	if _, err := Compile(prog, Options{Wasm64: false, PtrAuth: true}); err == nil {
+		t.Error("pointer auth accepted on wasm32")
+	}
+}
+
+func TestCompiledModuleRoundTripsBinary(t *testing.T) {
+	src := `
+extern char* malloc(long n);
+long add(long a, long b) { return a + b; }
+long f(long n) {
+    long buf[4];
+    buf[n % 4] = 5;
+    long (*op)(long, long) = add;
+    long* h = (long*)malloc(16);
+    h[0] = buf[n % 4];
+    return op(h[0], n);
+}`
+	m := compile(t, src, hardenedOpts())
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := instantiate(t, m2, cageAll())
+	res, err := inst.Invoke("f", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 12 {
+		t.Errorf("round-tripped module result = %d", res[0])
+	}
+}
+
+func TestCharSignedness(t *testing.T) {
+	src := `
+long f(void) {
+    char c = (char)200;
+    unsigned char u = (char)200;
+    return (long)c + (long)u;
+}`
+	got, err := run64(t, src, Options{}, core.Features{}, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(got) != -56+200 {
+		t.Errorf("got %d, want 144", int64(got))
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	src := `
+extern char* malloc(long n);
+long f(void) {
+    long* a = (long*)malloc(80);
+    for (long i = 0; i < 10; i++) { *(a + i) = i * i; }
+    long* p = a + 3;
+    p += 2;
+    long diff = p - a;
+    return *p + diff;
+}`
+	got, err := run64(t, src, hardenedOpts(), cageAll(), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 { // 25 + 5
+		t.Errorf("got %d, want 30", got)
+	}
+}

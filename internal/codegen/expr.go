@@ -1,0 +1,1142 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cage/internal/minicc"
+	"cage/internal/wasm"
+)
+
+// Expression lowering. Values on the wasm stack use the canonical
+// representation: char/int as i32 (char kept sign-extended), long as
+// i64, pointers as the target's address type, float/double as f32/f64.
+
+// loadOp/storeOp pick the memory opcode for a scalar type.
+func (f *fnGen) loadOp(t *minicc.Type) wasm.Opcode {
+	switch t.Kind {
+	case minicc.KChar:
+		if t.Unsigned {
+			return wasm.OpI32Load8U
+		}
+		return wasm.OpI32Load8S
+	case minicc.KInt:
+		return wasm.OpI32Load
+	case minicc.KLong:
+		if f.g.layout.LongSize == 8 {
+			return wasm.OpI64Load
+		}
+		return wasm.OpI32Load
+	case minicc.KFloat:
+		return wasm.OpF32Load
+	case minicc.KDouble:
+		return wasm.OpF64Load
+	default: // pointers, function pointers
+		if f.g.opts.Wasm64 {
+			return wasm.OpI64Load
+		}
+		return wasm.OpI32Load
+	}
+}
+
+func (f *fnGen) storeOp(t *minicc.Type) wasm.Opcode {
+	switch t.Kind {
+	case minicc.KChar:
+		return wasm.OpI32Store8
+	case minicc.KInt:
+		return wasm.OpI32Store
+	case minicc.KLong:
+		if f.g.layout.LongSize == 8 {
+			return wasm.OpI64Store
+		}
+		return wasm.OpI32Store
+	case minicc.KFloat:
+		return wasm.OpF32Store
+	case minicc.KDouble:
+		return wasm.OpF64Store
+	default:
+		if f.g.opts.Wasm64 {
+			return wasm.OpI64Store
+		}
+		return wasm.OpI32Store
+	}
+}
+
+// widthClass groups scalar types by wasm representation.
+func (f *fnGen) widthClass(t *minicc.Type) wasm.ValType { return f.g.valType(t) }
+
+// convert emits the conversion between two scalar MiniC types.
+func (f *fnGen) convert(from, to *minicc.Type) {
+	if from.Equal(to) {
+		return
+	}
+	fw, tw := f.widthClass(from), f.widthClass(to)
+	switch {
+	case fw == tw:
+		// Same representation; narrowing to char must renormalize to
+		// the canonical (sign- or zero-extended) i32 form.
+		if to.Kind == minicc.KChar &&
+			!(from.Kind == minicc.KChar && from.Unsigned == to.Unsigned) {
+			if to.Unsigned {
+				f.emit(wasm.I32Const(0xFF), wasm.Op(wasm.OpI32And))
+			} else {
+				f.emit(wasm.I32Const(24), wasm.Op(wasm.OpI32Shl))
+				f.emit(wasm.I32Const(24), wasm.Op(wasm.OpI32ShrS))
+			}
+		}
+	case fw == wasm.I32 && tw == wasm.I64:
+		if from.Unsigned || from.IsPtr() {
+			f.emit(wasm.Op(wasm.OpI64ExtendI32U))
+		} else {
+			f.emit(wasm.Op(wasm.OpI64ExtendI32S))
+		}
+	case fw == wasm.I64 && tw == wasm.I32:
+		f.emit(wasm.Op(wasm.OpI32WrapI64))
+		if to.Kind == minicc.KChar {
+			f.convert(minicc.TypeInt, to)
+		}
+	case fw == wasm.I32 && tw == wasm.F64:
+		if from.Unsigned {
+			f.emit(wasm.Op(wasm.OpF64ConvertI32U))
+		} else {
+			f.emit(wasm.Op(wasm.OpF64ConvertI32S))
+		}
+	case fw == wasm.I32 && tw == wasm.F32:
+		if from.Unsigned {
+			f.emit(wasm.Op(wasm.OpF32ConvertI32U))
+		} else {
+			f.emit(wasm.Op(wasm.OpF32ConvertI32S))
+		}
+	case fw == wasm.I64 && tw == wasm.F64:
+		if from.Unsigned {
+			f.emit(wasm.Op(wasm.OpF64ConvertI64U))
+		} else {
+			f.emit(wasm.Op(wasm.OpF64ConvertI64S))
+		}
+	case fw == wasm.I64 && tw == wasm.F32:
+		if from.Unsigned {
+			f.emit(wasm.Op(wasm.OpF32ConvertI64U))
+		} else {
+			f.emit(wasm.Op(wasm.OpF32ConvertI64S))
+		}
+	case fw == wasm.F64 && tw == wasm.I32:
+		if to.Unsigned {
+			f.emit(wasm.Op(wasm.OpI32TruncF64U))
+		} else {
+			f.emit(wasm.Op(wasm.OpI32TruncF64S))
+		}
+	case fw == wasm.F64 && tw == wasm.I64:
+		if to.Unsigned {
+			f.emit(wasm.Op(wasm.OpI64TruncF64U))
+		} else {
+			f.emit(wasm.Op(wasm.OpI64TruncF64S))
+		}
+	case fw == wasm.F32 && tw == wasm.I32:
+		if to.Unsigned {
+			f.emit(wasm.Op(wasm.OpI32TruncF32U))
+		} else {
+			f.emit(wasm.Op(wasm.OpI32TruncF32S))
+		}
+	case fw == wasm.F32 && tw == wasm.I64:
+		if to.Unsigned {
+			f.emit(wasm.Op(wasm.OpI64TruncF32U))
+		} else {
+			f.emit(wasm.Op(wasm.OpI64TruncF32S))
+		}
+	case fw == wasm.F32 && tw == wasm.F64:
+		f.emit(wasm.Op(wasm.OpF64PromoteF32))
+	case fw == wasm.F64 && tw == wasm.F32:
+		f.emit(wasm.Op(wasm.OpF32DemoteF64))
+	}
+}
+
+// exprAs emits e converted to type to.
+func (f *fnGen) exprAs(e minicc.Expr, to *minicc.Type) error {
+	produced, err := f.value(e)
+	if err != nil {
+		return err
+	}
+	f.convert(produced, to)
+	return nil
+}
+
+// cond emits e as an i32 truth value.
+func (f *fnGen) cond(e minicc.Expr) error {
+	produced, err := f.value(e)
+	if err != nil {
+		return err
+	}
+	switch f.widthClass(produced) {
+	case wasm.I32:
+		// Nonzero is already truthy for br_if/if.
+	case wasm.I64:
+		f.emit(wasm.I64Const(0), wasm.Op(wasm.OpI64Ne))
+	case wasm.F32:
+		f.emit(wasm.F32Const(0), wasm.Op(wasm.OpF32Ne))
+	case wasm.F64:
+		f.emit(wasm.F64Const(0), wasm.Op(wasm.OpF64Ne))
+	}
+	return nil
+}
+
+// place describes where an lvalue lives.
+type place struct {
+	isLocal bool
+	local   uint32
+	typ     *minicc.Type
+	offset  uint64 // folded into load/store when isLocal is false
+}
+
+// placeOf resolves e's storage; for memory places the address is left
+// on the wasm stack.
+func (f *fnGen) placeOf(e minicc.Expr) (place, error) {
+	switch n := e.(type) {
+	case *minicc.Ident:
+		sym := n.Sym
+		switch sym.Kind {
+		case minicc.SymGlobal:
+			f.addrConst(sym.GlobalAddr)
+			return place{typ: sym.Type}, nil
+		case minicc.SymLocal, minicc.SymParam:
+			if f.inFrame[sym] {
+				f.pushFrameAddr(sym)
+				return place{typ: sym.Type}, nil
+			}
+			return place{isLocal: true, local: sym.LocalIdx, typ: sym.Type}, nil
+		}
+		return place{}, fmt.Errorf("codegen: %q is not assignable", sym.Name)
+	case *minicc.Index:
+		if err := f.indexAddr(n); err != nil {
+			return place{}, err
+		}
+		return place{typ: n.Type()}, nil
+	case *minicc.Member:
+		off, err := f.memberAddr(n)
+		if err != nil {
+			return place{}, err
+		}
+		return place{typ: n.Type(), offset: off}, nil
+	case *minicc.Unary:
+		if n.Op == "*" {
+			if _, err := f.value(n.X); err != nil {
+				return place{}, err
+			}
+			return place{typ: n.Type()}, nil
+		}
+	}
+	return place{}, fmt.Errorf("codegen: not an lvalue: %T", e)
+}
+
+// loadPlace reads the value of a resolved place (address already on the
+// stack for memory places).
+func (f *fnGen) loadPlace(p place) {
+	if p.isLocal {
+		f.emit(wasm.LocalGet(p.local))
+		return
+	}
+	f.emit(wasm.Load(f.loadOp(p.typ), p.offset))
+}
+
+// indexAddr pushes the address of n = base[idx].
+func (f *fnGen) indexAddr(n *minicc.Index) error {
+	bt := n.X.Type()
+	// Base address: arrays contribute their storage address, pointers
+	// their value.
+	if bt.Kind == minicc.KArray {
+		if err := f.aggregateAddr(n.X); err != nil {
+			return err
+		}
+	} else {
+		if _, err := f.value(n.X); err != nil {
+			return err
+		}
+	}
+	elem := uint64(f.g.layout.Size(bt.Elem))
+	// idx scaled to the pointer width.
+	ptrIdx := minicc.TypeLong
+	if !f.g.opts.Wasm64 {
+		ptrIdx = minicc.TypeInt
+	}
+	if err := f.exprAs(n.Idx, ptrIdx); err != nil {
+		return err
+	}
+	if elem != 1 {
+		f.addrConst(elem)
+		if f.g.opts.Wasm64 {
+			f.emit(wasm.Op(wasm.OpI64Mul))
+		} else {
+			f.emit(wasm.Op(wasm.OpI32Mul))
+		}
+	}
+	f.addrAdd()
+	return nil
+}
+
+// memberAddr pushes the base address of n and returns the folded field
+// offset.
+func (f *fnGen) memberAddr(n *minicc.Member) (uint64, error) {
+	if n.Arrow {
+		if _, err := f.value(n.X); err != nil {
+			return 0, err
+		}
+		return uint64(n.Field.Offset), nil
+	}
+	// Nested member of an aggregate lvalue.
+	switch base := n.X.(type) {
+	case *minicc.Member:
+		off, err := f.memberAddr(base)
+		if err != nil {
+			return 0, err
+		}
+		return off + uint64(n.Field.Offset), nil
+	default:
+		if err := f.aggregateAddr(n.X); err != nil {
+			return 0, err
+		}
+		return uint64(n.Field.Offset), nil
+	}
+}
+
+// aggregateAddr pushes the address of an array/struct lvalue.
+func (f *fnGen) aggregateAddr(e minicc.Expr) error {
+	switch n := e.(type) {
+	case *minicc.Ident:
+		sym := n.Sym
+		switch sym.Kind {
+		case minicc.SymGlobal:
+			f.addrConst(sym.GlobalAddr)
+			return nil
+		case minicc.SymLocal, minicc.SymParam:
+			if f.inFrame[sym] {
+				f.pushFrameAddr(sym)
+				return nil
+			}
+		}
+		return fmt.Errorf("codegen: cannot take address of register variable %q", sym.Name)
+	case *minicc.Index:
+		return f.indexAddr(n)
+	case *minicc.Member:
+		off, err := f.memberAddr(n)
+		if err != nil {
+			return err
+		}
+		if off != 0 {
+			f.addrConst(off)
+			f.addrAdd()
+		}
+		return nil
+	case *minicc.Unary:
+		if n.Op == "*" {
+			_, err := f.value(n.X)
+			return err
+		}
+	}
+	return fmt.Errorf("codegen: cannot take address of %T", e)
+}
+
+// value emits e and returns the MiniC type it leaves on the stack
+// (arrays decay to element pointers).
+func (f *fnGen) value(e minicc.Expr) (*minicc.Type, error) {
+	switch n := e.(type) {
+	case *minicc.IntLit:
+		if f.widthClass(n.Type()) == wasm.I64 {
+			f.emit(wasm.I64Const(n.Val))
+		} else {
+			f.emit(wasm.I32Const(int32(n.Val)))
+		}
+		return n.Type(), nil
+	case *minicc.FloatLit:
+		f.emit(wasm.F64Const(n.Val))
+		return minicc.TypeDouble, nil
+	case *minicc.StrLit:
+		f.addrConst(f.g.internString(n.Val))
+		return minicc.PtrTo(minicc.TypeChar), nil
+	case *minicc.Ident:
+		sym := n.Sym
+		switch sym.Kind {
+		case minicc.SymFunc:
+			return f.funcRef(sym)
+		case minicc.SymExtern:
+			return nil, fmt.Errorf("codegen: cannot take the value of extern %q", sym.Name)
+		}
+		if sym.Type.Kind == minicc.KArray || sym.Type.Kind == minicc.KStruct {
+			if err := f.aggregateAddr(n); err != nil {
+				return nil, err
+			}
+			return sym.Type.Decay(), nil
+		}
+		p, err := f.placeOf(n)
+		if err != nil {
+			return nil, err
+		}
+		f.loadPlace(p)
+		return sym.Type, nil
+	case *minicc.Unary:
+		return f.unary(n)
+	case *minicc.Postfix:
+		return f.incDec(n.X, n.Op, false, true)
+	case *minicc.Binary:
+		return f.binary(n)
+	case *minicc.Assign:
+		return f.assign(n, true)
+	case *minicc.Cond:
+		if err := f.cond(n.C); err != nil {
+			return nil, err
+		}
+		rt := n.Type()
+		bt := wasm.BlockType(map[wasm.ValType]wasm.BlockType{
+			wasm.I32: wasm.BlockI32, wasm.I64: wasm.BlockI64,
+			wasm.F32: wasm.BlockF32, wasm.F64: wasm.BlockF64,
+		}[f.widthClass(rt)])
+		f.open(wasm.If(bt))
+		if err := f.exprAs(n.T, rt); err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Else())
+		if err := f.exprAs(n.F, rt); err != nil {
+			return nil, err
+		}
+		f.close()
+		return rt, nil
+	case *minicc.Index:
+		if n.Type().Kind == minicc.KArray || n.Type().Kind == minicc.KStruct {
+			if err := f.indexAddr(n); err != nil {
+				return nil, err
+			}
+			return n.Type().Decay(), nil
+		}
+		if err := f.indexAddr(n); err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Load(f.loadOp(n.Type()), 0))
+		return n.Type(), nil
+	case *minicc.Member:
+		if n.Type().Kind == minicc.KArray || n.Type().Kind == minicc.KStruct {
+			if err := f.aggregateAddr(n); err != nil {
+				return nil, err
+			}
+			return n.Type().Decay(), nil
+		}
+		off, err := f.memberAddr(n)
+		if err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Load(f.loadOp(n.Type()), off))
+		return n.Type(), nil
+	case *minicc.Call:
+		return f.call(n)
+	case *minicc.Cast:
+		produced, err := f.value(n.X)
+		if err != nil {
+			return nil, err
+		}
+		f.convert(produced, n.To)
+		return n.To, nil
+	case *minicc.SizeofExpr:
+		t := n.OfType
+		if t == nil {
+			t = n.OfExpr.Type()
+		}
+		if f.widthClass(minicc.TypeLong) == wasm.I64 {
+			f.emit(wasm.I64Const(f.g.layout.Size(t)))
+		} else {
+			f.emit(wasm.I32Const(int32(f.g.layout.Size(t))))
+		}
+		return minicc.TypeLong, nil
+	}
+	return nil, fmt.Errorf("codegen: unhandled expression %T", e)
+}
+
+// funcRef pushes a function pointer value, signing it under the
+// pointer-auth pass (paper Fig. 9: table index zero-extended, then
+// signed).
+func (f *fnGen) funcRef(sym *minicc.Symbol) (*minicc.Type, error) {
+	slot := f.g.tableSlot(sym)
+	if f.g.opts.Wasm64 {
+		f.emit(wasm.I64Const(int64(slot)))
+		if f.g.opts.PtrAuth {
+			f.emit(wasm.PointerSign())
+			f.fn.UsesFnPtrs = true
+		}
+	} else {
+		f.emit(wasm.I32Const(slot))
+	}
+	return sym.Type, nil
+}
+
+func (f *fnGen) unary(n *minicc.Unary) (*minicc.Type, error) {
+	switch n.Op {
+	case "-":
+		t := n.Type()
+		switch f.widthClass(t) {
+		case wasm.F64:
+			if _, err := f.value(n.X); err != nil {
+				return nil, err
+			}
+			f.emit(wasm.Op(wasm.OpF64Neg))
+		case wasm.F32:
+			if _, err := f.value(n.X); err != nil {
+				return nil, err
+			}
+			f.emit(wasm.Op(wasm.OpF32Neg))
+		case wasm.I64:
+			f.emit(wasm.I64Const(0))
+			if err := f.exprAs(n.X, t); err != nil {
+				return nil, err
+			}
+			f.emit(wasm.Op(wasm.OpI64Sub))
+		default:
+			f.emit(wasm.I32Const(0))
+			if err := f.exprAs(n.X, t); err != nil {
+				return nil, err
+			}
+			f.emit(wasm.Op(wasm.OpI32Sub))
+		}
+		return t, nil
+	case "~":
+		t := n.Type()
+		if err := f.exprAs(n.X, t); err != nil {
+			return nil, err
+		}
+		if f.widthClass(t) == wasm.I64 {
+			f.emit(wasm.I64Const(-1), wasm.Op(wasm.OpI64Xor))
+		} else {
+			f.emit(wasm.I32Const(-1), wasm.Op(wasm.OpI32Xor))
+		}
+		return t, nil
+	case "!":
+		if err := f.cond(n.X); err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Op(wasm.OpI32Eqz))
+		return minicc.TypeInt, nil
+	case "*":
+		if n.Type().Kind == minicc.KArray || n.Type().Kind == minicc.KStruct {
+			if _, err := f.value(n.X); err != nil {
+				return nil, err
+			}
+			return n.Type().Decay(), nil
+		}
+		if _, err := f.value(n.X); err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Load(f.loadOp(n.Type()), 0))
+		return n.Type(), nil
+	case "&":
+		// Address of a function is the function pointer itself.
+		if id, ok := n.X.(*minicc.Ident); ok && id.Sym != nil && id.Sym.Kind == minicc.SymFunc {
+			return f.funcRef(id.Sym)
+		}
+		if agg := n.X.Type(); agg.Kind == minicc.KArray || agg.Kind == minicc.KStruct {
+			if err := f.aggregateAddr(n.X); err != nil {
+				return nil, err
+			}
+			return n.Type(), nil
+		}
+		p, err := f.placeOf(n.X)
+		if err != nil {
+			return nil, err
+		}
+		if p.isLocal {
+			return nil, fmt.Errorf("codegen: address of register variable")
+		}
+		if p.offset != 0 {
+			f.addrConst(p.offset)
+			f.addrAdd()
+		}
+		return n.Type(), nil
+	case "++", "--":
+		return f.incDec(n.X, n.Op, true, true)
+	}
+	return nil, fmt.Errorf("codegen: unhandled unary %q", n.Op)
+}
+
+// incDec lowers ++/-- (pre or post); withValue keeps a result.
+func (f *fnGen) incDec(lhs minicc.Expr, op string, pre, withValue bool) (*minicc.Type, error) {
+	t := lhs.Type()
+	step := int64(1)
+	if t.IsPtr() {
+		step = f.g.layout.Size(t.Elem)
+	}
+	addOp, subOp := wasm.OpI32Add, wasm.OpI32Sub
+	isF32, isF64 := false, false
+	switch f.widthClass(t) {
+	case wasm.I64:
+		addOp, subOp = wasm.OpI64Add, wasm.OpI64Sub
+	case wasm.F32:
+		addOp, subOp, isF32 = wasm.OpF32Add, wasm.OpF32Sub, true
+	case wasm.F64:
+		addOp, subOp, isF64 = wasm.OpF64Add, wasm.OpF64Sub, true
+	}
+	theOp := addOp
+	if op == "--" {
+		theOp = subOp
+	}
+	pushStep := func() {
+		switch {
+		case isF64:
+			f.emit(wasm.F64Const(1))
+		case isF32:
+			f.emit(wasm.F32Const(1))
+		case f.widthClass(t) == wasm.I64:
+			f.emit(wasm.I64Const(step))
+		default:
+			f.emit(wasm.I32Const(int32(step)))
+		}
+	}
+
+	p, err := f.placeOf(lhs)
+	if err != nil {
+		return nil, err
+	}
+	if p.isLocal {
+		f.emit(wasm.LocalGet(p.local))
+		if withValue && !pre {
+			f.emit(wasm.LocalGet(p.local))
+		}
+		pushStep()
+		f.emit(wasm.Op(theOp))
+		if withValue && pre {
+			f.emit(wasm.LocalTee(p.local))
+		} else {
+			f.emit(wasm.LocalSet(p.local))
+		}
+		if withValue && !pre {
+			// Old value is on the stack under nothing: already in place.
+		}
+		return t, nil
+	}
+	// Memory place: stash the address.
+	sa := f.scratchLocal(f.g.addrType)
+	f.emit(wasm.LocalSet(sa))
+	f.emit(wasm.LocalGet(sa))
+	f.emit(wasm.LocalGet(sa))
+	f.emit(wasm.Load(f.loadOp(p.typ), p.offset))
+	sv := f.scratchLocal(f.widthClass(t))
+	if withValue && !pre {
+		f.emit(wasm.LocalTee(sv))
+	}
+	pushStep()
+	f.emit(wasm.Op(theOp))
+	if withValue && pre {
+		f.emit(wasm.LocalTee(sv))
+	}
+	f.emit(wasm.Store(f.storeOp(p.typ), p.offset))
+	if withValue {
+		f.emit(wasm.LocalGet(sv))
+	}
+	return t, nil
+}
+
+func (f *fnGen) binary(n *minicc.Binary) (*minicc.Type, error) {
+	xt, yt := n.X.Type().Decay(), n.Y.Type().Decay()
+	switch n.Op {
+	case "&&":
+		if err := f.cond(n.X); err != nil {
+			return nil, err
+		}
+		f.open(wasm.If(wasm.BlockI32))
+		if err := f.cond(n.Y); err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Op(wasm.OpI32Eqz), wasm.Op(wasm.OpI32Eqz)) // normalize to 0/1
+		f.emit(wasm.Else())
+		f.emit(wasm.I32Const(0))
+		f.close()
+		return minicc.TypeInt, nil
+	case "||":
+		if err := f.cond(n.X); err != nil {
+			return nil, err
+		}
+		f.open(wasm.If(wasm.BlockI32))
+		f.emit(wasm.I32Const(1))
+		f.emit(wasm.Else())
+		if err := f.cond(n.Y); err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Op(wasm.OpI32Eqz), wasm.Op(wasm.OpI32Eqz))
+		f.close()
+		return minicc.TypeInt, nil
+	}
+
+	// Pointer arithmetic.
+	if (n.Op == "+" || n.Op == "-") && xt.IsPtr() && yt.IsInteger() {
+		if _, err := f.value(n.X); err != nil {
+			return nil, err
+		}
+		if err := f.scaledIndex(n.Y, f.g.layout.Size(xt.Elem)); err != nil {
+			return nil, err
+		}
+		if n.Op == "+" {
+			f.addrAdd()
+		} else if f.g.opts.Wasm64 {
+			f.emit(wasm.Op(wasm.OpI64Sub))
+		} else {
+			f.emit(wasm.Op(wasm.OpI32Sub))
+		}
+		return xt, nil
+	}
+	if n.Op == "+" && xt.IsInteger() && yt.IsPtr() {
+		if err := f.scaledIndex(n.X, f.g.layout.Size(yt.Elem)); err != nil {
+			return nil, err
+		}
+		if _, err := f.value(n.Y); err != nil {
+			return nil, err
+		}
+		f.addrAdd()
+		return yt, nil
+	}
+	if n.Op == "-" && xt.IsPtr() && yt.IsPtr() {
+		if _, err := f.value(n.X); err != nil {
+			return nil, err
+		}
+		if _, err := f.value(n.Y); err != nil {
+			return nil, err
+		}
+		elem := f.g.layout.Size(xt.Elem)
+		if f.g.opts.Wasm64 {
+			f.emit(wasm.Op(wasm.OpI64Sub))
+			if elem > 1 {
+				f.emit(wasm.I64Const(elem), wasm.Op(wasm.OpI64DivS))
+			}
+		} else {
+			f.emit(wasm.Op(wasm.OpI32Sub))
+			if elem > 1 {
+				f.emit(wasm.I32Const(int32(elem)), wasm.Op(wasm.OpI32DivS))
+			}
+		}
+		return minicc.TypeLong, nil
+	}
+
+	// Comparisons.
+	if isCmp(n.Op) {
+		var common *minicc.Type
+		switch {
+		case xt.IsPtr() || yt.IsPtr() || xt.Kind == minicc.KFunc || yt.Kind == minicc.KFunc:
+			common = minicc.TypeULong
+			if !f.g.opts.Wasm64 {
+				common = minicc.TypeUInt
+			}
+		default:
+			common = minicc.CommonArith(xt, yt)
+		}
+		if err := f.exprAs(n.X, common); err != nil {
+			return nil, err
+		}
+		if err := f.exprAs(n.Y, common); err != nil {
+			return nil, err
+		}
+		f.emit(wasm.Op(cmpOpcode(n.Op, common, f.widthClass(common))))
+		return minicc.TypeInt, nil
+	}
+
+	// Plain arithmetic / bitwise / shifts.
+	common := n.Type()
+	if err := f.exprAs(n.X, common); err != nil {
+		return nil, err
+	}
+	if err := f.exprAs(n.Y, common); err != nil {
+		return nil, err
+	}
+	op, err := arithOpcode(n.Op, common, f.widthClass(common))
+	if err != nil {
+		return nil, err
+	}
+	f.emit(wasm.Op(op))
+	return common, nil
+}
+
+// scaledIndex emits idx (pointer-width) scaled by elem bytes.
+func (f *fnGen) scaledIndex(idx minicc.Expr, elem int64) error {
+	ptrIdx := minicc.TypeLong
+	if !f.g.opts.Wasm64 {
+		ptrIdx = minicc.TypeInt
+	}
+	if err := f.exprAs(idx, ptrIdx); err != nil {
+		return err
+	}
+	if elem != 1 {
+		f.addrConst(uint64(elem))
+		if f.g.opts.Wasm64 {
+			f.emit(wasm.Op(wasm.OpI64Mul))
+		} else {
+			f.emit(wasm.Op(wasm.OpI32Mul))
+		}
+	}
+	return nil
+}
+
+func isCmp(op string) bool {
+	switch op {
+	case "==", "!=", "<", ">", "<=", ">=":
+		return true
+	}
+	return false
+}
+
+func cmpOpcode(op string, t *minicc.Type, w wasm.ValType) wasm.Opcode {
+	u := t.Unsigned || t.IsPtr()
+	type pair struct{ s, uo wasm.Opcode }
+	var table map[string]pair
+	switch w {
+	case wasm.I32:
+		table = map[string]pair{
+			"==": {wasm.OpI32Eq, wasm.OpI32Eq}, "!=": {wasm.OpI32Ne, wasm.OpI32Ne},
+			"<": {wasm.OpI32LtS, wasm.OpI32LtU}, ">": {wasm.OpI32GtS, wasm.OpI32GtU},
+			"<=": {wasm.OpI32LeS, wasm.OpI32LeU}, ">=": {wasm.OpI32GeS, wasm.OpI32GeU},
+		}
+	case wasm.I64:
+		table = map[string]pair{
+			"==": {wasm.OpI64Eq, wasm.OpI64Eq}, "!=": {wasm.OpI64Ne, wasm.OpI64Ne},
+			"<": {wasm.OpI64LtS, wasm.OpI64LtU}, ">": {wasm.OpI64GtS, wasm.OpI64GtU},
+			"<=": {wasm.OpI64LeS, wasm.OpI64LeU}, ">=": {wasm.OpI64GeS, wasm.OpI64GeU},
+		}
+	case wasm.F32:
+		table = map[string]pair{
+			"==": {wasm.OpF32Eq, wasm.OpF32Eq}, "!=": {wasm.OpF32Ne, wasm.OpF32Ne},
+			"<": {wasm.OpF32Lt, wasm.OpF32Lt}, ">": {wasm.OpF32Gt, wasm.OpF32Gt},
+			"<=": {wasm.OpF32Le, wasm.OpF32Le}, ">=": {wasm.OpF32Ge, wasm.OpF32Ge},
+		}
+	default:
+		table = map[string]pair{
+			"==": {wasm.OpF64Eq, wasm.OpF64Eq}, "!=": {wasm.OpF64Ne, wasm.OpF64Ne},
+			"<": {wasm.OpF64Lt, wasm.OpF64Lt}, ">": {wasm.OpF64Gt, wasm.OpF64Gt},
+			"<=": {wasm.OpF64Le, wasm.OpF64Le}, ">=": {wasm.OpF64Ge, wasm.OpF64Ge},
+		}
+	}
+	p := table[op]
+	if u {
+		return p.uo
+	}
+	return p.s
+}
+
+func arithOpcode(op string, t *minicc.Type, w wasm.ValType) (wasm.Opcode, error) {
+	u := t.Unsigned
+	switch w {
+	case wasm.I32:
+		switch op {
+		case "+":
+			return wasm.OpI32Add, nil
+		case "-":
+			return wasm.OpI32Sub, nil
+		case "*":
+			return wasm.OpI32Mul, nil
+		case "/":
+			if u {
+				return wasm.OpI32DivU, nil
+			}
+			return wasm.OpI32DivS, nil
+		case "%":
+			if u {
+				return wasm.OpI32RemU, nil
+			}
+			return wasm.OpI32RemS, nil
+		case "&":
+			return wasm.OpI32And, nil
+		case "|":
+			return wasm.OpI32Or, nil
+		case "^":
+			return wasm.OpI32Xor, nil
+		case "<<":
+			return wasm.OpI32Shl, nil
+		case ">>":
+			if u {
+				return wasm.OpI32ShrU, nil
+			}
+			return wasm.OpI32ShrS, nil
+		}
+	case wasm.I64:
+		switch op {
+		case "+":
+			return wasm.OpI64Add, nil
+		case "-":
+			return wasm.OpI64Sub, nil
+		case "*":
+			return wasm.OpI64Mul, nil
+		case "/":
+			if u {
+				return wasm.OpI64DivU, nil
+			}
+			return wasm.OpI64DivS, nil
+		case "%":
+			if u {
+				return wasm.OpI64RemU, nil
+			}
+			return wasm.OpI64RemS, nil
+		case "&":
+			return wasm.OpI64And, nil
+		case "|":
+			return wasm.OpI64Or, nil
+		case "^":
+			return wasm.OpI64Xor, nil
+		case "<<":
+			return wasm.OpI64Shl, nil
+		case ">>":
+			if u {
+				return wasm.OpI64ShrU, nil
+			}
+			return wasm.OpI64ShrS, nil
+		}
+	case wasm.F32:
+		switch op {
+		case "+":
+			return wasm.OpF32Add, nil
+		case "-":
+			return wasm.OpF32Sub, nil
+		case "*":
+			return wasm.OpF32Mul, nil
+		case "/":
+			return wasm.OpF32Div, nil
+		}
+	case wasm.F64:
+		switch op {
+		case "+":
+			return wasm.OpF64Add, nil
+		case "-":
+			return wasm.OpF64Sub, nil
+		case "*":
+			return wasm.OpF64Mul, nil
+		case "/":
+			return wasm.OpF64Div, nil
+		}
+	}
+	return 0, fmt.Errorf("codegen: no opcode for %q on %v", op, t)
+}
+
+// assign lowers an assignment; withValue keeps the stored value.
+func (f *fnGen) assign(n *minicc.Assign, withValue bool) (*minicc.Type, error) {
+	lt := n.LHS.Type()
+	p, err := f.placeOf(n.LHS)
+	if err != nil {
+		return nil, err
+	}
+	if p.isLocal {
+		if n.Op == "=" {
+			if err := f.exprAs(n.RHS, lt); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := f.compoundValue(n, p, lt); err != nil {
+				return nil, err
+			}
+		}
+		if withValue {
+			f.emit(wasm.LocalTee(p.local))
+		} else {
+			f.emit(wasm.LocalSet(p.local))
+		}
+		return lt, nil
+	}
+	// Memory place.
+	if n.Op != "=" {
+		sa := f.scratchLocal(f.g.addrType)
+		f.emit(wasm.LocalSet(sa))
+		f.emit(wasm.LocalGet(sa))
+		f.emit(wasm.LocalGet(sa))
+		f.emit(wasm.Load(f.loadOp(p.typ), p.offset))
+		if err := f.compoundRHS(n, lt); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := f.exprAs(n.RHS, lt); err != nil {
+			return nil, err
+		}
+	}
+	if withValue {
+		sv := f.scratchLocal(f.widthClass(lt))
+		f.emit(wasm.LocalTee(sv))
+		f.emit(wasm.Store(f.storeOp(p.typ), p.offset))
+		f.emit(wasm.LocalGet(sv))
+	} else {
+		f.emit(wasm.Store(f.storeOp(p.typ), p.offset))
+	}
+	return lt, nil
+}
+
+// compoundValue computes "local <op>= rhs" leaving the new value.
+func (f *fnGen) compoundValue(n *minicc.Assign, p place, lt *minicc.Type) error {
+	f.emit(wasm.LocalGet(p.local))
+	return f.compoundRHS(n, lt)
+}
+
+// compoundRHS, with the old LHS value on the stack, applies op= rhs.
+func (f *fnGen) compoundRHS(n *minicc.Assign, lt *minicc.Type) error {
+	op := n.Op[:len(n.Op)-1] // strip '='
+	// Pointer += integer scales.
+	if lt.IsPtr() && (op == "+" || op == "-") {
+		if err := f.scaledIndex(n.RHS, f.g.layout.Size(lt.Elem)); err != nil {
+			return err
+		}
+		if op == "+" {
+			f.addrAdd()
+		} else if f.g.opts.Wasm64 {
+			f.emit(wasm.Op(wasm.OpI64Sub))
+		} else {
+			f.emit(wasm.Op(wasm.OpI32Sub))
+		}
+		return nil
+	}
+	if err := f.exprAs(n.RHS, lt); err != nil {
+		return err
+	}
+	wop, err := arithOpcode(op, lt, f.widthClass(lt))
+	if err != nil {
+		return err
+	}
+	f.emit(wasm.Op(wop))
+	return nil
+}
+
+// exprForEffect evaluates e for side effects; the result reports
+// whether a value was left on the stack (caller must drop it).
+func (f *fnGen) exprForEffect(e minicc.Expr) (bool, error) {
+	switch n := e.(type) {
+	case *minicc.Assign:
+		_, err := f.assign(n, false)
+		return false, err
+	case *minicc.Postfix:
+		_, err := f.incDec(n.X, n.Op, false, false)
+		return false, err
+	case *minicc.Unary:
+		if n.Op == "++" || n.Op == "--" {
+			_, err := f.incDec(n.X, n.Op, true, false)
+			return false, err
+		}
+	case *minicc.Call:
+		t, err := f.call(n)
+		if err != nil {
+			return false, err
+		}
+		return t != minicc.TypeVoid, nil
+	}
+	_, err := f.value(e)
+	if err != nil {
+		return false, err
+	}
+	return e.Type() != minicc.TypeVoid, nil
+}
+
+// call lowers direct, builtin, and indirect calls.
+func (f *fnGen) call(n *minicc.Call) (*minicc.Type, error) {
+	// Cage builtins map 1:1 to extension instructions (paper §6.1).
+	if n.Builtin != "" {
+		for i, a := range n.Args {
+			want := builtinParam(n.Builtin, i)
+			if err := f.exprAs(a, want); err != nil {
+				return nil, err
+			}
+		}
+		switch n.Builtin {
+		case "__builtin_segment_new":
+			f.emit(wasm.SegmentNew(0))
+		case "__builtin_segment_set_tag":
+			f.emit(wasm.SegmentSetTag(0))
+		case "__builtin_segment_free":
+			f.emit(wasm.SegmentFree(0))
+		case "__builtin_pointer_sign":
+			f.emit(wasm.PointerSign())
+		case "__builtin_pointer_auth":
+			f.emit(wasm.PointerAuth())
+		}
+		return n.Type(), nil
+	}
+	// Direct call to a known function or extern.
+	if id, ok := n.Fun.(*minicc.Ident); ok && id.Sym != nil &&
+		(id.Sym.Kind == minicc.SymFunc || id.Sym.Kind == minicc.SymExtern) {
+		sig := id.Sym.Sig
+		for i, a := range n.Args {
+			if err := f.exprAs(a, sig.Params[i]); err != nil {
+				return nil, err
+			}
+		}
+		f.emit(wasm.Call(f.g.funcIdx[id.Sym]))
+		return sig.Ret, nil
+	}
+	// Indirect call through a function pointer (paper Fig. 9): the
+	// signed 64-bit pointer is authenticated, truncated to 32 bits, and
+	// dispatched through the type-checked table.
+	ft := n.Fun.Type()
+	if ft.Kind == minicc.KPtr {
+		ft = ft.Elem
+	}
+	sig := ft.Sig
+	for i, a := range n.Args {
+		if err := f.exprAs(a, sig.Params[i]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := f.value(n.Fun); err != nil {
+		return nil, err
+	}
+	if f.g.opts.Wasm64 {
+		if f.g.opts.PtrAuth {
+			f.emit(wasm.PointerAuth())
+			f.fn.UsesFnPtrs = true
+		}
+		f.emit(wasm.Op(wasm.OpI32WrapI64))
+	}
+	f.emit(wasm.CallIndirect(f.g.m.AddType(f.g.wasmSig(sig))))
+	return sig.Ret, nil
+}
+
+// builtinParam gives the expected MiniC type of a builtin argument.
+func builtinParam(name string, i int) *minicc.Type {
+	switch name {
+	case "__builtin_segment_new", "__builtin_segment_free":
+		if i == 0 {
+			return minicc.PtrTo(minicc.TypeChar)
+		}
+		return minicc.TypeLong
+	case "__builtin_segment_set_tag":
+		if i < 2 {
+			return minicc.PtrTo(minicc.TypeChar)
+		}
+		return minicc.TypeLong
+	default:
+		return minicc.PtrTo(minicc.TypeChar)
+	}
+}
+
+// constValue evaluates a constant initializer to raw bits.
+func (g *gen) constValue(e minicc.Expr, to *minicc.Type) (bits uint64, width int64, ok bool) {
+	width = g.layout.Size(to)
+	switch n := e.(type) {
+	case *minicc.IntLit:
+		v := n.Val
+		if to.IsFloat() {
+			return floatBits(float64(v), to), width, true
+		}
+		return uint64(v), width, true
+	case *minicc.FloatLit:
+		if to.IsFloat() {
+			return floatBits(n.Val, to), width, true
+		}
+		return uint64(int64(n.Val)), width, true
+	case *minicc.Unary:
+		if n.Op == "-" {
+			b, _, ok2 := g.constValue(n.X, to)
+			if !ok2 {
+				return 0, 0, false
+			}
+			if to.IsFloat() {
+				return floatBits(-floatFromBits(b, to), to), width, true
+			}
+			return uint64(-int64(b)), width, true
+		}
+	}
+	return 0, 0, false
+}
+
+func floatBits(v float64, t *minicc.Type) uint64 {
+	if t.Kind == minicc.KFloat {
+		return uint64(wasm.F32ConstBits(float32(v)))
+	}
+	return wasm.F64Bits(v)
+}
+
+func floatFromBits(b uint64, t *minicc.Type) float64 {
+	if t.Kind == minicc.KFloat {
+		return float64(wasm.F32FromBits(uint32(b)))
+	}
+	return wasm.F64FromBits(b)
+}

@@ -1,0 +1,442 @@
+package codegen
+
+import (
+	"fmt"
+
+	"cage/internal/minicc"
+	"cage/internal/wasm"
+)
+
+// fnGen compiles one function body.
+type fnGen struct {
+	g    *gen
+	fn   *minicc.FuncDecl
+	code []wasm.Instr
+	// locals are the extra wasm locals beyond the parameters.
+	locals    []wasm.ValType
+	nextLocal uint32
+
+	hasFrame  bool
+	spLocal   uint32
+	frameSize int64
+	// tagLocals maps an instrumented stack symbol to the local holding
+	// its tagged base pointer.
+	tagLocals map[*minicc.Symbol]uint32
+	inFrame   map[*minicc.Symbol]bool
+
+	hasRet   bool
+	retLocal uint32
+
+	depth     int
+	exitDepth int
+	loops     []loopInfo
+
+	scratch map[wasm.ValType]uint32
+}
+
+type loopInfo struct {
+	breakDepth int
+	contDepth  int
+}
+
+func (g *gen) compileFunc(fn *minicc.FuncDecl) ([]wasm.Instr, []wasm.ValType, error) {
+	f := &fnGen{
+		g: g, fn: fn,
+		tagLocals: make(map[*minicc.Symbol]uint32),
+		inFrame:   make(map[*minicc.Symbol]bool),
+		scratch:   make(map[wasm.ValType]uint32),
+	}
+	f.nextLocal = uint32(len(fn.Params))
+	for i, pa := range fn.Params {
+		fn.Locals[i].LocalIdx = uint32(i)
+		_ = pa
+	}
+
+	// Frame layout: 16-byte aligned slots (paper §4.2: "each stack
+	// allocation needs to be aligned to 16 bytes"), laid out like a C
+	// stack: the first-declared allocation sits at the highest offset,
+	// adjacent to the caller's frame, so allocations[0] is the
+	// frame-boundary slot Algorithm 1 reasons about. The guard slot,
+	// when required, goes above it (Fig. 8b).
+	sanitize := g.opts.StackSanitizer
+	var total int64
+	sizes := make([]int64, len(fn.StackAllocs))
+	for i, sym := range fn.StackAllocs {
+		size := g.layout.Size(sym.Type)
+		if size == 0 {
+			size = 1
+		}
+		size = (size + 15) &^ 15
+		sizes[i] = size
+		total += size
+	}
+	off := total
+	for i, sym := range fn.StackAllocs {
+		off -= sizes[i]
+		sym.FrameOffset = off
+		sym.InFrame = true
+		f.inFrame[sym] = true
+		if sanitize && sym.Instrument {
+			f.tagLocals[sym] = f.newLocal(wasm.I64)
+		}
+	}
+	if sanitize && fn.NeedsGuardSlot {
+		total += 16
+	}
+	f.frameSize = total
+	f.hasFrame = total > 0
+
+	if f.hasFrame {
+		f.spLocal = f.newLocal(g.addrType)
+	}
+	// Scalar locals that stay in wasm locals (registers).
+	for _, sym := range fn.Locals {
+		if sym.Kind == minicc.SymParam || f.inFrame[sym] {
+			continue
+		}
+		sym.LocalIdx = f.newLocal(g.valType(sym.Type))
+	}
+	if fn.Ret != minicc.TypeVoid {
+		f.hasRet = true
+		f.retLocal = f.newLocal(g.valType(fn.Ret))
+	}
+
+	f.prologue()
+	f.exitDepth = f.open(wasm.Block(wasm.BlockVoid))
+	if err := f.stmt(fn.Body); err != nil {
+		return nil, nil, err
+	}
+	f.close()
+	f.epilogue()
+	if f.hasRet {
+		f.emit(wasm.LocalGet(f.retLocal))
+	}
+	f.emit(wasm.End())
+	return f.code, f.locals, nil
+}
+
+func (f *fnGen) emit(ins ...wasm.Instr) { f.code = append(f.code, ins...) }
+
+func (f *fnGen) newLocal(t wasm.ValType) uint32 {
+	f.locals = append(f.locals, t)
+	idx := f.nextLocal
+	f.nextLocal++
+	return idx
+}
+
+func (f *fnGen) scratchLocal(t wasm.ValType) uint32 {
+	if idx, ok := f.scratch[t]; ok {
+		return idx
+	}
+	idx := f.newLocal(t)
+	f.scratch[t] = idx
+	return idx
+}
+
+func (f *fnGen) open(in wasm.Instr) int {
+	f.emit(in)
+	f.depth++
+	return f.depth
+}
+
+func (f *fnGen) close() {
+	f.emit(wasm.End())
+	f.depth--
+}
+
+func (f *fnGen) brTo(target int)   { f.emit(wasm.Br(uint32(f.depth - target))) }
+func (f *fnGen) brIfTo(target int) { f.emit(wasm.BrIf(uint32(f.depth - target))) }
+
+// addrConst pushes an address constant of the target's pointer width.
+func (f *fnGen) addrConst(v uint64) {
+	if f.g.opts.Wasm64 {
+		f.emit(wasm.I64Const(int64(v)))
+	} else {
+		f.emit(wasm.I32Const(int32(uint32(v))))
+	}
+}
+
+// addrAdd emits pointer-width addition.
+func (f *fnGen) addrAdd() {
+	if f.g.opts.Wasm64 {
+		f.emit(wasm.Op(wasm.OpI64Add))
+	} else {
+		f.emit(wasm.Op(wasm.OpI32Add))
+	}
+}
+
+// prologue allocates the frame, copies address-taken parameters into it,
+// and runs the stack sanitizer's tagging sequence.
+func (f *fnGen) prologue() {
+	if !f.hasFrame {
+		return
+	}
+	// sp = __sp - frameSize; __sp = sp
+	f.emit(wasm.GlobalGet(spPlaceholder))
+	f.addrConst(uint64(f.frameSize))
+	if f.g.opts.Wasm64 {
+		f.emit(wasm.Op(wasm.OpI64Sub))
+	} else {
+		f.emit(wasm.Op(wasm.OpI32Sub))
+	}
+	f.emit(wasm.LocalTee(f.spLocal))
+	f.emit(wasm.GlobalSet(spPlaceholder))
+
+	// Copy address-taken parameters into their frame slots.
+	for i, pa := range f.fn.Params {
+		sym := f.fn.Locals[i]
+		if !f.inFrame[sym] {
+			continue
+		}
+		f.emit(wasm.LocalGet(f.spLocal))
+		f.emit(wasm.LocalGet(uint32(i)))
+		f.emit(wasm.Store(f.storeOp(pa.Typ), uint64(sym.FrameOffset)))
+	}
+
+	if !f.g.opts.StackSanitizer {
+		return
+	}
+	// Tagging: the first instrumented slot draws a random tag via
+	// segment.new; subsequent slots increment it (paper §4.2).
+	var prevTag uint32
+	first := true
+	for _, sym := range f.fn.StackAllocs {
+		if !sym.Instrument {
+			continue
+		}
+		size := (f.g.layout.Size(sym.Type) + 15) &^ 15
+		tagLocal := f.tagLocals[sym]
+		if first {
+			f.emit(wasm.LocalGet(f.spLocal))
+			f.emit(wasm.I64Const(size))
+			f.emit(wasm.SegmentNew(uint64(sym.FrameOffset)))
+			f.emit(wasm.LocalSet(tagLocal))
+			first = false
+		} else {
+			f.emitIncrementedTag(prevTag, sym, size, tagLocal)
+		}
+		prevTag = tagLocal
+		// Re-copy an instrumented parameter through its tagged pointer
+		// (segment.new zeroed the slot).
+		for i := range f.fn.Params {
+			if f.fn.Locals[i] == sym {
+				f.emit(wasm.LocalGet(tagLocal))
+				f.emit(wasm.LocalGet(uint32(i)))
+				f.emit(wasm.Store(f.storeOp(f.fn.Params[i].Typ), 0))
+			}
+		}
+	}
+}
+
+// emitIncrementedTag derives the next stack tag from prev (wrapping
+// modulo 16 and skipping the reserved zero tag) and transfers the slot
+// to it via segment.set_tag.
+func (f *fnGen) emitIncrementedTag(prev uint32, sym *minicc.Symbol, size int64, tagLocal uint32) {
+	s := f.scratchLocal(wasm.I64)
+	// t' = ((prev >> 56) + 1) & 15
+	f.emit(wasm.LocalGet(prev))
+	f.emit(wasm.I64Const(56), wasm.Op(wasm.OpI64ShrU))
+	f.emit(wasm.I64Const(1), wasm.Op(wasm.OpI64Add))
+	f.emit(wasm.I64Const(15), wasm.Op(wasm.OpI64And))
+	f.emit(wasm.LocalTee(s))
+	// t'' = t' + (t' == 0)  — skip the reserved zero/guard tag.
+	f.emit(wasm.Op(wasm.OpI64Eqz), wasm.Op(wasm.OpI64ExtendI32U))
+	f.emit(wasm.LocalGet(s), wasm.Op(wasm.OpI64Add))
+	f.emit(wasm.I64Const(56), wasm.Op(wasm.OpI64Shl))
+	// tagged = (sp + off) | (t'' << 56)
+	f.emit(wasm.LocalGet(f.spLocal))
+	f.emit(wasm.I64Const(sym.FrameOffset), wasm.Op(wasm.OpI64Add))
+	f.emit(wasm.Op(wasm.OpI64Or))
+	f.emit(wasm.LocalSet(tagLocal))
+	// segment.set_tag(sp + off, tagged, size)
+	f.emit(wasm.LocalGet(f.spLocal))
+	f.emit(wasm.LocalGet(tagLocal))
+	f.emit(wasm.I64Const(size))
+	f.emit(wasm.SegmentSetTag(uint64(sym.FrameOffset)))
+}
+
+// epilogue untags instrumented slots (returning them to the frame's
+// untagged state, §4.2) and releases the frame.
+func (f *fnGen) epilogue() {
+	if !f.hasFrame {
+		return
+	}
+	if f.g.opts.StackSanitizer {
+		for _, sym := range f.fn.StackAllocs {
+			if !sym.Instrument {
+				continue
+			}
+			size := (f.g.layout.Size(sym.Type) + 15) &^ 15
+			f.emit(wasm.LocalGet(f.spLocal))
+			f.emit(wasm.LocalGet(f.spLocal))
+			f.emit(wasm.I64Const(sym.FrameOffset), wasm.Op(wasm.OpI64Add))
+			f.emit(wasm.I64Const(size))
+			f.emit(wasm.SegmentSetTag(uint64(sym.FrameOffset)))
+		}
+	}
+	// __sp = sp + frameSize
+	f.emit(wasm.LocalGet(f.spLocal))
+	f.addrConst(uint64(f.frameSize))
+	f.addrAdd()
+	f.emit(wasm.GlobalSet(spPlaceholder))
+}
+
+// stmt lowers one statement.
+func (f *fnGen) stmt(st minicc.Stmt) error {
+	switch n := st.(type) {
+	case *minicc.BlockStmt:
+		for _, s := range n.Stmts {
+			if err := f.stmt(s); err != nil {
+				return err
+			}
+		}
+	case *minicc.DeclStmt:
+		if n.Init == nil {
+			return nil
+		}
+		return f.assignTo(n.Sym, n.Init)
+	case *minicc.ExprStmt:
+		if n.X == nil {
+			return nil
+		}
+		drop, err := f.exprForEffect(n.X)
+		if err != nil {
+			return err
+		}
+		if drop {
+			f.emit(wasm.Op(wasm.OpDrop))
+		}
+	case *minicc.IfStmt:
+		if err := f.cond(n.Cond); err != nil {
+			return err
+		}
+		f.open(wasm.If(wasm.BlockVoid))
+		if err := f.stmt(n.Then); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			f.emit(wasm.Else())
+			if err := f.stmt(n.Else); err != nil {
+				return err
+			}
+		}
+		f.close()
+	case *minicc.ForStmt:
+		if n.Init != nil {
+			if err := f.stmt(n.Init); err != nil {
+				return err
+			}
+		}
+		brk := f.open(wasm.Block(wasm.BlockVoid))
+		top := f.open(wasm.Loop(wasm.BlockVoid))
+		if n.Cond != nil {
+			if err := f.cond(n.Cond); err != nil {
+				return err
+			}
+			f.emit(wasm.Op(wasm.OpI32Eqz))
+			f.brIfTo(brk)
+		}
+		cont := f.open(wasm.Block(wasm.BlockVoid))
+		f.loops = append(f.loops, loopInfo{breakDepth: brk, contDepth: cont})
+		if err := f.stmt(n.Body); err != nil {
+			return err
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		f.close() // cont
+		if n.Post != nil {
+			drop, err := f.exprForEffect(n.Post)
+			if err != nil {
+				return err
+			}
+			if drop {
+				f.emit(wasm.Op(wasm.OpDrop))
+			}
+		}
+		f.brTo(top)
+		f.close() // loop
+		f.close() // brk
+	case *minicc.WhileStmt:
+		brk := f.open(wasm.Block(wasm.BlockVoid))
+		top := f.open(wasm.Loop(wasm.BlockVoid))
+		if n.DoWhile {
+			cont := f.open(wasm.Block(wasm.BlockVoid))
+			f.loops = append(f.loops, loopInfo{breakDepth: brk, contDepth: cont})
+			if err := f.stmt(n.Body); err != nil {
+				return err
+			}
+			f.loops = f.loops[:len(f.loops)-1]
+			f.close()
+			if err := f.cond(n.Cond); err != nil {
+				return err
+			}
+			f.brIfTo(top)
+		} else {
+			if err := f.cond(n.Cond); err != nil {
+				return err
+			}
+			f.emit(wasm.Op(wasm.OpI32Eqz))
+			f.brIfTo(brk)
+			f.loops = append(f.loops, loopInfo{breakDepth: brk, contDepth: top})
+			if err := f.stmt(n.Body); err != nil {
+				return err
+			}
+			f.loops = f.loops[:len(f.loops)-1]
+			f.brTo(top)
+		}
+		f.close()
+		f.close()
+	case *minicc.ReturnStmt:
+		if n.X != nil {
+			if err := f.exprAs(n.X, f.fn.Ret); err != nil {
+				return err
+			}
+			f.emit(wasm.LocalSet(f.retLocal))
+		}
+		f.brTo(f.exitDepth)
+	case *minicc.BreakStmt:
+		if len(f.loops) == 0 {
+			return fmt.Errorf("codegen: %s: break outside loop", f.fn.Name)
+		}
+		f.brTo(f.loops[len(f.loops)-1].breakDepth)
+	case *minicc.ContinueStmt:
+		if len(f.loops) == 0 {
+			return fmt.Errorf("codegen: %s: continue outside loop", f.fn.Name)
+		}
+		f.brTo(f.loops[len(f.loops)-1].contDepth)
+	default:
+		return fmt.Errorf("codegen: unhandled statement %T", st)
+	}
+	return nil
+}
+
+// assignTo stores an initializer into a just-declared local.
+func (f *fnGen) assignTo(sym *minicc.Symbol, init minicc.Expr) error {
+	if !f.inFrame[sym] {
+		if err := f.exprAs(init, sym.Type); err != nil {
+			return err
+		}
+		f.emit(wasm.LocalSet(sym.LocalIdx))
+		return nil
+	}
+	// Frame-resident scalar: store through its (possibly tagged) base.
+	f.pushFrameAddr(sym)
+	if err := f.exprAs(init, sym.Type); err != nil {
+		return err
+	}
+	f.emit(wasm.Store(f.storeOp(sym.Type), 0))
+	return nil
+}
+
+// pushFrameAddr pushes the address of a frame slot: the tagged pointer
+// for instrumented slots, sp+offset otherwise.
+func (f *fnGen) pushFrameAddr(sym *minicc.Symbol) {
+	if tl, ok := f.tagLocals[sym]; ok {
+		f.emit(wasm.LocalGet(tl))
+		return
+	}
+	f.emit(wasm.LocalGet(f.spLocal))
+	if sym.FrameOffset != 0 {
+		f.addrConst(uint64(sym.FrameOffset))
+		f.addrAdd()
+	}
+}

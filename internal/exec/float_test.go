@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cage/internal/wasm"
+)
+
+// Float and conversion coverage: cross-checked against Go semantics.
+
+func f32m(body ...wasm.Instr) *wasm.Module {
+	return buildModule(nil, []wasm.ValType{wasm.F32}, nil, body...)
+}
+
+func TestF32Arithmetic(t *testing.T) {
+	m := f32m(
+		wasm.F32Const(1.5), wasm.F32Const(2.5), wasm.Op(wasm.OpF32Mul),
+		wasm.F32Const(0.25), wasm.Op(wasm.OpF32Sub),
+		wasm.End())
+	got, err := run1(t, Config{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := math.Float32frombits(uint32(got)); f != 3.5 {
+		t.Errorf("f32 arith = %v", f)
+	}
+}
+
+func TestF32PrecisionIsSingle(t *testing.T) {
+	// 1/3 in f32 differs from f64: the engine must compute at single
+	// precision for f32 ops.
+	m := f32m(
+		wasm.F32Const(1), wasm.F32Const(3), wasm.Op(wasm.OpF32Div),
+		wasm.End())
+	got, err := run1(t, Config{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(1) / float32(3)
+	if math.Float32frombits(uint32(got)) != want {
+		t.Errorf("f32 div = %v, want %v", math.Float32frombits(uint32(got)), want)
+	}
+}
+
+func TestFloatMinMaxCopysign(t *testing.T) {
+	m := buildModule(nil, []wasm.ValType{wasm.F64}, nil,
+		wasm.F64Const(-3), wasm.F64Const(2), wasm.Op(wasm.OpF64Min), // -3
+		wasm.F64Const(5), wasm.Op(wasm.OpF64Max), // 5
+		wasm.F64Const(-1), wasm.Op(wasm.OpF64Copysign), // -5
+		wasm.Op(wasm.OpF64Abs),     // 5
+		wasm.Op(wasm.OpF64Neg),     // -5
+		wasm.Op(wasm.OpF64Floor),   // -5
+		wasm.Op(wasm.OpF64Nearest), // -5
+		wasm.End())
+	got, err := run1(t, Config{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := math.Float64frombits(got); f != -5 {
+		t.Errorf("chain = %v, want -5", f)
+	}
+}
+
+func TestConversionRoundTripsProperty(t *testing.T) {
+	// i64 -> f64 -> i64 is exact for |v| < 2^53.
+	conv := buildModule([]wasm.ValType{wasm.I64}, []wasm.ValType{wasm.I64}, nil,
+		wasm.LocalGet(0),
+		wasm.Op(wasm.OpF64ConvertI64S),
+		wasm.Op(wasm.OpI64TruncF64S),
+		wasm.End())
+	inst, err := NewInstance(conv, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v int64) bool {
+		v %= 1 << 52
+		res, err := inst.Invoke("f", uint64(v))
+		return err == nil && int64(res[0]) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapAndExtendProperty(t *testing.T) {
+	m := buildModule([]wasm.ValType{wasm.I64}, []wasm.ValType{wasm.I64}, nil,
+		wasm.LocalGet(0),
+		wasm.Op(wasm.OpI32WrapI64),
+		wasm.Op(wasm.OpI64ExtendI32S),
+		wasm.End())
+	inst, err := NewInstance(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v uint64) bool {
+		res, err := inst.Invoke("f", v)
+		return err == nil && int64(res[0]) == int64(int32(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReinterpretRoundTrip(t *testing.T) {
+	m := buildModule([]wasm.ValType{wasm.F64}, []wasm.ValType{wasm.F64}, nil,
+		wasm.LocalGet(0),
+		wasm.Op(wasm.OpI64ReinterpretF64),
+		wasm.Op(wasm.OpF64ReinterpretI64),
+		wasm.End())
+	inst, err := NewInstance(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, -1.5, math.Pi, math.Inf(1)} {
+		res, err := inst.Invoke("f", math.Float64bits(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64frombits(res[0]) != v {
+			t.Errorf("reinterpret(%v) = %v", v, math.Float64frombits(res[0]))
+		}
+	}
+}
+
+func TestDemotePromote(t *testing.T) {
+	m := buildModule(nil, []wasm.ValType{wasm.F64}, nil,
+		wasm.F64Const(1.1),
+		wasm.Op(wasm.OpF32DemoteF64),
+		wasm.Op(wasm.OpF64PromoteF32),
+		wasm.End())
+	got, err := run1(t, Config{}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := math.Float64frombits(got); f != float64(float32(1.1)) {
+		t.Errorf("demote/promote = %v", f)
+	}
+}
+
+func TestSelectBothTypes(t *testing.T) {
+	m := buildModule([]wasm.ValType{wasm.I32}, []wasm.ValType{wasm.F64}, nil,
+		wasm.F64Const(1.5), wasm.F64Const(2.5),
+		wasm.LocalGet(0),
+		wasm.Op(wasm.OpSelect),
+		wasm.End())
+	inst, err := NewInstance(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := inst.Invoke("f", 1)
+	if math.Float64frombits(res[0]) != 1.5 {
+		t.Errorf("select(1) = %v", math.Float64frombits(res[0]))
+	}
+	res, _ = inst.Invoke("f", 0)
+	if math.Float64frombits(res[0]) != 2.5 {
+		t.Errorf("select(0) = %v", math.Float64frombits(res[0]))
+	}
+}

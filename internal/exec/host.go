@@ -1,0 +1,80 @@
+package exec
+
+import "fmt"
+
+// Host-side accessors used by runtime components (the hardened
+// allocator, WASI). Host code runs with runtime privileges: raw reads
+// and writes bypass MTE tag checks the way the runtime's own memory
+// accesses do, while the HostSegment* wrappers go through the same
+// segment semantics (and event accounting) as guest instructions.
+
+// HostSegmentNew performs segment.new on behalf of the runtime.
+func (inst *Instance) HostSegmentNew(ptr, length uint64) (uint64, error) {
+	return inst.segmentNew(ptr, length, 0)
+}
+
+// HostSegmentSetTag performs segment.set_tag on behalf of the runtime.
+func (inst *Instance) HostSegmentSetTag(ptr, tagged, length uint64) error {
+	return inst.segmentSetTag(ptr, tagged, length, 0)
+}
+
+// HostSegmentFree performs segment.free on behalf of the runtime.
+func (inst *Instance) HostSegmentFree(tagged, length uint64) error {
+	return inst.segmentFree(tagged, length, 0)
+}
+
+// GrowMemory grows the guest memory by delta pages, returning the old
+// page count or ^0 on failure.
+func (inst *Instance) GrowMemory(deltaPages uint64) uint64 {
+	return inst.memoryGrow(deltaPages)
+}
+
+func (inst *Instance) hostRange(addr, n uint64) error {
+	if addr+n < addr || addr+n > inst.memSize {
+		return fmt.Errorf("exec: host access [%#x, +%d) outside guest memory (%#x bytes)",
+			addr, n, inst.memSize)
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian u64 at addr with runtime privileges.
+func (inst *Instance) ReadU64(addr uint64) (uint64, error) {
+	if err := inst.hostRange(addr, 8); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(inst.mem[addr+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteU64 writes a little-endian u64 at addr with runtime privileges.
+func (inst *Instance) WriteU64(addr, v uint64) error {
+	if err := inst.hostRange(addr, 8); err != nil {
+		return err
+	}
+	for i := uint64(0); i < 8; i++ {
+		inst.mem[addr+i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// ReadBytes copies n guest bytes starting at addr.
+func (inst *Instance) ReadBytes(addr, n uint64) ([]byte, error) {
+	if err := inst.hostRange(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, inst.mem[addr:addr+n])
+	return out, nil
+}
+
+// WriteBytes copies b into guest memory at addr.
+func (inst *Instance) WriteBytes(addr uint64, b []byte) error {
+	if err := inst.hostRange(addr, uint64(len(b))); err != nil {
+		return err
+	}
+	copy(inst.mem[addr:], b)
+	return nil
+}

@@ -1,0 +1,373 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"cage/internal/arch"
+	"cage/internal/core"
+	"cage/internal/mte"
+	"cage/internal/pac"
+	"cage/internal/ptrlayout"
+	"cage/internal/wasm"
+)
+
+// HostFunc is a function provided by the embedder (e.g. WASI or the
+// hardened allocator). Args and results are raw 64-bit value bits.
+type HostFunc struct {
+	Type wasm.FuncType
+	Fn   func(inst *Instance, args []uint64) ([]uint64, error)
+}
+
+// Linker resolves module imports to host functions.
+type Linker struct {
+	funcs map[string]HostFunc
+}
+
+// NewLinker creates an empty linker.
+func NewLinker() *Linker {
+	return &Linker{funcs: make(map[string]HostFunc)}
+}
+
+// Define registers a host function under module.name.
+func (l *Linker) Define(module, name string, fn HostFunc) {
+	l.funcs[module+"."+name] = fn
+}
+
+// Lookup resolves module.name.
+func (l *Linker) Lookup(module, name string) (HostFunc, bool) {
+	fn, ok := l.funcs[module+"."+name]
+	return fn, ok
+}
+
+// Config controls instantiation.
+type Config struct {
+	// Features selects the active Cage components (paper Table 3).
+	Features core.Features
+	// Linker resolves imports; nil means no imports allowed.
+	Linker *Linker
+	// ProcessKey is the process-wide PAC key; zero value gets a
+	// deterministic default.
+	ProcessKey pac.Key
+	// Modifier is the per-instance PAC modifier (paper §6.3); 0 derives
+	// one from Seed.
+	Modifier uint64
+	// Seed seeds deterministic tag/modifier generation.
+	Seed uint64
+	// Counter receives instruction events; nil allocates a private one.
+	Counter *arch.Counter
+	// Sandboxes shares sandbox-tag allocation across instances of one
+	// process; nil allocates a private allocator.
+	Sandboxes *core.SandboxAllocator
+	// MaxCallDepth bounds recursion; 0 means the default (1024).
+	MaxCallDepth int
+	// SkipBoundsChecks emulates a buggy bounds-check lowering such as
+	// CVE-2023-26489 (paper §3): software sandboxing silently breaks,
+	// while MTE sandboxing still catches the escape. Test/demo use only.
+	SkipBoundsChecks bool
+	// HostReserve appends a host-owned, runtime-tagged region after the
+	// guest memory for sandbox-escape demonstrations; 0 means 4 KiB.
+	HostReserve uint64
+}
+
+// memStrategy is how the engine enforces the sandbox on each access.
+type memStrategy int
+
+const (
+	// stratGuard32 models 32-bit wasm with virtual-memory guard pages:
+	// no per-access cost.
+	stratGuard32 memStrategy = iota
+	// stratBounds64 is wasm64 with explicit software bounds checks.
+	stratBounds64
+	// stratMTE64 is Cage's MTE-based sandboxing (Fig. 12b).
+	stratMTE64
+)
+
+// Instance is an instantiated module.
+type Instance struct {
+	module  *wasm.Module
+	mem     []byte // guest memory followed by the host-reserve region
+	memSize uint64 // guest-visible size in bytes
+	memType wasm.MemoryType
+	globals []uint64
+	table   []int32
+	funcs   []compiledFunc
+	imports []HostFunc
+
+	features core.Features
+	policy   core.Policy
+	strategy memStrategy
+	segs     *core.Segments
+	tags     *mte.Memory
+	keys     core.InstanceKeys
+	sandbox  uint8  // this instance's sandbox tag
+	heapBase uint64 // tagged heap base (Fig. 12b)
+
+	counter      *arch.Counter
+	maxCallDepth int
+	depth        int
+	skipBounds   bool
+
+	// StartupGranulesTagged records how many granules were tagged at
+	// instantiation (the §7.2 startup-cost experiment).
+	StartupGranulesTagged uint64
+}
+
+// defaultHostReserve is the size of the host-owned region used by
+// sandbox-escape demonstrations.
+const defaultHostReserve = 4096
+
+// NewInstance validates, links, and instantiates a module.
+func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
+	if err := wasm.Validate(m); err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		module:       m,
+		features:     cfg.Features,
+		policy:       core.NewPolicy(cfg.Features),
+		counter:      cfg.Counter,
+		maxCallDepth: cfg.MaxCallDepth,
+		skipBounds:   cfg.SkipBoundsChecks,
+	}
+	if inst.counter == nil {
+		inst.counter = &arch.Counter{}
+	}
+	if inst.maxCallDepth == 0 {
+		inst.maxCallDepth = 1024
+	}
+
+	// Resolve imports.
+	for _, im := range m.Imports {
+		if cfg.Linker == nil {
+			return nil, fmt.Errorf("exec: unresolved import %s.%s (no linker)", im.Module, im.Name)
+		}
+		fn, ok := cfg.Linker.Lookup(im.Module, im.Name)
+		if !ok {
+			return nil, fmt.Errorf("exec: unresolved import %s.%s", im.Module, im.Name)
+		}
+		want := m.Types[im.TypeIdx]
+		if !fn.Type.Equal(want) {
+			return nil, fmt.Errorf("exec: import %s.%s: host type %v does not match %v",
+				im.Module, im.Name, fn.Type, want)
+		}
+		inst.imports = append(inst.imports, fn)
+	}
+
+	// Memory.
+	hostReserve := cfg.HostReserve
+	if hostReserve == 0 {
+		hostReserve = defaultHostReserve
+	}
+	if len(m.Mems) > 0 {
+		inst.memType = m.Mems[0]
+		inst.memSize = inst.memType.Limits.Min * wasm.PageSize
+		inst.mem = make([]byte, inst.memSize+hostReserve)
+		// Fill the host region with a recognizable pattern standing in
+		// for runtime data a sandbox escape would leak.
+		for i := inst.memSize; i < uint64(len(inst.mem)); i++ {
+			inst.mem[i] = 0x5A
+		}
+	}
+	switch {
+	case !inst.memType.Memory64:
+		inst.strategy = stratGuard32
+		if cfg.Features.MemSafety || cfg.Features.Sandbox {
+			return nil, fmt.Errorf("exec: Cage features require a 64-bit memory (wasm64)")
+		}
+	case cfg.Features.Sandbox:
+		inst.strategy = stratMTE64
+	default:
+		inst.strategy = stratBounds64
+	}
+
+	// MTE state.
+	if cfg.Features.MemSafety || cfg.Features.Sandbox {
+		mode := cfg.Features.MTEMode
+		if mode == mte.ModeDisabled {
+			mode = mte.ModeSync
+		}
+		inst.tags = mte.NewMemory(uint64(len(inst.mem)), mode)
+		if cfg.Seed != 0 {
+			inst.tags.Seed(cfg.Seed)
+		}
+		if err := inst.tags.SetExcludeMask(inst.policy.IRGExclude); err != nil {
+			return nil, err
+		}
+		inst.segs = core.NewSegments(inst.tags, inst.policy, func() []byte { return inst.mem })
+		inst.segs.SetLimit(func() uint64 { return inst.memSize })
+	}
+
+	// Sandbox tag assignment (Fig. 12b).
+	if cfg.Features.Sandbox {
+		alloc := cfg.Sandboxes
+		if alloc == nil {
+			alloc = core.NewSandboxAllocator(inst.policy)
+		}
+		tag, err := alloc.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		inst.sandbox = tag
+		inst.heapBase = ptrlayout.WithTag(0, tag)
+		// Tag the guest linear memory with the sandbox tag; the host
+		// reserve stays runtime-tagged (zero).
+		if inst.memSize > 0 {
+			if err := inst.tags.SetTagRange(0, inst.memSize, tag); err != nil {
+				return nil, err
+			}
+			inst.StartupGranulesTagged += inst.memSize / mte.GranuleSize
+		}
+	}
+
+	// PAC state.
+	key := cfg.ProcessKey
+	if (key == pac.Key{}) {
+		key = pac.KeyFromSeed(0xCA6E)
+	}
+	modifier := cfg.Modifier
+	if modifier == 0 {
+		modifier = cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	}
+	inst.keys = core.NewInstanceKeys(key, modifier)
+
+	// Globals.
+	for _, g := range m.Globals {
+		inst.globals = append(inst.globals, g.Init)
+	}
+
+	// Table and element segments.
+	if len(m.Tables) > 0 {
+		inst.table = make([]int32, m.Tables[0].Limits.Min)
+		for i := range inst.table {
+			inst.table[i] = -1
+		}
+		for _, es := range m.Elems {
+			for i, fidx := range es.Funcs {
+				slot := int(es.Offset) + i
+				if slot >= len(inst.table) {
+					return nil, fmt.Errorf("exec: element segment exceeds table size")
+				}
+				inst.table[slot] = int32(fidx)
+			}
+		}
+	}
+
+	// Data segments.
+	for _, d := range m.Datas {
+		if d.Offset+uint64(len(d.Bytes)) > inst.memSize {
+			return nil, fmt.Errorf("exec: data segment [%d, +%d) exceeds memory size %d",
+				d.Offset, len(d.Bytes), inst.memSize)
+		}
+		copy(inst.mem[d.Offset:], d.Bytes)
+	}
+
+	// Precompile function bodies (control-flow target resolution).
+	inst.funcs = make([]compiledFunc, len(m.Funcs))
+	for i := range m.Funcs {
+		cf, err := compileFunc(m, &m.Funcs[i])
+		if err != nil {
+			return nil, err
+		}
+		inst.funcs[i] = cf
+	}
+
+	// Start function.
+	if m.Start != nil {
+		if _, err := inst.invoke(*m.Start, nil); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// Module returns the underlying module.
+func (inst *Instance) Module() *wasm.Module { return inst.module }
+
+// Memory returns the guest-visible linear memory.
+func (inst *Instance) Memory() []byte { return inst.mem[:inst.memSize] }
+
+// MemorySize returns the guest memory size in bytes.
+func (inst *Instance) MemorySize() uint64 { return inst.memSize }
+
+// HostRegion returns the host-owned bytes after the guest memory (used
+// by sandbox-escape demonstrations).
+func (inst *Instance) HostRegion() []byte { return inst.mem[inst.memSize:] }
+
+// Counter returns the instruction-event counter.
+func (inst *Instance) Counter() *arch.Counter { return inst.counter }
+
+// Segments returns the Cage segment manager (nil without MTE features).
+func (inst *Instance) Segments() *core.Segments { return inst.segs }
+
+// Tags returns the MTE tag memory (nil without MTE features).
+func (inst *Instance) Tags() *mte.Memory { return inst.tags }
+
+// SandboxTag returns the instance's sandbox tag (0 without sandboxing).
+func (inst *Instance) SandboxTag() uint8 { return inst.sandbox }
+
+// Keys returns the instance's pointer-authentication state.
+func (inst *Instance) Keys() core.InstanceKeys { return inst.keys }
+
+// Policy returns the derived tag policy.
+func (inst *Instance) Policy() core.Policy { return inst.policy }
+
+// Features returns the active feature set.
+func (inst *Instance) Features() core.Features { return inst.features }
+
+// Invoke calls an exported function by name. On return it polls the
+// asynchronous MTE fault flag — the "context switch" check of paper
+// §2.3 — so violations recorded in async or asymmetric mode surface as
+// (late) traps here.
+func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
+	fidx, ok := inst.module.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("exec: no exported function %q", name)
+	}
+	res, err := inst.invoke(fidx, args)
+	if err == nil {
+		err = inst.pollAsyncFault()
+	}
+	return res, err
+}
+
+// InvokeIndex calls a function by index.
+func (inst *Instance) InvokeIndex(fidx uint32, args ...uint64) ([]uint64, error) {
+	res, err := inst.invoke(fidx, args)
+	if err == nil {
+		err = inst.pollAsyncFault()
+	}
+	return res, err
+}
+
+// pollAsyncFault reports a latched asynchronous tag fault as a trap.
+func (inst *Instance) pollAsyncFault() error {
+	if inst.tags == nil {
+		return nil
+	}
+	if f := inst.tags.PendingFault(); f != nil {
+		return newTrap(TrapTagMismatch, "deferred: %v", f)
+	}
+	return nil
+}
+
+// GlobalValue reads an exported global's raw bits.
+func (inst *Instance) GlobalValue(name string) (uint64, bool) {
+	for _, e := range inst.module.Exports {
+		if e.Kind == wasm.ExportGlobal && e.Name == name {
+			return inst.globals[e.Idx], true
+		}
+	}
+	return 0, false
+}
+
+// Value encoding helpers for embedders.
+
+// F64Bits returns the raw bits of a float64 value.
+func F64Bits(v float64) uint64 { return math.Float64bits(v) }
+
+// F64Val decodes a float64 from raw bits.
+func F64Val(bits uint64) float64 { return math.Float64frombits(bits) }
+
+// I32Bits sign-extends an int32 into value bits.
+func I32Bits(v int32) uint64 { return uint64(uint32(v)) }

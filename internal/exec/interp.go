@@ -1,0 +1,1041 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+
+	"cage/internal/arch"
+	"cage/internal/core"
+	"cage/internal/mte"
+	"cage/internal/pac"
+	"cage/internal/ptrlayout"
+	"cage/internal/wasm"
+)
+
+// compiledFunc is a function body with control-flow targets resolved.
+type compiledFunc struct {
+	fn        *wasm.Function
+	typ       wasm.FuncType
+	matchEnd  []int32 // for block/loop/if/else: pc of the matching end
+	matchElse []int32 // for if: pc of its else, or -1
+}
+
+func compileFunc(m *wasm.Module, f *wasm.Function) (compiledFunc, error) {
+	cf := compiledFunc{
+		fn:        f,
+		typ:       m.Types[f.TypeIdx],
+		matchEnd:  make([]int32, len(f.Body)),
+		matchElse: make([]int32, len(f.Body)),
+	}
+	for i := range cf.matchElse {
+		cf.matchElse[i] = -1
+	}
+	var stack []int
+	var elses []int // pending else pc per open frame (-1 if none)
+	for pc, in := range f.Body {
+		switch in.Op {
+		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
+			stack = append(stack, pc)
+			elses = append(elses, -1)
+		case wasm.OpElse:
+			if len(stack) == 0 {
+				return cf, newTrap(TrapUnreachable, "else without if at pc %d", pc)
+			}
+			cf.matchElse[stack[len(stack)-1]] = int32(pc)
+			elses[len(elses)-1] = pc
+		case wasm.OpEnd:
+			if len(stack) == 0 {
+				// Function-level end: must be the last instruction
+				// (checked by validation).
+				continue
+			}
+			open := stack[len(stack)-1]
+			cf.matchEnd[open] = int32(pc)
+			if e := elses[len(elses)-1]; e >= 0 {
+				cf.matchEnd[e] = int32(pc)
+			}
+			stack = stack[:len(stack)-1]
+			elses = elses[:len(elses)-1]
+		}
+	}
+	return cf, nil
+}
+
+// ctrl is a runtime control-stack entry.
+type ctrl struct {
+	op     wasm.Opcode
+	height int   // operand-stack height at entry
+	arity  int   // branch arity (results for block/if, 0 for loop)
+	endPC  int32 // pc of the matching end
+	loopPC int32 // pc of the loop instruction (for back-edges)
+}
+
+// invoke runs function fidx with args, returning result values.
+func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
+	if inst.depth >= inst.maxCallDepth {
+		return nil, newTrap(TrapCallDepth, "call depth %d", inst.depth)
+	}
+	inst.depth++
+	defer func() { inst.depth-- }()
+
+	if int(fidx) < len(inst.imports) {
+		hf := inst.imports[fidx]
+		res, err := hf.Fn(inst, args)
+		if err != nil {
+			var t *Trap
+			if errors.As(err, &t) {
+				return nil, t
+			}
+			return nil, &Trap{Code: TrapHost, Msg: err.Error()}
+		}
+		return res, nil
+	}
+	di := int(fidx) - len(inst.imports)
+	if di >= len(inst.funcs) {
+		return nil, newTrap(TrapIndirectCall, "function index %d out of range", fidx)
+	}
+	cf := &inst.funcs[di]
+	if len(args) != len(cf.typ.Params) {
+		return nil, newTrap(TrapIndirectCall, "function %d expects %d args, got %d",
+			fidx, len(cf.typ.Params), len(args))
+	}
+	locals := make([]uint64, len(cf.typ.Params)+len(cf.fn.Locals))
+	copy(locals, args)
+	return inst.run(cf, locals)
+}
+
+// run executes a compiled function body.
+func (inst *Instance) run(cf *compiledFunc, locals []uint64) ([]uint64, error) {
+	body := cf.fn.Body
+	ctr := inst.counter
+	var stack []uint64
+	ctrls := []ctrl{{op: wasm.OpEnd, arity: len(cf.typ.Results), endPC: int32(len(body) - 1)}}
+
+	push := func(v uint64) { stack = append(stack, v) }
+	pop := func() uint64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	// branch performs br to relative depth d, returning the new pc.
+	branch := func(d int, pc int) int {
+		idx := len(ctrls) - 1 - d
+		fr := ctrls[idx]
+		if fr.op == wasm.OpLoop {
+			stack = stack[:fr.height]
+			ctrls = ctrls[:idx+1]
+			return int(fr.loopPC) // re-enter loop body after the loop opcode
+		}
+		// Carry the label arity values.
+		vals := stack[len(stack)-fr.arity:]
+		tmp := make([]uint64, fr.arity)
+		copy(tmp, vals)
+		stack = append(stack[:fr.height], tmp...)
+		ctrls = ctrls[:idx]
+		return int(fr.endPC) // skip to after the matching end
+	}
+
+	pc := 0
+	for pc < len(body) {
+		in := body[pc]
+		op := in.Op
+		switch op {
+		case wasm.OpUnreachable:
+			return nil, newTrap(TrapUnreachable, "at pc %d", pc)
+		case wasm.OpNop:
+		case wasm.OpBlock:
+			arity := 0
+			if _, ok := in.Block.Result(); ok {
+				arity = 1
+			}
+			ctrls = append(ctrls, ctrl{op: op, height: len(stack), arity: arity, endPC: cf.matchEnd[pc]})
+		case wasm.OpLoop:
+			ctrls = append(ctrls, ctrl{op: op, height: len(stack), endPC: cf.matchEnd[pc], loopPC: int32(pc)})
+		case wasm.OpIf:
+			ctr.Add(arch.EvBranch, 1)
+			arity := 0
+			if _, ok := in.Block.Result(); ok {
+				arity = 1
+			}
+			cond := pop()
+			ctrls = append(ctrls, ctrl{op: op, height: len(stack), arity: arity, endPC: cf.matchEnd[pc]})
+			if uint32(cond) == 0 {
+				if e := cf.matchElse[pc]; e >= 0 {
+					pc = int(e) // fall into the else arm
+				} else {
+					pc = int(cf.matchEnd[pc]) - 1 // jump to the end
+				}
+			}
+		case wasm.OpElse:
+			// Reached from the then-arm: skip over the else arm.
+			pc = int(cf.matchEnd[pc]) - 1
+		case wasm.OpEnd:
+			ctrls = ctrls[:len(ctrls)-1]
+			if len(ctrls) == 0 {
+				res := make([]uint64, len(cf.typ.Results))
+				copy(res, stack[len(stack)-len(res):])
+				return res, nil
+			}
+		case wasm.OpBr:
+			ctr.Add(arch.EvBranch, 1)
+			pc = branch(int(in.X), pc)
+		case wasm.OpBrIf:
+			ctr.Add(arch.EvBranch, 1)
+			if uint32(pop()) != 0 {
+				pc = branch(int(in.X), pc)
+			}
+		case wasm.OpBrTable:
+			ctr.Add(arch.EvBrTable, 1)
+			i := uint32(pop())
+			d := uint32(in.X)
+			if uint64(i) < uint64(len(in.Targets)) {
+				d = in.Targets[i]
+			}
+			pc = branch(int(d), pc)
+		case wasm.OpReturn:
+			ctr.Add(arch.EvReturn, 1)
+			res := make([]uint64, len(cf.typ.Results))
+			copy(res, stack[len(stack)-len(res):])
+			return res, nil
+		case wasm.OpCall:
+			ctr.Add(arch.EvCall, 1)
+			ft, err := inst.module.FuncTypeAt(uint32(in.X))
+			if err != nil {
+				return nil, newTrap(TrapIndirectCall, "%v", err)
+			}
+			n := len(ft.Params)
+			args := make([]uint64, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			res, err := inst.invoke(uint32(in.X), args)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, res...)
+		case wasm.OpCallIndirect:
+			ctr.Add(arch.EvCallIndirect, 1)
+			ti := uint32(pop())
+			if uint64(ti) >= uint64(len(inst.table)) {
+				return nil, newTrap(TrapIndirectCall, "table index %d out of range", ti)
+			}
+			fidx := inst.table[ti]
+			if fidx < 0 {
+				return nil, newTrap(TrapIndirectCall, "null table entry %d", ti)
+			}
+			want := inst.module.Types[in.X]
+			got, err := inst.module.FuncTypeAt(uint32(fidx))
+			if err != nil {
+				return nil, newTrap(TrapIndirectCall, "%v", err)
+			}
+			if !got.Equal(want) {
+				return nil, newTrap(TrapIndirectCall,
+					"signature mismatch: table entry %d has %v, expected %v", ti, got, want)
+			}
+			n := len(want.Params)
+			args := make([]uint64, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			res, err := inst.invoke(uint32(fidx), args)
+			if err != nil {
+				return nil, err
+			}
+			stack = append(stack, res...)
+		case wasm.OpDrop:
+			pop()
+		case wasm.OpSelect:
+			ctr.Add(arch.EvSelect, 1)
+			c := uint32(pop())
+			b := pop()
+			a := pop()
+			if c != 0 {
+				push(a)
+			} else {
+				push(b)
+			}
+		case wasm.OpLocalGet:
+			ctr.Add(arch.EvLocal, 1)
+			push(locals[in.X])
+		case wasm.OpLocalSet:
+			ctr.Add(arch.EvLocal, 1)
+			locals[in.X] = pop()
+		case wasm.OpLocalTee:
+			ctr.Add(arch.EvLocal, 1)
+			locals[in.X] = stack[len(stack)-1]
+		case wasm.OpGlobalGet:
+			ctr.Add(arch.EvGlobal, 1)
+			push(inst.globals[in.X])
+		case wasm.OpGlobalSet:
+			ctr.Add(arch.EvGlobal, 1)
+			inst.globals[in.X] = pop()
+		case wasm.OpI32Const, wasm.OpI64Const:
+			ctr.Add(arch.EvConst, 1)
+			push(in.X)
+		case wasm.OpF32Const:
+			ctr.Add(arch.EvConst, 1)
+			push(uint64(math.Float32bits(float32(in.F))))
+		case wasm.OpF64Const:
+			ctr.Add(arch.EvConst, 1)
+			push(math.Float64bits(in.F))
+		case wasm.OpMemorySize:
+			ctr.Add(arch.EvALU, 1)
+			push(inst.memSize / wasm.PageSize)
+		case wasm.OpMemoryGrow:
+			ctr.Add(arch.EvMemGrow, 1)
+			push(inst.memoryGrow(pop()))
+		case wasm.OpMemoryFill:
+			if err := inst.memoryFill(&stack); err != nil {
+				return nil, err
+			}
+		case wasm.OpMemoryCopy:
+			if err := inst.memoryCopy(&stack); err != nil {
+				return nil, err
+			}
+		case wasm.OpSegmentNew:
+			length := pop()
+			ptr := pop()
+			tagged, err := inst.segmentNew(ptr, length, in.Offset)
+			if err != nil {
+				return nil, err
+			}
+			push(tagged)
+		case wasm.OpSegmentSetTag:
+			length := pop()
+			tagged := pop()
+			ptr := pop()
+			if err := inst.segmentSetTag(ptr, tagged, length, in.Offset); err != nil {
+				return nil, err
+			}
+		case wasm.OpSegmentFree:
+			length := pop()
+			tagged := pop()
+			if err := inst.segmentFree(tagged, length, in.Offset); err != nil {
+				return nil, err
+			}
+		case wasm.OpPointerSign:
+			ctr.Add(arch.EvPACSign, 1)
+			if inst.features.PtrAuth {
+				push(inst.keys.Sign(pop()))
+			}
+			// Without the feature the instruction is a no-op fallback,
+			// mirroring deployment on hardware without PAC.
+		case wasm.OpPointerAuth:
+			ctr.Add(arch.EvPACAuth, 1)
+			if inst.features.PtrAuth {
+				v, err := inst.keys.Auth(pop())
+				if err != nil {
+					if errors.Is(err, pac.ErrAuthFailed) {
+						return nil, newTrap(TrapAuthFailure, "i64.pointer_auth at pc %d", pc)
+					}
+					return nil, err
+				}
+				push(v)
+			}
+		default:
+			if op.IsLoad() {
+				if err := inst.doLoad(in, &stack); err != nil {
+					return nil, err
+				}
+			} else if op.IsStore() {
+				if err := inst.doStore(in, &stack); err != nil {
+					return nil, err
+				}
+			} else if err := inst.numeric(in, &stack); err != nil {
+				return nil, err
+			}
+		}
+		pc++
+	}
+	// Bodies are end-terminated, so this is unreachable for valid code.
+	return nil, newTrap(TrapUnreachable, "fell off function body")
+}
+
+// effectiveAddr applies the instance's sandboxing strategy to a guest
+// index and access size, returning the in-bounds physical offset.
+func (inst *Instance) effectiveAddr(idx, offset, size uint64, write bool) (uint64, error) {
+	ctr := inst.counter
+	switch inst.strategy {
+	case stratGuard32:
+		// 32-bit wasm: 4 GiB reservation + guard pages; no per-access
+		// cost. The Go-level check stands in for the MMU.
+		addr := uint64(uint32(idx)) + offset
+		limit := inst.memSize
+		if inst.skipBounds {
+			limit = uint64(len(inst.mem)) // buggy lowering reaches host data
+		}
+		if addr+size > limit || addr+size < addr {
+			return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d (guard page)", addr, size)
+		}
+		return addr, nil
+
+	case stratBounds64:
+		full := idx + offset
+		tag := ptrlayout.Tag(full)
+		addr := ptrlayout.Address(ptrlayout.StripTag(full))
+		if !inst.skipBounds {
+			ctr.Add(arch.EvBoundsCheck, 1)
+			if addr+size > inst.memSize || addr+size < addr {
+				return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d >= 0x%x", addr, size, inst.memSize)
+			}
+		} else if addr+size > uint64(len(inst.mem)) || addr+size < addr {
+			return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d (host fault)", addr, size)
+		}
+		if inst.features.MemSafety {
+			if write {
+				ctr.Add(arch.EvTagCheckStore, 1)
+			} else {
+				ctr.Add(arch.EvTagCheckLoad, 1)
+			}
+			if err := inst.tags.CheckAccess(addr, size, tag, write); err != nil {
+				return 0, newTrap(TrapTagMismatch, "%v", err)
+			}
+		}
+		return addr, nil
+
+	default: // stratMTE64, Fig. 12b / Fig. 13
+		masked := idx
+		if !inst.skipBounds {
+			ctr.Add(arch.EvMask, 1)
+			masked = inst.policy.MaskIndex(idx)
+		}
+		full := inst.heapBase + masked + offset
+		tag := ptrlayout.Tag(full)
+		addr := ptrlayout.Address(ptrlayout.StripTag(full))
+		if write {
+			ctr.Add(arch.EvTagCheckStore, 1)
+		} else {
+			ctr.Add(arch.EvTagCheckLoad, 1)
+		}
+		// Addresses beyond the mapped region belong to the runtime: the
+		// tag memory reports tag 0 there, so the check below faults.
+		if addr+size > uint64(len(inst.mem)) || addr+size < addr {
+			return 0, newTrap(TrapTagMismatch,
+				"sandbox violation: address 0x%x outside mapped memory (runtime tag 0, pointer tag %#x)", addr, tag)
+		}
+		if err := inst.tags.CheckAccess(addr, size, tag, write); err != nil {
+			return 0, newTrap(TrapTagMismatch, "%v", err)
+		}
+		return addr, nil
+	}
+}
+
+func (inst *Instance) doLoad(in wasm.Instr, stack *[]uint64) error {
+	inst.counter.Add(arch.EvLoad, 1)
+	s := *stack
+	idx := s[len(s)-1]
+	size := in.Op.AccessSize()
+	addr, err := inst.effectiveAddr(idx, in.Offset, size, false)
+	if err != nil {
+		return err
+	}
+	var raw uint64
+	for i := uint64(0); i < size; i++ {
+		raw |= uint64(inst.mem[addr+i]) << (8 * i)
+	}
+	var v uint64
+	switch in.Op {
+	case wasm.OpI32Load, wasm.OpF32Load, wasm.OpI64Load32U:
+		v = raw
+	case wasm.OpI64Load, wasm.OpF64Load:
+		v = raw
+	case wasm.OpI32Load8S:
+		v = uint64(uint32(int32(int8(raw))))
+	case wasm.OpI32Load8U, wasm.OpI64Load8U:
+		v = raw & 0xFF
+	case wasm.OpI32Load16S:
+		v = uint64(uint32(int32(int16(raw))))
+	case wasm.OpI32Load16U, wasm.OpI64Load16U:
+		v = raw & 0xFFFF
+	case wasm.OpI64Load8S:
+		v = uint64(int64(int8(raw)))
+	case wasm.OpI64Load16S:
+		v = uint64(int64(int16(raw)))
+	case wasm.OpI64Load32S:
+		v = uint64(int64(int32(raw)))
+	}
+	s[len(s)-1] = v
+	return nil
+}
+
+func (inst *Instance) doStore(in wasm.Instr, stack *[]uint64) error {
+	inst.counter.Add(arch.EvStore, 1)
+	s := *stack
+	val := s[len(s)-1]
+	idx := s[len(s)-2]
+	*stack = s[:len(s)-2]
+	size := in.Op.AccessSize()
+	addr, err := inst.effectiveAddr(idx, in.Offset, size, true)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < size; i++ {
+		inst.mem[addr+i] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+// memoryGrow grows the guest memory by delta pages, returning the old
+// page count or ^0 on failure.
+func (inst *Instance) memoryGrow(deltaPages uint64) uint64 {
+	oldPages := inst.memSize / wasm.PageSize
+	newPages := oldPages + deltaPages
+	if inst.memType.Limits.HasMax && newPages > inst.memType.Limits.Max {
+		return ^uint64(0)
+	}
+	if newPages > 1<<32 { // 256 TiB cap to keep the simulation sane
+		return ^uint64(0)
+	}
+	hostLen := uint64(len(inst.mem)) - inst.memSize
+	newSize := newPages * wasm.PageSize
+	grown := make([]byte, newSize+hostLen)
+	copy(grown, inst.mem[:inst.memSize])
+	copy(grown[newSize:], inst.mem[inst.memSize:])
+	inst.mem = grown
+	oldSize := inst.memSize
+	inst.memSize = newSize
+	if inst.tags != nil {
+		inst.tags.Grow(newSize + hostLen)
+		if inst.features.Sandbox && newSize > oldSize {
+			// New pages join the sandbox.
+			if err := inst.tags.SetTagRange(oldSize, newSize-oldSize, inst.sandbox); err == nil {
+				inst.counter.Add(arch.EvSTGGranule, (newSize-oldSize)/mte.GranuleSize)
+			}
+		}
+	}
+	return oldPages
+}
+
+func (inst *Instance) memoryFill(stack *[]uint64) error {
+	s := *stack
+	n := s[len(s)-1]
+	val := byte(s[len(s)-2])
+	dst := s[len(s)-3]
+	*stack = s[:len(s)-3]
+	if n == 0 {
+		return nil
+	}
+	// Streamed as 8-byte stores for cost purposes.
+	inst.counter.Add(arch.EvStore, (n+7)/8)
+	addr, err := inst.effectiveAddr(dst, 0, n, true)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		inst.mem[addr+i] = val
+	}
+	return nil
+}
+
+func (inst *Instance) memoryCopy(stack *[]uint64) error {
+	s := *stack
+	n := s[len(s)-1]
+	src := s[len(s)-2]
+	dst := s[len(s)-3]
+	*stack = s[:len(s)-3]
+	if n == 0 {
+		return nil
+	}
+	inst.counter.Add(arch.EvLoad, (n+7)/8)
+	inst.counter.Add(arch.EvStore, (n+7)/8)
+	srcAddr, err := inst.effectiveAddr(src, 0, n, false)
+	if err != nil {
+		return err
+	}
+	dstAddr, err := inst.effectiveAddr(dst, 0, n, true)
+	if err != nil {
+		return err
+	}
+	copy(inst.mem[dstAddr:dstAddr+n], inst.mem[srcAddr:srcAddr+n])
+	return nil
+}
+
+// Segment instruction implementations. Without the memory-safety
+// feature they degrade gracefully: segment.new returns its pointer
+// unchanged and the others are no-ops, matching Cage's software-fallback
+// deployment model (paper §4.1).
+
+// guestTag translates a guest pointer's tag nibble into the physical
+// tag under the combined internal+external split (Fig. 13b): the guest
+// never controls the sandbox bit, so bit 56 is replaced by the
+// instance's sandbox identity. Outside combined mode it is the identity.
+func (inst *Instance) guestTag(ptr uint64) uint64 {
+	if inst.strategy == stratMTE64 && inst.features.MemSafety {
+		t := (ptrlayout.Tag(ptr) &^ 1) | inst.sandbox
+		return ptrlayout.WithTag(ptr, t)
+	}
+	return ptr
+}
+
+func (inst *Instance) segmentNew(ptr, length, offset uint64) (uint64, error) {
+	if !inst.features.MemSafety {
+		return ptr + offset, nil
+	}
+	inst.counter.Add(arch.EvIRG, 1)
+	before := inst.segs.GranulesTagged
+	tagged, err := inst.segs.New(ptr, length, offset)
+	inst.counter.Add(arch.EvSTGGranule, inst.segs.GranulesTagged-before)
+	if err != nil {
+		return 0, newTrap(TrapSegment, "%v", err)
+	}
+	return tagged, nil
+}
+
+func (inst *Instance) segmentSetTag(ptr, tagged, length, offset uint64) error {
+	if !inst.features.MemSafety {
+		return nil
+	}
+	before := inst.segs.GranulesTagged
+	err := inst.segs.SetTag(ptr, inst.guestTag(tagged), length, offset)
+	inst.counter.Add(arch.EvSTGGranule, inst.segs.GranulesTagged-before)
+	if err != nil {
+		return newTrap(TrapSegment, "%v", err)
+	}
+	return nil
+}
+
+func (inst *Instance) segmentFree(tagged, length, offset uint64) error {
+	if !inst.features.MemSafety {
+		return nil
+	}
+	inst.counter.Add(arch.EvIRG, 1)
+	before := inst.segs.GranulesTagged
+	err := inst.segs.Free(inst.guestTag(tagged), length, offset)
+	inst.counter.Add(arch.EvSTGGranule, inst.segs.GranulesTagged-before)
+	if err != nil {
+		return newTrap(TrapSegment, "%v", err)
+	}
+	return nil
+}
+
+// numeric executes the pure value instructions.
+func (inst *Instance) numeric(in wasm.Instr, stack *[]uint64) error {
+	ctr := inst.counter
+	s := *stack
+	op := in.Op
+
+	top := func() *uint64 { return &s[len(s)-1] }
+	pop2 := func() (uint64, uint64) {
+		b := s[len(s)-1]
+		a := s[len(s)-2]
+		*stack = s[:len(s)-1]
+		return a, b
+	}
+	setTop2 := func(v uint64) { s[len(s)-2] = v }
+
+	b32 := func(f func(a, b uint32) uint32) {
+		ctr.Add(arch.EvALU, 1)
+		a, b := pop2()
+		setTop2(uint64(f(uint32(a), uint32(b))))
+	}
+	b64 := func(f func(a, b uint64) uint64) {
+		ctr.Add(arch.EvALU, 1)
+		a, b := pop2()
+		setTop2(f(a, b))
+	}
+	cmp := func(f func(a, b uint64) bool) {
+		ctr.Add(arch.EvCmp, 1)
+		a, b := pop2()
+		if f(a, b) {
+			setTop2(1)
+		} else {
+			setTop2(0)
+		}
+	}
+	f64bin := func(ev arch.Event, f func(a, b float64) float64) {
+		ctr.Add(ev, 1)
+		a, b := pop2()
+		setTop2(math.Float64bits(f(math.Float64frombits(a), math.Float64frombits(b))))
+	}
+	f32bin := func(ev arch.Event, f func(a, b float32) float32) {
+		ctr.Add(ev, 1)
+		a, b := pop2()
+		setTop2(uint64(math.Float32bits(f(
+			math.Float32frombits(uint32(a)), math.Float32frombits(uint32(b))))))
+	}
+	f64un := func(ev arch.Event, f func(a float64) float64) {
+		ctr.Add(ev, 1)
+		t := top()
+		*t = math.Float64bits(f(math.Float64frombits(*t)))
+	}
+	f32un := func(ev arch.Event, f func(a float32) float32) {
+		ctr.Add(ev, 1)
+		t := top()
+		*t = uint64(math.Float32bits(f(math.Float32frombits(uint32(*t)))))
+	}
+	conv := func(f func(v uint64) uint64) {
+		ctr.Add(arch.EvConv, 1)
+		t := top()
+		*t = f(*t)
+	}
+
+	switch op {
+	// i32 compare / test.
+	case wasm.OpI32Eqz:
+		ctr.Add(arch.EvCmp, 1)
+		t := top()
+		if uint32(*t) == 0 {
+			*t = 1
+		} else {
+			*t = 0
+		}
+	case wasm.OpI32Eq:
+		cmp(func(a, b uint64) bool { return uint32(a) == uint32(b) })
+	case wasm.OpI32Ne:
+		cmp(func(a, b uint64) bool { return uint32(a) != uint32(b) })
+	case wasm.OpI32LtS:
+		cmp(func(a, b uint64) bool { return int32(a) < int32(b) })
+	case wasm.OpI32LtU:
+		cmp(func(a, b uint64) bool { return uint32(a) < uint32(b) })
+	case wasm.OpI32GtS:
+		cmp(func(a, b uint64) bool { return int32(a) > int32(b) })
+	case wasm.OpI32GtU:
+		cmp(func(a, b uint64) bool { return uint32(a) > uint32(b) })
+	case wasm.OpI32LeS:
+		cmp(func(a, b uint64) bool { return int32(a) <= int32(b) })
+	case wasm.OpI32LeU:
+		cmp(func(a, b uint64) bool { return uint32(a) <= uint32(b) })
+	case wasm.OpI32GeS:
+		cmp(func(a, b uint64) bool { return int32(a) >= int32(b) })
+	case wasm.OpI32GeU:
+		cmp(func(a, b uint64) bool { return uint32(a) >= uint32(b) })
+
+	// i64 compare / test.
+	case wasm.OpI64Eqz:
+		ctr.Add(arch.EvCmp, 1)
+		t := top()
+		if *t == 0 {
+			*t = 1
+		} else {
+			*t = 0
+		}
+	case wasm.OpI64Eq:
+		cmp(func(a, b uint64) bool { return a == b })
+	case wasm.OpI64Ne:
+		cmp(func(a, b uint64) bool { return a != b })
+	case wasm.OpI64LtS:
+		cmp(func(a, b uint64) bool { return int64(a) < int64(b) })
+	case wasm.OpI64LtU:
+		cmp(func(a, b uint64) bool { return a < b })
+	case wasm.OpI64GtS:
+		cmp(func(a, b uint64) bool { return int64(a) > int64(b) })
+	case wasm.OpI64GtU:
+		cmp(func(a, b uint64) bool { return a > b })
+	case wasm.OpI64LeS:
+		cmp(func(a, b uint64) bool { return int64(a) <= int64(b) })
+	case wasm.OpI64LeU:
+		cmp(func(a, b uint64) bool { return a <= b })
+	case wasm.OpI64GeS:
+		cmp(func(a, b uint64) bool { return int64(a) >= int64(b) })
+	case wasm.OpI64GeU:
+		cmp(func(a, b uint64) bool { return a >= b })
+
+	// f32/f64 compare.
+	case wasm.OpF32Eq, wasm.OpF32Ne, wasm.OpF32Lt, wasm.OpF32Gt, wasm.OpF32Le, wasm.OpF32Ge:
+		ctr.Add(arch.EvCmp, 1)
+		a, b := pop2()
+		x, y := math.Float32frombits(uint32(a)), math.Float32frombits(uint32(b))
+		var r bool
+		switch op {
+		case wasm.OpF32Eq:
+			r = x == y
+		case wasm.OpF32Ne:
+			r = x != y
+		case wasm.OpF32Lt:
+			r = x < y
+		case wasm.OpF32Gt:
+			r = x > y
+		case wasm.OpF32Le:
+			r = x <= y
+		case wasm.OpF32Ge:
+			r = x >= y
+		}
+		if r {
+			setTop2(1)
+		} else {
+			setTop2(0)
+		}
+	case wasm.OpF64Eq, wasm.OpF64Ne, wasm.OpF64Lt, wasm.OpF64Gt, wasm.OpF64Le, wasm.OpF64Ge:
+		ctr.Add(arch.EvCmp, 1)
+		a, b := pop2()
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		var r bool
+		switch op {
+		case wasm.OpF64Eq:
+			r = x == y
+		case wasm.OpF64Ne:
+			r = x != y
+		case wasm.OpF64Lt:
+			r = x < y
+		case wasm.OpF64Gt:
+			r = x > y
+		case wasm.OpF64Le:
+			r = x <= y
+		case wasm.OpF64Ge:
+			r = x >= y
+		}
+		if r {
+			setTop2(1)
+		} else {
+			setTop2(0)
+		}
+
+	// i32 arithmetic.
+	case wasm.OpI32Clz:
+		ctr.Add(arch.EvALU, 1)
+		t := top()
+		*t = uint64(bits.LeadingZeros32(uint32(*t)))
+	case wasm.OpI32Ctz:
+		ctr.Add(arch.EvALU, 1)
+		t := top()
+		*t = uint64(bits.TrailingZeros32(uint32(*t)))
+	case wasm.OpI32Popcnt:
+		ctr.Add(arch.EvALU, 1)
+		t := top()
+		*t = uint64(bits.OnesCount32(uint32(*t)))
+	case wasm.OpI32Add:
+		b32(func(a, b uint32) uint32 { return a + b })
+	case wasm.OpI32Sub:
+		b32(func(a, b uint32) uint32 { return a - b })
+	case wasm.OpI32Mul:
+		ctr.Add(arch.EvMul, 1)
+		a, b := pop2()
+		setTop2(uint64(uint32(a) * uint32(b)))
+	case wasm.OpI32DivS, wasm.OpI32DivU, wasm.OpI32RemS, wasm.OpI32RemU:
+		ctr.Add(arch.EvDivInt, 1)
+		a, b := pop2()
+		if uint32(b) == 0 {
+			return newTrap(TrapDivByZero, "%v", op)
+		}
+		switch op {
+		case wasm.OpI32DivS:
+			if int32(a) == math.MinInt32 && int32(b) == -1 {
+				return newTrap(TrapIntOverflow, "i32.div_s overflow")
+			}
+			setTop2(uint64(uint32(int32(a) / int32(b))))
+		case wasm.OpI32DivU:
+			setTop2(uint64(uint32(a) / uint32(b)))
+		case wasm.OpI32RemS:
+			if int32(a) == math.MinInt32 && int32(b) == -1 {
+				setTop2(0)
+			} else {
+				setTop2(uint64(uint32(int32(a) % int32(b))))
+			}
+		case wasm.OpI32RemU:
+			setTop2(uint64(uint32(a) % uint32(b)))
+		}
+	case wasm.OpI32And:
+		b32(func(a, b uint32) uint32 { return a & b })
+	case wasm.OpI32Or:
+		b32(func(a, b uint32) uint32 { return a | b })
+	case wasm.OpI32Xor:
+		b32(func(a, b uint32) uint32 { return a ^ b })
+	case wasm.OpI32Shl:
+		b32(func(a, b uint32) uint32 { return a << (b & 31) })
+	case wasm.OpI32ShrS:
+		b32(func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) })
+	case wasm.OpI32ShrU:
+		b32(func(a, b uint32) uint32 { return a >> (b & 31) })
+	case wasm.OpI32Rotl:
+		b32(func(a, b uint32) uint32 { return bits.RotateLeft32(a, int(b&31)) })
+	case wasm.OpI32Rotr:
+		b32(func(a, b uint32) uint32 { return bits.RotateLeft32(a, -int(b&31)) })
+
+	// i64 arithmetic.
+	case wasm.OpI64Clz:
+		ctr.Add(arch.EvALU, 1)
+		t := top()
+		*t = uint64(bits.LeadingZeros64(*t))
+	case wasm.OpI64Ctz:
+		ctr.Add(arch.EvALU, 1)
+		t := top()
+		*t = uint64(bits.TrailingZeros64(*t))
+	case wasm.OpI64Popcnt:
+		ctr.Add(arch.EvALU, 1)
+		t := top()
+		*t = uint64(bits.OnesCount64(*t))
+	case wasm.OpI64Add:
+		b64(func(a, b uint64) uint64 { return a + b })
+	case wasm.OpI64Sub:
+		b64(func(a, b uint64) uint64 { return a - b })
+	case wasm.OpI64Mul:
+		ctr.Add(arch.EvMul, 1)
+		a, b := pop2()
+		setTop2(a * b)
+	case wasm.OpI64DivS, wasm.OpI64DivU, wasm.OpI64RemS, wasm.OpI64RemU:
+		ctr.Add(arch.EvDivInt, 1)
+		a, b := pop2()
+		if b == 0 {
+			return newTrap(TrapDivByZero, "%v", op)
+		}
+		switch op {
+		case wasm.OpI64DivS:
+			if int64(a) == math.MinInt64 && int64(b) == -1 {
+				return newTrap(TrapIntOverflow, "i64.div_s overflow")
+			}
+			setTop2(uint64(int64(a) / int64(b)))
+		case wasm.OpI64DivU:
+			setTop2(a / b)
+		case wasm.OpI64RemS:
+			if int64(a) == math.MinInt64 && int64(b) == -1 {
+				setTop2(0)
+			} else {
+				setTop2(uint64(int64(a) % int64(b)))
+			}
+		case wasm.OpI64RemU:
+			setTop2(a % b)
+		}
+	case wasm.OpI64And:
+		b64(func(a, b uint64) uint64 { return a & b })
+	case wasm.OpI64Or:
+		b64(func(a, b uint64) uint64 { return a | b })
+	case wasm.OpI64Xor:
+		b64(func(a, b uint64) uint64 { return a ^ b })
+	case wasm.OpI64Shl:
+		b64(func(a, b uint64) uint64 { return a << (b & 63) })
+	case wasm.OpI64ShrS:
+		b64(func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) })
+	case wasm.OpI64ShrU:
+		b64(func(a, b uint64) uint64 { return a >> (b & 63) })
+	case wasm.OpI64Rotl:
+		b64(func(a, b uint64) uint64 { return bits.RotateLeft64(a, int(b&63)) })
+	case wasm.OpI64Rotr:
+		b64(func(a, b uint64) uint64 { return bits.RotateLeft64(a, -int(b&63)) })
+
+	// f32 arithmetic.
+	case wasm.OpF32Abs:
+		f32un(arch.EvFAdd, func(a float32) float32 { return float32(math.Abs(float64(a))) })
+	case wasm.OpF32Neg:
+		f32un(arch.EvFAdd, func(a float32) float32 { return -a })
+	case wasm.OpF32Ceil:
+		f32un(arch.EvFAdd, func(a float32) float32 { return float32(math.Ceil(float64(a))) })
+	case wasm.OpF32Floor:
+		f32un(arch.EvFAdd, func(a float32) float32 { return float32(math.Floor(float64(a))) })
+	case wasm.OpF32Trunc:
+		f32un(arch.EvFAdd, func(a float32) float32 { return float32(math.Trunc(float64(a))) })
+	case wasm.OpF32Nearest:
+		f32un(arch.EvFAdd, func(a float32) float32 { return float32(math.RoundToEven(float64(a))) })
+	case wasm.OpF32Sqrt:
+		f32un(arch.EvFDiv, func(a float32) float32 { return float32(math.Sqrt(float64(a))) })
+	case wasm.OpF32Add:
+		f32bin(arch.EvFAdd, func(a, b float32) float32 { return a + b })
+	case wasm.OpF32Sub:
+		f32bin(arch.EvFAdd, func(a, b float32) float32 { return a - b })
+	case wasm.OpF32Mul:
+		f32bin(arch.EvFMul, func(a, b float32) float32 { return a * b })
+	case wasm.OpF32Div:
+		f32bin(arch.EvFDiv, func(a, b float32) float32 { return a / b })
+	case wasm.OpF32Min:
+		f32bin(arch.EvFAdd, func(a, b float32) float32 { return float32(math.Min(float64(a), float64(b))) })
+	case wasm.OpF32Max:
+		f32bin(arch.EvFAdd, func(a, b float32) float32 { return float32(math.Max(float64(a), float64(b))) })
+	case wasm.OpF32Copysign:
+		f32bin(arch.EvFAdd, func(a, b float32) float32 { return float32(math.Copysign(float64(a), float64(b))) })
+
+	// f64 arithmetic.
+	case wasm.OpF64Abs:
+		f64un(arch.EvFAdd, math.Abs)
+	case wasm.OpF64Neg:
+		f64un(arch.EvFAdd, func(a float64) float64 { return -a })
+	case wasm.OpF64Ceil:
+		f64un(arch.EvFAdd, math.Ceil)
+	case wasm.OpF64Floor:
+		f64un(arch.EvFAdd, math.Floor)
+	case wasm.OpF64Trunc:
+		f64un(arch.EvFAdd, math.Trunc)
+	case wasm.OpF64Nearest:
+		f64un(arch.EvFAdd, math.RoundToEven)
+	case wasm.OpF64Sqrt:
+		f64un(arch.EvFDiv, math.Sqrt)
+	case wasm.OpF64Add:
+		f64bin(arch.EvFAdd, func(a, b float64) float64 { return a + b })
+	case wasm.OpF64Sub:
+		f64bin(arch.EvFAdd, func(a, b float64) float64 { return a - b })
+	case wasm.OpF64Mul:
+		f64bin(arch.EvFMul, func(a, b float64) float64 { return a * b })
+	case wasm.OpF64Div:
+		f64bin(arch.EvFDiv, func(a, b float64) float64 { return a / b })
+	case wasm.OpF64Min:
+		f64bin(arch.EvFAdd, math.Min)
+	case wasm.OpF64Max:
+		f64bin(arch.EvFAdd, math.Max)
+	case wasm.OpF64Copysign:
+		f64bin(arch.EvFAdd, math.Copysign)
+
+	// Conversions.
+	case wasm.OpI32WrapI64:
+		conv(func(v uint64) uint64 { return uint64(uint32(v)) })
+	case wasm.OpI64ExtendI32S:
+		conv(func(v uint64) uint64 { return uint64(int64(int32(v))) })
+	case wasm.OpI64ExtendI32U:
+		conv(func(v uint64) uint64 { return uint64(uint32(v)) })
+	case wasm.OpI32TruncF64S, wasm.OpI32TruncF64U, wasm.OpI64TruncF64S, wasm.OpI64TruncF64U,
+		wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI64TruncF32S, wasm.OpI64TruncF32U:
+		ctr.Add(arch.EvConv, 1)
+		t := top()
+		var f float64
+		switch op {
+		case wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI64TruncF32S, wasm.OpI64TruncF32U:
+			f = float64(math.Float32frombits(uint32(*t)))
+		default:
+			f = math.Float64frombits(*t)
+		}
+		if math.IsNaN(f) {
+			return newTrap(TrapIntOverflow, "%v of NaN", op)
+		}
+		f = math.Trunc(f)
+		switch op {
+		case wasm.OpI32TruncF64S, wasm.OpI32TruncF32S:
+			if f < math.MinInt32 || f > math.MaxInt32 {
+				return newTrap(TrapIntOverflow, "%v out of range", op)
+			}
+			*t = uint64(uint32(int32(f)))
+		case wasm.OpI32TruncF64U, wasm.OpI32TruncF32U:
+			if f < 0 || f > math.MaxUint32 {
+				return newTrap(TrapIntOverflow, "%v out of range", op)
+			}
+			*t = uint64(uint32(f))
+		case wasm.OpI64TruncF64S, wasm.OpI64TruncF32S:
+			if f < math.MinInt64 || f >= math.MaxInt64 {
+				return newTrap(TrapIntOverflow, "%v out of range", op)
+			}
+			*t = uint64(int64(f))
+		default:
+			if f < 0 || f >= math.MaxUint64 {
+				return newTrap(TrapIntOverflow, "%v out of range", op)
+			}
+			*t = uint64(f)
+		}
+	case wasm.OpF64ConvertI32S:
+		conv(func(v uint64) uint64 { return math.Float64bits(float64(int32(v))) })
+	case wasm.OpF64ConvertI32U:
+		conv(func(v uint64) uint64 { return math.Float64bits(float64(uint32(v))) })
+	case wasm.OpF64ConvertI64S:
+		conv(func(v uint64) uint64 { return math.Float64bits(float64(int64(v))) })
+	case wasm.OpF64ConvertI64U:
+		conv(func(v uint64) uint64 { return math.Float64bits(float64(v)) })
+	case wasm.OpF32ConvertI32S:
+		conv(func(v uint64) uint64 { return uint64(math.Float32bits(float32(int32(v)))) })
+	case wasm.OpF32ConvertI32U:
+		conv(func(v uint64) uint64 { return uint64(math.Float32bits(float32(uint32(v)))) })
+	case wasm.OpF32ConvertI64S:
+		conv(func(v uint64) uint64 { return uint64(math.Float32bits(float32(int64(v)))) })
+	case wasm.OpF32ConvertI64U:
+		conv(func(v uint64) uint64 { return uint64(math.Float32bits(float32(v))) })
+	case wasm.OpF32DemoteF64:
+		conv(func(v uint64) uint64 { return uint64(math.Float32bits(float32(math.Float64frombits(v)))) })
+	case wasm.OpF64PromoteF32:
+		conv(func(v uint64) uint64 { return math.Float64bits(float64(math.Float32frombits(uint32(v)))) })
+	case wasm.OpI32ReinterpretF32, wasm.OpF32ReinterpretI32:
+		conv(func(v uint64) uint64 { return v & 0xFFFFFFFF })
+	case wasm.OpI64ReinterpretF64, wasm.OpF64ReinterpretI64:
+		conv(func(v uint64) uint64 { return v })
+
+	default:
+		return newTrap(TrapUnreachable, "unimplemented opcode %v", op)
+	}
+	return nil
+}
+
+// Ensure unused imports stay referenced when features are compiled out.
+var _ = core.RuntimeTag

@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cage/internal/core"
+	"cage/internal/mte"
+	"cage/internal/ptrlayout"
+	"cage/internal/wasm"
+)
+
+// Tests for the MTE check modes and cross-cutting engine properties.
+
+func asyncCfg(mode mte.Mode) Config {
+	return Config{Features: core.Features{MemSafety: true, MTEMode: mode}, Seed: 21}
+}
+
+// uafModule builds a module whose f() reads through a dangling segment
+// pointer and then runs to completion (so only async delivery can
+// report it late).
+func uafModule() *wasm.Module {
+	m := i64m(
+		wasm.I64Const(64), wasm.I64Const(32), wasm.SegmentNew(0),
+		wasm.LocalTee(0),
+		wasm.I64Const(32), wasm.SegmentFree(0),
+		wasm.LocalGet(0), wasm.Load(wasm.OpI64Load, 0), // dangling read
+		wasm.Op(wasm.OpDrop),
+		wasm.I64Const(7),
+		wasm.End())
+	m.Funcs[0].Locals = []wasm.ValType{wasm.I64}
+	return m
+}
+
+func TestAsyncModeDefersFaultToInvokeBoundary(t *testing.T) {
+	// Synchronous mode traps inside the run.
+	if _, err := run1(t, asyncCfg(mte.ModeSync), uafModule()); !IsTrap(err, TrapTagMismatch) {
+		t.Fatalf("sync: got %v", err)
+	}
+	// Asynchronous mode lets the access complete and reports the fault
+	// at the next context switch — our Invoke boundary (paper §2.3).
+	_, err := run1(t, asyncCfg(mte.ModeAsync), uafModule())
+	if !IsTrap(err, TrapTagMismatch) {
+		t.Fatalf("async: fault not delivered at invoke boundary: %v", err)
+	}
+	tr := err.(*Trap)
+	if tr.Msg == "" || tr.Msg[:8] != "deferred" {
+		t.Errorf("async fault should be marked deferred, got %q", tr.Msg)
+	}
+}
+
+func TestAsymmetricModeReadsDeferredWritesImmediate(t *testing.T) {
+	// Read UAF: deferred.
+	if _, err := run1(t, asyncCfg(mte.ModeAsymmetric), uafModule()); !IsTrap(err, TrapTagMismatch) {
+		t.Fatalf("asymmetric read: %v", err)
+	}
+	// Write UAF: synchronous.
+	m := i64m(
+		wasm.I64Const(64), wasm.I64Const(32), wasm.SegmentNew(0),
+		wasm.LocalTee(0),
+		wasm.I64Const(32), wasm.SegmentFree(0),
+		wasm.LocalGet(0), wasm.I64Const(1), wasm.Store(wasm.OpI64Store, 0),
+		wasm.I64Const(7),
+		wasm.End())
+	m.Funcs[0].Locals = []wasm.ValType{wasm.I64}
+	_, err := run1(t, asyncCfg(mte.ModeAsymmetric), m)
+	if !IsTrap(err, TrapTagMismatch) {
+		t.Fatalf("asymmetric write: %v", err)
+	}
+	if msg := err.(*Trap).Msg; len(msg) >= 8 && msg[:8] == "deferred" {
+		t.Error("asymmetric write fault must be synchronous, was deferred")
+	}
+}
+
+func TestMemoryGrowPreservesHostRegionAndSandboxTags(t *testing.T) {
+	m := i64m(
+		wasm.I64Const(1), wasm.Op(wasm.OpMemoryGrow), wasm.Op(wasm.OpDrop),
+		// Store+load in the freshly grown page (beyond the old limit).
+		wasm.I64Const(70*1024), wasm.I64Const(5), wasm.Store(wasm.OpI64Store, 0),
+		wasm.I64Const(70*1024), wasm.Load(wasm.OpI64Load, 0),
+		wasm.End())
+	inst, err := NewInstance(m, sandboxCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Invoke("f")
+	if err != nil {
+		t.Fatalf("access to grown page: %v", err)
+	}
+	if res[0] != 5 {
+		t.Errorf("grown-page value = %d", res[0])
+	}
+	// The host-reserve pattern survived the grow.
+	host := inst.HostRegion()
+	for i, b := range host {
+		if b != 0x5A {
+			t.Fatalf("host region corrupted at %d: %#x", i, b)
+		}
+	}
+	// New pages carry the sandbox tag.
+	if tag := inst.Tags().TagAt(70 * 1024); tag != inst.SandboxTag() {
+		t.Errorf("grown page tagged %d, want sandbox tag %d", tag, inst.SandboxTag())
+	}
+}
+
+// TestAdjacentSegmentsNeverShareTagsWithHeaders is the Fig. 8a property:
+// with untagged metadata slots between allocations, an overflow off any
+// allocation lands on a differently-tagged granule, for every allocation
+// pattern.
+func TestAdjacentSegmentsNeverShareTagsWithHeaders(t *testing.T) {
+	f := func(sizes []uint8, seed uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 12 {
+			sizes = sizes[:12]
+		}
+		m := i64m(wasm.I64Const(0), wasm.End())
+		inst, err := NewInstance(m, Config{
+			Features: core.Features{MemSafety: true, MTEMode: mte.ModeSync},
+			Seed:     uint64(seed) + 1,
+		})
+		if err != nil {
+			return false
+		}
+		addr := uint64(1024)
+		var ends []uint64
+		var tags []uint8
+		for _, s := range sizes {
+			length := (uint64(s%64) + 1) * 16
+			tagged, err := inst.HostSegmentNew(addr, length)
+			if err != nil {
+				return false
+			}
+			tags = append(tags, ptrlayout.Tag(tagged))
+			ends = append(ends, addr+length)
+			addr += length + 16 // untagged header slot between allocations
+		}
+		// One byte past every allocation must carry a different tag.
+		for i, end := range ends {
+			if inst.Tags().TagAt(end) == tags[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWasm32OutOfBoundsGuardPage(t *testing.T) {
+	m := &wasm.Module{}
+	ti := m.AddType(wasm.FuncType{Results: []wasm.ValType{wasm.I32}})
+	m.Mems = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1, Max: 1, HasMax: true}, Memory64: false}}
+	m.Funcs = []wasm.Function{{TypeIdx: ti, Body: []wasm.Instr{
+		wasm.I32Const(1 << 20), wasm.Load(wasm.OpI32Load, 0),
+		wasm.End()}}}
+	m.Exports = []wasm.Export{{Name: "f", Kind: wasm.ExportFunc, Idx: 0}}
+	inst, err := NewInstance(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("f"); !IsTrap(err, TrapOutOfBounds) {
+		t.Errorf("wasm32 OOB: got %v", err)
+	}
+}
+
+// TestArithmeticAgainstGoSemantics cross-checks the interpreter's i64
+// arithmetic against Go's, over random operands.
+func TestArithmeticAgainstGoSemantics(t *testing.T) {
+	mk := func(op wasm.Opcode) *wasm.Module {
+		return buildModule([]wasm.ValType{wasm.I64, wasm.I64}, []wasm.ValType{wasm.I64}, nil,
+			wasm.LocalGet(0), wasm.LocalGet(1), wasm.Op(op), wasm.End())
+	}
+	type oper struct {
+		op wasm.Opcode
+		fn func(a, b uint64) uint64
+	}
+	ops := []oper{
+		{wasm.OpI64Add, func(a, b uint64) uint64 { return a + b }},
+		{wasm.OpI64Sub, func(a, b uint64) uint64 { return a - b }},
+		{wasm.OpI64Mul, func(a, b uint64) uint64 { return a * b }},
+		{wasm.OpI64And, func(a, b uint64) uint64 { return a & b }},
+		{wasm.OpI64Or, func(a, b uint64) uint64 { return a | b }},
+		{wasm.OpI64Xor, func(a, b uint64) uint64 { return a ^ b }},
+		{wasm.OpI64Shl, func(a, b uint64) uint64 { return a << (b & 63) }},
+		{wasm.OpI64ShrU, func(a, b uint64) uint64 { return a >> (b & 63) }},
+	}
+	insts := make([]*Instance, len(ops))
+	for i, o := range ops {
+		var err error
+		insts[i], err = NewInstance(mk(o.op), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(a, b uint64) bool {
+		for i, o := range ops {
+			res, err := insts[i].Invoke("f", a, b)
+			if err != nil || res[0] != o.fn(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package exec executes Cage-extended wasm64 modules: an interpreter
+// implementing the paper's small-step semantics (Fig. 11), three
+// sandboxing strategies (32-bit guard pages, 64-bit software bounds
+// checks, MTE-based tagging per Fig. 12b/13), pointer authentication for
+// indirect calls, and instruction-event accounting for the timing model.
+package exec
+
+import "fmt"
+
+// TrapCode classifies a wasm trap.
+type TrapCode int
+
+// Trap codes.
+const (
+	// TrapUnreachable is the unreachable instruction.
+	TrapUnreachable TrapCode = iota
+	// TrapOutOfBounds is a linear-memory access outside the sandbox
+	// caught by a software bounds check or guard page.
+	TrapOutOfBounds
+	// TrapTagMismatch is an MTE tag-check failure (memory-safety
+	// violation or tag-based sandbox escape attempt).
+	TrapTagMismatch
+	// TrapAuthFailure is a failed i64.pointer_auth (Fig. 11 eq. 13).
+	TrapAuthFailure
+	// TrapSegment is an invalid segment.new/set_tag/free
+	// (Fig. 11 eqs. 6, 8, 10 — unaligned, out of bounds, double free).
+	TrapSegment
+	// TrapDivByZero is integer division by zero.
+	TrapDivByZero
+	// TrapIntOverflow is integer overflow in div/trunc.
+	TrapIntOverflow
+	// TrapIndirectCall is a bad call_indirect (null entry, out of range,
+	// signature mismatch).
+	TrapIndirectCall
+	// TrapCallDepth is call-stack exhaustion.
+	TrapCallDepth
+	// TrapHost is an error returned by a host function.
+	TrapHost
+	// TrapExit is a clean proc_exit from WASI.
+	TrapExit
+)
+
+var trapNames = map[TrapCode]string{
+	TrapUnreachable:  "unreachable",
+	TrapOutOfBounds:  "out of bounds memory access",
+	TrapTagMismatch:  "MTE tag mismatch",
+	TrapAuthFailure:  "pointer authentication failure",
+	TrapSegment:      "invalid segment operation",
+	TrapDivByZero:    "integer divide by zero",
+	TrapIntOverflow:  "integer overflow",
+	TrapIndirectCall: "invalid indirect call",
+	TrapCallDepth:    "call stack exhausted",
+	TrapHost:         "host function error",
+	TrapExit:         "process exit",
+}
+
+// Trap is a wasm trap: execution aborts and unwinds to the embedder.
+type Trap struct {
+	Code TrapCode
+	Msg  string
+	// ExitCode is set for TrapExit.
+	ExitCode int32
+}
+
+// Error implements the error interface.
+func (t *Trap) Error() string {
+	name := trapNames[t.Code]
+	if t.Msg == "" {
+		return "wasm trap: " + name
+	}
+	return fmt.Sprintf("wasm trap: %s: %s", name, t.Msg)
+}
+
+func newTrap(code TrapCode, format string, args ...any) *Trap {
+	return &Trap{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsTrap reports whether err is a trap with the given code.
+func IsTrap(err error, code TrapCode) bool {
+	t, ok := err.(*Trap)
+	return ok && t.Code == code
+}

@@ -1,0 +1,186 @@
+package minicc
+
+// Stack-allocation hardening analysis — the reproduction of the paper's
+// Algorithm 1 ("Detect and harden safe and unsafe stack allocations"):
+//
+//	foreach alloc ∈ allocations:
+//	    if escapes(alloc)            -> instrument
+//	    else if isUsedByUnsafeGEP(alloc) -> instrument
+//	foreach alloc ∈ allocsToInstrument: insert tagging/untagging code
+//	if any instrumented and the frame-boundary slot is tagged:
+//	    insert an untagged guard slot (paper Fig. 8b)
+//
+// The analysis runs after type checking, mirroring the paper's choice to
+// run the sanitizer after optimizations so it never blocks passes like
+// mem2reg (§6.1): scalars that are never address-taken stay in wasm
+// locals (registers) and are not allocations at all.
+
+// runStackAnalysis computes fn.StackAllocs, per-symbol Instrument flags,
+// and the guard-slot decision.
+func runStackAnalysis(fn *FuncDecl, layout Layout) {
+	// An "allocation" is a local needing linear-memory backing: arrays,
+	// structs, and address-taken scalars (everything else lives in wasm
+	// locals, i.e., registers).
+	for _, sym := range fn.Locals {
+		switch {
+		case sym.Type.Kind == KArray || sym.Type.Kind == KStruct:
+			fn.StackAllocs = append(fn.StackAllocs, sym)
+		case sym.AddrTaken && sym.Type.IsScalar():
+			fn.StackAllocs = append(fn.StackAllocs, sym)
+			// An address-taken scalar escapes by definition here: its
+			// address is consumed somewhere.
+			sym.Escapes = true
+		}
+	}
+	if len(fn.StackAllocs) == 0 {
+		return
+	}
+	a := &stackAnalysis{layout: layout}
+	a.walkStmt(fn.Body)
+	any := false
+	for _, sym := range fn.StackAllocs {
+		sym.Instrument = sym.Escapes || sym.UnsafeGEP
+		any = any || sym.Instrument
+	}
+	// Guard slot (Fig. 8b): needed when the slot at the frame boundary
+	// (the first allocation) is itself tagged; an untagged first slot
+	// already separates this frame's tags from the previous frame's.
+	if any && fn.StackAllocs[0].Instrument {
+		fn.NeedsGuardSlot = true
+	}
+}
+
+type stackAnalysis struct {
+	layout Layout
+}
+
+func (a *stackAnalysis) walkStmt(st Stmt) {
+	switch n := st.(type) {
+	case *BlockStmt:
+		for _, s := range n.Stmts {
+			a.walkStmt(s)
+		}
+	case *DeclStmt:
+		if n.Init != nil {
+			a.walkExpr(n.Init, false)
+		}
+	case *ExprStmt:
+		if n.X != nil {
+			a.walkExpr(n.X, false)
+		}
+	case *IfStmt:
+		a.walkExpr(n.Cond, false)
+		a.walkStmt(n.Then)
+		if n.Else != nil {
+			a.walkStmt(n.Else)
+		}
+	case *ForStmt:
+		if n.Init != nil {
+			a.walkStmt(n.Init)
+		}
+		if n.Cond != nil {
+			a.walkExpr(n.Cond, false)
+		}
+		if n.Post != nil {
+			a.walkExpr(n.Post, false)
+		}
+		a.walkStmt(n.Body)
+	case *WhileStmt:
+		a.walkExpr(n.Cond, false)
+		a.walkStmt(n.Body)
+	case *ReturnStmt:
+		if n.X != nil {
+			a.walkExpr(n.X, false)
+		}
+	}
+}
+
+// walkExpr visits e; inAccessBase marks that the immediate consumer is
+// an Index/Member access base, the only use that keeps an aggregate
+// from escaping.
+func (a *stackAnalysis) walkExpr(e Expr, inAccessBase bool) {
+	switch n := e.(type) {
+	case *Ident:
+		if n.Sym == nil {
+			return
+		}
+		if n.Sym.Type.Kind == KArray || n.Sym.Type.Kind == KStruct {
+			if !inAccessBase {
+				// The aggregate's address leaves the access pattern:
+				// array decay into a call argument, assignment, pointer
+				// arithmetic... -> escapes(alloc).
+				n.Sym.Escapes = true
+			}
+		}
+	case *Unary:
+		if n.Op == "&" {
+			// Address-of: escape of the root allocation.
+			if root := rootSymbol(n.X); root != nil {
+				root.Escapes = true
+			}
+			a.walkExpr(n.X, true)
+			return
+		}
+		a.walkExpr(n.X, false)
+	case *Postfix:
+		a.walkExpr(n.X, false)
+	case *Binary:
+		a.walkExpr(n.X, false)
+		a.walkExpr(n.Y, false)
+	case *Assign:
+		a.walkExpr(n.LHS, false)
+		a.walkExpr(n.RHS, false)
+	case *Cond:
+		a.walkExpr(n.C, false)
+		a.walkExpr(n.T, false)
+		a.walkExpr(n.F, false)
+	case *Index:
+		// isUsedByUnsafeGEP: a non-constant or out-of-bounds constant
+		// index makes the allocation unsafe; a constant in-bounds index
+		// is statically verifiable (paper Alg. 1).
+		if root := rootSymbol(n.X); root != nil {
+			if lit, ok := n.Idx.(*IntLit); ok {
+				bt := n.X.Type()
+				if bt.Kind != KArray || lit.Val < 0 || lit.Val >= bt.ArrayLen {
+					root.UnsafeGEP = true
+				}
+			} else {
+				root.UnsafeGEP = true
+			}
+		}
+		a.walkExpr(n.X, true)
+		a.walkExpr(n.Idx, false)
+	case *Member:
+		// Member offsets are static and in-bounds: safe use.
+		a.walkExpr(n.X, !n.Arrow)
+	case *Call:
+		for _, arg := range n.Args {
+			a.walkExpr(arg, false)
+		}
+		if _, isIdent := n.Fun.(*Ident); !isIdent {
+			a.walkExpr(n.Fun, false)
+		}
+	case *Cast:
+		a.walkExpr(n.X, false)
+	case *SizeofExpr:
+		// sizeof does not evaluate its operand: safe.
+	}
+}
+
+// rootSymbol finds the local allocation an access chain bottoms out in,
+// or nil for globals/pointers.
+func rootSymbol(e Expr) *Symbol {
+	switch n := e.(type) {
+	case *Ident:
+		if n.Sym != nil && (n.Sym.Kind == SymLocal || n.Sym.Kind == SymParam) {
+			return n.Sym
+		}
+	case *Index:
+		return rootSymbol(n.X)
+	case *Member:
+		if !n.Arrow {
+			return rootSymbol(n.X)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package minicc
+
+// AST node definitions. Expressions carry their computed type (filled by
+// sema) and, for identifiers, their resolved symbol.
+
+// Expr is an expression node.
+type Expr interface {
+	Type() *Type
+	setType(*Type)
+	Pos() (line, col int)
+}
+
+type exprBase struct {
+	typ  *Type
+	line int
+	col  int
+}
+
+func (e *exprBase) Type() *Type     { return e.typ }
+func (e *exprBase) setType(t *Type) { e.typ = t }
+func (e *exprBase) Pos() (int, int) { return e.line, e.col }
+func at(tok Token) exprBase         { return exprBase{line: tok.Line, col: tok.Col} }
+
+// IntLit is an integer or char literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Val float64
+}
+
+// StrLit is a string literal (lowered to a data-segment pointer).
+type StrLit struct {
+	exprBase
+	Val string
+}
+
+// Ident references a variable or function.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol
+}
+
+// Unary is a prefix operator: - ! ~ * & ++ --.
+type Unary struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operator (arithmetic, comparison, logical).
+type Binary struct {
+	exprBase
+	Op string
+	X  Expr
+	Y  Expr
+}
+
+// Assign is =, +=, -=, ....
+type Assign struct {
+	exprBase
+	Op  string
+	LHS Expr
+	RHS Expr
+}
+
+// Cond is the ternary c ? t : f.
+type Cond struct {
+	exprBase
+	C Expr
+	T Expr
+	F Expr
+}
+
+// Index is x[i].
+type Index struct {
+	exprBase
+	X   Expr
+	Idx Expr
+}
+
+// Member is x.f or x->f.
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	Field *Field
+}
+
+// Call invokes a named function, builtin, or function pointer.
+type Call struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+	// Builtin is set by sema for __builtin_* calls.
+	Builtin string
+}
+
+// Cast is (T)x.
+type Cast struct {
+	exprBase
+	To *Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof(T) or sizeof(expr).
+type SizeofExpr struct {
+	exprBase
+	OfType *Type
+	OfExpr Expr
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	Name string
+	Typ  *Type
+	Init Expr
+	Sym  *Symbol
+	Line int
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// ForStmt is a for loop (any clause may be nil).
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// WhileStmt is while or do-while.
+type WhileStmt struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	X Expr // nil for void
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{}
+
+// ContinueStmt jumps to the loop continuation.
+type ContinueStmt struct{}
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*ForStmt) stmt()      {}
+func (*WhileStmt) stmt()    {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// SymKind classifies a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymLocal SymKind = iota
+	SymParam
+	SymGlobal
+	SymFunc
+	SymExtern
+)
+
+// Symbol is a named entity. Analysis results (Algorithm 1) are stored
+// on local symbols.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Type *Type
+
+	// Locals/params.
+	AddrTaken bool
+	// Escapes is Algorithm 1's escapes(alloc).
+	Escapes bool
+	// UnsafeGEP is Algorithm 1's isUsedByUnsafeGEP(alloc).
+	UnsafeGEP bool
+	// Instrument means the stack sanitizer tags this allocation.
+	Instrument bool
+	// FrameOffset/InFrame are filled by the code generator.
+	FrameOffset int64
+	InFrame     bool
+	LocalIdx    uint32
+
+	// Functions.
+	Sig       *FuncSig
+	FuncDecl  *FuncDecl
+	IsBuiltin bool
+	// TableIdx is assigned when the function's address is taken.
+	TableIdx int32
+
+	// Globals.
+	GlobalAddr uint64
+	GlobalInit Expr
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Typ  *Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *Type
+	Body   *BlockStmt
+	Sym    *Symbol
+	// Locals lists every declared local symbol (filled by sema).
+	Locals []*Symbol
+	// StackAllocs lists locals that need stack memory, in declaration
+	// order (Algorithm 1's input).
+	StackAllocs []*Symbol
+	// NeedsGuardSlot is Algorithm 1's final insertGuardAlloc decision.
+	NeedsGuardSlot bool
+	// UsesFnPtrs marks functions touched by the pointer-auth pass.
+	UsesFnPtrs bool
+	Line       int
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Name string
+	Typ  *Type
+	Init Expr
+	Sym  *Symbol
+}
+
+// ExternDecl declares a host-provided function.
+type ExternDecl struct {
+	Name string
+	Sig  *FuncSig
+	Sym  *Symbol
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructInfo
+	Globals []*GlobalDecl
+	Externs []*ExternDecl
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,263 @@
+package minicc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lex tokenizes src. Comments (// and /* */) are skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			advance(2)
+			for {
+				if i+1 >= n {
+					return nil, errf(startLine, startCol, "unterminated block comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case isIdentStart(c):
+			start := i
+			startLine, startCol := line, col
+			for i < n && isIdentChar(src[i]) {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+		case c >= '0' && c <= '9':
+			tok, k, err := lexNumber(src[i:], line, col)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			advance(k)
+		case c == '"':
+			tok, k, err := lexString(src[i:], line, col)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			advance(k)
+		case c == '\'':
+			tok, k, err := lexChar(src[i:], line, col)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			advance(k)
+		default:
+			op, k := lexPunct(src[i:])
+			if k == 0 {
+				return nil, errf(line, col, "unexpected character %q", c)
+			}
+			toks = append(toks, Token{Kind: TokPunct, Text: op, Line: line, Col: col})
+			advance(k)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// threeCharOps through oneCharOps: longest-match operator tables.
+var threeCharOps = []string{"<<=", ">>="}
+var twoCharOps = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+func lexPunct(s string) (string, int) {
+	for _, op := range threeCharOps {
+		if strings.HasPrefix(s, op) {
+			return op, 3
+		}
+	}
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(s, op) {
+			return op, 2
+		}
+	}
+	if strings.IndexByte("+-*/%<>=!&|^~(){}[];,.?:", s[0]) >= 0 {
+		return s[:1], 1
+	}
+	return "", 0
+}
+
+func lexNumber(s string, line, col int) (Token, int, error) {
+	k := 0
+	isFloat := false
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		k = 2
+		for k < len(s) && isHexDigit(s[k]) {
+			k++
+		}
+		v, err := strconv.ParseUint(s[2:k], 16, 64)
+		if err != nil {
+			return Token{}, 0, errf(line, col, "bad hex literal: %v", err)
+		}
+		k = eatIntSuffix(s, k)
+		return Token{Kind: TokIntLit, Text: s[:k], Int: int64(v), Line: line, Col: col}, k, nil
+	}
+	for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+		k++
+	}
+	if k < len(s) && s[k] == '.' {
+		isFloat = true
+		k++
+		for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+			k++
+		}
+	}
+	if k < len(s) && (s[k] == 'e' || s[k] == 'E') {
+		isFloat = true
+		k++
+		if k < len(s) && (s[k] == '+' || s[k] == '-') {
+			k++
+		}
+		for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+			k++
+		}
+	}
+	if isFloat {
+		end := k
+		if k < len(s) && (s[k] == 'f' || s[k] == 'F') {
+			k++
+		}
+		v, err := strconv.ParseFloat(s[:end], 64)
+		if err != nil {
+			return Token{}, 0, errf(line, col, "bad float literal: %v", err)
+		}
+		return Token{Kind: TokFloatLit, Text: s[:k], Float: v, Line: line, Col: col}, k, nil
+	}
+	v, err := strconv.ParseUint(s[:k], 10, 64)
+	if err != nil {
+		return Token{}, 0, errf(line, col, "bad integer literal: %v", err)
+	}
+	k = eatIntSuffix(s, k)
+	return Token{Kind: TokIntLit, Text: s[:k], Int: int64(v), Line: line, Col: col}, k, nil
+}
+
+func eatIntSuffix(s string, k int) int {
+	for k < len(s) && (s[k] == 'u' || s[k] == 'U' || s[k] == 'l' || s[k] == 'L') {
+		k++
+	}
+	return k
+}
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func lexString(s string, line, col int) (Token, int, error) {
+	var sb strings.Builder
+	k := 1
+	for {
+		if k >= len(s) {
+			return Token{}, 0, errf(line, col, "unterminated string literal")
+		}
+		c := s[k]
+		if c == '"' {
+			k++
+			break
+		}
+		if c == '\\' {
+			if k+1 >= len(s) {
+				return Token{}, 0, errf(line, col, "unterminated escape")
+			}
+			e, ok := unescape(s[k+1])
+			if !ok {
+				return Token{}, 0, errf(line, col, "unknown escape \\%c", s[k+1])
+			}
+			sb.WriteByte(e)
+			k += 2
+			continue
+		}
+		sb.WriteByte(c)
+		k++
+	}
+	return Token{Kind: TokStrLit, Text: sb.String(), Line: line, Col: col}, k, nil
+}
+
+func lexChar(s string, line, col int) (Token, int, error) {
+	if len(s) < 3 {
+		return Token{}, 0, errf(line, col, "unterminated char literal")
+	}
+	var v byte
+	k := 1
+	if s[1] == '\\' {
+		e, ok := unescape(s[2])
+		if !ok {
+			return Token{}, 0, errf(line, col, "unknown escape \\%c", s[2])
+		}
+		v = e
+		k = 3
+	} else {
+		v = s[1]
+		k = 2
+	}
+	if k >= len(s) || s[k] != '\'' {
+		return Token{}, 0, errf(line, col, "unterminated char literal")
+	}
+	return Token{Kind: TokCharLit, Text: s[:k+1], Int: int64(v), Line: line, Col: col}, k + 1, nil
+}
+
+func unescape(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	}
+	return 0, false
+}

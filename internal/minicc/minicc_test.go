@@ -1,0 +1,274 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`long f(int x) { return x + 0x1F - 42; } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.String())
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "long f ( int x )") {
+		t.Errorf("unexpected token stream: %s", joined)
+	}
+	// Hex literal value.
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokIntLit && tok.Int == 0x1F {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("hex literal not lexed")
+	}
+}
+
+func TestLexFloatAndSuffixes(t *testing.T) {
+	toks, err := Lex(`3.5 1e3 2.5e-2 10L 7u`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokFloatLit || toks[0].Float != 3.5 {
+		t.Errorf("3.5 lexed as %v", toks[0])
+	}
+	if toks[1].Kind != TokFloatLit || toks[1].Float != 1000 {
+		t.Errorf("1e3 lexed as %v", toks[1])
+	}
+	if toks[3].Kind != TokIntLit || toks[3].Int != 10 {
+		t.Errorf("10L lexed as %v", toks[3])
+	}
+}
+
+func TestLexStringsAndChars(t *testing.T) {
+	toks, err := Lex(`"hi\n" 'A' '\0'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokStrLit || toks[0].Text != "hi\n" {
+		t.Errorf("string lexed as %q", toks[0].Text)
+	}
+	if toks[1].Kind != TokCharLit || toks[1].Int != 'A' {
+		t.Errorf("char lexed as %v", toks[1].Int)
+	}
+	if toks[2].Int != 0 {
+		t.Errorf("nul char lexed as %v", toks[2].Int)
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks, err := Lex("a /* stuff \n more */ b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 { // a, b, EOF
+		t.Errorf("got %d tokens", len(toks))
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `'a`, "/* open", "`"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`long f( { return 0; }`,
+		`long f(void) { return 0 }`,
+		`long f(void) { if (1 { return 0; } return 1; }`,
+		`struct X { long a }; long f(void) { return 0; }`,
+		`long f(void) { int x[n]; return 0; }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted invalid program: %s", src)
+		}
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	bad := []string{
+		`long f(void) { return undeclared; }`,
+		`long f(void) { long x = 1; return x(); }`,
+		`long f(void) { double d = 1.0; return d[0]; }`,
+		`struct P { long a; }; long f(void) { struct P p; return p.nope; }`,
+		`long f(long a) { return f(a, a); }`,
+		`void v(void) { } long f(void) { return v(); }`,
+		`long f(void) { 5 = 6; return 0; }`,
+		`long g(void) { return 1; } long g(void) { return 2; }`,
+	}
+	for _, src := range bad {
+		file, err := Parse(src)
+		if err != nil {
+			continue // parse already rejected, also fine
+		}
+		if _, err := Analyze(file, Layout64); err == nil {
+			t.Errorf("Analyze accepted invalid program: %s", src)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	src := `
+struct Mixed { char c; double d; int i; char c2; };
+long f(void) { return sizeof(struct Mixed); }`
+	file, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(file, Layout64); err != nil {
+		t.Fatal(err)
+	}
+	si := file.Structs[0]
+	// c at 0, d at 8, i at 16, c2 at 20, size padded to 24.
+	offsets := map[string]int64{"c": 0, "d": 8, "i": 16, "c2": 20}
+	for _, f := range si.Fields {
+		if offsets[f.Name] != f.Offset {
+			t.Errorf("field %s at offset %d, want %d", f.Name, f.Offset, offsets[f.Name])
+		}
+	}
+	if si.Size != 24 {
+		t.Errorf("struct size %d, want 24", si.Size)
+	}
+	if si.Align != 8 {
+		t.Errorf("struct align %d, want 8", si.Align)
+	}
+}
+
+func TestLayout32vs64(t *testing.T) {
+	ptr := PtrTo(TypeChar)
+	if Layout64.Size(ptr) != 8 || Layout32.Size(ptr) != 4 {
+		t.Error("pointer sizes wrong")
+	}
+	if Layout64.Size(TypeLong) != 8 || Layout32.Size(TypeLong) != 4 {
+		t.Error("long sizes wrong (ILP32 expected on wasm32)")
+	}
+	if Layout32.Size(TypeDouble) != 8 {
+		t.Error("double must stay 8 bytes on wasm32")
+	}
+	arr := ArrayOf(TypeInt, 10)
+	if Layout64.Size(arr) != 40 {
+		t.Error("array size wrong")
+	}
+}
+
+func TestCommonArith(t *testing.T) {
+	if CommonArith(TypeInt, TypeDouble) != TypeDouble {
+		t.Error("int+double must widen to double")
+	}
+	if CommonArith(TypeChar, TypeChar).Kind != KInt {
+		t.Error("char+char must promote to int")
+	}
+	if CommonArith(TypeLong, TypeInt) != TypeLong {
+		t.Error("long+int must widen to long")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]*Type{
+		"long":         TypeLong,
+		"char*":        PtrTo(TypeChar),
+		"double[4]":    ArrayOf(TypeDouble, 4),
+		"unsigned int": TypeUInt,
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAnalysisSizeofDoesNotEscape(t *testing.T) {
+	src := `long f(void) { long buf[4]; buf[0] = 1; return sizeof(buf) + buf[0]; }`
+	file, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Analyze(file, Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := prog.File.Funcs[0].StackAllocs[0]
+	if sym.Instrument {
+		t.Error("sizeof-only + const-indexed array was instrumented")
+	}
+}
+
+func TestAnalysisStructMemberUseIsSafe(t *testing.T) {
+	src := `
+struct P { long a; long b; };
+long f(void) { struct P p; p.a = 1; p.b = 2; return p.a + p.b; }`
+	file, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Analyze(file, Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := prog.File.Funcs[0].StackAllocs[0]
+	if sym.Instrument {
+		t.Error("member-only struct access was instrumented")
+	}
+}
+
+func TestAnalysisAddressTakenScalarEscapes(t *testing.T) {
+	src := `
+extern void sink(long* p);
+long f(void) { long x = 1; sink(&x); return x; }`
+	file, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Analyze(file, Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.File.Funcs[0]
+	if len(fn.StackAllocs) != 1 || !fn.StackAllocs[0].Instrument {
+		t.Error("address-taken scalar must be an instrumented allocation")
+	}
+}
+
+func TestFunctionPointerDeclaration(t *testing.T) {
+	src := `
+long add(long a, long b) { return a + b; }
+long f(void) {
+    long (*op)(long, long) = add;
+    return op(1, 2);
+}`
+	file, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(file, Layout64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltinsResolve(t *testing.T) {
+	src := `
+long f(void) {
+    char* p = __builtin_segment_new((char*)1024, 32);
+    __builtin_segment_free(p, 32);
+    char* q = __builtin_pointer_sign((char*)8);
+    q = __builtin_pointer_auth(q);
+    return (long)q;
+}`
+	file, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(file, Layout64); err != nil {
+		t.Fatalf("builtins failed to resolve: %v", err)
+	}
+}

@@ -1,0 +1,849 @@
+package minicc
+
+import "fmt"
+
+// Parse lexes and parses a MiniC translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, structs: make(map[string]*StructInfo)}
+	return p.file()
+}
+
+type parser struct {
+	toks    []Token
+	pos     int
+	structs map[string]*StructInfo
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.Kind == TokKeyword && t.Text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) (Token, error) {
+	t := p.cur()
+	if (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Text == s {
+		return p.next(), nil
+	}
+	return t, errf(t.Line, t.Col, "expected %q, found %q", s, t.String())
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Line, t.Col, "expected identifier, found %q", t.String())
+	}
+	return p.next(), nil
+}
+
+// typeAhead reports whether the current token starts a type.
+func (p *parser) typeAhead() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "void", "char", "int", "long", "float", "double", "unsigned", "struct", "const":
+		return true
+	}
+	return false
+}
+
+// baseType parses the type-specifier part (no declarator).
+func (p *parser) baseType() (*Type, error) {
+	p.accept("const")
+	unsigned := p.accept("unsigned")
+	p.accept("const")
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		if unsigned { // bare "unsigned" means unsigned int
+			return TypeUInt, nil
+		}
+		return nil, errf(t.Line, t.Col, "expected type, found %q", t.String())
+	}
+	var base *Type
+	switch t.Text {
+	case "void":
+		base = TypeVoid
+	case "char":
+		base = TypeChar
+		if unsigned {
+			base = TypeUChar
+		}
+	case "int":
+		base = TypeInt
+		if unsigned {
+			base = TypeUInt
+		}
+	case "long":
+		base = TypeLong
+		if unsigned {
+			base = TypeULong
+		}
+	case "float":
+		base = TypeFloat
+	case "double":
+		base = TypeDouble
+	case "struct":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		si, ok := p.structs[name.Text]
+		if !ok {
+			return nil, errf(name.Line, name.Col, "unknown struct %q", name.Text)
+		}
+		base = &Type{Kind: KStruct, Struct: si}
+		for p.accept("*") {
+			base = PtrTo(base)
+		}
+		return base, nil
+	default:
+		if unsigned {
+			return TypeUInt, nil
+		}
+		return nil, errf(t.Line, t.Col, "expected type, found %q", t.Text)
+	}
+	p.next()
+	if base == TypeLong {
+		p.accept("long") // accept "long long" as long
+		if p.accept("int") {
+		}
+	}
+	for p.accept("*") {
+		base = PtrTo(base)
+	}
+	return base, nil
+}
+
+// declarator parses an identifier with optional array bounds or the
+// function-pointer form (*name)(params). It returns the final type.
+type declarator struct {
+	name Token
+	typ  *Type
+}
+
+func (p *parser) declarator(base *Type) (declarator, error) {
+	// Function-pointer form: ( * name ) ( types )
+	if p.isPunct("(") && p.peek().Kind == TokPunct && p.peek().Text == "*" {
+		p.next() // (
+		p.next() // *
+		name, err := p.expectIdent()
+		if err != nil {
+			return declarator{}, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return declarator{}, err
+		}
+		sig, err := p.paramTypes()
+		if err != nil {
+			return declarator{}, err
+		}
+		sig.Ret = base
+		return declarator{name: name, typ: &Type{Kind: KFunc, Sig: sig}}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return declarator{}, err
+	}
+	typ := base
+	var dims []int64
+	for p.accept("[") {
+		sz := p.cur()
+		if sz.Kind != TokIntLit {
+			return declarator{}, errf(sz.Line, sz.Col, "array bound must be an integer literal")
+		}
+		p.next()
+		if _, err := p.expect("]"); err != nil {
+			return declarator{}, err
+		}
+		dims = append(dims, sz.Int)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		typ = ArrayOf(typ, dims[i])
+	}
+	return declarator{name: name, typ: typ}, nil
+}
+
+// paramTypes parses "( type, type, ... )" for function-pointer types.
+func (p *parser) paramTypes() (*FuncSig, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	sig := &FuncSig{}
+	if p.accept(")") {
+		return sig, nil
+	}
+	if p.isKeyword("void") && p.peek().Kind == TokPunct && p.peek().Text == ")" {
+		p.next()
+		p.next()
+		return sig, nil
+	}
+	for {
+		t, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		// Optional parameter name.
+		if p.cur().Kind == TokIdent {
+			p.next()
+		}
+		sig.Params = append(sig.Params, t.Decay())
+		if p.accept(")") {
+			return sig, nil
+		}
+		if _, err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != TokEOF {
+		switch {
+		case p.isKeyword("struct") && p.peek().Kind == TokIdent &&
+			p.toks[min(p.pos+2, len(p.toks)-1)].Text == "{":
+			if err := p.structDef(f); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("extern"):
+			if err := p.externDecl(f); err != nil {
+				return nil, err
+			}
+		default:
+			p.accept("static")
+			base, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.topLevel(f, base); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) structDef(f *File) error {
+	p.next() // struct
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return err
+	}
+	si := &StructInfo{Name: name.Text}
+	p.structs[name.Text] = si // allow self-referential pointers
+	for !p.accept("}") {
+		base, err := p.baseType()
+		if err != nil {
+			return err
+		}
+		for {
+			d, err := p.declarator(base)
+			if err != nil {
+				return err
+			}
+			si.Fields = append(si.Fields, Field{Name: d.name.Text, Type: d.typ})
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	f.Structs = append(f.Structs, si)
+	return nil
+}
+
+func (p *parser) externDecl(f *File) error {
+	p.next() // extern
+	ret, err := p.baseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	sig, err := p.paramTypes()
+	if err != nil {
+		return err
+	}
+	sig.Ret = ret
+	if _, err := p.expect(";"); err != nil {
+		return err
+	}
+	f.Externs = append(f.Externs, &ExternDecl{Name: name.Text, Sig: sig})
+	return nil
+}
+
+// topLevel parses a function definition or global variable(s) after the
+// base type has been consumed.
+func (p *parser) topLevel(f *File, base *Type) error {
+	d, err := p.declarator(base)
+	if err != nil {
+		return err
+	}
+	// Function definition or prototype.
+	if p.isPunct("(") && d.typ == base {
+		sig := &FuncSig{Ret: base}
+		params, err := p.funcParams(sig)
+		if err != nil {
+			return err
+		}
+		if p.accept(";") { // prototype: treat as extern-to-self, ignored
+			return nil
+		}
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, &FuncDecl{
+			Name: d.name.Text, Params: params, Ret: base, Body: body, Line: d.name.Line,
+		})
+		return nil
+	}
+	// Global variable list.
+	for {
+		var init Expr
+		if p.accept("=") {
+			init, err = p.assignExpr()
+			if err != nil {
+				return err
+			}
+		}
+		f.Globals = append(f.Globals, &GlobalDecl{Name: d.name.Text, Typ: d.typ, Init: init})
+		if p.accept(",") {
+			d, err = p.declarator(base)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	_, err = p.expect(";")
+	return err
+}
+
+func (p *parser) funcParams(sig *FuncSig) ([]Param, error) {
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if p.accept(")") {
+		return params, nil
+	}
+	if p.isKeyword("void") && p.peek().Text == ")" {
+		p.next()
+		p.next()
+		return params, nil
+	}
+	for {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		pt := d.typ.Decay()
+		params = append(params, Param{Name: d.name.Text, Typ: pt})
+		sig.Params = append(sig.Params, pt)
+		if p.accept(")") {
+			return params, nil
+		}
+		if _, err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.accept("}") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.isPunct("{"):
+		return p.block()
+	case p.typeAhead():
+		return p.declStmt()
+	case p.isKeyword("if"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.accept("else") {
+			if els, err = p.statement(); err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case p.isKeyword("for"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var init Stmt
+		var err error
+		if !p.accept(";") {
+			if p.typeAhead() {
+				init, err = p.declStmt()
+			} else {
+				var e Expr
+				e, err = p.expr()
+				if err == nil {
+					_, err = p.expect(";")
+				}
+				init = &ExprStmt{X: e}
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		var cond Expr
+		if !p.accept(";") {
+			if cond, err = p.expr(); err != nil {
+				return nil, err
+			}
+			if _, err = p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		var post Expr
+		if !p.isPunct(")") {
+			if post, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err = p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Init: init, Cond: cond, Post: post, Body: body}, nil
+	case p.isKeyword("while"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case p.isKeyword("do"):
+		p.next()
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, DoWhile: true}, nil
+	case p.isKeyword("return"):
+		p.next()
+		if p.accept(";") {
+			return &ReturnStmt{}, nil
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{X: x}, nil
+	case p.isKeyword("break"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{}, nil
+	case p.isKeyword("continue"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{}, nil
+	case p.accept(";"):
+		return &BlockStmt{}, nil
+	default:
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, nil
+	}
+}
+
+func (p *parser) declStmt() (Stmt, error) {
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for {
+		d, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if p.accept("=") {
+			if init, err = p.assignExpr(); err != nil {
+				return nil, err
+			}
+		}
+		b.Stmts = append(b.Stmts, &DeclStmt{Name: d.name.Text, Typ: d.typ, Init: init, Line: d.name.Line})
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if len(b.Stmts) == 1 {
+		return b.Stmts[0], nil
+	}
+	return b, nil
+}
+
+// Expression parsing: precedence climbing.
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"<<=": true, ">>=": true, "&=": true, "|=": true, "^=": true,
+}
+
+func (p *parser) assignExpr() (Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct && assignOps[t.Text] {
+		p.next()
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{exprBase: at(t), Op: t.Text, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("?") {
+		t := p.next()
+		tt, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		ff, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{exprBase: at(t), C: c, T: tt, F: ff}, nil
+	}
+	return c, nil
+}
+
+// binLevels orders binary operators from lowest to highest precedence.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		matched := false
+		if t.Kind == TokPunct {
+			for _, op := range binLevels[level] {
+				if t.Text == op {
+					matched = true
+					break
+				}
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{exprBase: at(t), Op: t.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&", "++", "--", "+":
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "+" {
+				return x, nil
+			}
+			return &Unary{exprBase: at(t), Op: t.Text, X: x}, nil
+		case "(":
+			// Cast or parenthesized expression.
+			save := p.pos
+			p.next()
+			if p.typeAhead() {
+				to, err := p.baseType()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.unaryExpr()
+				if err != nil {
+					return nil, err
+				}
+				return &Cast{exprBase: at(t), To: to, X: x}, nil
+			}
+			p.pos = save
+		}
+	}
+	if t.Kind == TokKeyword && t.Text == "sizeof" {
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if p.typeAhead() {
+			ty, err := p.baseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &SizeofExpr{exprBase: at(t), OfType: ty}, nil
+		}
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{exprBase: at(t), OfExpr: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return x, nil
+		}
+		switch t.Text {
+		case "[":
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: at(t), X: x, Idx: idx}
+		case "(":
+			p.next()
+			call := &Call{exprBase: at(t), Fun: x}
+			if !p.accept(")") {
+				for {
+					a, err := p.assignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(")") {
+						break
+					}
+					if _, err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			x = call
+		case ".", "->":
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{exprBase: at(t), X: x, Name: name.Text, Arrow: t.Text == "->"}
+		case "++", "--":
+			p.next()
+			x = &Postfix{exprBase: at(t), Op: t.Text, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit, TokCharLit:
+		p.next()
+		return &IntLit{exprBase: at(t), Val: t.Int}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{exprBase: at(t), Val: t.Float}, nil
+	case TokStrLit:
+		p.next()
+		return &StrLit{exprBase: at(t), Val: t.Text}, nil
+	case TokIdent:
+		p.next()
+		return &Ident{exprBase: at(t), Name: t.Text}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.next()
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, errf(t.Line, t.Col, "unexpected token %q in expression", t.String())
+}
+
+var _ = fmt.Sprintf

@@ -1,0 +1,515 @@
+package minicc
+
+import "fmt"
+
+// Program is a type-checked translation unit ready for code generation.
+type Program struct {
+	File   *File
+	Layout Layout
+	// FuncSyms maps function names to symbols (defined + extern).
+	FuncSyms map[string]*Symbol
+	// TableFuncs are functions whose address is taken; they receive
+	// function-table slots (paper Fig. 9: only address-taken functions
+	// are indirect-call targets).
+	TableFuncs []*Symbol
+}
+
+// Builtin type signatures (paper §6.1: clang builtins that map directly
+// to the Cage instructions).
+var builtinSigs = map[string]*FuncSig{
+	"__builtin_segment_new":     {Params: []*Type{PtrTo(TypeChar), TypeLong}, Ret: PtrTo(TypeChar)},
+	"__builtin_segment_set_tag": {Params: []*Type{PtrTo(TypeChar), PtrTo(TypeChar), TypeLong}, Ret: TypeVoid},
+	"__builtin_segment_free":    {Params: []*Type{PtrTo(TypeChar), TypeLong}, Ret: TypeVoid},
+	"__builtin_pointer_sign":    {Params: []*Type{PtrTo(TypeChar)}, Ret: PtrTo(TypeChar)},
+	"__builtin_pointer_auth":    {Params: []*Type{PtrTo(TypeChar)}, Ret: PtrTo(TypeChar)},
+}
+
+// Analyze resolves names, checks types, and runs the Algorithm 1
+// analyses, producing a Program.
+func Analyze(f *File, layout Layout) (*Program, error) {
+	p := &Program{File: f, Layout: layout, FuncSyms: make(map[string]*Symbol)}
+	s := &sema{prog: p, layout: layout, globals: make(map[string]*Symbol)}
+
+	for _, si := range f.Structs {
+		layout.LayoutStruct(si)
+	}
+	for name, sig := range builtinSigs {
+		p.FuncSyms[name] = &Symbol{Name: name, Kind: SymExtern, Sig: sig, IsBuiltin: true,
+			Type: &Type{Kind: KFunc, Sig: sig}}
+	}
+	for _, ex := range f.Externs {
+		sym := &Symbol{Name: ex.Name, Kind: SymExtern, Sig: ex.Sig,
+			Type: &Type{Kind: KFunc, Sig: ex.Sig}}
+		ex.Sym = sym
+		p.FuncSyms[ex.Name] = sym
+	}
+	for _, fn := range f.Funcs {
+		sig := &FuncSig{Ret: fn.Ret}
+		for _, pa := range fn.Params {
+			sig.Params = append(sig.Params, pa.Typ)
+		}
+		sym := &Symbol{Name: fn.Name, Kind: SymFunc, Sig: sig, FuncDecl: fn,
+			Type: &Type{Kind: KFunc, Sig: sig}, TableIdx: -1}
+		fn.Sym = sym
+		if _, dup := p.FuncSyms[fn.Name]; dup {
+			return nil, fmt.Errorf("minicc: duplicate function %q", fn.Name)
+		}
+		p.FuncSyms[fn.Name] = sym
+	}
+	for _, g := range f.Globals {
+		sym := &Symbol{Name: g.Name, Kind: SymGlobal, Type: g.Typ, GlobalInit: g.Init}
+		g.Sym = sym
+		s.globals[g.Name] = sym
+		if g.Init != nil {
+			if err := s.checkExpr(g.Init); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, fn := range f.Funcs {
+		if err := s.checkFunc(fn); err != nil {
+			return nil, err
+		}
+		runStackAnalysis(fn, layout)
+	}
+	return p, nil
+}
+
+type sema struct {
+	prog    *Program
+	layout  Layout
+	globals map[string]*Symbol
+	scopes  []map[string]*Symbol
+	fn      *FuncDecl
+}
+
+func (s *sema) pushScope() { s.scopes = append(s.scopes, make(map[string]*Symbol)) }
+func (s *sema) popScope()  { s.scopes = s.scopes[:len(s.scopes)-1] }
+
+func (s *sema) declare(sym *Symbol) { s.scopes[len(s.scopes)-1][sym.Name] = sym }
+
+func (s *sema) lookup(name string) *Symbol {
+	for i := len(s.scopes) - 1; i >= 0; i-- {
+		if sym, ok := s.scopes[i][name]; ok {
+			return sym
+		}
+	}
+	if sym, ok := s.globals[name]; ok {
+		return sym
+	}
+	if sym, ok := s.prog.FuncSyms[name]; ok {
+		return sym
+	}
+	return nil
+}
+
+func (s *sema) checkFunc(fn *FuncDecl) error {
+	s.fn = fn
+	s.pushScope()
+	defer s.popScope()
+	for _, pa := range fn.Params {
+		sym := &Symbol{Name: pa.Name, Kind: SymParam, Type: pa.Typ}
+		fn.Locals = append(fn.Locals, sym)
+		s.declare(sym)
+	}
+	return s.checkStmt(fn.Body)
+}
+
+func (s *sema) checkStmt(st Stmt) error {
+	switch n := st.(type) {
+	case *BlockStmt:
+		s.pushScope()
+		defer s.popScope()
+		for _, sub := range n.Stmts {
+			if err := s.checkStmt(sub); err != nil {
+				return err
+			}
+		}
+	case *DeclStmt:
+		if n.Init != nil {
+			if err := s.checkExpr(n.Init); err != nil {
+				return err
+			}
+		}
+		sym := &Symbol{Name: n.Name, Kind: SymLocal, Type: n.Typ}
+		n.Sym = sym
+		s.fn.Locals = append(s.fn.Locals, sym)
+		s.declare(sym)
+	case *ExprStmt:
+		if n.X != nil {
+			return s.checkExpr(n.X)
+		}
+	case *IfStmt:
+		if err := s.checkExpr(n.Cond); err != nil {
+			return err
+		}
+		if err := s.checkStmt(n.Then); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			return s.checkStmt(n.Else)
+		}
+	case *ForStmt:
+		s.pushScope()
+		defer s.popScope()
+		if n.Init != nil {
+			if err := s.checkStmt(n.Init); err != nil {
+				return err
+			}
+		}
+		if n.Cond != nil {
+			if err := s.checkExpr(n.Cond); err != nil {
+				return err
+			}
+		}
+		if n.Post != nil {
+			if err := s.checkExpr(n.Post); err != nil {
+				return err
+			}
+		}
+		return s.checkStmt(n.Body)
+	case *WhileStmt:
+		if err := s.checkExpr(n.Cond); err != nil {
+			return err
+		}
+		return s.checkStmt(n.Body)
+	case *ReturnStmt:
+		if n.X != nil {
+			if err := s.checkExpr(n.X); err != nil {
+				return err
+			}
+			if s.fn.Ret == TypeVoid {
+				return fmt.Errorf("minicc: %s: return with value in void function", s.fn.Name)
+			}
+			if n.X.Type() == TypeVoid {
+				return fmt.Errorf("minicc: %s: returning a void expression", s.fn.Name)
+			}
+		} else if s.fn.Ret != TypeVoid {
+			return fmt.Errorf("minicc: %s: return without value", s.fn.Name)
+		}
+	case *BreakStmt, *ContinueStmt:
+	}
+	return nil
+}
+
+func (s *sema) checkExpr(e Expr) error {
+	switch n := e.(type) {
+	case *IntLit:
+		if n.Val >= -(1<<31) && n.Val < 1<<31 {
+			n.setType(TypeInt)
+		} else {
+			n.setType(TypeLong)
+		}
+	case *FloatLit:
+		n.setType(TypeDouble)
+	case *StrLit:
+		n.setType(PtrTo(TypeChar))
+	case *Ident:
+		sym := s.lookup(n.Name)
+		if sym == nil {
+			l, c := n.Pos()
+			return errf(l, c, "undeclared identifier %q", n.Name)
+		}
+		n.Sym = sym
+		n.setType(sym.Type)
+	case *Unary:
+		if err := s.checkExpr(n.X); err != nil {
+			return err
+		}
+		xt := n.X.Type()
+		switch n.Op {
+		case "-", "~":
+			if !xt.IsArith() {
+				return s.typeErr(n, "unary %s on %v", n.Op, xt)
+			}
+			n.setType(promote(xt))
+		case "!":
+			n.setType(TypeInt)
+		case "*":
+			dt := xt.Decay()
+			if !dt.IsPtr() {
+				return s.typeErr(n, "dereference of non-pointer %v", xt)
+			}
+			n.setType(dt.Elem)
+		case "&":
+			if !isLvalue(n.X) {
+				return s.typeErr(n, "address of non-lvalue")
+			}
+			markAddrTaken(n.X)
+			n.setType(PtrTo(xt))
+		case "++", "--":
+			if !isLvalue(n.X) {
+				return s.typeErr(n, "%s on non-lvalue", n.Op)
+			}
+			n.setType(xt)
+		}
+	case *Postfix:
+		if err := s.checkExpr(n.X); err != nil {
+			return err
+		}
+		if !isLvalue(n.X) {
+			return s.typeErr(n, "%s on non-lvalue", n.Op)
+		}
+		n.setType(n.X.Type())
+	case *Binary:
+		if err := s.checkExpr(n.X); err != nil {
+			return err
+		}
+		if err := s.checkExpr(n.Y); err != nil {
+			return err
+		}
+		xt, yt := n.X.Type().Decay(), n.Y.Type().Decay()
+		switch n.Op {
+		case "&&", "||":
+			n.setType(TypeInt)
+		case "==", "!=", "<", ">", "<=", ">=":
+			n.setType(TypeInt)
+		case "+", "-":
+			switch {
+			case xt.IsPtr() && yt.IsInteger():
+				n.setType(xt)
+			case n.Op == "+" && xt.IsInteger() && yt.IsPtr():
+				n.setType(yt)
+			case n.Op == "-" && xt.IsPtr() && yt.IsPtr():
+				n.setType(TypeLong)
+			case xt.IsArith() && yt.IsArith():
+				n.setType(CommonArith(xt, yt))
+			default:
+				return s.typeErr(n, "invalid operands %v %s %v", xt, n.Op, yt)
+			}
+		case "<<", ">>":
+			if !xt.IsInteger() || !yt.IsInteger() {
+				return s.typeErr(n, "shift of %v by %v", xt, yt)
+			}
+			n.setType(promote(xt))
+		case "&", "|", "^", "%":
+			if !xt.IsInteger() || !yt.IsInteger() {
+				return s.typeErr(n, "integer op %s on %v, %v", n.Op, xt, yt)
+			}
+			n.setType(CommonArith(xt, yt))
+		default: // * /
+			if !xt.IsArith() || !yt.IsArith() {
+				return s.typeErr(n, "arithmetic %s on %v, %v", n.Op, xt, yt)
+			}
+			n.setType(CommonArith(xt, yt))
+		}
+	case *Assign:
+		if err := s.checkExpr(n.LHS); err != nil {
+			return err
+		}
+		if err := s.checkExpr(n.RHS); err != nil {
+			return err
+		}
+		if !isLvalue(n.LHS) {
+			return s.typeErr(n, "assignment to non-lvalue")
+		}
+		lt := n.LHS.Type()
+		rt := n.RHS.Type().Decay()
+		if n.Op == "=" {
+			if !assignable(lt, rt, n.RHS) {
+				return s.typeErr(n, "cannot assign %v to %v", rt, lt)
+			}
+		} else if lt.IsPtr() {
+			// Compound pointer arithmetic: only += and -= with an
+			// integer operand.
+			if (n.Op != "+=" && n.Op != "-=") || !rt.IsInteger() {
+				return s.typeErr(n, "invalid %s on pointer %v", n.Op, lt)
+			}
+		} else if !lt.IsArith() || !rt.IsArith() {
+			return s.typeErr(n, "invalid %s on %v, %v", n.Op, lt, rt)
+		}
+		n.setType(lt)
+	case *Cond:
+		if err := s.checkExpr(n.C); err != nil {
+			return err
+		}
+		if err := s.checkExpr(n.T); err != nil {
+			return err
+		}
+		if err := s.checkExpr(n.F); err != nil {
+			return err
+		}
+		tt, ft := n.T.Type().Decay(), n.F.Type().Decay()
+		if tt.IsArith() && ft.IsArith() {
+			n.setType(CommonArith(tt, ft))
+		} else {
+			n.setType(tt)
+		}
+	case *Index:
+		if err := s.checkExpr(n.X); err != nil {
+			return err
+		}
+		if err := s.checkExpr(n.Idx); err != nil {
+			return err
+		}
+		bt := n.X.Type()
+		if bt.Kind != KArray && !bt.IsPtr() {
+			return s.typeErr(n, "indexing non-array %v", bt)
+		}
+		if !n.Idx.Type().Decay().IsInteger() {
+			return s.typeErr(n, "non-integer index")
+		}
+		n.setType(bt.Elem)
+	case *Member:
+		if err := s.checkExpr(n.X); err != nil {
+			return err
+		}
+		xt := n.X.Type()
+		if n.Arrow {
+			if !xt.Decay().IsPtr() || xt.Decay().Elem.Kind != KStruct {
+				return s.typeErr(n, "-> on non-struct-pointer %v", xt)
+			}
+			xt = xt.Decay().Elem
+		}
+		if xt.Kind != KStruct {
+			return s.typeErr(n, ". on non-struct %v", xt)
+		}
+		for i := range xt.Struct.Fields {
+			if xt.Struct.Fields[i].Name == n.Name {
+				n.Field = &xt.Struct.Fields[i]
+				n.setType(n.Field.Type)
+				return nil
+			}
+		}
+		return s.typeErr(n, "struct %s has no field %q", xt.Struct.Name, n.Name)
+	case *Call:
+		for _, a := range n.Args {
+			if err := s.checkExpr(a); err != nil {
+				return err
+			}
+		}
+		// Direct call by name?
+		if id, ok := n.Fun.(*Ident); ok {
+			if sym := s.prog.FuncSyms[id.Name]; sym != nil && s.lookupLocalOnly(id.Name) == nil {
+				id.Sym = sym
+				id.setType(sym.Type)
+				if sym.IsBuiltin {
+					n.Builtin = sym.Name
+				}
+				return s.checkCallSig(n, sym.Sig)
+			}
+		}
+		// Indirect call through a function-pointer expression.
+		if err := s.checkExpr(n.Fun); err != nil {
+			return err
+		}
+		ft := n.Fun.Type()
+		if ft.Kind == KPtr && ft.Elem != nil && ft.Elem.Kind == KFunc {
+			ft = ft.Elem
+		}
+		if ft.Kind != KFunc {
+			return s.typeErr(n, "call of non-function %v", n.Fun.Type())
+		}
+		return s.checkCallSig(n, ft.Sig)
+	case *Cast:
+		if err := s.checkExpr(n.X); err != nil {
+			return err
+		}
+		n.setType(n.To)
+	case *SizeofExpr:
+		if n.OfExpr != nil {
+			if err := s.checkExpr(n.OfExpr); err != nil {
+				return err
+			}
+		}
+		n.setType(TypeLong)
+	default:
+		return fmt.Errorf("minicc: unhandled expression %T", e)
+	}
+	return nil
+}
+
+// lookupLocalOnly checks whether name is shadowed by a local.
+func (s *sema) lookupLocalOnly(name string) *Symbol {
+	for i := len(s.scopes) - 1; i >= 0; i-- {
+		if sym, ok := s.scopes[i][name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *sema) checkCallSig(n *Call, sig *FuncSig) error {
+	if len(n.Args) != len(sig.Params) {
+		return s.typeErr(n, "call expects %d arguments, got %d", len(sig.Params), len(n.Args))
+	}
+	for i, a := range n.Args {
+		if !assignable(sig.Params[i], a.Type().Decay(), a) {
+			return s.typeErr(n, "argument %d: cannot pass %v as %v", i+1, a.Type(), sig.Params[i])
+		}
+	}
+	n.setType(sig.Ret)
+	return nil
+}
+
+func (s *sema) typeErr(e Expr, format string, args ...any) error {
+	l, c := e.Pos()
+	return errf(l, c, format, args...)
+}
+
+// assignable is MiniC's lenient assignment compatibility: arithmetic
+// types interconvert, pointers interconvert (C would warn), the literal
+// 0 is a null pointer, and function names convert to matching function
+// pointers.
+func assignable(to, from *Type, fromExpr Expr) bool {
+	if to.Equal(from) {
+		return true
+	}
+	if to.IsArith() && from.IsArith() {
+		return true
+	}
+	if to.IsPtr() && from.IsPtr() {
+		return true
+	}
+	if to.Kind == KFunc && from.Kind == KFunc {
+		return true
+	}
+	if to.IsPtr() && from.Kind == KFunc {
+		return true
+	}
+	if to.Kind == KFunc && from.IsPtr() {
+		return true
+	}
+	if to.IsPtr() || to.Kind == KFunc {
+		if lit, ok := fromExpr.(*IntLit); ok && lit.Val == 0 {
+			return true
+		}
+	}
+	// Pointers convert to/from long explicitly in exploit-style code;
+	// accept integer<->pointer with a cast node only.
+	if _, isCast := fromExpr.(*Cast); isCast {
+		if (to.IsPtr() && from.IsInteger()) || (to.IsInteger() && from.IsPtr()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e Expr) bool {
+	switch n := e.(type) {
+	case *Ident:
+		return n.Sym != nil && n.Sym.Kind != SymFunc && n.Sym.Kind != SymExtern
+	case *Index, *Member:
+		return true
+	case *Unary:
+		return n.Op == "*"
+	}
+	return false
+}
+
+// markAddrTaken records address-of on the root symbol (feeds Alg. 1).
+func markAddrTaken(e Expr) {
+	switch n := e.(type) {
+	case *Ident:
+		if n.Sym != nil {
+			n.Sym.AddrTaken = true
+		}
+	case *Index:
+		markAddrTaken(n.X)
+	case *Member:
+		if !n.Arrow {
+			markAddrTaken(n.X)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package minicc is the front end of the Cage compiler toolchain: a
+// lexer, parser, and semantic analyzer for MiniC, a C subset sufficient
+// for the paper's workloads (PolyBench kernels, the CVE case studies,
+// allocator-exercising programs).
+//
+// MiniC covers: char/int/long/float/double/void, pointers, fixed-size
+// arrays, structs, function pointers, globals with constant
+// initializers, string literals, the usual statement forms
+// (if/else, for, while, do-while, return, break, continue), the C
+// operator set including assignment operators and ++/--, casts, sizeof,
+// and the Cage builtins (__builtin_segment_new, __builtin_segment_free,
+// __builtin_segment_set_tag, __builtin_pointer_sign,
+// __builtin_pointer_auth) that the paper exposes to C programmers for
+// custom allocators (§4.1, §6.1).
+package minicc
+
+import "fmt"
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStrLit
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	// Int/Float carry literal values.
+	Int   int64
+	Float float64
+	Line  int
+	Col   int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokIntLit:
+		return fmt.Sprintf("%d", t.Int)
+	case TokFloatLit:
+		return fmt.Sprintf("%g", t.Float)
+	default:
+		return t.Text
+	}
+}
+
+// keywords of MiniC.
+var keywords = map[string]bool{
+	"void": true, "char": true, "int": true, "long": true,
+	"float": true, "double": true, "unsigned": true,
+	"struct": true, "if": true, "else": true, "for": true,
+	"while": true, "do": true, "return": true, "break": true,
+	"continue": true, "sizeof": true, "extern": true, "static": true,
+	"const": true,
+}
+
+// Error is a front-end diagnostic.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("minicc: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

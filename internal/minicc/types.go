@@ -1,0 +1,276 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a MiniC type.
+type Kind int
+
+// Type kinds.
+const (
+	KVoid Kind = iota
+	KChar
+	KInt
+	KLong
+	KFloat
+	KDouble
+	KPtr
+	KArray
+	KStruct
+	KFunc
+)
+
+// Type is a MiniC type. Scalar types are interned singletons; derived
+// types are structural.
+type Type struct {
+	Kind     Kind
+	Unsigned bool
+	Elem     *Type // pointer/array element
+	ArrayLen int64
+	Struct   *StructInfo
+	Sig      *FuncSig // KFunc
+}
+
+// StructInfo is a struct layout.
+type StructInfo struct {
+	Name   string
+	Fields []Field
+	Size   int64
+	Align  int64
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+// FuncSig is a function signature.
+type FuncSig struct {
+	Params []*Type
+	Ret    *Type
+}
+
+// Interned scalar types.
+var (
+	TypeVoid   = &Type{Kind: KVoid}
+	TypeChar   = &Type{Kind: KChar}
+	TypeUChar  = &Type{Kind: KChar, Unsigned: true}
+	TypeInt    = &Type{Kind: KInt}
+	TypeUInt   = &Type{Kind: KInt, Unsigned: true}
+	TypeLong   = &Type{Kind: KLong}
+	TypeULong  = &Type{Kind: KLong, Unsigned: true}
+	TypeFloat  = &Type{Kind: KFloat}
+	TypeDouble = &Type{Kind: KDouble}
+)
+
+// PtrTo builds a pointer type.
+func PtrTo(t *Type) *Type { return &Type{Kind: KPtr, Elem: t} }
+
+// ArrayOf builds an array type.
+func ArrayOf(t *Type, n int64) *Type { return &Type{Kind: KArray, Elem: t, ArrayLen: n} }
+
+// Layout parameterizes the data model: LP64 under wasm64 (8-byte
+// pointers and longs) and ILP32 under wasm32 (4-byte pointers and longs,
+// matching wasi-libc), so the same front end serves both baselines
+// (paper Table 3).
+type Layout struct {
+	PtrSize  int64
+	LongSize int64
+}
+
+// Layout64 and Layout32 are the two target layouts.
+var (
+	Layout64 = Layout{PtrSize: 8, LongSize: 8}
+	Layout32 = Layout{PtrSize: 4, LongSize: 4}
+)
+
+// Size returns the byte size of t under the layout.
+func (l Layout) Size(t *Type) int64 {
+	switch t.Kind {
+	case KVoid:
+		return 0
+	case KChar:
+		return 1
+	case KInt, KFloat:
+		return 4
+	case KLong:
+		return l.LongSize
+	case KDouble:
+		return 8
+	case KPtr, KFunc:
+		return l.PtrSize
+	case KArray:
+		return t.ArrayLen * l.Size(t.Elem)
+	case KStruct:
+		return t.Struct.Size
+	}
+	return 0
+}
+
+// Align returns the alignment of t under the layout.
+func (l Layout) Align(t *Type) int64 {
+	switch t.Kind {
+	case KArray:
+		return l.Align(t.Elem)
+	case KStruct:
+		return t.Struct.Align
+	default:
+		if s := l.Size(t); s > 0 {
+			return s
+		}
+		return 1
+	}
+}
+
+// LayoutStruct assigns field offsets and the total size.
+func (l Layout) LayoutStruct(si *StructInfo) {
+	var off, maxAlign int64 = 0, 1
+	for i := range si.Fields {
+		f := &si.Fields[i]
+		a := l.Align(f.Type)
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = (off + a - 1) &^ (a - 1)
+		f.Offset = off
+		off += l.Size(f.Type)
+	}
+	si.Align = maxAlign
+	si.Size = (off + maxAlign - 1) &^ (maxAlign - 1)
+	if si.Size == 0 {
+		si.Size = maxAlign
+	}
+}
+
+// IsInteger reports whether t is an integer type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case KChar, KInt, KLong:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating type.
+func (t *Type) IsFloat() bool { return t.Kind == KFloat || t.Kind == KDouble }
+
+// IsArith reports whether t is numeric.
+func (t *Type) IsArith() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsPtr reports whether t is a pointer.
+func (t *Type) IsPtr() bool { return t.Kind == KPtr }
+
+// IsScalar reports whether t fits in one wasm value.
+func (t *Type) IsScalar() bool { return t.IsArith() || t.IsPtr() || t.Kind == KFunc }
+
+// Equal is structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind || t.Unsigned != o.Unsigned {
+		return false
+	}
+	switch t.Kind {
+	case KPtr:
+		return t.Elem.Equal(o.Elem)
+	case KArray:
+		return t.ArrayLen == o.ArrayLen && t.Elem.Equal(o.Elem)
+	case KStruct:
+		return t.Struct == o.Struct
+	case KFunc:
+		if len(t.Sig.Params) != len(o.Sig.Params) || !t.Sig.Ret.Equal(o.Sig.Ret) {
+			return false
+		}
+		for i := range t.Sig.Params {
+			if !t.Sig.Params[i].Equal(o.Sig.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+// String renders the type in C-ish syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	u := ""
+	if t.Unsigned {
+		u = "unsigned "
+	}
+	switch t.Kind {
+	case KVoid:
+		return "void"
+	case KChar:
+		return u + "char"
+	case KInt:
+		return u + "int"
+	case KLong:
+		return u + "long"
+	case KFloat:
+		return "float"
+	case KDouble:
+		return "double"
+	case KPtr:
+		return t.Elem.String() + "*"
+	case KArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case KStruct:
+		return "struct " + t.Struct.Name
+	case KFunc:
+		var ps []string
+		for _, p := range t.Sig.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(*)(%s)", t.Sig.Ret, strings.Join(ps, ", "))
+	}
+	return "?"
+}
+
+// Decay converts arrays to element pointers (C array decay).
+func (t *Type) Decay() *Type {
+	if t.Kind == KArray {
+		return PtrTo(t.Elem)
+	}
+	return t
+}
+
+// CommonArith implements the usual arithmetic conversions, simplified:
+// double > float > long > int (char promotes to int).
+func CommonArith(a, b *Type) *Type {
+	rank := func(t *Type) int {
+		switch t.Kind {
+		case KDouble:
+			return 5
+		case KFloat:
+			return 4
+		case KLong:
+			return 3
+		default:
+			return 2
+		}
+	}
+	ra, rb := rank(a), rank(b)
+	if ra >= rb {
+		return promote(a)
+	}
+	return promote(b)
+}
+
+// promote applies integer promotion (char -> int).
+func promote(t *Type) *Type {
+	if t.Kind == KChar {
+		if t.Unsigned {
+			return TypeUInt
+		}
+		return TypeInt
+	}
+	return t
+}

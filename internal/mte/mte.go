@@ -1,0 +1,286 @@
+// Package mte simulates the Arm Memory Tagging Extension (MTE) used by
+// Cage as its memory-safety building block (paper §2.3).
+//
+// MTE is a lock-and-key mechanism: memory is tagged in 16-byte granules
+// with one of 16 4-bit tags, pointers carry a tag in bits 59..56, and an
+// access is only allowed when the pointer tag matches the tag of every
+// granule it touches. The simulation reproduces the architectural
+// behaviour relevant to Cage:
+//
+//   - tag storage at GranuleSize granularity over a linear memory
+//   - the four check modes (disabled, synchronous, asynchronous,
+//     asymmetric) with the async fault flag polled at "context switch"
+//   - random tag generation with a tag-exclusion mask (the prctl
+//     PR_MTE_TAG_MASK analog Cage uses to reserve tags, paper §6.4)
+//   - tag arithmetic and tag load/store operations mirroring the
+//     irg/addg/ldg/stg instruction family
+package mte
+
+import "fmt"
+
+const (
+	// GranuleSize is the MTE tagging granularity in bytes.
+	GranuleSize = 16
+	// TagBits is the width of an allocation tag.
+	TagBits = 4
+	// NumTags is the number of distinct tags.
+	NumTags = 1 << TagBits
+)
+
+// Mode selects how tag-check faults are reported (paper §2.3).
+type Mode int
+
+const (
+	// ModeDisabled performs no tag checks.
+	ModeDisabled Mode = iota
+	// ModeSync faults immediately, before the access takes effect.
+	ModeSync
+	// ModeAsync sets a cumulative fault flag checked at the next
+	// context switch; the access itself proceeds.
+	ModeAsync
+	// ModeAsymmetric checks reads asynchronously and writes synchronously.
+	ModeAsymmetric
+)
+
+// String returns the conventional lowercase mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeDisabled:
+		return "disabled"
+	case ModeSync:
+		return "sync"
+	case ModeAsync:
+		return "async"
+	case ModeAsymmetric:
+		return "asymmetric"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// TagFault describes a tag-check failure.
+type TagFault struct {
+	Addr   uint64 // untagged faulting address (offset into the memory)
+	PtrTag uint8  // tag carried by the pointer
+	MemTag uint8  // tag stored for the granule
+	Write  bool   // true for stores
+	Async  bool   // true if reported via the async flag
+}
+
+// Error implements the error interface.
+func (f *TagFault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	how := "synchronous"
+	if f.Async {
+		how = "asynchronous"
+	}
+	return fmt.Sprintf("mte: %s tag fault on %s at 0x%x: pointer tag %#x, memory tag %#x",
+		how, kind, f.Addr, f.PtrTag, f.MemTag)
+}
+
+// Memory is the tag storage for one linear memory region. Tags live in a
+// separate array mirroring the hardware's dedicated tag PA space; the data
+// bytes themselves are owned by the caller.
+type Memory struct {
+	mode    Mode
+	tags    []uint8 // one tag per granule
+	size    uint64  // bytes covered
+	pending *TagFault
+	exclude uint16 // bit i set => tag i never produced by RandomTag
+	rng     uint64 // xorshift64 state, deterministic and seedable
+}
+
+// NewMemory creates tag storage covering size bytes (rounded up to a whole
+// number of granules), with all granules tagged zero and checks in mode.
+func NewMemory(size uint64, mode Mode) *Memory {
+	return &Memory{
+		mode: mode,
+		tags: make([]uint8, granules(size)),
+		size: size,
+		rng:  0x9E3779B97F4A7C15,
+	}
+}
+
+func granules(size uint64) uint64 {
+	return (size + GranuleSize - 1) / GranuleSize
+}
+
+// Size returns the number of data bytes covered by the tag storage.
+func (m *Memory) Size() uint64 { return m.size }
+
+// Mode returns the current check mode.
+func (m *Memory) Mode() Mode { return m.mode }
+
+// SetMode switches the check mode.
+func (m *Memory) SetMode(mode Mode) { m.mode = mode }
+
+// Seed reseeds the deterministic random tag generator.
+func (m *Memory) Seed(seed uint64) {
+	if seed == 0 {
+		seed = 1
+	}
+	m.rng = seed
+}
+
+// SetExcludeMask configures which tags RandomTag may never return (the
+// GCR_EL1.Exclude / prctl analog). At least one tag must remain usable.
+func (m *Memory) SetExcludeMask(mask uint16) error {
+	if mask == 0xFFFF {
+		return fmt.Errorf("mte: exclude mask %#x leaves no usable tags", mask)
+	}
+	m.exclude = mask
+	return nil
+}
+
+// ExcludeMask returns the current tag exclusion mask.
+func (m *Memory) ExcludeMask() uint16 { return m.exclude }
+
+// Grow extends the covered region to newSize bytes; new granules are
+// tagged zero. Shrinking is not supported and is ignored.
+func (m *Memory) Grow(newSize uint64) {
+	if newSize <= m.size {
+		return
+	}
+	need := granules(newSize)
+	if uint64(len(m.tags)) < need {
+		grown := make([]uint8, need)
+		copy(grown, m.tags)
+		m.tags = grown
+	}
+	m.size = newSize
+}
+
+func (m *Memory) next() uint64 {
+	x := m.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	m.rng = x
+	return x
+}
+
+// RandomTag returns a uniformly random non-excluded tag (irg).
+func (m *Memory) RandomTag() uint8 {
+	for {
+		t := uint8(m.next() & (NumTags - 1))
+		if m.exclude&(1<<t) == 0 {
+			return t
+		}
+	}
+}
+
+// NextTag returns the tag after t, wrapping modulo 16 and skipping
+// excluded tags. Cage uses this for successive stack allocations
+// (paper §4.2: "subsequent stack allocations use this tag and increment
+// it by one ... the tag wraps around on overflow").
+func (m *Memory) NextTag(t uint8) uint8 {
+	for i := 0; i < NumTags; i++ {
+		t = (t + 1) & (NumTags - 1)
+		if m.exclude&(1<<t) == 0 {
+			return t
+		}
+	}
+	return t
+}
+
+// TagAt returns the tag of the granule containing addr (ldg).
+func (m *Memory) TagAt(addr uint64) uint8 {
+	g := addr / GranuleSize
+	if g >= uint64(len(m.tags)) {
+		return 0
+	}
+	return m.tags[g]
+}
+
+// SetTagRange assigns tag to every granule in [addr, addr+length)
+// (an stg loop). addr and length must be granule-aligned and in bounds.
+func (m *Memory) SetTagRange(addr, length uint64, tag uint8) error {
+	if addr%GranuleSize != 0 || length%GranuleSize != 0 {
+		return fmt.Errorf("mte: unaligned tag range [%#x, +%#x)", addr, length)
+	}
+	if addr+length < addr || addr+length > m.size {
+		return fmt.Errorf("mte: tag range [%#x, +%#x) out of bounds (size %#x)", addr, length, m.size)
+	}
+	first := addr / GranuleSize
+	for g := first; g < first+length/GranuleSize; g++ {
+		m.tags[g] = tag & (NumTags - 1)
+	}
+	return nil
+}
+
+// RangeTag returns the common tag of all granules in [addr, addr+length),
+// or ok=false when the range spans granules with differing tags or is out
+// of bounds. This is the s_tag(i, addr, len) accessor of paper Fig. 11.
+func (m *Memory) RangeTag(addr, length uint64) (tag uint8, ok bool) {
+	if length == 0 {
+		length = 1
+	}
+	if addr+length < addr || addr+length > m.size {
+		return 0, false
+	}
+	first := addr / GranuleSize
+	last := (addr + length - 1) / GranuleSize
+	tag = m.tags[first]
+	for g := first + 1; g <= last; g++ {
+		if m.tags[g] != tag {
+			return 0, false
+		}
+	}
+	return tag, true
+}
+
+// CheckAccess performs the tag check for an access of length bytes at the
+// untagged address addr using a pointer carrying ptrTag. The return value
+// follows the configured mode: sync faults return a *TagFault, async
+// faults are latched for PendingFault and return nil.
+func (m *Memory) CheckAccess(addr uint64, length uint64, ptrTag uint8, write bool) error {
+	if m.mode == ModeDisabled {
+		return nil
+	}
+	memTag, uniform := m.RangeTag(addr, length)
+	if uniform && memTag == ptrTag {
+		return nil
+	}
+	if !uniform {
+		// Mixed-tag range: report the first mismatching granule.
+		memTag = m.TagAt(addr)
+		if memTag == ptrTag {
+			// Find the granule that differs.
+			for a := addr &^ (GranuleSize - 1); a < addr+length; a += GranuleSize {
+				if t := m.TagAt(a); t != ptrTag {
+					addr, memTag = a, t
+					break
+				}
+			}
+		}
+	}
+	fault := &TagFault{Addr: addr, PtrTag: ptrTag, MemTag: memTag, Write: write}
+	sync := m.mode == ModeSync || (m.mode == ModeAsymmetric && write)
+	if sync {
+		return fault
+	}
+	fault.Async = true
+	if m.pending == nil {
+		m.pending = fault
+	}
+	return nil
+}
+
+// PendingFault returns and clears the latched asynchronous fault, if any.
+// Callers invoke this at context-switch points (e.g. after a host call or
+// when an instance yields), mirroring the hardware's TFSR check.
+func (m *Memory) PendingFault() *TagFault {
+	f := m.pending
+	m.pending = nil
+	return f
+}
+
+// ZeroAllTags resets every granule to tag zero.
+func (m *Memory) ZeroAllTags() {
+	for i := range m.tags {
+		m.tags[i] = 0
+	}
+}

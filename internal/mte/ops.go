@@ -1,0 +1,70 @@
+package mte
+
+// TagStoreOp names one of the tag-setting store instructions benchmarked
+// in paper Table 4 / Fig. 16. The variants differ in how many granules a
+// single instruction tags and whether it also zeroes the data bytes.
+type TagStoreOp int
+
+const (
+	// OpSTG tags one granule, data untouched.
+	OpSTG TagStoreOp = iota
+	// OpST2G tags two granules, data untouched.
+	OpST2G
+	// OpSTZG tags one granule and zeroes its 16 data bytes.
+	OpSTZG
+	// OpST2ZG tags two granules and zeroes their 32 data bytes.
+	OpST2ZG
+	// OpSTGP tags one granule and stores a 16-byte register pair.
+	OpSTGP
+)
+
+// String returns the instruction mnemonic.
+func (op TagStoreOp) String() string {
+	switch op {
+	case OpSTG:
+		return "stg"
+	case OpST2G:
+		return "st2g"
+	case OpSTZG:
+		return "stzg"
+	case OpST2ZG:
+		return "st2zg"
+	case OpSTGP:
+		return "stgp"
+	default:
+		return "tagstore(?)"
+	}
+}
+
+// Granules is the number of 16-byte granules a single instruction covers.
+func (op TagStoreOp) Granules() int {
+	if op == OpST2G || op == OpST2ZG {
+		return 2
+	}
+	return 1
+}
+
+// ZeroesData reports whether the instruction also initializes the data
+// bytes (so no separate memset is needed).
+func (op TagStoreOp) ZeroesData() bool {
+	return op == OpSTZG || op == OpST2ZG || op == OpSTGP
+}
+
+// AllTagStoreOps lists the variants in paper Table 4 order.
+var AllTagStoreOps = []TagStoreOp{OpSTG, OpST2G, OpSTGP, OpSTZG, OpST2ZG}
+
+// Apply executes the semantic effect of op at addr: tagging the covered
+// granules and, for zeroing variants, clearing the data bytes in buf.
+// addr must be aligned to the instruction's coverage.
+func (op TagStoreOp) Apply(m *Memory, buf []byte, addr uint64, tag uint8) error {
+	length := uint64(op.Granules()) * GranuleSize
+	if err := m.SetTagRange(addr, length, tag); err != nil {
+		return err
+	}
+	if op.ZeroesData() && addr+length <= uint64(len(buf)) {
+		for i := addr; i < addr+length; i++ {
+			buf[i] = 0
+		}
+	}
+	return nil
+}

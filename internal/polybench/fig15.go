@@ -1,0 +1,169 @@
+package polybench
+
+import "math"
+
+// refSqrt keeps the reference implementations dependency-explicit.
+func refSqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Fig. 15 workload: the paper's modified 2mm, where the inner product is
+// moved behind a function call performed statically, dynamically through
+// a vtable, or dynamically with pointer authentication (§7.2, A.3.4).
+//
+// The programs split setup (allocation + initialization) from the kernel
+// so the harness can measure the kernel region alone, mirroring the
+// PolyBench timer methodology. The static variant inlines the inner
+// product the way LLVM does at -O2, making it a call-free baseline.
+
+// CallMode selects the Fig. 15 variant.
+type CallMode int
+
+const (
+	// CallStatic inlines the dot-product routine (direct/LLVM-inlined).
+	CallStatic CallMode = iota
+	// CallDynamic calls through a vtable function pointer.
+	CallDynamic
+	// CallAuthenticated is CallDynamic compiled with the pointer-auth
+	// pass (sign at vtable setup, authenticate per call).
+	CallAuthenticated
+)
+
+// String names the variant like the paper's legend.
+func (m CallMode) String() string {
+	switch m {
+	case CallStatic:
+		return "static"
+	case CallDynamic:
+		return "dynamic"
+	case CallAuthenticated:
+		return "ptr-auth"
+	default:
+		return "call(?)"
+	}
+}
+
+const twoMMSetup = prelude + initHelpers + `
+double* A;
+double* B;
+double* C;
+double* D;
+double* tmp;
+void setup(long n) {
+    A = (double*)malloc(n * n * 8);
+    B = (double*)malloc(n * n * 8);
+    C = (double*)malloc(n * n * 8);
+    D = (double*)malloc(n * n * 8);
+    tmp = (double*)malloc(n * n * 8);
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+            C[i * n + j] = initC(i, j, n);
+            D[i * n + j] = initD(i, j, n);
+        }
+    }
+}
+`
+
+const twoMMStaticSrc = twoMMSetup + `
+double kernel(long n) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double* a = A + i * n;
+            double* b = B + j;
+            double s = 0.0;
+            for (long k = 0; k < n; k++) { s += a[k] * b[k * n]; }
+            tmp[i * n + j] = alpha * s;
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double* a = tmp + i * n;
+            double* b = C + j;
+            double s = 0.0;
+            for (long k = 0; k < n; k++) { s += a[k] * b[k * n]; }
+            D[i * n + j] = D[i * n + j] * beta + s;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += D[i * n + j]; }
+    }
+    return acc;
+}`
+
+const twoMMDynamicSrc = twoMMSetup + `
+struct MulOps { double (*dot)(double*, double*, long, long); };
+struct MulOps ops;
+double dot(double* a, double* b, long n, long stride) {
+    double s = 0.0;
+    for (long k = 0; k < n; k++) { s += a[k] * b[k * stride]; }
+    return s;
+}
+double kernel(long n) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    ops.dot = dot;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            tmp[i * n + j] = alpha * ops.dot(A + i * n, B + j, n, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            D[i * n + j] = D[i * n + j] * beta + ops.dot(tmp + i * n, C + j, n, n);
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += D[i * n + j]; }
+    }
+    return acc;
+}`
+
+// TwoMMVariant returns the Fig. 15 kernel for the given call mode. The
+// CallAuthenticated source equals the dynamic one; the difference is the
+// pointer-auth compile option and runtime feature. The program exports
+// setup(n) and kernel(n); Kernel.Source also works with the plain Run
+// helper through the run(n) wrapper.
+func TwoMMVariant(mode CallMode) Kernel {
+	src := twoMMStaticSrc
+	if mode != CallStatic {
+		src = twoMMDynamicSrc
+	}
+	src += `
+double run(long n) {
+    setup(n);
+    return kernel(n);
+}`
+	return Kernel{
+		Name:   "2mm-" + mode.String(),
+		Source: src,
+		TestN:  12,
+		BenchN: 48,
+		Reference: func(n int) float64 {
+			A, B, C, D := matA(n), matB(n), matC(n), matD(n)
+			tmp := make([]float64, n*n)
+			alpha, beta := 1.5, 1.2
+			dot := func(a, b []float64, stride int) float64 {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += a[k] * b[k*stride]
+				}
+				return s
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					tmp[i*n+j] = alpha * dot(A[i*n:], B[j:], n)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					D[i*n+j] = D[i*n+j]*beta + dot(tmp[i*n:], C[j:], n)
+				}
+			}
+			return sum(D)
+		},
+	}
+}

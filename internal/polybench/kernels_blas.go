@@ -1,0 +1,595 @@
+package polybench
+
+// Linear-algebra kernels: gemm, 2mm, 3mm, atax, bicg, gemver, gesummv,
+// mvt, syrk, syr2k.
+
+func init() {
+	register(Kernel{
+		Name: "gemm", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    double* C = (double*)malloc(n * n * 8);
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+            C[i * n + j] = initC(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = C[i * n + j] * beta;
+            for (long k = 0; k < n; k++) {
+                s += alpha * A[i * n + k] * B[k * n + j];
+            }
+            C[i * n + j] = s;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += C[i * n + j]; }
+    }
+    free((char*)A); free((char*)B); free((char*)C);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, B, C := matA(n), matB(n), matC(n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := C[i*n+j] * beta
+					for k := 0; k < n; k++ {
+						s += alpha * A[i*n+k] * B[k*n+j]
+					}
+					C[i*n+j] = s
+				}
+			}
+			return sum(C)
+		},
+	})
+
+	register(Kernel{
+		Name: "2mm", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    double* C = (double*)malloc(n * n * 8);
+    double* D = (double*)malloc(n * n * 8);
+    double* tmp = (double*)malloc(n * n * 8);
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+            C[i * n + j] = initC(i, j, n);
+            D[i * n + j] = initD(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = 0.0;
+            for (long k = 0; k < n; k++) { s += alpha * A[i * n + k] * B[k * n + j]; }
+            tmp[i * n + j] = s;
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = D[i * n + j] * beta;
+            for (long k = 0; k < n; k++) { s += tmp[i * n + k] * C[k * n + j]; }
+            D[i * n + j] = s;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += D[i * n + j]; }
+    }
+    free((char*)A); free((char*)B); free((char*)C); free((char*)D); free((char*)tmp);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, B, C, D := matA(n), matB(n), matC(n), matD(n)
+			tmp := make([]float64, n*n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := 0.0
+					for k := 0; k < n; k++ {
+						s += alpha * A[i*n+k] * B[k*n+j]
+					}
+					tmp[i*n+j] = s
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := D[i*n+j] * beta
+					for k := 0; k < n; k++ {
+						s += tmp[i*n+k] * C[k*n+j]
+					}
+					D[i*n+j] = s
+				}
+			}
+			return sum(D)
+		},
+	})
+
+	register(Kernel{
+		Name: "3mm", TestN: 10, BenchN: 20,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    double* C = (double*)malloc(n * n * 8);
+    double* D = (double*)malloc(n * n * 8);
+    double* E = (double*)malloc(n * n * 8);
+    double* F = (double*)malloc(n * n * 8);
+    double* G = (double*)malloc(n * n * 8);
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+            C[i * n + j] = initC(i, j, n);
+            D[i * n + j] = initD(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = 0.0;
+            for (long k = 0; k < n; k++) { s += A[i * n + k] * B[k * n + j]; }
+            E[i * n + j] = s;
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = 0.0;
+            for (long k = 0; k < n; k++) { s += C[i * n + k] * D[k * n + j]; }
+            F[i * n + j] = s;
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = 0.0;
+            for (long k = 0; k < n; k++) { s += E[i * n + k] * F[k * n + j]; }
+            G[i * n + j] = s;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += G[i * n + j]; }
+    }
+    free((char*)A); free((char*)B); free((char*)C); free((char*)D);
+    free((char*)E); free((char*)F); free((char*)G);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, B, C, D := matA(n), matB(n), matC(n), matD(n)
+			E := make([]float64, n*n)
+			F := make([]float64, n*n)
+			G := make([]float64, n*n)
+			mm := func(dst, x, y []float64) {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						s := 0.0
+						for k := 0; k < n; k++ {
+							s += x[i*n+k] * y[k*n+j]
+						}
+						dst[i*n+j] = s
+					}
+				}
+			}
+			mm(E, A, B)
+			mm(F, C, D)
+			mm(G, E, F)
+			return sum(G)
+		},
+	})
+
+	register(Kernel{
+		Name: "atax", TestN: 24, BenchN: 64,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* x = (double*)malloc(n * 8);
+    double* y = (double*)malloc(n * 8);
+    double* t = (double*)malloc(n * 8);
+    for (long i = 0; i < n; i++) {
+        x[i] = initV(i, n);
+        y[i] = 0.0;
+        for (long j = 0; j < n; j++) { A[i * n + j] = initA(i, j, n); }
+    }
+    for (long i = 0; i < n; i++) {
+        double s = 0.0;
+        for (long j = 0; j < n; j++) { s += A[i * n + j] * x[j]; }
+        t[i] = s;
+    }
+    for (long j = 0; j < n; j++) {
+        double s = y[j];
+        for (long i = 0; i < n; i++) { s += A[i * n + j] * t[i]; }
+        y[j] = s;
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) { acc += y[i]; }
+    free((char*)A); free((char*)x); free((char*)y); free((char*)t);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, x := matA(n), vecV(n)
+			y := make([]float64, n)
+			t := make([]float64, n)
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for j := 0; j < n; j++ {
+					s += A[i*n+j] * x[j]
+				}
+				t[i] = s
+			}
+			for j := 0; j < n; j++ {
+				s := y[j]
+				for i := 0; i < n; i++ {
+					s += A[i*n+j] * t[i]
+				}
+				y[j] = s
+			}
+			return sum(y)
+		},
+	})
+
+	register(Kernel{
+		Name: "bicg", TestN: 24, BenchN: 64,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* p = (double*)malloc(n * 8);
+    double* r = (double*)malloc(n * 8);
+    double* q = (double*)malloc(n * 8);
+    double* s = (double*)malloc(n * 8);
+    for (long i = 0; i < n; i++) {
+        p[i] = initV(i, n);
+        r[i] = initV(i + 1, n);
+        q[i] = 0.0;
+        s[i] = 0.0;
+        for (long j = 0; j < n; j++) { A[i * n + j] = initA(i, j, n); }
+    }
+    for (long i = 0; i < n; i++) {
+        double acc = 0.0;
+        for (long j = 0; j < n; j++) {
+            s[j] = s[j] + r[i] * A[i * n + j];
+            acc += A[i * n + j] * p[j];
+        }
+        q[i] = acc;
+    }
+    double out = 0.0;
+    for (long i = 0; i < n; i++) { out += q[i] + s[i]; }
+    free((char*)A); free((char*)p); free((char*)r); free((char*)q); free((char*)s);
+    return out;
+}`,
+		Reference: func(n int) float64 {
+			A := matA(n)
+			p := vecV(n)
+			r := make([]float64, n)
+			for i := 0; i < n; i++ {
+				r[i] = refInitV(i+1, n)
+			}
+			q := make([]float64, n)
+			s := make([]float64, n)
+			for i := 0; i < n; i++ {
+				acc := 0.0
+				for j := 0; j < n; j++ {
+					s[j] = s[j] + r[i]*A[i*n+j]
+					acc += A[i*n+j] * p[j]
+				}
+				q[i] = acc
+			}
+			out := 0.0
+			for i := 0; i < n; i++ {
+				out += q[i] + s[i]
+			}
+			return out
+		},
+	})
+
+	register(Kernel{
+		Name: "gemver", TestN: 24, BenchN: 64,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* u1 = (double*)malloc(n * 8);
+    double* v1 = (double*)malloc(n * 8);
+    double* u2 = (double*)malloc(n * 8);
+    double* v2 = (double*)malloc(n * 8);
+    double* w = (double*)malloc(n * 8);
+    double* x = (double*)malloc(n * 8);
+    double* y = (double*)malloc(n * 8);
+    double* z = (double*)malloc(n * 8);
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        u1[i] = initV(i, n);
+        u2[i] = initV(i + 1, n);
+        v1[i] = initV(i + 2, n);
+        v2[i] = initV(i + 3, n);
+        y[i] = initV(i + 4, n);
+        z[i] = initV(i + 5, n);
+        x[i] = 0.0;
+        w[i] = 0.0;
+        for (long j = 0; j < n; j++) { A[i * n + j] = initA(i, j, n); }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = A[i * n + j] + u1[i] * v1[j] + u2[i] * v2[j];
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        double s = x[i];
+        for (long j = 0; j < n; j++) { s += beta * A[j * n + i] * y[j]; }
+        x[i] = s;
+    }
+    for (long i = 0; i < n; i++) { x[i] = x[i] + z[i]; }
+    for (long i = 0; i < n; i++) {
+        double s = w[i];
+        for (long j = 0; j < n; j++) { s += alpha * A[i * n + j] * x[j]; }
+        w[i] = s;
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) { acc += w[i]; }
+    free((char*)A); free((char*)u1); free((char*)v1); free((char*)u2); free((char*)v2);
+    free((char*)w); free((char*)x); free((char*)y); free((char*)z);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := matA(n)
+			u1 := make([]float64, n)
+			u2 := make([]float64, n)
+			v1 := make([]float64, n)
+			v2 := make([]float64, n)
+			y := make([]float64, n)
+			z := make([]float64, n)
+			x := make([]float64, n)
+			w := make([]float64, n)
+			for i := 0; i < n; i++ {
+				u1[i] = refInitV(i, n)
+				u2[i] = refInitV(i+1, n)
+				v1[i] = refInitV(i+2, n)
+				v2[i] = refInitV(i+3, n)
+				y[i] = refInitV(i+4, n)
+				z[i] = refInitV(i+5, n)
+			}
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = A[i*n+j] + u1[i]*v1[j] + u2[i]*v2[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				s := x[i]
+				for j := 0; j < n; j++ {
+					s += beta * A[j*n+i] * y[j]
+				}
+				x[i] = s
+			}
+			for i := 0; i < n; i++ {
+				x[i] = x[i] + z[i]
+			}
+			for i := 0; i < n; i++ {
+				s := w[i]
+				for j := 0; j < n; j++ {
+					s += alpha * A[i*n+j] * x[j]
+				}
+				w[i] = s
+			}
+			return sum(w)
+		},
+	})
+
+	register(Kernel{
+		Name: "gesummv", TestN: 24, BenchN: 64,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    double* x = (double*)malloc(n * 8);
+    double* y = (double*)malloc(n * 8);
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        x[i] = initV(i, n);
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        double t = 0.0;
+        double u = 0.0;
+        for (long j = 0; j < n; j++) {
+            t += A[i * n + j] * x[j];
+            u += B[i * n + j] * x[j];
+        }
+        y[i] = alpha * t + beta * u;
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) { acc += y[i]; }
+    free((char*)A); free((char*)B); free((char*)x); free((char*)y);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, B, x := matA(n), matB(n), vecV(n)
+			y := make([]float64, n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				t, u := 0.0, 0.0
+				for j := 0; j < n; j++ {
+					t += A[i*n+j] * x[j]
+					u += B[i*n+j] * x[j]
+				}
+				y[i] = alpha*t + beta*u
+			}
+			return sum(y)
+		},
+	})
+
+	register(Kernel{
+		Name: "mvt", TestN: 24, BenchN: 64,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* x1 = (double*)malloc(n * 8);
+    double* x2 = (double*)malloc(n * 8);
+    double* y1 = (double*)malloc(n * 8);
+    double* y2 = (double*)malloc(n * 8);
+    for (long i = 0; i < n; i++) {
+        x1[i] = initV(i, n);
+        x2[i] = initV(i + 1, n);
+        y1[i] = initV(i + 2, n);
+        y2[i] = initV(i + 3, n);
+        for (long j = 0; j < n; j++) { A[i * n + j] = initA(i, j, n); }
+    }
+    for (long i = 0; i < n; i++) {
+        double s = x1[i];
+        for (long j = 0; j < n; j++) { s += A[i * n + j] * y1[j]; }
+        x1[i] = s;
+    }
+    for (long i = 0; i < n; i++) {
+        double s = x2[i];
+        for (long j = 0; j < n; j++) { s += A[j * n + i] * y2[j]; }
+        x2[i] = s;
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) { acc += x1[i] + x2[i]; }
+    free((char*)A); free((char*)x1); free((char*)x2); free((char*)y1); free((char*)y2);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := matA(n)
+			x1 := vecV(n)
+			x2 := make([]float64, n)
+			y1 := make([]float64, n)
+			y2 := make([]float64, n)
+			for i := 0; i < n; i++ {
+				x2[i] = refInitV(i+1, n)
+				y1[i] = refInitV(i+2, n)
+				y2[i] = refInitV(i+3, n)
+			}
+			for i := 0; i < n; i++ {
+				s := x1[i]
+				for j := 0; j < n; j++ {
+					s += A[i*n+j] * y1[j]
+				}
+				x1[i] = s
+			}
+			for i := 0; i < n; i++ {
+				s := x2[i]
+				for j := 0; j < n; j++ {
+					s += A[j*n+i] * y2[j]
+				}
+				x2[i] = s
+			}
+			out := 0.0
+			for i := 0; i < n; i++ {
+				out += x1[i] + x2[i]
+			}
+			return out
+		},
+	})
+
+	register(Kernel{
+		Name: "syrk", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* C = (double*)malloc(n * n * 8);
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            C[i * n + j] = initC(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = C[i * n + j] * beta;
+            for (long k = 0; k < n; k++) {
+                s += alpha * A[i * n + k] * A[j * n + k];
+            }
+            C[i * n + j] = s;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += C[i * n + j]; }
+    }
+    free((char*)A); free((char*)C);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, C := matA(n), matC(n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := C[i*n+j] * beta
+					for k := 0; k < n; k++ {
+						s += alpha * A[i*n+k] * A[j*n+k]
+					}
+					C[i*n+j] = s
+				}
+			}
+			return sum(C)
+		},
+	})
+
+	register(Kernel{
+		Name: "syr2k", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    double* C = (double*)malloc(n * n * 8);
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+            C[i * n + j] = initC(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = C[i * n + j] * beta;
+            for (long k = 0; k < n; k++) {
+                s += alpha * A[i * n + k] * B[j * n + k];
+                s += alpha * B[i * n + k] * A[j * n + k];
+            }
+            C[i * n + j] = s;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += C[i * n + j]; }
+    }
+    free((char*)A); free((char*)B); free((char*)C);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, B, C := matA(n), matB(n), matC(n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := C[i*n+j] * beta
+					for k := 0; k < n; k++ {
+						s += alpha * A[i*n+k] * B[j*n+k]
+						s += alpha * B[i*n+k] * A[j*n+k]
+					}
+					C[i*n+j] = s
+				}
+			}
+			return sum(C)
+		},
+	})
+}

@@ -1,0 +1,547 @@
+package polybench
+
+// Additional PolyBench/C kernels: doitgen, symm, lu, covariance,
+// correlation, floyd-warshall, fdtd-2d, gramschmidt.
+
+func init() {
+	register(Kernel{
+		Name: "doitgen", TestN: 8, BenchN: 14,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * n * 8);
+    double* C4 = (double*)malloc(n * n * 8);
+    double* s = (double*)malloc(n * 8);
+    for (long r = 0; r < n; r++) {
+        for (long q = 0; q < n; q++) {
+            for (long p = 0; p < n; p++) {
+                A[(r * n + q) * n + p] = initA(r * n + q, p, n);
+            }
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { C4[i * n + j] = initB(i, j, n); }
+    }
+    for (long r = 0; r < n; r++) {
+        for (long q = 0; q < n; q++) {
+            for (long p = 0; p < n; p++) {
+                double acc = 0.0;
+                for (long k = 0; k < n; k++) {
+                    acc += A[(r * n + q) * n + k] * C4[k * n + p];
+                }
+                s[p] = acc;
+            }
+            for (long p = 0; p < n; p++) { A[(r * n + q) * n + p] = s[p]; }
+        }
+    }
+    double out = 0.0;
+    for (long i = 0; i < n * n * n; i++) { out += A[i]; }
+    free((char*)A); free((char*)C4); free((char*)s);
+    return out;
+}`,
+		Reference: func(n int) float64 {
+			A := make([]float64, n*n*n)
+			C4 := make([]float64, n*n)
+			s := make([]float64, n)
+			for r := 0; r < n; r++ {
+				for q := 0; q < n; q++ {
+					for p := 0; p < n; p++ {
+						A[(r*n+q)*n+p] = refInitA(r*n+q, p, n)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					C4[i*n+j] = refInitB(i, j, n)
+				}
+			}
+			for r := 0; r < n; r++ {
+				for q := 0; q < n; q++ {
+					for p := 0; p < n; p++ {
+						acc := 0.0
+						for k := 0; k < n; k++ {
+							acc += A[(r*n+q)*n+k] * C4[k*n+p]
+						}
+						s[p] = acc
+					}
+					for p := 0; p < n; p++ {
+						A[(r*n+q)*n+p] = s[p]
+					}
+				}
+			}
+			return sum(A)
+		},
+	})
+
+	register(Kernel{
+		Name: "symm", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    double* C = (double*)malloc(n * n * 8);
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+            C[i * n + j] = initC(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double temp2 = 0.0;
+            for (long k = 0; k < i; k++) {
+                C[k * n + j] += alpha * B[i * n + j] * A[i * n + k];
+                temp2 += B[k * n + j] * A[i * n + k];
+            }
+            C[i * n + j] = beta * C[i * n + j]
+                + alpha * B[i * n + j] * A[i * n + i] + alpha * temp2;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n * n; i++) { acc += C[i]; }
+    free((char*)A); free((char*)B); free((char*)C);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, B, C := matA(n), matB(n), matC(n)
+			alpha, beta := 1.5, 1.2
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					temp2 := 0.0
+					for k := 0; k < i; k++ {
+						C[k*n+j] += alpha * B[i*n+j] * A[i*n+k]
+						temp2 += B[k*n+j] * A[i*n+k]
+					}
+					C[i*n+j] = beta*C[i*n+j] + alpha*B[i*n+j]*A[i*n+i] + alpha*temp2
+				}
+			}
+			return sum(C)
+		},
+	})
+
+	register(Kernel{
+		Name: "lu", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n) * 0.1;
+            if (i == j) { A[i * n + j] = A[i * n + j] + (double)n; }
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < i; j++) {
+            double w = A[i * n + j];
+            for (long k = 0; k < j; k++) { w -= A[i * n + k] * A[k * n + j]; }
+            A[i * n + j] = w / A[j * n + j];
+        }
+        for (long j = i; j < n; j++) {
+            double w = A[i * n + j];
+            for (long k = 0; k < i; k++) { w -= A[i * n + k] * A[k * n + j]; }
+            A[i * n + j] = w;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n * n; i++) { acc += A[i]; }
+    free((char*)A);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = refInitA(i, j, n) * 0.1
+					if i == j {
+						A[i*n+j] += float64(n)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					w := A[i*n+j]
+					for k := 0; k < j; k++ {
+						w -= A[i*n+k] * A[k*n+j]
+					}
+					A[i*n+j] = w / A[j*n+j]
+				}
+				for j := i; j < n; j++ {
+					w := A[i*n+j]
+					for k := 0; k < i; k++ {
+						w -= A[i*n+k] * A[k*n+j]
+					}
+					A[i*n+j] = w
+				}
+			}
+			return sum(A)
+		},
+	})
+
+	register(Kernel{
+		Name: "covariance", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* data = (double*)malloc(n * n * 8);
+    double* mean = (double*)malloc(n * 8);
+    double* cov = (double*)malloc(n * n * 8);
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { data[i * n + j] = initA(i, j, n); }
+    }
+    for (long j = 0; j < n; j++) {
+        double m = 0.0;
+        for (long i = 0; i < n; i++) { m += data[i * n + j]; }
+        mean[j] = m / (double)n;
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { data[i * n + j] -= mean[j]; }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = i; j < n; j++) {
+            double c = 0.0;
+            for (long k = 0; k < n; k++) { c += data[k * n + i] * data[k * n + j]; }
+            c = c / ((double)n - 1.0);
+            cov[i * n + j] = c;
+            cov[j * n + i] = c;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n * n; i++) { acc += cov[i]; }
+    free((char*)data); free((char*)mean); free((char*)cov);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			data := matA(n)
+			mean := make([]float64, n)
+			cov := make([]float64, n*n)
+			for j := 0; j < n; j++ {
+				m := 0.0
+				for i := 0; i < n; i++ {
+					m += data[i*n+j]
+				}
+				mean[j] = m / float64(n)
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					data[i*n+j] -= mean[j]
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					c := 0.0
+					for k := 0; k < n; k++ {
+						c += data[k*n+i] * data[k*n+j]
+					}
+					c = c / (float64(n) - 1.0)
+					cov[i*n+j] = c
+					cov[j*n+i] = c
+				}
+			}
+			return sum(cov)
+		},
+	})
+
+	register(Kernel{
+		Name: "correlation", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+extern double sqrt(double x);
+double run(long n) {
+    double* data = (double*)malloc(n * n * 8);
+    double* mean = (double*)malloc(n * 8);
+    double* stddev = (double*)malloc(n * 8);
+    double* corr = (double*)malloc(n * n * 8);
+    double eps = 0.1;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { data[i * n + j] = initA(i, j, n) + 0.5; }
+    }
+    for (long j = 0; j < n; j++) {
+        double m = 0.0;
+        for (long i = 0; i < n; i++) { m += data[i * n + j]; }
+        mean[j] = m / (double)n;
+    }
+    for (long j = 0; j < n; j++) {
+        double s = 0.0;
+        for (long i = 0; i < n; i++) {
+            double d = data[i * n + j] - mean[j];
+            s += d * d;
+        }
+        s = sqrt(s / (double)n);
+        if (s <= eps) { s = 1.0; }
+        stddev[j] = s;
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            data[i * n + j] = (data[i * n + j] - mean[j]) / (sqrt((double)n) * stddev[j]);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        corr[i * n + i] = 1.0;
+        for (long j = i + 1; j < n; j++) {
+            double c = 0.0;
+            for (long k = 0; k < n; k++) { c += data[k * n + i] * data[k * n + j]; }
+            corr[i * n + j] = c;
+            corr[j * n + i] = c;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n * n; i++) { acc += corr[i]; }
+    free((char*)data); free((char*)mean); free((char*)stddev); free((char*)corr);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			data := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					data[i*n+j] = refInitA(i, j, n) + 0.5
+				}
+			}
+			mean := make([]float64, n)
+			stddev := make([]float64, n)
+			corr := make([]float64, n*n)
+			eps := 0.1
+			for j := 0; j < n; j++ {
+				m := 0.0
+				for i := 0; i < n; i++ {
+					m += data[i*n+j]
+				}
+				mean[j] = m / float64(n)
+			}
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					d := data[i*n+j] - mean[j]
+					s += d * d
+				}
+				s = refSqrt(s / float64(n))
+				if s <= eps {
+					s = 1.0
+				}
+				stddev[j] = s
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					data[i*n+j] = (data[i*n+j] - mean[j]) / (refSqrt(float64(n)) * stddev[j])
+				}
+			}
+			for i := 0; i < n; i++ {
+				corr[i*n+i] = 1.0
+				for j := i + 1; j < n; j++ {
+					c := 0.0
+					for k := 0; k < n; k++ {
+						c += data[k*n+i] * data[k*n+j]
+					}
+					corr[i*n+j] = c
+					corr[j*n+i] = c
+				}
+			}
+			return sum(corr)
+		},
+	})
+
+	register(Kernel{
+		Name: "floyd-warshall", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    long* path = (long*)malloc(n * n * 8);
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            path[i * n + j] = (i * j) % 7 + 1;
+            if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0) {
+                path[i * n + j] = 999;
+            }
+        }
+    }
+    for (long k = 0; k < n; k++) {
+        for (long i = 0; i < n; i++) {
+            for (long j = 0; j < n; j++) {
+                long through = path[i * n + k] + path[k * n + j];
+                if (through < path[i * n + j]) { path[i * n + j] = through; }
+            }
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n * n; i++) { acc += (double)path[i]; }
+    free((char*)path);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			path := make([]int64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					path[i*n+j] = int64((i*j)%7 + 1)
+					if (i+j)%13 == 0 || (i+j)%7 == 0 || (i+j)%11 == 0 {
+						path[i*n+j] = 999
+					}
+				}
+			}
+			for k := 0; k < n; k++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if t := path[i*n+k] + path[k*n+j]; t < path[i*n+j] {
+							path[i*n+j] = t
+						}
+					}
+				}
+			}
+			acc := 0.0
+			for _, v := range path {
+				acc += float64(v)
+			}
+			return acc
+		},
+	})
+
+	register(Kernel{
+		Name: "fdtd-2d", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* ex = (double*)malloc(n * n * 8);
+    double* ey = (double*)malloc(n * n * 8);
+    double* hz = (double*)malloc(n * n * 8);
+    long tmax = 6;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            ex[i * n + j] = ((double)i * ((double)j + 1.0)) / (double)n;
+            ey[i * n + j] = ((double)i * ((double)j + 2.0)) / (double)n;
+            hz[i * n + j] = ((double)i * ((double)j + 3.0)) / (double)n;
+        }
+    }
+    for (long t = 0; t < tmax; t++) {
+        for (long j = 0; j < n; j++) { ey[j] = (double)t; }
+        for (long i = 1; i < n; i++) {
+            for (long j = 0; j < n; j++) {
+                ey[i * n + j] = ey[i * n + j] - 0.5 * (hz[i * n + j] - hz[(i - 1) * n + j]);
+            }
+        }
+        for (long i = 0; i < n; i++) {
+            for (long j = 1; j < n; j++) {
+                ex[i * n + j] = ex[i * n + j] - 0.5 * (hz[i * n + j] - hz[i * n + j - 1]);
+            }
+        }
+        for (long i = 0; i < n - 1; i++) {
+            for (long j = 0; j < n - 1; j++) {
+                hz[i * n + j] = hz[i * n + j] - 0.7 * (ex[i * n + j + 1] - ex[i * n + j]
+                    + ey[(i + 1) * n + j] - ey[i * n + j]);
+            }
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n * n; i++) { acc += ex[i] + ey[i] + hz[i]; }
+    free((char*)ex); free((char*)ey); free((char*)hz);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			ex := make([]float64, n*n)
+			ey := make([]float64, n*n)
+			hz := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					ex[i*n+j] = (float64(i) * (float64(j) + 1.0)) / float64(n)
+					ey[i*n+j] = (float64(i) * (float64(j) + 2.0)) / float64(n)
+					hz[i*n+j] = (float64(i) * (float64(j) + 3.0)) / float64(n)
+				}
+			}
+			for t := 0; t < 6; t++ {
+				for j := 0; j < n; j++ {
+					ey[j] = float64(t)
+				}
+				for i := 1; i < n; i++ {
+					for j := 0; j < n; j++ {
+						ey[i*n+j] = ey[i*n+j] - 0.5*(hz[i*n+j]-hz[(i-1)*n+j])
+					}
+				}
+				for i := 0; i < n; i++ {
+					for j := 1; j < n; j++ {
+						ex[i*n+j] = ex[i*n+j] - 0.5*(hz[i*n+j]-hz[i*n+j-1])
+					}
+				}
+				for i := 0; i < n-1; i++ {
+					for j := 0; j < n-1; j++ {
+						hz[i*n+j] = hz[i*n+j] - 0.7*(ex[i*n+j+1]-ex[i*n+j]+ey[(i+1)*n+j]-ey[i*n+j])
+					}
+				}
+			}
+			acc := 0.0
+			for i := 0; i < n*n; i++ {
+				acc += ex[i] + ey[i] + hz[i]
+			}
+			return acc
+		},
+	})
+
+	register(Kernel{
+		Name: "gramschmidt", TestN: 10, BenchN: 20,
+		Source: prelude + initHelpers + `
+extern double sqrt(double x);
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* R = (double*)malloc(n * n * 8);
+    double* Q = (double*)malloc(n * n * 8);
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n) + 0.1;
+            if (i == j) { A[i * n + j] = A[i * n + j] + 1.0; }
+            R[i * n + j] = 0.0;
+            Q[i * n + j] = 0.0;
+        }
+    }
+    for (long k = 0; k < n; k++) {
+        double nrm = 0.0;
+        for (long i = 0; i < n; i++) { nrm += A[i * n + k] * A[i * n + k]; }
+        R[k * n + k] = sqrt(nrm);
+        for (long i = 0; i < n; i++) { Q[i * n + k] = A[i * n + k] / R[k * n + k]; }
+        for (long j = k + 1; j < n; j++) {
+            double r = 0.0;
+            for (long i = 0; i < n; i++) { r += Q[i * n + k] * A[i * n + j]; }
+            R[k * n + j] = r;
+            for (long i = 0; i < n; i++) {
+                A[i * n + j] = A[i * n + j] - Q[i * n + k] * R[k * n + j];
+            }
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n * n; i++) { acc += R[i] + Q[i]; }
+    free((char*)A); free((char*)R); free((char*)Q);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := make([]float64, n*n)
+			R := make([]float64, n*n)
+			Q := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = refInitA(i, j, n) + 0.1
+					if i == j {
+						A[i*n+j] += 1.0
+					}
+				}
+			}
+			for k := 0; k < n; k++ {
+				nrm := 0.0
+				for i := 0; i < n; i++ {
+					nrm += A[i*n+k] * A[i*n+k]
+				}
+				R[k*n+k] = refSqrt(nrm)
+				for i := 0; i < n; i++ {
+					Q[i*n+k] = A[i*n+k] / R[k*n+k]
+				}
+				for j := k + 1; j < n; j++ {
+					r := 0.0
+					for i := 0; i < n; i++ {
+						r += Q[i*n+k] * A[i*n+j]
+					}
+					R[k*n+j] = r
+					for i := 0; i < n; i++ {
+						A[i*n+j] = A[i*n+j] - Q[i*n+k]*R[k*n+j]
+					}
+				}
+			}
+			acc := 0.0
+			for i := 0; i < n*n; i++ {
+				acc += R[i] + Q[i]
+			}
+			return acc
+		},
+	})
+}

@@ -1,0 +1,362 @@
+package polybench
+
+// Solver and stencil kernels: trisolv, trmm, cholesky, durbin,
+// jacobi-1d, jacobi-2d, seidel-2d.
+
+func init() {
+	register(Kernel{
+		Name: "trisolv", TestN: 32, BenchN: 96,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* L = (double*)malloc(n * n * 8);
+    double* b = (double*)malloc(n * 8);
+    double* x = (double*)malloc(n * 8);
+    for (long i = 0; i < n; i++) {
+        b[i] = initV(i + 1, n) + 1.0;
+        for (long j = 0; j < n; j++) {
+            L[i * n + j] = initA(i, j, n);
+        }
+        L[i * n + i] = L[i * n + i] + 2.0;
+    }
+    for (long i = 0; i < n; i++) {
+        double s = b[i];
+        for (long j = 0; j < i; j++) { s -= L[i * n + j] * x[j]; }
+        x[i] = s / L[i * n + i];
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) { acc += x[i]; }
+    free((char*)L); free((char*)b); free((char*)x);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			L := matA(n)
+			b := make([]float64, n)
+			x := make([]float64, n)
+			for i := 0; i < n; i++ {
+				b[i] = refInitV(i+1, n) + 1.0
+				L[i*n+i] = L[i*n+i] + 2.0
+			}
+			for i := 0; i < n; i++ {
+				s := b[i]
+				for j := 0; j < i; j++ {
+					s -= L[i*n+j] * x[j]
+				}
+				x[i] = s / L[i*n+i]
+			}
+			return sum(x)
+		},
+	})
+
+	register(Kernel{
+		Name: "trmm", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    double alpha = 1.5;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n);
+            B[i * n + j] = initB(i, j, n);
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            double s = B[i * n + j];
+            for (long k = i + 1; k < n; k++) {
+                s += A[k * n + i] * B[k * n + j];
+            }
+            B[i * n + j] = alpha * s;
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += B[i * n + j]; }
+    }
+    free((char*)A); free((char*)B);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A, B := matA(n), matB(n)
+			alpha := 1.5
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s := B[i*n+j]
+					for k := i + 1; k < n; k++ {
+						s += A[k*n+i] * B[k*n+j]
+					}
+					B[i*n+j] = alpha * s
+				}
+			}
+			return sum(B)
+		},
+	})
+
+	register(Kernel{
+		Name: "cholesky", TestN: 12, BenchN: 24,
+		Source: prelude + initHelpers + `
+extern double sqrt(double x);
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = initA(i, j, n) * 0.1;
+            if (i == j) { A[i * n + j] = A[i * n + j] + (double)n; }
+        }
+    }
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < i; j++) {
+            double s = A[i * n + j];
+            for (long k = 0; k < j; k++) { s -= A[i * n + k] * A[j * n + k]; }
+            A[i * n + j] = s / A[j * n + j];
+        }
+        double d = A[i * n + i];
+        for (long k = 0; k < i; k++) { d -= A[i * n + k] * A[i * n + k]; }
+        A[i * n + i] = sqrt(d);
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j <= i; j++) { acc += A[i * n + j]; }
+    }
+    free((char*)A);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = refInitA(i, j, n) * 0.1
+					if i == j {
+						A[i*n+j] += float64(n)
+					}
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					s := A[i*n+j]
+					for k := 0; k < j; k++ {
+						s -= A[i*n+k] * A[j*n+k]
+					}
+					A[i*n+j] = s / A[j*n+j]
+				}
+				d := A[i*n+i]
+				for k := 0; k < i; k++ {
+					d -= A[i*n+k] * A[i*n+k]
+				}
+				A[i*n+i] = refSqrt(d)
+			}
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					acc += A[i*n+j]
+				}
+			}
+			return acc
+		},
+	})
+
+	register(Kernel{
+		Name: "durbin", TestN: 32, BenchN: 96,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* r = (double*)malloc(n * 8);
+    double* y = (double*)malloc(n * 8);
+    double* z = (double*)malloc(n * 8);
+    for (long i = 0; i < n; i++) { r[i] = initV(i + 1, n) + 1.0; }
+    y[0] = -r[0];
+    double beta = 1.0;
+    double alpha = -r[0];
+    for (long k = 1; k < n; k++) {
+        beta = (1.0 - alpha * alpha) * beta;
+        double s = 0.0;
+        for (long i = 0; i < k; i++) { s += r[k - i - 1] * y[i]; }
+        alpha = -(r[k] + s) / beta;
+        for (long i = 0; i < k; i++) { z[i] = y[i] + alpha * y[k - i - 1]; }
+        for (long i = 0; i < k; i++) { y[i] = z[i]; }
+        y[k] = alpha;
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) { acc += y[i]; }
+    free((char*)r); free((char*)y); free((char*)z);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			r := make([]float64, n)
+			y := make([]float64, n)
+			z := make([]float64, n)
+			for i := 0; i < n; i++ {
+				r[i] = refInitV(i+1, n) + 1.0
+			}
+			y[0] = -r[0]
+			beta := 1.0
+			alpha := -r[0]
+			for k := 1; k < n; k++ {
+				beta = (1.0 - alpha*alpha) * beta
+				s := 0.0
+				for i := 0; i < k; i++ {
+					s += r[k-i-1] * y[i]
+				}
+				alpha = -(r[k] + s) / beta
+				for i := 0; i < k; i++ {
+					z[i] = y[i] + alpha*y[k-i-1]
+				}
+				for i := 0; i < k; i++ {
+					y[i] = z[i]
+				}
+				y[k] = alpha
+			}
+			return sum(y)
+		},
+	})
+
+	register(Kernel{
+		Name: "jacobi-1d", TestN: 64, BenchN: 256,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * 8);
+    double* B = (double*)malloc(n * 8);
+    long tsteps = 10;
+    for (long i = 0; i < n; i++) {
+        A[i] = ((double)i + 2.0) / (double)n;
+        B[i] = ((double)i + 3.0) / (double)n;
+    }
+    for (long t = 0; t < tsteps; t++) {
+        for (long i = 1; i < n - 1; i++) {
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+        }
+        for (long i = 1; i < n - 1; i++) {
+            A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) { acc += A[i]; }
+    free((char*)A); free((char*)B);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := make([]float64, n)
+			B := make([]float64, n)
+			for i := 0; i < n; i++ {
+				A[i] = (float64(i) + 2.0) / float64(n)
+				B[i] = (float64(i) + 3.0) / float64(n)
+			}
+			for t := 0; t < 10; t++ {
+				for i := 1; i < n-1; i++ {
+					B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1])
+				}
+				for i := 1; i < n-1; i++ {
+					A[i] = 0.33333 * (B[i-1] + B[i] + B[i+1])
+				}
+			}
+			return sum(A)
+		},
+	})
+
+	register(Kernel{
+		Name: "jacobi-2d", TestN: 16, BenchN: 32,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    double* B = (double*)malloc(n * n * 8);
+    long tsteps = 6;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = ((double)i * ((double)j + 2.0)) / (double)n;
+            B[i * n + j] = ((double)i * ((double)j + 3.0)) / (double)n;
+        }
+    }
+    for (long t = 0; t < tsteps; t++) {
+        for (long i = 1; i < n - 1; i++) {
+            for (long j = 1; j < n - 1; j++) {
+                B[i * n + j] = 0.2 * (A[i * n + j] + A[i * n + j - 1] + A[i * n + j + 1]
+                    + A[(i + 1) * n + j] + A[(i - 1) * n + j]);
+            }
+        }
+        for (long i = 1; i < n - 1; i++) {
+            for (long j = 1; j < n - 1; j++) {
+                A[i * n + j] = 0.2 * (B[i * n + j] + B[i * n + j - 1] + B[i * n + j + 1]
+                    + B[(i + 1) * n + j] + B[(i - 1) * n + j]);
+            }
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += A[i * n + j]; }
+    }
+    free((char*)A); free((char*)B);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := make([]float64, n*n)
+			B := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = (float64(i) * (float64(j) + 2.0)) / float64(n)
+					B[i*n+j] = (float64(i) * (float64(j) + 3.0)) / float64(n)
+				}
+			}
+			for t := 0; t < 6; t++ {
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						B[i*n+j] = 0.2 * (A[i*n+j] + A[i*n+j-1] + A[i*n+j+1] +
+							A[(i+1)*n+j] + A[(i-1)*n+j])
+					}
+				}
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						A[i*n+j] = 0.2 * (B[i*n+j] + B[i*n+j-1] + B[i*n+j+1] +
+							B[(i+1)*n+j] + B[(i-1)*n+j])
+					}
+				}
+			}
+			return sum(A)
+		},
+	})
+
+	register(Kernel{
+		Name: "seidel-2d", TestN: 16, BenchN: 32,
+		Source: prelude + initHelpers + `
+double run(long n) {
+    double* A = (double*)malloc(n * n * 8);
+    long tsteps = 6;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) {
+            A[i * n + j] = ((double)i * ((double)j + 2.0) + 2.0) / (double)n;
+        }
+    }
+    for (long t = 0; t < tsteps; t++) {
+        for (long i = 1; i < n - 1; i++) {
+            for (long j = 1; j < n - 1; j++) {
+                A[i * n + j] = (A[(i - 1) * n + j - 1] + A[(i - 1) * n + j] + A[(i - 1) * n + j + 1]
+                    + A[i * n + j - 1] + A[i * n + j] + A[i * n + j + 1]
+                    + A[(i + 1) * n + j - 1] + A[(i + 1) * n + j] + A[(i + 1) * n + j + 1]) / 9.0;
+            }
+        }
+    }
+    double acc = 0.0;
+    for (long i = 0; i < n; i++) {
+        for (long j = 0; j < n; j++) { acc += A[i * n + j]; }
+    }
+    free((char*)A);
+    return acc;
+}`,
+		Reference: func(n int) float64 {
+			A := make([]float64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A[i*n+j] = (float64(i)*(float64(j)+2.0) + 2.0) / float64(n)
+				}
+			}
+			for t := 0; t < 6; t++ {
+				for i := 1; i < n-1; i++ {
+					for j := 1; j < n-1; j++ {
+						A[i*n+j] = (A[(i-1)*n+j-1] + A[(i-1)*n+j] + A[(i-1)*n+j+1] +
+							A[i*n+j-1] + A[i*n+j] + A[i*n+j+1] +
+							A[(i+1)*n+j-1] + A[(i+1)*n+j] + A[(i+1)*n+j+1]) / 9.0
+					}
+				}
+			}
+			return sum(A)
+		},
+	})
+}

@@ -1,0 +1,121 @@
+// Package polybench provides the PolyBench/C 3.2 kernels the paper
+// evaluates Cage on (§7.1), written in MiniC so the Cage toolchain
+// compiles them, plus bit-faithful Go reference implementations used to
+// validate the compiled results.
+//
+// Every kernel allocates its arrays through malloc (exercising the
+// hardened allocator like the paper's polybench harness does through
+// wasi-libc), initializes them deterministically, runs the kernel, and
+// returns a checksum over the output data as a double.
+package polybench
+
+import "fmt"
+
+// Kernel is one benchmark program.
+type Kernel struct {
+	// Name is the PolyBench kernel name (e.g. "2mm").
+	Name string
+	// Source is the MiniC program exporting `double run(long n)`.
+	Source string
+	// Reference computes the expected checksum with identical
+	// floating-point operation order.
+	Reference func(n int) float64
+	// TestN is the problem size used by tests; BenchN by the Fig. 14
+	// harness.
+	TestN  int
+	BenchN int
+}
+
+var registry []Kernel
+
+func register(k Kernel) { registry = append(registry, k) }
+
+// Kernels returns all kernels in registration order.
+func Kernels() []Kernel { return registry }
+
+// ByName finds a kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range registry {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("polybench: unknown kernel %q", name)
+}
+
+// prelude is shared by every kernel source.
+const prelude = `
+extern char* malloc(long n);
+extern void free(char* p);
+`
+
+// Matrix initializers mirrored exactly by the Go references.
+const initHelpers = `
+double initA(long i, long j, long n) { return (double)((i * j + 1) % n) / (double)n; }
+double initB(long i, long j, long n) { return (double)((i * (j + 1)) % n) / (double)n; }
+double initC(long i, long j, long n) { return (double)((i * (j + 3) + 1) % n) / (double)n; }
+double initD(long i, long j, long n) { return (double)((i * (j + 2)) % n) / (double)n; }
+double initV(long i, long n) { return (double)(i % n) / (double)n; }
+`
+
+func refInitA(i, j, n int) float64 { return float64((i*j+1)%n) / float64(n) }
+func refInitB(i, j, n int) float64 { return float64((i*(j+1))%n) / float64(n) }
+func refInitC(i, j, n int) float64 { return float64((i*(j+3)+1)%n) / float64(n) }
+func refInitD(i, j, n int) float64 { return float64((i*(j+2))%n) / float64(n) }
+func refInitV(i, n int) float64    { return float64(i%n) / float64(n) }
+
+func matA(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = refInitA(i, j, n)
+		}
+	}
+	return m
+}
+
+func matB(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = refInitB(i, j, n)
+		}
+	}
+	return m
+}
+
+func matC(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = refInitC(i, j, n)
+		}
+	}
+	return m
+}
+
+func matD(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = refInitD(i, j, n)
+		}
+	}
+	return m
+}
+
+func vecV(n int) []float64 {
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v[i] = refInitV(i, n)
+	}
+	return v
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

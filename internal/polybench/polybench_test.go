@@ -1,0 +1,148 @@
+package polybench
+
+import (
+	"testing"
+
+	"cage/internal/arch"
+	"cage/internal/codegen"
+	"cage/internal/core"
+)
+
+func TestKernelRegistryComplete(t *testing.T) {
+	want := []string{
+		"gemm", "2mm", "3mm", "atax", "bicg", "gemver", "gesummv", "mvt",
+		"syrk", "syr2k", "trisolv", "trmm", "cholesky", "durbin",
+		"jacobi-1d", "jacobi-2d", "seidel-2d",
+		"doitgen", "symm", "lu", "covariance", "correlation",
+		"floyd-warshall", "fdtd-2d", "gramschmidt",
+	}
+	if len(Kernels()) != len(want) {
+		t.Fatalf("registry has %d kernels, want %d", len(Kernels()), len(want))
+	}
+	for _, name := range want {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("missing kernel %s", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestKernelsMatchReferenceBaseline(t *testing.T) {
+	// Every kernel must reproduce its reference checksum when compiled
+	// without any hardening (the wasm64 baseline).
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if err := Validate(k, codegen.Options{Wasm64: true}, core.Features{}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestKernelsMatchReferenceUnderFullCage(t *testing.T) {
+	// Hardening must never change results: full Cage (stack sanitizer,
+	// pointer auth, MTE sandboxing, hardened allocator) produces
+	// bit-identical checksums.
+	opts := codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if err := Validate(k, opts, core.CageAll()); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestKernelsMatchReferenceWasm32(t *testing.T) {
+	// The wasm32 baseline (guard-page sandboxing) must agree too.
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if err := Validate(k, codegen.Options{Wasm64: false}, core.Features{}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestFig15VariantsAgree(t *testing.T) {
+	// The three call variants of the modified 2mm compute the same
+	// checksum; only their cost differs.
+	for _, mode := range []CallMode{CallStatic, CallDynamic, CallAuthenticated} {
+		k := TwoMMVariant(mode)
+		opts := codegen.Options{Wasm64: true}
+		feats := core.Features{}
+		if mode == CallAuthenticated {
+			opts.PtrAuth = true
+			feats.PtrAuth = true
+		}
+		if err := Validate(k, opts, feats); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestFig15CallCostsOrdered(t *testing.T) {
+	// Event accounting: dynamic dispatch must add indirect-call events,
+	// and authentication must add pac events on top.
+	run := func(mode CallMode) *arch.Counter {
+		k := TwoMMVariant(mode)
+		opts := codegen.Options{Wasm64: true}
+		feats := core.Features{}
+		if mode == CallAuthenticated {
+			opts.PtrAuth = true
+			feats.PtrAuth = true
+		}
+		var ctr arch.Counter
+		if _, err := Run(k, k.TestN, opts, feats, &ctr); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		return &ctr
+	}
+	static := run(CallStatic)
+	dynamic := run(CallDynamic)
+	authed := run(CallAuthenticated)
+
+	if static.Get(arch.EvCallIndirect) != 0 {
+		t.Error("static variant made indirect calls")
+	}
+	if dynamic.Get(arch.EvCallIndirect) == 0 {
+		t.Error("dynamic variant made no indirect calls")
+	}
+	if authed.Get(arch.EvPACAuth) == 0 {
+		t.Error("authenticated variant performed no authentications")
+	}
+	if dynamic.Get(arch.EvPACAuth) != 0 {
+		t.Error("unauthenticated variant performed authentications")
+	}
+	// Priced on any core, static < dynamic <= authenticated.
+	x3 := arch.NewCortexX3()
+	if !(static.Cycles(x3) < dynamic.Cycles(x3)) {
+		t.Error("dynamic dispatch not more expensive than static")
+	}
+	if !(dynamic.Cycles(x3) < authed.Cycles(x3)) {
+		t.Error("authentication added no cost")
+	}
+}
+
+func TestEventMixLooksLikeCompiledCode(t *testing.T) {
+	// Sanity-check the Fig. 14 cost inputs: a matmul kernel should be
+	// dominated by loads, float math, and loop overhead.
+	var ctr arch.Counter
+	k, _ := ByName("gemm")
+	if _, err := Run(k, k.TestN, codegen.Options{Wasm64: true}, core.Features{}, &ctr); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.Get(arch.EvFMul) == 0 || ctr.Get(arch.EvLoad) == 0 || ctr.Get(arch.EvBranch) == 0 {
+		t.Error("gemm event mix is missing expected classes")
+	}
+	// wasm64 baseline: every load/store carries a software bounds check.
+	if ctr.Get(arch.EvBoundsCheck) != ctr.Get(arch.EvLoad)+ctr.Get(arch.EvStore) {
+		t.Errorf("bounds checks %d != loads %d + stores %d",
+			ctr.Get(arch.EvBoundsCheck), ctr.Get(arch.EvLoad), ctr.Get(arch.EvStore))
+	}
+}

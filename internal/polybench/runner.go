@@ -1,0 +1,169 @@
+package polybench
+
+import (
+	"fmt"
+	"math"
+
+	"cage/internal/alloc"
+	"cage/internal/arch"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/minicc"
+	"cage/internal/wasm"
+)
+
+// Build compiles a kernel with the given toolchain options.
+func Build(k Kernel, opts codegen.Options) (*wasm.Module, error) {
+	file, err := minicc.Parse(k.Source)
+	if err != nil {
+		return nil, fmt.Errorf("polybench %s: %w", k.Name, err)
+	}
+	layout := minicc.Layout64
+	if !opts.Wasm64 {
+		layout = minicc.Layout32
+	}
+	prog, err := minicc.Analyze(file, layout)
+	if err != nil {
+		return nil, fmt.Errorf("polybench %s: %w", k.Name, err)
+	}
+	m, err := codegen.Compile(prog, opts)
+	if err != nil {
+		return nil, fmt.Errorf("polybench %s: %w", k.Name, err)
+	}
+	return m, nil
+}
+
+// NewLinker builds the host surface the kernels need: the (possibly
+// hardened) allocator and libm-style helpers, for both pointer-width
+// ABIs.
+func NewLinker(binding *alloc.Binding) *exec.Linker {
+	l := exec.NewLinker()
+	binding.Register(l)
+	sqrtFn := exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{wasm.F64}, Results: []wasm.ValType{wasm.F64}},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			return []uint64{exec.F64Bits(math.Sqrt(exec.F64Val(args[0])))}, nil
+		},
+	}
+	l.Define("env", "sqrt", sqrtFn)
+	l.Define("env32", "sqrt", sqrtFn)
+	return l
+}
+
+// RunModule instantiates a compiled kernel and invokes run(n), returning
+// the checksum. The counter, when non-nil, accumulates lowered-code
+// events for the timing model.
+func RunModule(m *wasm.Module, n int, features core.Features, counter *arch.Counter) (float64, error) {
+	binding := &alloc.Binding{}
+	linker := NewLinker(binding)
+	inst, err := exec.NewInstance(m, exec.Config{
+		Features: features,
+		Linker:   linker,
+		Seed:     1234,
+		Counter:  counter,
+	})
+	if err != nil {
+		return 0, err
+	}
+	heapBase, ok := inst.GlobalValue("__heap_base")
+	if !ok {
+		return 0, fmt.Errorf("polybench: module lacks __heap_base")
+	}
+	binding.A, err = alloc.New(inst, heapBase)
+	if err != nil {
+		return 0, err
+	}
+	res, err := inst.Invoke("run", uint64(n))
+	if err != nil {
+		return 0, err
+	}
+	return exec.F64Val(res[0]), nil
+}
+
+// RunModuleWithAllocator runs a compiled kernel and returns the
+// allocator for footprint inspection (§7.3 memory accounting).
+func RunModuleWithAllocator(m *wasm.Module, n int, features core.Features) (*alloc.Allocator, error) {
+	binding := &alloc.Binding{}
+	linker := NewLinker(binding)
+	inst, err := exec.NewInstance(m, exec.Config{Features: features, Linker: linker, Seed: 1234})
+	if err != nil {
+		return nil, err
+	}
+	heapBase, ok := inst.GlobalValue("__heap_base")
+	if !ok {
+		return nil, fmt.Errorf("polybench: module lacks __heap_base")
+	}
+	binding.A, err = alloc.New(inst, heapBase)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := inst.Invoke("run", uint64(n)); err != nil {
+		return nil, err
+	}
+	return binding.A, nil
+}
+
+// RunKernelRegion instantiates a module exporting setup(n) and
+// kernel(n), runs both, and returns the checksum plus the event delta of
+// the kernel region alone (the PolyBench timer methodology).
+func RunKernelRegion(m *wasm.Module, n int, features core.Features) (float64, arch.Counter, error) {
+	binding := &alloc.Binding{}
+	linker := NewLinker(binding)
+	var ctr arch.Counter
+	inst, err := exec.NewInstance(m, exec.Config{
+		Features: features, Linker: linker, Seed: 1234, Counter: &ctr,
+	})
+	if err != nil {
+		return 0, arch.Counter{}, err
+	}
+	heapBase, ok := inst.GlobalValue("__heap_base")
+	if !ok {
+		return 0, arch.Counter{}, fmt.Errorf("polybench: module lacks __heap_base")
+	}
+	binding.A, err = alloc.New(inst, heapBase)
+	if err != nil {
+		return 0, arch.Counter{}, err
+	}
+	if _, err := inst.Invoke("setup", uint64(n)); err != nil {
+		return 0, arch.Counter{}, err
+	}
+	before := ctr.Snapshot()
+	res, err := inst.Invoke("kernel", uint64(n))
+	if err != nil {
+		return 0, arch.Counter{}, err
+	}
+	return exec.F64Val(res[0]), ctr.DeltaSince(before), nil
+}
+
+// Run compiles and executes a kernel in one step.
+func Run(k Kernel, n int, opts codegen.Options, features core.Features, counter *arch.Counter) (float64, error) {
+	m, err := Build(k, opts)
+	if err != nil {
+		return 0, err
+	}
+	return RunModule(m, n, features, counter)
+}
+
+// Validate runs the kernel at its test size and compares against the
+// reference implementation.
+func Validate(k Kernel, opts codegen.Options, features core.Features) error {
+	got, err := Run(k, k.TestN, opts, features, nil)
+	if err != nil {
+		return err
+	}
+	want := k.Reference(k.TestN)
+	if !closeEnough(got, want) {
+		return fmt.Errorf("polybench %s: checksum %g, want %g", k.Name, got, want)
+	}
+	return nil
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}

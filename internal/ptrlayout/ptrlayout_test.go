@@ -1,0 +1,110 @@
+package ptrlayout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressMasksMetadata(t *testing.T) {
+	p := uint64(0xFFFF_8000_1234_5678)
+	if got, want := Address(p), uint64(0x8000_1234_5678); got != want {
+		t.Errorf("Address(%#x) = %#x, want %#x", p, got, want)
+	}
+}
+
+func TestKernelBit(t *testing.T) {
+	if IsKernel(0) {
+		t.Error("IsKernel(0) = true, want false")
+	}
+	if !IsKernel(1 << 55) {
+		t.Error("IsKernel(1<<55) = false, want true")
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	for tag := uint8(0); tag < 16; tag++ {
+		p := WithTag(0x1234_5678, tag)
+		if got := Tag(p); got != tag {
+			t.Errorf("Tag(WithTag(p, %d)) = %d", tag, got)
+		}
+		if got := Address(p); got != 0x1234_5678 {
+			t.Errorf("WithTag changed address bits: %#x", got)
+		}
+	}
+}
+
+func TestStripTag(t *testing.T) {
+	p := WithTag(0xABC0, 7)
+	if got := StripTag(p); got != 0xABC0 {
+		t.Errorf("StripTag = %#x, want %#x", got, 0xABC0)
+	}
+}
+
+func TestPACBitCounts(t *testing.T) {
+	// Paper Fig. 3: PAC-only layout provides 15 bits on Linux (bits
+	// 63..56 and 54..48); with MTE enabled it shrinks to 10 bits
+	// (63..60 and 54..49).
+	if got := PACOnly.PACBits(); got != 15 {
+		t.Errorf("PACOnly.PACBits() = %d, want 15", got)
+	}
+	if got := MTEAndPAC.PACBits(); got != 10 {
+		t.Errorf("MTEAndPAC.PACBits() = %d, want 10", got)
+	}
+	if got := NoExtension.PACBits(); got != 0 {
+		t.Errorf("NoExtension.PACBits() = %d, want 0", got)
+	}
+}
+
+func TestPACFieldDoesNotOverlapMTEOrKernelBit(t *testing.T) {
+	if MTEAndPAC.PACMask&MTETagMask != 0 {
+		t.Error("MTE+PAC layout: PAC field overlaps the MTE tag nibble")
+	}
+	if MTEAndPAC.PACMask&(1<<KernelBit) != 0 {
+		t.Error("MTE+PAC layout: PAC field overlaps the kernel/user bit")
+	}
+	if PACOnly.PACMask&(1<<KernelBit) != 0 {
+		t.Error("PAC-only layout: PAC field overlaps the kernel/user bit")
+	}
+}
+
+func TestInsertExtractRoundTrip(t *testing.T) {
+	f := func(p, sig uint64) bool {
+		for _, l := range []Layout{PACOnly, MTEAndPAC} {
+			mask := uint64(1)<<l.PACBits() - 1
+			signed := l.Insert(p, sig)
+			if l.Extract(signed) != sig&mask {
+				return false
+			}
+			// Non-PAC bits must be preserved.
+			if signed&^l.PACMask != p&^l.PACMask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertPreservesMTETag(t *testing.T) {
+	p := WithTag(0x4000, 0xB)
+	signed := MTEAndPAC.Insert(p, 0x3FF)
+	if Tag(signed) != 0xB {
+		t.Errorf("Insert clobbered MTE tag: %#x", Tag(signed))
+	}
+}
+
+func TestCanonicalClearsAllMetadata(t *testing.T) {
+	f := func(p uint64) bool {
+		c := MTEAndPAC.Canonical(p)
+		return c == p&AddressMask&^MTETagMask || c == p&AddressMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	p := MTEAndPAC.Insert(WithTag(0x1000, 5), 0x2AA)
+	if got := MTEAndPAC.Canonical(p); got != 0x1000 {
+		t.Errorf("Canonical = %#x, want 0x1000", got)
+	}
+}

@@ -1,0 +1,208 @@
+// Package wasi provides the minimal WASI (WebAssembly System Interface)
+// host surface the Cage toolchain needs, ported to wasm64 the way the
+// paper ports wasi-libc (§6.2): pointers and sizes in the ABI widen from
+// 32 to 64 bits.
+//
+// Implemented calls: fd_write (stdout/stderr via io.Writer), proc_exit,
+// clock_time_get (virtual, deterministic), random_get (seeded,
+// deterministic), args_sizes_get/args_get, environ_sizes_get/environ_get.
+package wasi
+
+import (
+	"io"
+
+	"cage/internal/exec"
+	"cage/internal/wasm"
+)
+
+// Module is the WASI import-module name.
+const Module = "wasi_snapshot_preview1"
+
+// Errno values (subset).
+const (
+	ErrnoSuccess uint64 = 0
+	ErrnoBadf    uint64 = 8
+	ErrnoFault   uint64 = 21
+	ErrnoInval   uint64 = 28
+)
+
+// System is one instance's WASI state.
+type System struct {
+	Stdout io.Writer
+	Stderr io.Writer
+	Args   []string
+	Env    []string
+	// clock is virtual time in nanoseconds, advanced per query so
+	// repeated reads are monotone yet deterministic.
+	clock uint64
+	// rng is the deterministic random_get state.
+	rng uint64
+}
+
+// New creates a WASI system writing to the given stdout/stderr.
+func New(stdout, stderr io.Writer) *System {
+	if stdout == nil {
+		stdout = io.Discard
+	}
+	if stderr == nil {
+		stderr = io.Discard
+	}
+	return &System{Stdout: stdout, Stderr: stderr, clock: 1_000_000_000, rng: 0x853C49E6748FEA9B}
+}
+
+func (s *System) next() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
+}
+
+// Register installs the WASI functions into the linker.
+func (s *System) Register(l *exec.Linker) {
+	i32 := wasm.I32
+	i64 := wasm.I64
+
+	// fd_write(fd: i32, iovs: i64, iovs_len: i64, nwritten: i64) -> i32
+	l.Define(Module, "fd_write", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i32, i64, i64, i64}, Results: []wasm.ValType{i32}},
+		Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+			fd := uint32(args[0])
+			var w io.Writer
+			switch fd {
+			case 1:
+				w = s.Stdout
+			case 2:
+				w = s.Stderr
+			default:
+				return []uint64{ErrnoBadf}, nil
+			}
+			iovs, n := args[1], args[2]
+			var written uint64
+			for i := uint64(0); i < n; i++ {
+				base, err := inst.ReadU64(iovs + i*16)
+				if err != nil {
+					return []uint64{ErrnoFault}, nil
+				}
+				length, err := inst.ReadU64(iovs + i*16 + 8)
+				if err != nil {
+					return []uint64{ErrnoFault}, nil
+				}
+				buf, err := inst.ReadBytes(base, length)
+				if err != nil {
+					return []uint64{ErrnoFault}, nil
+				}
+				if _, err := w.Write(buf); err != nil {
+					return []uint64{ErrnoInval}, nil
+				}
+				written += length
+			}
+			if err := inst.WriteU64(args[3], written); err != nil {
+				return []uint64{ErrnoFault}, nil
+			}
+			return []uint64{ErrnoSuccess}, nil
+		},
+	})
+
+	// proc_exit(code: i32)
+	l.Define(Module, "proc_exit", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i32}},
+		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
+			return nil, &exec.Trap{Code: exec.TrapExit, ExitCode: int32(args[0])}
+		},
+	})
+
+	// clock_time_get(id: i32, precision: i64, out: i64) -> i32
+	l.Define(Module, "clock_time_get", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i32, i64, i64}, Results: []wasm.ValType{i32}},
+		Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+			s.clock += 1000 // deterministic 1 µs per query
+			if err := inst.WriteU64(args[2], s.clock); err != nil {
+				return []uint64{ErrnoFault}, nil
+			}
+			return []uint64{ErrnoSuccess}, nil
+		},
+	})
+
+	// random_get(buf: i64, len: i64) -> i32
+	l.Define(Module, "random_get", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i64, i64}, Results: []wasm.ValType{i32}},
+		Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+			buf := make([]byte, args[1])
+			for i := range buf {
+				buf[i] = byte(s.next())
+			}
+			if err := inst.WriteBytes(args[0], buf); err != nil {
+				return []uint64{ErrnoFault}, nil
+			}
+			return []uint64{ErrnoSuccess}, nil
+		},
+	})
+
+	// args_sizes_get(argc: i64, argv_buf_size: i64) -> i32
+	l.Define(Module, "args_sizes_get", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i64, i64}, Results: []wasm.ValType{i32}},
+		Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+			total := uint64(0)
+			for _, a := range s.Args {
+				total += uint64(len(a)) + 1
+			}
+			if err := inst.WriteU64(args[0], uint64(len(s.Args))); err != nil {
+				return []uint64{ErrnoFault}, nil
+			}
+			if err := inst.WriteU64(args[1], total); err != nil {
+				return []uint64{ErrnoFault}, nil
+			}
+			return []uint64{ErrnoSuccess}, nil
+		},
+	})
+
+	// args_get(argv: i64, argv_buf: i64) -> i32
+	l.Define(Module, "args_get", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i64, i64}, Results: []wasm.ValType{i32}},
+		Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+			return writeStringTable(inst, s.Args, args[0], args[1])
+		},
+	})
+
+	// environ_sizes_get / environ_get mirror the args pair.
+	l.Define(Module, "environ_sizes_get", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i64, i64}, Results: []wasm.ValType{i32}},
+		Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+			total := uint64(0)
+			for _, e := range s.Env {
+				total += uint64(len(e)) + 1
+			}
+			if err := inst.WriteU64(args[0], uint64(len(s.Env))); err != nil {
+				return []uint64{ErrnoFault}, nil
+			}
+			if err := inst.WriteU64(args[1], total); err != nil {
+				return []uint64{ErrnoFault}, nil
+			}
+			return []uint64{ErrnoSuccess}, nil
+		},
+	})
+	l.Define(Module, "environ_get", exec.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValType{i64, i64}, Results: []wasm.ValType{i32}},
+		Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
+			return writeStringTable(inst, s.Env, args[0], args[1])
+		},
+	})
+}
+
+// writeStringTable lays out NUL-terminated strings at bufAddr and their
+// pointers at tableAddr (the args_get/environ_get contract).
+func writeStringTable(inst *exec.Instance, strs []string, tableAddr, bufAddr uint64) ([]uint64, error) {
+	cursor := bufAddr
+	for i, str := range strs {
+		if err := inst.WriteU64(tableAddr+uint64(i)*8, cursor); err != nil {
+			return []uint64{ErrnoFault}, nil
+		}
+		if err := inst.WriteBytes(cursor, append([]byte(str), 0)); err != nil {
+			return []uint64{ErrnoFault}, nil
+		}
+		cursor += uint64(len(str)) + 1
+	}
+	return []uint64{ErrnoSuccess}, nil
+}

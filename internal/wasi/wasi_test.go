@@ -1,0 +1,141 @@
+package wasi
+
+import (
+	"bytes"
+	"testing"
+
+	"cage/internal/exec"
+	"cage/internal/wasm"
+)
+
+// newInstance builds a bare wasm64 instance with the WASI surface.
+func newInstance(t *testing.T, sys *System) *exec.Instance {
+	t.Helper()
+	l := exec.NewLinker()
+	sys.Register(l)
+	m := &wasm.Module{}
+	m.Mems = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}, Memory64: true}}
+	inst, err := exec.NewInstance(m, exec.Config{Linker: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func call(t *testing.T, sys *System, inst *exec.Instance, name string, args ...uint64) []uint64 {
+	t.Helper()
+	// Resolve through a fresh linker for direct host invocation.
+	l := exec.NewLinker()
+	sys.Register(l)
+	hf, found := l.Lookup(Module, name)
+	if !found {
+		t.Fatalf("no wasi function %s", name)
+	}
+	res, err := hf.Fn(inst, args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return res
+}
+
+func TestFdWrite(t *testing.T) {
+	var out bytes.Buffer
+	sys := New(&out, nil)
+	inst := newInstance(t, sys)
+
+	// Lay out "hello" and an iovec {base=64, len=5} at address 128.
+	if err := inst.WriteBytes(64, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WriteU64(128, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WriteU64(136, 5); err != nil {
+		t.Fatal(err)
+	}
+	res := call(t, sys, inst, "fd_write", 1, 128, 1, 256)
+	if res[0] != ErrnoSuccess {
+		t.Fatalf("fd_write errno %d", res[0])
+	}
+	if out.String() != "hello" {
+		t.Errorf("stdout = %q", out.String())
+	}
+	n, err := inst.ReadU64(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("nwritten = %d", n)
+	}
+}
+
+func TestFdWriteBadFd(t *testing.T) {
+	sys := New(nil, nil)
+	inst := newInstance(t, sys)
+	res := call(t, sys, inst, "fd_write", 7, 128, 0, 256)
+	if res[0] != ErrnoBadf {
+		t.Errorf("bad fd errno = %d, want %d", res[0], ErrnoBadf)
+	}
+}
+
+func TestProcExit(t *testing.T) {
+	sys := New(nil, nil)
+	inst := newInstance(t, sys)
+	l := exec.NewLinker()
+	sys.Register(l)
+	hf, _ := l.Lookup(Module, "proc_exit")
+	_, err := hf.Fn(inst, []uint64{3})
+	trap, ok := err.(*exec.Trap)
+	if !ok || trap.Code != exec.TrapExit || trap.ExitCode != 3 {
+		t.Errorf("proc_exit: got %v", err)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	sys := New(nil, nil)
+	inst := newInstance(t, sys)
+	call(t, sys, inst, "clock_time_get", 0, 0, 64)
+	t1, _ := inst.ReadU64(64)
+	call(t, sys, inst, "clock_time_get", 0, 0, 64)
+	t2, _ := inst.ReadU64(64)
+	if t2 <= t1 {
+		t.Errorf("clock not monotone: %d then %d", t1, t2)
+	}
+}
+
+func TestRandomGetDeterministic(t *testing.T) {
+	mk := func() []byte {
+		sys := New(nil, nil)
+		inst := newInstance(t, sys)
+		call(t, sys, inst, "random_get", 64, 16)
+		b, _ := inst.ReadBytes(64, 16)
+		return b
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Error("random_get not reproducible across fresh systems")
+	}
+	var zero [16]byte
+	if bytes.Equal(a, zero[:]) {
+		t.Error("random_get produced zeros")
+	}
+}
+
+func TestArgsRoundTrip(t *testing.T) {
+	sys := New(nil, nil)
+	sys.Args = []string{"prog", "x"}
+	inst := newInstance(t, sys)
+
+	call(t, sys, inst, "args_sizes_get", 64, 72)
+	argc, _ := inst.ReadU64(64)
+	buflen, _ := inst.ReadU64(72)
+	if argc != 2 || buflen != uint64(len("prog")+1+len("x")+1) {
+		t.Fatalf("args_sizes_get = %d, %d", argc, buflen)
+	}
+	call(t, sys, inst, "args_get", 128, 256)
+	p0, _ := inst.ReadU64(128)
+	b, _ := inst.ReadBytes(p0, 5)
+	if string(b) != "prog\x00" {
+		t.Errorf("argv[0] = %q", b)
+	}
+}

@@ -1,0 +1,107 @@
+package wasm
+
+import "math"
+
+// Instruction constructors, used by the code generator and tests to keep
+// instruction sequences readable.
+
+// I32Const pushes a 32-bit integer constant.
+func I32Const(v int32) Instr { return Instr{Op: OpI32Const, X: uint64(uint32(v))} }
+
+// I64Const pushes a 64-bit integer constant.
+func I64Const(v int64) Instr { return Instr{Op: OpI64Const, X: uint64(v)} }
+
+// F32Const pushes a 32-bit float constant.
+func F32Const(v float32) Instr { return Instr{Op: OpF32Const, F: float64(v)} }
+
+// F64Const pushes a 64-bit float constant.
+func F64Const(v float64) Instr { return Instr{Op: OpF64Const, F: v} }
+
+// LocalGet reads local i.
+func LocalGet(i uint32) Instr { return Instr{Op: OpLocalGet, X: uint64(i)} }
+
+// LocalSet writes local i.
+func LocalSet(i uint32) Instr { return Instr{Op: OpLocalSet, X: uint64(i)} }
+
+// LocalTee writes local i, keeping the value on the stack.
+func LocalTee(i uint32) Instr { return Instr{Op: OpLocalTee, X: uint64(i)} }
+
+// GlobalGet reads global i.
+func GlobalGet(i uint32) Instr { return Instr{Op: OpGlobalGet, X: uint64(i)} }
+
+// GlobalSet writes global i.
+func GlobalSet(i uint32) Instr { return Instr{Op: OpGlobalSet, X: uint64(i)} }
+
+// Call invokes function fidx.
+func Call(fidx uint32) Instr { return Instr{Op: OpCall, X: uint64(fidx)} }
+
+// CallIndirect invokes through the table with expected type index ti.
+func CallIndirect(ti uint32) Instr { return Instr{Op: OpCallIndirect, X: uint64(ti)} }
+
+// Br branches to label depth d.
+func Br(d uint32) Instr { return Instr{Op: OpBr, X: uint64(d)} }
+
+// BrIf conditionally branches to label depth d.
+func BrIf(d uint32) Instr { return Instr{Op: OpBrIf, X: uint64(d)} }
+
+// BrTable builds a branch table with a default depth.
+func BrTable(targets []uint32, def uint32) Instr {
+	return Instr{Op: OpBrTable, Targets: targets, X: uint64(def)}
+}
+
+// Block opens a block with the given result signature.
+func Block(bt BlockType) Instr { return Instr{Op: OpBlock, Block: bt} }
+
+// Loop opens a loop with the given result signature.
+func Loop(bt BlockType) Instr { return Instr{Op: OpLoop, Block: bt} }
+
+// If opens a conditional with the given result signature.
+func If(bt BlockType) Instr { return Instr{Op: OpIf, Block: bt} }
+
+// Else separates the branches of an if.
+func Else() Instr { return Instr{Op: OpElse} }
+
+// End closes the innermost block/loop/if or the function body.
+func End() Instr { return Instr{Op: OpEnd} }
+
+// Op builds an immediate-free instruction.
+func Op(op Opcode) Instr { return Instr{Op: op} }
+
+// Load builds a load with a static offset (natural alignment).
+func Load(op Opcode, offset uint64) Instr {
+	align := uint64(0)
+	for 1<<(align+1) <= op.AccessSize() {
+		align++
+	}
+	return Instr{Op: op, X: align, Offset: offset}
+}
+
+// Store builds a store with a static offset (natural alignment).
+func Store(op Opcode, offset uint64) Instr { return Load(op, offset) }
+
+// SegmentNew builds segment.new with static offset o (paper Fig. 7).
+func SegmentNew(o uint64) Instr { return Instr{Op: OpSegmentNew, Offset: o} }
+
+// SegmentSetTag builds segment.set_tag with static offset o.
+func SegmentSetTag(o uint64) Instr { return Instr{Op: OpSegmentSetTag, Offset: o} }
+
+// SegmentFree builds segment.free with static offset o.
+func SegmentFree(o uint64) Instr { return Instr{Op: OpSegmentFree, Offset: o} }
+
+// PointerSign builds i64.pointer_sign.
+func PointerSign() Instr { return Instr{Op: OpPointerSign} }
+
+// PointerAuth builds i64.pointer_auth.
+func PointerAuth() Instr { return Instr{Op: OpPointerAuth} }
+
+// F64Bits converts a float constant to its global-initializer bits.
+func F64Bits(v float64) uint64 { return math.Float64bits(v) }
+
+// F64FromBits is the inverse of F64Bits.
+func F64FromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// F32ConstBits converts a float32 constant to its raw bits.
+func F32ConstBits(v float32) uint32 { return math.Float32bits(v) }
+
+// F32FromBits is the inverse of F32ConstBits.
+func F32FromBits(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,560 @@
+package wasm
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+)
+
+// Decode parses a binary module image.
+func Decode(buf []byte) (*Module, error) {
+	if len(buf) < len(magicHeader) || !bytes.Equal(buf[:len(magicHeader)], magicHeader) {
+		return nil, fmt.Errorf("wasm: bad magic/version header")
+	}
+	r := &reader{buf: buf, pos: len(magicHeader)}
+	m := &Module{}
+	var funcTypeIdxs []uint32
+
+	for !r.eof() {
+		id, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.uleb32()
+		if err != nil {
+			return nil, err
+		}
+		body, err := r.bytes(int(size))
+		if err != nil {
+			return nil, err
+		}
+		sr := &reader{buf: body}
+		switch id {
+		case secType:
+			if err := decodeTypes(sr, m); err != nil {
+				return nil, err
+			}
+		case secImport:
+			if err := decodeImports(sr, m); err != nil {
+				return nil, err
+			}
+		case secFunction:
+			n, err := sr.uleb32()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint32(0); i < n; i++ {
+				ti, err := sr.uleb32()
+				if err != nil {
+					return nil, err
+				}
+				funcTypeIdxs = append(funcTypeIdxs, ti)
+			}
+		case secTable:
+			if err := decodeTables(sr, m); err != nil {
+				return nil, err
+			}
+		case secMemory:
+			if err := decodeMems(sr, m); err != nil {
+				return nil, err
+			}
+		case secGlobal:
+			if err := decodeGlobals(sr, m); err != nil {
+				return nil, err
+			}
+		case secExport:
+			if err := decodeExports(sr, m); err != nil {
+				return nil, err
+			}
+		case secStart:
+			v, err := sr.uleb32()
+			if err != nil {
+				return nil, err
+			}
+			m.Start = &v
+		case secElem:
+			if err := decodeElems(sr, m); err != nil {
+				return nil, err
+			}
+		case secCode:
+			if err := decodeCode(sr, m, funcTypeIdxs); err != nil {
+				return nil, err
+			}
+		case secData:
+			if err := decodeDatas(sr, m); err != nil {
+				return nil, err
+			}
+		default:
+			// Unknown/custom sections are skipped.
+		}
+	}
+	return m, nil
+}
+
+func decodeTypes(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		form, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return fmt.Errorf("wasm: type %d: unexpected form 0x%x", i, form)
+		}
+		var ft FuncType
+		np, err := r.uleb32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < np; j++ {
+			b, err := r.byte()
+			if err != nil {
+				return err
+			}
+			ft.Params = append(ft.Params, ValType(b))
+		}
+		nr, err := r.uleb32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nr; j++ {
+			b, err := r.byte()
+			if err != nil {
+				return err
+			}
+			ft.Results = append(ft.Results, ValType(b))
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func decodeImports(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		mod, err := r.name()
+		if err != nil {
+			return err
+		}
+		name, err := r.name()
+		if err != nil {
+			return err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if kind != 0x00 {
+			return fmt.Errorf("wasm: import %s.%s: only function imports are supported", mod, name)
+		}
+		ti, err := r.uleb32()
+		if err != nil {
+			return err
+		}
+		m.Imports = append(m.Imports, Import{Module: mod, Name: name, TypeIdx: ti})
+	}
+	return nil
+}
+
+func decodeLimits(r *reader) (Limits, bool, error) {
+	flags, err := r.byte()
+	if err != nil {
+		return Limits{}, false, err
+	}
+	var l Limits
+	mem64 := flags&0x04 != 0
+	l.HasMax = flags&0x01 != 0
+	if l.Min, err = r.uleb(); err != nil {
+		return Limits{}, false, err
+	}
+	if l.HasMax {
+		if l.Max, err = r.uleb(); err != nil {
+			return Limits{}, false, err
+		}
+	}
+	return l, mem64, nil
+}
+
+func decodeTables(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		et, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if et != 0x70 {
+			return fmt.Errorf("wasm: table %d: unsupported element type 0x%x", i, et)
+		}
+		l, _, err := decodeLimits(r)
+		if err != nil {
+			return err
+		}
+		m.Tables = append(m.Tables, TableType{Limits: l})
+	}
+	return nil
+}
+
+func decodeMems(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		l, mem64, err := decodeLimits(r)
+		if err != nil {
+			return err
+		}
+		m.Mems = append(m.Mems, MemoryType{Limits: l, Memory64: mem64})
+	}
+	return nil
+}
+
+func decodeConstExpr(r *reader) (ValType, uint64, error) {
+	op, err := r.byte()
+	if err != nil {
+		return 0, 0, err
+	}
+	var t ValType
+	var bits uint64
+	switch Opcode(op) {
+	case OpI32Const:
+		v, err := r.sleb()
+		if err != nil {
+			return 0, 0, err
+		}
+		t, bits = I32, uint64(uint32(int32(v)))
+	case OpI64Const:
+		v, err := r.sleb()
+		if err != nil {
+			return 0, 0, err
+		}
+		t, bits = I64, uint64(v)
+	case OpF32Const:
+		raw, err := r.bytes(4)
+		if err != nil {
+			return 0, 0, err
+		}
+		t, bits = F32, uint64(getU32(raw))
+	case OpF64Const:
+		raw, err := r.bytes(8)
+		if err != nil {
+			return 0, 0, err
+		}
+		t, bits = F64, getU64(raw)
+	default:
+		return 0, 0, fmt.Errorf("wasm: unsupported const expression opcode 0x%x", op)
+	}
+	end, err := r.byte()
+	if err != nil {
+		return 0, 0, err
+	}
+	if Opcode(end) != OpEnd {
+		return 0, 0, fmt.Errorf("wasm: const expression not terminated by end")
+	}
+	return t, bits, nil
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func decodeGlobals(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		vt, err := r.byte()
+		if err != nil {
+			return err
+		}
+		mut, err := r.byte()
+		if err != nil {
+			return err
+		}
+		t, bits, err := decodeConstExpr(r)
+		if err != nil {
+			return err
+		}
+		if t != ValType(vt) {
+			return fmt.Errorf("wasm: global %d: init type %v does not match declared %v", i, t, ValType(vt))
+		}
+		m.Globals = append(m.Globals, Global{
+			Type: GlobalType{Type: ValType(vt), Mutable: mut == 1},
+			Init: bits,
+		})
+	}
+	return nil
+}
+
+func decodeExports(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		name, err := r.name()
+		if err != nil {
+			return err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		idx, err := r.uleb32()
+		if err != nil {
+			return err
+		}
+		m.Exports = append(m.Exports, Export{Name: name, Kind: ExportKind(kind), Idx: idx})
+	}
+	return nil
+}
+
+func decodeElems(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		flag, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if flag != 0x00 {
+			return fmt.Errorf("wasm: element segment %d: unsupported flags 0x%x", i, flag)
+		}
+		_, off, err := decodeConstExpr(r)
+		if err != nil {
+			return err
+		}
+		cnt, err := r.uleb32()
+		if err != nil {
+			return err
+		}
+		seg := ElemSegment{Offset: uint32(off)}
+		for j := uint32(0); j < cnt; j++ {
+			f, err := r.uleb32()
+			if err != nil {
+				return err
+			}
+			seg.Funcs = append(seg.Funcs, f)
+		}
+		m.Elems = append(m.Elems, seg)
+	}
+	return nil
+}
+
+func decodeDatas(r *reader, m *Module) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		flag, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if flag != 0x00 {
+			return fmt.Errorf("wasm: data segment %d: unsupported flags 0x%x", i, flag)
+		}
+		_, off, err := decodeConstExpr(r)
+		if err != nil {
+			return err
+		}
+		sz, err := r.uleb32()
+		if err != nil {
+			return err
+		}
+		raw, err := r.bytes(int(sz))
+		if err != nil {
+			return err
+		}
+		m.Datas = append(m.Datas, DataSegment{Offset: off, Bytes: append([]byte{}, raw...)})
+	}
+	return nil
+}
+
+func decodeCode(r *reader, m *Module, typeIdxs []uint32) error {
+	n, err := r.uleb32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(typeIdxs) {
+		return fmt.Errorf("wasm: code section has %d bodies for %d declared functions", n, len(typeIdxs))
+	}
+	for i := uint32(0); i < n; i++ {
+		size, err := r.uleb32()
+		if err != nil {
+			return err
+		}
+		body, err := r.bytes(int(size))
+		if err != nil {
+			return err
+		}
+		f := Function{TypeIdx: typeIdxs[i]}
+		br := &reader{buf: body}
+		nruns, err := br.uleb32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < nruns; j++ {
+			cnt, err := br.uleb32()
+			if err != nil {
+				return err
+			}
+			t, err := br.byte()
+			if err != nil {
+				return err
+			}
+			for k := uint32(0); k < cnt; k++ {
+				f.Locals = append(f.Locals, ValType(t))
+			}
+		}
+		for !br.eof() {
+			in, err := decodeInstr(br)
+			if err != nil {
+				return fmt.Errorf("wasm: function %d: %w", i, err)
+			}
+			f.Body = append(f.Body, in)
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	return nil
+}
+
+func decodeInstr(r *reader) (Instr, error) {
+	b, err := r.byte()
+	if err != nil {
+		return Instr{}, err
+	}
+	op := Opcode(b)
+	in := Instr{Op: op}
+	switch op {
+	case 0xFC:
+		sub, err := r.uleb32()
+		if err != nil {
+			return Instr{}, err
+		}
+		switch sub {
+		case 0x0A:
+			in.Op = OpMemoryCopy
+			if _, err := r.bytes(2); err != nil {
+				return Instr{}, err
+			}
+		case 0x0B:
+			in.Op = OpMemoryFill
+			if _, err := r.bytes(1); err != nil {
+				return Instr{}, err
+			}
+		default:
+			return Instr{}, fmt.Errorf("unsupported 0xFC sub-opcode %d", sub)
+		}
+		return in, nil
+	case 0xE0:
+		sub, err := r.byte()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Op = Opcode(0xE000 | uint32(sub))
+		if !in.Op.IsCage() {
+			return Instr{}, fmt.Errorf("unknown Cage sub-opcode 0x%x", sub)
+		}
+		switch in.Op {
+		case OpSegmentNew, OpSegmentSetTag, OpSegmentFree:
+			if in.Offset, err = r.uleb(); err != nil {
+				return Instr{}, err
+			}
+		}
+		return in, nil
+	case OpBlock, OpLoop, OpIf:
+		bt, err := r.sleb()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Block = BlockType(bt)
+	case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee,
+		OpGlobalGet, OpGlobalSet:
+		if in.X, err = r.uleb(); err != nil {
+			return Instr{}, err
+		}
+	case OpBrTable:
+		cnt, err := r.uleb32()
+		if err != nil {
+			return Instr{}, err
+		}
+		for j := uint32(0); j < cnt; j++ {
+			t, err := r.uleb32()
+			if err != nil {
+				return Instr{}, err
+			}
+			in.Targets = append(in.Targets, t)
+		}
+		if in.X, err = r.uleb(); err != nil {
+			return Instr{}, err
+		}
+	case OpCallIndirect:
+		if in.X, err = r.uleb(); err != nil {
+			return Instr{}, err
+		}
+		if _, err := r.byte(); err != nil { // table index
+			return Instr{}, err
+		}
+	case OpMemorySize, OpMemoryGrow:
+		if _, err := r.byte(); err != nil {
+			return Instr{}, err
+		}
+	case OpI32Const:
+		v, err := r.sleb()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.X = uint64(uint32(int32(v)))
+	case OpI64Const:
+		v, err := r.sleb()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.X = uint64(v)
+	case OpF32Const:
+		raw, err := r.bytes(4)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.F = float64(math.Float32frombits(getU32(raw)))
+	case OpF64Const:
+		raw, err := r.bytes(8)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.F = math.Float64frombits(getU64(raw))
+	default:
+		if op.isMemAccess() {
+			if in.X, err = r.uleb(); err != nil {
+				return Instr{}, err
+			}
+			if in.Offset, err = r.uleb(); err != nil {
+				return Instr{}, err
+			}
+		} else if _, ok := opNames[op]; !ok {
+			return Instr{}, fmt.Errorf("unknown opcode 0x%x", b)
+		}
+	}
+	return in, nil
+}

@@ -1,0 +1,326 @@
+package wasm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binary encoding of modules. The format follows the WebAssembly 1.0
+// binary format plus the memory64 limits flag; Cage instructions encode
+// as 0xE0 followed by a sub-opcode and, for the segment family, a ULEB
+// static offset.
+
+// Section identifiers.
+const (
+	secType     = 1
+	secImport   = 2
+	secFunction = 3
+	secTable    = 4
+	secMemory   = 5
+	secGlobal   = 6
+	secExport   = 7
+	secStart    = 8
+	secElem     = 9
+	secCode     = 10
+	secData     = 11
+)
+
+var magicHeader = []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+// Encode serializes the module to the binary format.
+func Encode(m *Module) ([]byte, error) {
+	out := append([]byte{}, magicHeader...)
+
+	section := func(id byte, body []byte) {
+		out = append(out, id)
+		out = appendULEB(out, uint64(len(body)))
+		out = append(out, body...)
+	}
+
+	if len(m.Types) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Types)))
+		for _, t := range m.Types {
+			b = append(b, 0x60)
+			b = appendULEB(b, uint64(len(t.Params)))
+			for _, p := range t.Params {
+				b = append(b, byte(p))
+			}
+			b = appendULEB(b, uint64(len(t.Results)))
+			for _, r := range t.Results {
+				b = append(b, byte(r))
+			}
+		}
+		section(secType, b)
+	}
+
+	if len(m.Imports) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Imports)))
+		for _, im := range m.Imports {
+			b = appendULEB(b, uint64(len(im.Module)))
+			b = append(b, im.Module...)
+			b = appendULEB(b, uint64(len(im.Name)))
+			b = append(b, im.Name...)
+			b = append(b, 0x00) // func import
+			b = appendULEB(b, uint64(im.TypeIdx))
+		}
+		section(secImport, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			b = appendULEB(b, uint64(f.TypeIdx))
+		}
+		section(secFunction, b)
+	}
+
+	if len(m.Tables) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Tables)))
+		for _, t := range m.Tables {
+			b = append(b, 0x70) // funcref
+			b = appendLimits(b, t.Limits, false)
+		}
+		section(secTable, b)
+	}
+
+	if len(m.Mems) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Mems)))
+		for _, mem := range m.Mems {
+			b = appendLimits(b, mem.Limits, mem.Memory64)
+		}
+		section(secMemory, b)
+	}
+
+	if len(m.Globals) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Globals)))
+		for _, g := range m.Globals {
+			b = append(b, byte(g.Type.Type))
+			if g.Type.Mutable {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			var err error
+			b, err = appendConstExpr(b, g.Type.Type, g.Init)
+			if err != nil {
+				return nil, err
+			}
+		}
+		section(secGlobal, b)
+	}
+
+	if len(m.Exports) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Exports)))
+		for _, e := range m.Exports {
+			b = appendULEB(b, uint64(len(e.Name)))
+			b = append(b, e.Name...)
+			b = append(b, byte(e.Kind))
+			b = appendULEB(b, uint64(e.Idx))
+		}
+		section(secExport, b)
+	}
+
+	if m.Start != nil {
+		var b []byte
+		b = appendULEB(b, uint64(*m.Start))
+		section(secStart, b)
+	}
+
+	if len(m.Elems) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Elems)))
+		for _, e := range m.Elems {
+			b = append(b, 0x00) // active, table 0
+			b = append(b, byte(OpI32Const))
+			b = appendSLEB(b, int64(int32(e.Offset)))
+			b = append(b, byte(OpEnd))
+			b = appendULEB(b, uint64(len(e.Funcs)))
+			for _, f := range e.Funcs {
+				b = appendULEB(b, uint64(f))
+			}
+		}
+		section(secElem, b)
+	}
+
+	if len(m.Funcs) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			body, err := encodeBody(&f)
+			if err != nil {
+				return nil, err
+			}
+			b = appendULEB(b, uint64(len(body)))
+			b = append(b, body...)
+		}
+		section(secCode, b)
+	}
+
+	if len(m.Datas) > 0 {
+		var b []byte
+		b = appendULEB(b, uint64(len(m.Datas)))
+		for _, d := range m.Datas {
+			b = append(b, 0x00) // active, memory 0
+			// memory64 uses an i64 offset expression.
+			b = append(b, byte(OpI64Const))
+			b = appendSLEB(b, int64(d.Offset))
+			b = append(b, byte(OpEnd))
+			b = appendULEB(b, uint64(len(d.Bytes)))
+			b = append(b, d.Bytes...)
+		}
+		section(secData, b)
+	}
+
+	return out, nil
+}
+
+func appendLimits(b []byte, l Limits, mem64 bool) []byte {
+	flags := byte(0)
+	if l.HasMax {
+		flags |= 0x01
+	}
+	if mem64 {
+		flags |= 0x04 // memory64 proposal flag
+	}
+	b = append(b, flags)
+	b = appendULEB(b, l.Min)
+	if l.HasMax {
+		b = appendULEB(b, l.Max)
+	}
+	return b
+}
+
+func appendConstExpr(b []byte, t ValType, bits uint64) ([]byte, error) {
+	switch t {
+	case I32:
+		b = append(b, byte(OpI32Const))
+		b = appendSLEB(b, int64(int32(bits)))
+	case I64:
+		b = append(b, byte(OpI64Const))
+		b = appendSLEB(b, int64(bits))
+	case F32:
+		b = append(b, byte(OpF32Const))
+		var raw [4]byte
+		putU32(raw[:], uint32(bits))
+		b = append(b, raw[:]...)
+	case F64:
+		b = append(b, byte(OpF64Const))
+		var raw [8]byte
+		putU64(raw[:], bits)
+		b = append(b, raw[:]...)
+	default:
+		return nil, fmt.Errorf("wasm: cannot encode const of type %v", t)
+	}
+	return append(b, byte(OpEnd)), nil
+}
+
+func putU32(dst []byte, v uint32) {
+	dst[0], dst[1], dst[2], dst[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(dst []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+func encodeBody(f *Function) ([]byte, error) {
+	var b []byte
+	// Locals: run-length encoded.
+	type run struct {
+		count uint32
+		t     ValType
+	}
+	var runs []run
+	for _, l := range f.Locals {
+		if len(runs) > 0 && runs[len(runs)-1].t == l {
+			runs[len(runs)-1].count++
+		} else {
+			runs = append(runs, run{1, l})
+		}
+	}
+	b = appendULEB(b, uint64(len(runs)))
+	for _, r := range runs {
+		b = appendULEB(b, uint64(r.count))
+		b = append(b, byte(r.t))
+	}
+	for _, in := range f.Body {
+		var err error
+		b, err = appendInstr(b, in)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Bodies must be OpEnd-terminated; add one if the builder omitted it.
+	if n := len(f.Body); n == 0 || f.Body[n-1].Op != OpEnd {
+		b = append(b, byte(OpEnd))
+	}
+	return b, nil
+}
+
+func appendInstr(b []byte, in Instr) ([]byte, error) {
+	op := in.Op
+	switch {
+	case op == OpMemoryCopy:
+		b = append(b, 0xFC)
+		b = appendULEB(b, 0x0A)
+		return append(b, 0x00, 0x00), nil // src, dst memory indices
+	case op == OpMemoryFill:
+		b = append(b, 0xFC)
+		b = appendULEB(b, 0x0B)
+		return append(b, 0x00), nil
+	case op.IsCage():
+		b = append(b, 0xE0, byte(op&0xFF))
+		switch op {
+		case OpSegmentNew, OpSegmentSetTag, OpSegmentFree:
+			b = appendULEB(b, in.Offset)
+		}
+		return b, nil
+	case op > 0xFF:
+		return nil, fmt.Errorf("wasm: cannot encode opcode %v", op)
+	}
+	b = append(b, byte(op))
+	switch op {
+	case OpBlock, OpLoop, OpIf:
+		b = appendSLEB(b, int64(in.Block))
+	case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee,
+		OpGlobalGet, OpGlobalSet:
+		b = appendULEB(b, in.X)
+	case OpBrTable:
+		b = appendULEB(b, uint64(len(in.Targets)))
+		for _, t := range in.Targets {
+			b = appendULEB(b, uint64(t))
+		}
+		b = appendULEB(b, in.X) // default target
+	case OpCallIndirect:
+		b = appendULEB(b, in.X) // type index
+		b = append(b, 0x00)     // table 0
+	case OpMemorySize, OpMemoryGrow:
+		b = append(b, 0x00)
+	case OpI32Const:
+		b = appendSLEB(b, int64(int32(in.X)))
+	case OpI64Const:
+		b = appendSLEB(b, int64(in.X))
+	case OpF32Const:
+		var raw [4]byte
+		putU32(raw[:], math.Float32bits(float32(in.F)))
+		b = append(b, raw[:]...)
+	case OpF64Const:
+		var raw [8]byte
+		putU64(raw[:], math.Float64bits(in.F))
+		b = append(b, raw[:]...)
+	default:
+		if op.isMemAccess() {
+			b = appendULEB(b, in.X) // alignment
+			b = appendULEB(b, in.Offset)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,124 @@
+package wasm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LEB128 variable-length integer encoding used throughout the binary
+// format.
+
+var errLEBOverflow = errors.New("wasm: LEB128 value overflows")
+
+func appendULEB(dst []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		if v != 0 {
+			dst = append(dst, b|0x80)
+		} else {
+			return append(dst, b)
+		}
+	}
+}
+
+func appendSLEB(dst []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7F)
+		v >>= 7
+		if (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0) {
+			return append(dst, b)
+		}
+		dst = append(dst, b|0x80)
+	}
+}
+
+// reader is a simple cursor over the binary image.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) eof() bool { return r.pos >= len(r.buf) }
+
+func (r *reader) byte() (byte, error) {
+	if r.eof() {
+		return 0, fmt.Errorf("wasm: unexpected end of binary at offset %d", r.pos)
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.buf) {
+		return nil, fmt.Errorf("wasm: truncated binary: need %d bytes at offset %d", n, r.pos)
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) uleb() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := r.byte()
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 || (shift == 63 && b > 1) {
+			return 0, errLEBOverflow
+		}
+		v |= uint64(b&0x7F) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func (r *reader) uleb32() (uint32, error) {
+	v, err := r.uleb()
+	if err != nil {
+		return 0, err
+	}
+	if v > 0xFFFFFFFF {
+		return 0, errLEBOverflow
+	}
+	return uint32(v), nil
+}
+
+func (r *reader) sleb() (int64, error) {
+	var v int64
+	var shift uint
+	for {
+		b, err := r.byte()
+		if err != nil {
+			return 0, err
+		}
+		if shift >= 64 {
+			return 0, errLEBOverflow
+		}
+		v |= int64(b&0x7F) << shift
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, nil
+		}
+	}
+}
+
+func (r *reader) name() (string, error) {
+	n, err := r.uleb32()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

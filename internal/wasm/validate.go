@@ -1,0 +1,646 @@
+package wasm
+
+import "fmt"
+
+// Module validation: the standard WebAssembly operand-stack typing
+// algorithm, extended with the Cage typing rules of paper Fig. 10:
+//
+//	C.memory = n ⊢ segment.new o     : i64 i64 -> i64
+//	C.memory = n ⊢ segment.set_tag o : i64 i64 i64 -> ε
+//	C.memory = n ⊢ segment.free o    : i64 i64 -> ε
+//	C ⊢ i64.pointer_sign             : i64 -> i64
+//	C ⊢ i64.pointer_auth             : i64 -> i64
+//
+// The segment rules additionally require the memory to be 64-bit, since
+// Cage builds on wasm64 (paper §4.2).
+
+// unknownType is the bottom type used for unreachable-code polymorphism.
+const unknownType ValType = 0
+
+type simpleSig struct {
+	pop  []ValType
+	push []ValType
+}
+
+var simpleSigs map[Opcode]simpleSig
+
+func init() {
+	simpleSigs = make(map[Opcode]simpleSig)
+	bin := func(op Opcode, t ValType) { simpleSigs[op] = simpleSig{[]ValType{t, t}, []ValType{t}} }
+	rel := func(op Opcode, t ValType) { simpleSigs[op] = simpleSig{[]ValType{t, t}, []ValType{I32}} }
+	un := func(op Opcode, t ValType) { simpleSigs[op] = simpleSig{[]ValType{t}, []ValType{t}} }
+	cvt := func(op Opcode, from, to ValType) { simpleSigs[op] = simpleSig{[]ValType{from}, []ValType{to}} }
+
+	for op := OpI32Add; op <= OpI32Rotr; op++ {
+		bin(op, I32)
+	}
+	for op := OpI64Add; op <= OpI64Rotr; op++ {
+		bin(op, I64)
+	}
+	for op := OpF32Add; op <= OpF32Copysign; op++ {
+		bin(op, F32)
+	}
+	for op := OpF64Add; op <= OpF64Copysign; op++ {
+		bin(op, F64)
+	}
+	for op := OpI32Eq; op <= OpI32GeU; op++ {
+		rel(op, I32)
+	}
+	for op := OpI64Eq; op <= OpI64GeU; op++ {
+		rel(op, I64)
+	}
+	for op := OpF32Eq; op <= OpF32Ge; op++ {
+		rel(op, F32)
+	}
+	for op := OpF64Eq; op <= OpF64Ge; op++ {
+		rel(op, F64)
+	}
+	simpleSigs[OpI32Eqz] = simpleSig{[]ValType{I32}, []ValType{I32}}
+	simpleSigs[OpI64Eqz] = simpleSig{[]ValType{I64}, []ValType{I32}}
+	for _, op := range []Opcode{OpI32Clz, OpI32Ctz, OpI32Popcnt} {
+		un(op, I32)
+	}
+	for _, op := range []Opcode{OpI64Clz, OpI64Ctz, OpI64Popcnt} {
+		un(op, I64)
+	}
+	for op := OpF32Abs; op <= OpF32Sqrt; op++ {
+		un(op, F32)
+	}
+	for op := OpF64Abs; op <= OpF64Sqrt; op++ {
+		un(op, F64)
+	}
+	cvt(OpI32WrapI64, I64, I32)
+	cvt(OpI32TruncF32S, F32, I32)
+	cvt(OpI32TruncF32U, F32, I32)
+	cvt(OpI32TruncF64S, F64, I32)
+	cvt(OpI32TruncF64U, F64, I32)
+	cvt(OpI64ExtendI32S, I32, I64)
+	cvt(OpI64ExtendI32U, I32, I64)
+	cvt(OpI64TruncF32S, F32, I64)
+	cvt(OpI64TruncF32U, F32, I64)
+	cvt(OpI64TruncF64S, F64, I64)
+	cvt(OpI64TruncF64U, F64, I64)
+	cvt(OpF32ConvertI32S, I32, F32)
+	cvt(OpF32ConvertI32U, I32, F32)
+	cvt(OpF32ConvertI64S, I64, F32)
+	cvt(OpF32ConvertI64U, I64, F32)
+	cvt(OpF32DemoteF64, F64, F32)
+	cvt(OpF64ConvertI32S, I32, F64)
+	cvt(OpF64ConvertI32U, I32, F64)
+	cvt(OpF64ConvertI64S, I64, F64)
+	cvt(OpF64ConvertI64U, I64, F64)
+	cvt(OpF64PromoteF32, F32, F64)
+	cvt(OpI32ReinterpretF32, F32, I32)
+	cvt(OpI64ReinterpretF64, F64, I64)
+	cvt(OpF32ReinterpretI32, I32, F32)
+	cvt(OpF64ReinterpretI64, I64, F64)
+	// Cage pointer-authentication instructions (Fig. 10).
+	simpleSigs[OpPointerSign] = simpleSig{[]ValType{I64}, []ValType{I64}}
+	simpleSigs[OpPointerAuth] = simpleSig{[]ValType{I64}, []ValType{I64}}
+}
+
+// ValidationError describes why a module failed validation.
+type ValidationError struct {
+	Func int // -1 for module-level errors
+	PC   int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	if e.Func < 0 {
+		return "wasm: validate: " + e.Msg
+	}
+	return fmt.Sprintf("wasm: validate: func %d, pc %d: %s", e.Func, e.PC, e.Msg)
+}
+
+// Validate type-checks the whole module.
+func Validate(m *Module) error {
+	modErr := func(format string, args ...any) error {
+		return &ValidationError{Func: -1, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i, im := range m.Imports {
+		if int(im.TypeIdx) >= len(m.Types) {
+			return modErr("import %d: type index %d out of range", i, im.TypeIdx)
+		}
+	}
+	for i, f := range m.Funcs {
+		if int(f.TypeIdx) >= len(m.Types) {
+			return modErr("function %d: type index %d out of range", i, f.TypeIdx)
+		}
+	}
+	if len(m.Mems) > 1 {
+		return modErr("at most one memory is supported")
+	}
+	if len(m.Tables) > 1 {
+		return modErr("at most one table is supported")
+	}
+	numFuncs := len(m.Imports) + len(m.Funcs)
+	for i, e := range m.Exports {
+		switch e.Kind {
+		case ExportFunc:
+			if int(e.Idx) >= numFuncs {
+				return modErr("export %q: function index %d out of range", e.Name, e.Idx)
+			}
+		case ExportMemory:
+			if int(e.Idx) >= len(m.Mems) {
+				return modErr("export %q: memory index out of range", e.Name)
+			}
+		case ExportTable:
+			if int(e.Idx) >= len(m.Tables) {
+				return modErr("export %q: table index out of range", e.Name)
+			}
+		case ExportGlobal:
+			if int(e.Idx) >= len(m.Globals) {
+				return modErr("export %q: global index out of range", e.Name)
+			}
+		default:
+			return modErr("export %q: unknown kind %d", e.Name, e.Kind)
+		}
+		_ = i
+	}
+	for i, es := range m.Elems {
+		if len(m.Tables) == 0 {
+			return modErr("element segment %d without a table", i)
+		}
+		for _, fidx := range es.Funcs {
+			if int(fidx) >= numFuncs {
+				return modErr("element segment %d: function index %d out of range", i, fidx)
+			}
+		}
+	}
+	if len(m.Datas) > 0 && len(m.Mems) == 0 {
+		return modErr("data segment without a memory")
+	}
+	if m.Start != nil {
+		ft, err := m.FuncTypeAt(*m.Start)
+		if err != nil {
+			return modErr("start: %v", err)
+		}
+		if len(ft.Params) != 0 || len(ft.Results) != 0 {
+			return modErr("start function must have type () -> ()")
+		}
+	}
+	for i := range m.Funcs {
+		if err := validateFunc(m, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type ctrlFrame struct {
+	op          Opcode // OpBlock, OpLoop, OpIf, or OpEnd for the function frame
+	results     []ValType
+	height      int
+	unreachable bool
+	sawElse     bool
+}
+
+type funcValidator struct {
+	m       *Module
+	fidx    int
+	pc      int
+	locals  []ValType
+	stack   []ValType
+	ctrls   []ctrlFrame
+	hasMem  bool
+	mem64   bool
+	addrTy  ValType
+	results []ValType
+}
+
+func (v *funcValidator) errf(format string, args ...any) error {
+	return &ValidationError{Func: v.fidx, PC: v.pc, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (v *funcValidator) push(t ValType) { v.stack = append(v.stack, t) }
+
+func (v *funcValidator) pop(want ValType) (ValType, error) {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	if len(v.stack) == frame.height {
+		if frame.unreachable {
+			return want, nil
+		}
+		return 0, v.errf("operand stack underflow, expected %v", want)
+	}
+	t := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	if want != unknownType && t != unknownType && t != want {
+		return 0, v.errf("type mismatch: expected %v, found %v", want, t)
+	}
+	if t == unknownType {
+		return want, nil
+	}
+	return t, nil
+}
+
+func (v *funcValidator) pushCtrl(op Opcode, results []ValType) {
+	v.ctrls = append(v.ctrls, ctrlFrame{op: op, results: results, height: len(v.stack)})
+}
+
+func (v *funcValidator) popCtrl() (ctrlFrame, error) {
+	if len(v.ctrls) == 0 {
+		return ctrlFrame{}, v.errf("unbalanced end")
+	}
+	frame := v.ctrls[len(v.ctrls)-1]
+	for i := len(frame.results) - 1; i >= 0; i-- {
+		if _, err := v.pop(frame.results[i]); err != nil {
+			return ctrlFrame{}, err
+		}
+	}
+	if len(v.stack) != frame.height && !frame.unreachable {
+		return ctrlFrame{}, v.errf("%d leftover operands at block end", len(v.stack)-frame.height)
+	}
+	v.stack = v.stack[:frame.height]
+	v.ctrls = v.ctrls[:len(v.ctrls)-1]
+	return frame, nil
+}
+
+// labelTypes returns the types a branch to the frame must supply: a
+// loop's params (none in our subset) or a block/if's results.
+func (f *ctrlFrame) labelTypes() []ValType {
+	if f.op == OpLoop {
+		return nil
+	}
+	return f.results
+}
+
+func (v *funcValidator) markUnreachable() {
+	frame := &v.ctrls[len(v.ctrls)-1]
+	v.stack = v.stack[:frame.height]
+	frame.unreachable = true
+}
+
+func (v *funcValidator) branchTo(depth uint64) error {
+	if depth >= uint64(len(v.ctrls)) {
+		return v.errf("branch depth %d exceeds nesting %d", depth, len(v.ctrls))
+	}
+	frame := &v.ctrls[len(v.ctrls)-1-int(depth)]
+	types := frame.labelTypes()
+	for i := len(types) - 1; i >= 0; i-- {
+		if _, err := v.pop(types[i]); err != nil {
+			return err
+		}
+	}
+	for _, t := range types {
+		v.push(t)
+	}
+	return nil
+}
+
+func blockResults(bt BlockType) ([]ValType, error) {
+	if bt == BlockVoid {
+		return nil, nil
+	}
+	if t, ok := bt.Result(); ok {
+		return []ValType{t}, nil
+	}
+	return nil, fmt.Errorf("unsupported block type %d", bt)
+}
+
+func validateFunc(m *Module, idx int) error {
+	f := &m.Funcs[idx]
+	ft := m.Types[f.TypeIdx]
+	v := &funcValidator{m: m, fidx: idx, results: ft.Results}
+	v.locals = append(append([]ValType{}, ft.Params...), f.Locals...)
+	for _, l := range v.locals {
+		if !l.Valid() {
+			return v.errf("invalid local type %v", l)
+		}
+	}
+	if len(m.Mems) > 0 {
+		v.hasMem = true
+		v.mem64 = m.Mems[0].Memory64
+	}
+	v.addrTy = I32
+	if v.mem64 {
+		v.addrTy = I64
+	}
+	v.pushCtrl(OpEnd, ft.Results)
+
+	body := f.Body
+	if len(body) == 0 || body[len(body)-1].Op != OpEnd {
+		return v.errf("function body not terminated by end")
+	}
+	for pc, in := range body {
+		v.pc = pc
+		if err := v.step(in); err != nil {
+			return err
+		}
+		if len(v.ctrls) == 0 && pc != len(body)-1 {
+			return v.errf("instructions after function end")
+		}
+	}
+	if len(v.ctrls) != 0 {
+		return v.errf("unclosed blocks at end of function")
+	}
+	return nil
+}
+
+func (v *funcValidator) step(in Instr) error {
+	op := in.Op
+	if sig, ok := simpleSigs[op]; ok {
+		for i := len(sig.pop) - 1; i >= 0; i-- {
+			if _, err := v.pop(sig.pop[i]); err != nil {
+				return err
+			}
+		}
+		for _, t := range sig.push {
+			v.push(t)
+		}
+		return nil
+	}
+	switch op {
+	case OpUnreachable:
+		v.markUnreachable()
+	case OpNop:
+	case OpBlock, OpLoop:
+		results, err := blockResults(in.Block)
+		if err != nil {
+			return v.errf("%v", err)
+		}
+		v.pushCtrl(op, results)
+	case OpIf:
+		if _, err := v.pop(I32); err != nil {
+			return err
+		}
+		results, err := blockResults(in.Block)
+		if err != nil {
+			return v.errf("%v", err)
+		}
+		v.pushCtrl(op, results)
+	case OpElse:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if frame.op != OpIf {
+			return v.errf("else without matching if")
+		}
+		v.pushCtrl(OpIf, frame.results)
+		v.ctrls[len(v.ctrls)-1].sawElse = true
+	case OpEnd:
+		frame, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if frame.op == OpIf && !frame.sawElse && len(frame.results) > 0 {
+			return v.errf("if with results requires an else branch")
+		}
+		if len(v.ctrls) == 0 {
+			// Function frame: results were checked by popCtrl.
+			for _, t := range frame.results {
+				v.push(t)
+			}
+		} else {
+			for _, t := range frame.results {
+				v.push(t)
+			}
+		}
+	case OpBr:
+		if err := v.branchTo(in.X); err != nil {
+			return err
+		}
+		v.markUnreachable()
+	case OpBrIf:
+		if _, err := v.pop(I32); err != nil {
+			return err
+		}
+		if err := v.branchTo(in.X); err != nil {
+			return err
+		}
+	case OpBrTable:
+		if _, err := v.pop(I32); err != nil {
+			return err
+		}
+		for _, t := range in.Targets {
+			if uint64(t) >= uint64(len(v.ctrls)) {
+				return v.errf("br_table target %d exceeds nesting", t)
+			}
+		}
+		if err := v.branchTo(in.X); err != nil {
+			return err
+		}
+		v.markUnreachable()
+	case OpReturn:
+		for i := len(v.results) - 1; i >= 0; i-- {
+			if _, err := v.pop(v.results[i]); err != nil {
+				return err
+			}
+		}
+		v.markUnreachable()
+	case OpCall:
+		ft, err := v.m.FuncTypeAt(uint32(in.X))
+		if err != nil {
+			return v.errf("%v", err)
+		}
+		for i := len(ft.Params) - 1; i >= 0; i-- {
+			if _, err := v.pop(ft.Params[i]); err != nil {
+				return err
+			}
+		}
+		for _, t := range ft.Results {
+			v.push(t)
+		}
+	case OpCallIndirect:
+		if len(v.m.Tables) == 0 {
+			return v.errf("call_indirect without a table")
+		}
+		if int(in.X) >= len(v.m.Types) {
+			return v.errf("call_indirect type index %d out of range", in.X)
+		}
+		if _, err := v.pop(I32); err != nil { // table index stays 32-bit
+			return err
+		}
+		ft := v.m.Types[in.X]
+		for i := len(ft.Params) - 1; i >= 0; i-- {
+			if _, err := v.pop(ft.Params[i]); err != nil {
+				return err
+			}
+		}
+		for _, t := range ft.Results {
+			v.push(t)
+		}
+	case OpDrop:
+		if _, err := v.pop(unknownType); err != nil {
+			return err
+		}
+	case OpSelect:
+		if _, err := v.pop(I32); err != nil {
+			return err
+		}
+		t1, err := v.pop(unknownType)
+		if err != nil {
+			return err
+		}
+		t2, err := v.pop(t1)
+		if err != nil {
+			return err
+		}
+		if t2 == unknownType {
+			t2 = t1
+		}
+		v.push(t2)
+	case OpLocalGet, OpLocalSet, OpLocalTee:
+		if in.X >= uint64(len(v.locals)) {
+			return v.errf("local index %d out of range (%d locals)", in.X, len(v.locals))
+		}
+		t := v.locals[in.X]
+		switch op {
+		case OpLocalGet:
+			v.push(t)
+		case OpLocalSet:
+			if _, err := v.pop(t); err != nil {
+				return err
+			}
+		case OpLocalTee:
+			if _, err := v.pop(t); err != nil {
+				return err
+			}
+			v.push(t)
+		}
+	case OpGlobalGet, OpGlobalSet:
+		if in.X >= uint64(len(v.m.Globals)) {
+			return v.errf("global index %d out of range", in.X)
+		}
+		g := v.m.Globals[in.X]
+		if op == OpGlobalGet {
+			v.push(g.Type.Type)
+		} else {
+			if !g.Type.Mutable {
+				return v.errf("global.set on immutable global %d", in.X)
+			}
+			if _, err := v.pop(g.Type.Type); err != nil {
+				return err
+			}
+		}
+	case OpI32Const:
+		v.push(I32)
+	case OpI64Const:
+		v.push(I64)
+	case OpF32Const:
+		v.push(F32)
+	case OpF64Const:
+		v.push(F64)
+	case OpMemorySize:
+		if !v.hasMem {
+			return v.errf("memory.size without a memory")
+		}
+		v.push(v.addrTy)
+	case OpMemoryGrow:
+		if !v.hasMem {
+			return v.errf("memory.grow without a memory")
+		}
+		if _, err := v.pop(v.addrTy); err != nil {
+			return err
+		}
+		v.push(v.addrTy)
+	case OpMemoryFill:
+		if !v.hasMem {
+			return v.errf("memory.fill without a memory")
+		}
+		if _, err := v.pop(v.addrTy); err != nil {
+			return err
+		}
+		if _, err := v.pop(I32); err != nil {
+			return err
+		}
+		if _, err := v.pop(v.addrTy); err != nil {
+			return err
+		}
+	case OpMemoryCopy:
+		if !v.hasMem {
+			return v.errf("memory.copy without a memory")
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := v.pop(v.addrTy); err != nil {
+				return err
+			}
+		}
+	case OpSegmentNew, OpSegmentSetTag, OpSegmentFree:
+		// Paper Fig. 10: valid only under a context with a memory; the
+		// operands are i64, so the memory must be 64-bit.
+		if !v.hasMem {
+			return v.errf("%v requires a declared memory (C.memory = n)", op)
+		}
+		if !v.mem64 {
+			return v.errf("%v requires a 64-bit memory (wasm64)", op)
+		}
+		switch op {
+		case OpSegmentNew:
+			if _, err := v.pop(I64); err != nil { // length
+				return err
+			}
+			if _, err := v.pop(I64); err != nil { // pointer
+				return err
+			}
+			v.push(I64)
+		case OpSegmentSetTag:
+			for i := 0; i < 3; i++ { // length, tagged pointer, pointer
+				if _, err := v.pop(I64); err != nil {
+					return err
+				}
+			}
+		case OpSegmentFree:
+			for i := 0; i < 2; i++ { // length, tagged pointer
+				if _, err := v.pop(I64); err != nil {
+					return err
+				}
+			}
+		}
+	default:
+		if op.isMemAccess() {
+			return v.stepMemAccess(in)
+		}
+		return v.errf("unsupported opcode %v", op)
+	}
+	return nil
+}
+
+func (v *funcValidator) stepMemAccess(in Instr) error {
+	op := in.Op
+	if !v.hasMem {
+		return v.errf("%v without a memory", op)
+	}
+	sz := op.AccessSize()
+	if in.X > 63 || uint64(1)<<in.X > sz {
+		return v.errf("%v: alignment 2^%d exceeds access size %d", op, in.X, sz)
+	}
+	var valTy ValType
+	switch {
+	case op >= OpI32Load && op <= OpI64Load32U:
+		switch op {
+		case OpI32Load, OpI32Load8S, OpI32Load8U, OpI32Load16S, OpI32Load16U:
+			valTy = I32
+		case OpF32Load:
+			valTy = F32
+		case OpF64Load:
+			valTy = F64
+		default:
+			valTy = I64
+		}
+		if _, err := v.pop(v.addrTy); err != nil {
+			return err
+		}
+		v.push(valTy)
+	default: // stores
+		switch op {
+		case OpI32Store, OpI32Store8, OpI32Store16:
+			valTy = I32
+		case OpF32Store:
+			valTy = F32
+		case OpF64Store:
+			valTy = F64
+		default:
+			valTy = I64
+		}
+		if _, err := v.pop(valTy); err != nil {
+			return err
+		}
+		if _, err := v.pop(v.addrTy); err != nil {
+			return err
+		}
+	}
+	return nil
+}

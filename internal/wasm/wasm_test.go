@@ -1,0 +1,324 @@
+package wasm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// testModule builds a small valid wasm64 module exercising most of the
+// encoder surface: imports, memory, table, globals, data, elems, and a
+// body containing Cage instructions.
+func testModule() *Module {
+	m := &Module{}
+	ti := m.AddType(FuncType{Params: []ValType{I64, I64}, Results: []ValType{I64}})
+	hostTi := m.AddType(FuncType{Params: []ValType{I64}, Results: nil})
+	m.Imports = append(m.Imports, Import{Module: "env", Name: "log", TypeIdx: hostTi})
+	m.Mems = []MemoryType{{Limits: Limits{Min: 1, Max: 4, HasMax: true}, Memory64: true}}
+	m.Tables = []TableType{{Limits: Limits{Min: 2, HasMax: false}}}
+	m.Globals = []Global{
+		{Type: GlobalType{Type: I64, Mutable: true}, Init: 1024},
+		{Type: GlobalType{Type: F64, Mutable: false}, Init: F64Bits(3.5)},
+	}
+	add := Function{
+		TypeIdx: ti,
+		Locals:  []ValType{I64},
+		Body: []Instr{
+			LocalGet(0), LocalGet(1), Op(OpI64Add), LocalTee(2),
+			LocalGet(2), Op(OpI64Add), End(),
+		},
+	}
+	seg := Function{
+		TypeIdx: m.AddType(FuncType{Params: []ValType{I64}, Results: []ValType{I64}}),
+		Body: []Instr{
+			LocalGet(0), I64Const(32), SegmentNew(16),
+			PointerSign(), PointerAuth(),
+			End(),
+		},
+	}
+	m.Funcs = append(m.Funcs, add, seg)
+	m.Exports = append(m.Exports,
+		Export{Name: "add", Kind: ExportFunc, Idx: 1},
+		Export{Name: "seg", Kind: ExportFunc, Idx: 2},
+		Export{Name: "memory", Kind: ExportMemory, Idx: 0},
+	)
+	m.Elems = []ElemSegment{{Offset: 0, Funcs: []uint32{1, 2}}}
+	m.Datas = []DataSegment{{Offset: 8, Bytes: []byte("hello")}}
+	return m
+}
+
+func TestValidateTestModule(t *testing.T) {
+	if err := Validate(testModule()); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := testModule()
+	bin, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bin)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.Types) != len(m.Types) || len(got.Funcs) != len(m.Funcs) ||
+		len(got.Imports) != 1 || len(got.Exports) != 3 {
+		t.Fatalf("round trip lost sections: %+v", got)
+	}
+	if !got.Mems[0].Memory64 {
+		t.Error("memory64 flag lost")
+	}
+	if got.Mems[0].Limits.Max != 4 || !got.Mems[0].Limits.HasMax {
+		t.Error("memory limits lost")
+	}
+	if got.Globals[1].Init != F64Bits(3.5) {
+		t.Error("f64 global initializer lost")
+	}
+	if string(got.Datas[0].Bytes) != "hello" {
+		t.Error("data segment lost")
+	}
+	if err := Validate(got); err != nil {
+		t.Errorf("decoded module invalid: %v", err)
+	}
+	// The Cage instructions must survive the round trip.
+	body := got.Funcs[1].Body
+	var sawNew, sawSign, sawAuth bool
+	for _, in := range body {
+		switch in.Op {
+		case OpSegmentNew:
+			sawNew = true
+			if in.Offset != 16 {
+				t.Errorf("segment.new offset = %d, want 16", in.Offset)
+			}
+		case OpPointerSign:
+			sawSign = true
+		case OpPointerAuth:
+			sawAuth = true
+		}
+	}
+	if !sawNew || !sawSign || !sawAuth {
+		t.Errorf("Cage instructions lost in round trip: new=%v sign=%v auth=%v",
+			sawNew, sawSign, sawAuth)
+	}
+}
+
+func TestEncodeDecodeInstrProperty(t *testing.T) {
+	// Property: i64 constants of any value survive the round trip.
+	f := func(v int64) bool {
+		m := &Module{}
+		ti := m.AddType(FuncType{Results: []ValType{I64}})
+		m.Funcs = []Function{{TypeIdx: ti, Body: []Instr{I64Const(v), End()}}}
+		bin, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(bin)
+		if err != nil {
+			return false
+		}
+		return int64(got.Funcs[0].Body[0].X) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode([]byte{0x00, 0x61, 0x73, 0x6D, 0x02, 0, 0, 0}); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func mod1(body ...Instr) *Module {
+	m := &Module{}
+	ti := m.AddType(FuncType{Results: []ValType{I64}})
+	m.Mems = []MemoryType{{Limits: Limits{Min: 1}, Memory64: true}}
+	m.Funcs = []Function{{TypeIdx: ti, Body: body}}
+	return m
+}
+
+func TestValidateTypeMismatch(t *testing.T) {
+	m := mod1(I32Const(1), End()) // i32 where i64 expected
+	if err := Validate(m); err == nil {
+		t.Error("result type mismatch accepted")
+	}
+}
+
+func TestValidateStackUnderflow(t *testing.T) {
+	m := mod1(Op(OpI64Add), End())
+	if err := Validate(m); err == nil {
+		t.Error("stack underflow accepted")
+	}
+}
+
+func TestValidateLeftoverOperands(t *testing.T) {
+	m := mod1(I64Const(1), I64Const(2), End())
+	if err := Validate(m); err == nil {
+		t.Error("leftover operand accepted")
+	}
+}
+
+func TestValidateBranchDepth(t *testing.T) {
+	m := mod1(Block(BlockVoid), Br(5), End(), I64Const(0), End())
+	if err := Validate(m); err == nil {
+		t.Error("out-of-range branch depth accepted")
+	}
+}
+
+func TestValidateUnreachablePolymorphism(t *testing.T) {
+	// After unreachable, the stack is polymorphic: this is valid.
+	m := mod1(Op(OpUnreachable), Op(OpI64Add), End())
+	if err := Validate(m); err != nil {
+		t.Errorf("unreachable polymorphism rejected: %v", err)
+	}
+}
+
+func TestValidateLocalIndex(t *testing.T) {
+	m := mod1(LocalGet(3), End())
+	if err := Validate(m); err == nil {
+		t.Error("out-of-range local accepted")
+	}
+}
+
+func TestValidateImmutableGlobalSet(t *testing.T) {
+	m := &Module{}
+	ti := m.AddType(FuncType{})
+	m.Globals = []Global{{Type: GlobalType{Type: I64, Mutable: false}}}
+	m.Funcs = []Function{{TypeIdx: ti, Body: []Instr{I64Const(1), GlobalSet(0), End()}}}
+	if err := Validate(m); err == nil {
+		t.Error("global.set on immutable global accepted")
+	}
+}
+
+// Fig. 10 typing rules for the Cage extension.
+
+func TestCageTypingRequiresMemory(t *testing.T) {
+	m := &Module{}
+	ti := m.AddType(FuncType{Results: []ValType{I64}})
+	m.Funcs = []Function{{TypeIdx: ti, Body: []Instr{
+		I64Const(0), I64Const(16), SegmentNew(0), End(),
+	}}}
+	err := Validate(m)
+	if err == nil {
+		t.Fatal("segment.new without memory accepted (violates C.memory = n)")
+	}
+	if !strings.Contains(err.Error(), "memory") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestCageTypingRequiresWasm64(t *testing.T) {
+	m := &Module{}
+	ti := m.AddType(FuncType{Results: []ValType{I64}})
+	m.Mems = []MemoryType{{Limits: Limits{Min: 1}, Memory64: false}}
+	m.Funcs = []Function{{TypeIdx: ti, Body: []Instr{
+		I64Const(0), I64Const(16), SegmentNew(0), End(),
+	}}}
+	if err := Validate(m); err == nil {
+		t.Fatal("segment.new on 32-bit memory accepted")
+	}
+}
+
+func TestCageTypingOperandTypes(t *testing.T) {
+	// segment.new: i64 i64 -> i64. Using an i32 length must fail.
+	m := mod1(I64Const(0), I32Const(16), SegmentNew(0), End())
+	if err := Validate(m); err == nil {
+		t.Error("segment.new with i32 length accepted")
+	}
+	// segment.set_tag: i64 i64 i64 -> ε.
+	ok := &Module{}
+	ti := ok.AddType(FuncType{})
+	ok.Mems = []MemoryType{{Limits: Limits{Min: 1}, Memory64: true}}
+	ok.Funcs = []Function{{TypeIdx: ti, Body: []Instr{
+		I64Const(0), I64Const(1 << 56), I64Const(16), SegmentSetTag(0),
+		I64Const(1 << 56), I64Const(16), SegmentFree(0),
+		End(),
+	}}}
+	if err := Validate(ok); err != nil {
+		t.Errorf("well-typed segment ops rejected: %v", err)
+	}
+	// pointer_sign: i64 -> i64 even without a memory (Fig. 10 has no
+	// memory premise for the pointer instructions).
+	noMem := &Module{}
+	ti2 := noMem.AddType(FuncType{Results: []ValType{I64}})
+	noMem.Funcs = []Function{{TypeIdx: ti2, Body: []Instr{
+		I64Const(5), PointerSign(), PointerAuth(), End(),
+	}}}
+	if err := Validate(noMem); err != nil {
+		t.Errorf("pointer_sign without memory rejected: %v", err)
+	}
+}
+
+func TestValidateCallSignatures(t *testing.T) {
+	m := &Module{}
+	callee := m.AddType(FuncType{Params: []ValType{I64}, Results: []ValType{I64}})
+	caller := m.AddType(FuncType{Results: []ValType{I64}})
+	m.Funcs = []Function{
+		{TypeIdx: callee, Body: []Instr{LocalGet(0), End()}},
+		{TypeIdx: caller, Body: []Instr{I32Const(1), Call(0), End()}}, // wrong arg type
+	}
+	if err := Validate(m); err == nil {
+		t.Error("call with wrong argument type accepted")
+	}
+}
+
+func TestValidateMemAlignment(t *testing.T) {
+	// Alignment immediate larger than the access size is invalid.
+	m := mod1(I64Const(0), Instr{Op: OpI64Load, X: 4, Offset: 0}, End())
+	if err := Validate(m); err == nil {
+		t.Error("over-aligned load accepted")
+	}
+}
+
+func TestValidateIfElseResults(t *testing.T) {
+	// if with a result but no else is invalid.
+	m := mod1(I32Const(1), If(BlockI64), I64Const(1), End(), End())
+	if err := Validate(m); err == nil {
+		t.Error("if-with-result without else accepted")
+	}
+	// With both arms it is valid.
+	m2 := mod1(I32Const(1), If(BlockI64), I64Const(1), Else(), I64Const(2), End(), End())
+	if err := Validate(m2); err != nil {
+		t.Errorf("valid if/else rejected: %v", err)
+	}
+}
+
+func TestOpcodeStringCoverage(t *testing.T) {
+	for op, name := range opNames {
+		if op.String() != name {
+			t.Errorf("String mismatch for %v", name)
+		}
+	}
+	if !OpSegmentNew.IsCage() || OpI64Add.IsCage() {
+		t.Error("IsCage misclassifies")
+	}
+	if OpI64Load.AccessSize() != 8 || OpI32Store16.AccessSize() != 2 {
+		t.Error("AccessSize wrong")
+	}
+}
+
+func TestFuncTypeAtSpansImports(t *testing.T) {
+	m := testModule()
+	ft, err := m.FuncTypeAt(0) // the import
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Params) != 1 || ft.Params[0] != I64 {
+		t.Errorf("import signature: %v", ft)
+	}
+	ft, err = m.FuncTypeAt(1) // first defined func
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Params) != 2 {
+		t.Errorf("defined signature: %v", ft)
+	}
+	if _, err := m.FuncTypeAt(99); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

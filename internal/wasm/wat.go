@@ -1,0 +1,137 @@
+package wasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WAT-style text rendering of modules, used by cage-objdump and for
+// debugging compiler output. The format follows the WebAssembly text
+// format conventions (s-expressions, indentation tracking block
+// structure); Cage instructions print with their paper mnemonics.
+
+// Wat renders the module in a WAT-like text form.
+func Wat(m *Module) string {
+	var b strings.Builder
+	b.WriteString("(module\n")
+	for i, t := range m.Types {
+		fmt.Fprintf(&b, "  (type (;%d;) (func%s))\n", i, watSig(t))
+	}
+	for i, im := range m.Imports {
+		fmt.Fprintf(&b, "  (import %q %q (func (;%d;) (type %d)))\n",
+			im.Module, im.Name, i, im.TypeIdx)
+	}
+	for _, mem := range m.Mems {
+		flavor := ""
+		if mem.Memory64 {
+			flavor = " i64"
+		}
+		if mem.Limits.HasMax {
+			fmt.Fprintf(&b, "  (memory%s %d %d)\n", flavor, mem.Limits.Min, mem.Limits.Max)
+		} else {
+			fmt.Fprintf(&b, "  (memory%s %d)\n", flavor, mem.Limits.Min)
+		}
+	}
+	for _, t := range m.Tables {
+		fmt.Fprintf(&b, "  (table %d funcref)\n", t.Limits.Min)
+	}
+	for i, g := range m.Globals {
+		mut := g.Type.Type.String()
+		if g.Type.Mutable {
+			mut = "(mut " + mut + ")"
+		}
+		fmt.Fprintf(&b, "  (global (;%d;) %s (%s.const %d))\n",
+			i, mut, g.Type.Type, int64(g.Init))
+	}
+	for i := range m.Funcs {
+		writeWatFunc(&b, m, i)
+	}
+	for _, e := range m.Elems {
+		idxs := make([]string, len(e.Funcs))
+		for i, f := range e.Funcs {
+			idxs[i] = fmt.Sprintf("%d", f)
+		}
+		fmt.Fprintf(&b, "  (elem (i32.const %d) func %s)\n", e.Offset, strings.Join(idxs, " "))
+	}
+	for _, d := range m.Datas {
+		fmt.Fprintf(&b, "  (data (offset %d) (;%d bytes;))\n", d.Offset, len(d.Bytes))
+	}
+	for _, e := range m.Exports {
+		kind := map[ExportKind]string{
+			ExportFunc: "func", ExportTable: "table",
+			ExportMemory: "memory", ExportGlobal: "global",
+		}[e.Kind]
+		fmt.Fprintf(&b, "  (export %q (%s %d))\n", e.Name, kind, e.Idx)
+	}
+	if m.Start != nil {
+		fmt.Fprintf(&b, "  (start %d)\n", *m.Start)
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+func watSig(t FuncType) string {
+	var b strings.Builder
+	if len(t.Params) > 0 {
+		b.WriteString(" (param")
+		for _, p := range t.Params {
+			b.WriteString(" " + p.String())
+		}
+		b.WriteString(")")
+	}
+	if len(t.Results) > 0 {
+		b.WriteString(" (result")
+		for _, r := range t.Results {
+			b.WriteString(" " + r.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func writeWatFunc(b *strings.Builder, m *Module, i int) {
+	f := &m.Funcs[i]
+	name := ""
+	if f.Name != "" {
+		name = " $" + f.Name
+	}
+	fmt.Fprintf(b, "  (func%s (;%d;) (type %d)%s\n",
+		name, len(m.Imports)+i, f.TypeIdx, watSig(m.Types[f.TypeIdx]))
+	if len(f.Locals) > 0 {
+		b.WriteString("    (local")
+		for _, l := range f.Locals {
+			b.WriteString(" " + l.String())
+		}
+		b.WriteString(")\n")
+	}
+	depth := 0
+	for pc, in := range f.Body {
+		if pc == len(f.Body)-1 && in.Op == OpEnd {
+			break // the function-closing end becomes the footer paren
+		}
+		switch in.Op {
+		case OpEnd, OpElse:
+			depth--
+		}
+		if depth < 0 {
+			depth = 0
+		}
+		fmt.Fprintf(b, "    %s%s\n", strings.Repeat("  ", depth), watInstr(in))
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf, OpElse:
+			depth++
+		}
+	}
+	b.WriteString("  )\n")
+}
+
+func watInstr(in Instr) string {
+	switch in.Op {
+	case OpBlock, OpLoop, OpIf:
+		if t, ok := in.Block.Result(); ok {
+			return fmt.Sprintf("%s (result %s)", in.Op, t)
+		}
+		return in.Op.String()
+	}
+	return in.String()
+}

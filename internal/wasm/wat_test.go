@@ -1,0 +1,54 @@
+package wasm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWatRendering(t *testing.T) {
+	m := testModule()
+	out := Wat(m)
+	for _, want := range []string{
+		"(module",
+		`(import "env" "log"`,
+		"(memory i64 1 4)",
+		"(table 2 funcref)",
+		"(global (;0;) (mut i64) (i64.const 1024))",
+		"local.get 0",
+		"i64.add",
+		"segment.new offset=16",
+		"i64.pointer_sign",
+		"i64.pointer_auth",
+		`(export "add" (func 1))`,
+		`(export "memory" (memory 0))`,
+		"(elem (i32.const 0) func 1 2)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WAT output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWatBlockIndentation(t *testing.T) {
+	m := &Module{}
+	ti := m.AddType(FuncType{Results: []ValType{I64}})
+	m.Funcs = []Function{{TypeIdx: ti, Body: []Instr{
+		Block(BlockVoid),
+		Loop(BlockVoid),
+		Br(0),
+		End(),
+		End(),
+		I64Const(1),
+		End(),
+	}}}
+	out := Wat(m)
+	// The loop body is nested two levels deep.
+	if !strings.Contains(out, "        br 0") {
+		t.Errorf("nested br not indented:\n%s", out)
+	}
+	// The function-closing end does not appear as an instruction: only
+	// the block end and the loop end remain.
+	if strings.Count(out, "end\n") != 2 {
+		t.Errorf("expected exactly two block ends:\n%s", out)
+	}
+}
