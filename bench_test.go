@@ -185,6 +185,75 @@ func BenchmarkEngineGemm(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineInstancing compares the per-invocation cost of a fresh
+// Runtime.Instantiate against Engine's pooled recycling on a PolyBench
+// kernel under full Cage. Fresh instantiation pays validation, import
+// resolution, function precompilation, memory allocation, and
+// whole-memory tagging (§7.2) every call; the pooled path pays a reset.
+func BenchmarkEngineInstancing(b *testing.B) {
+	k, err := polybench.ByName("gemm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw, err := polybench.Build(k, codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod := &Module{wasm: raw}
+	cfg := FullHardening()
+	// Small problem size: the short-lived-invocation regime where the
+	// §7.2 startup costs dominate and pooling pays off most.
+	n := uint64(4)
+
+	b.Run("fresh-instantiate", func(b *testing.B) {
+		rt := NewRuntime(cfg)
+		for i := 0; i < b.N; i++ {
+			inst, err := rt.Instantiate(mod)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := inst.Invoke("run", n); err != nil {
+				b.Fatal(err)
+			}
+			inst.Close()
+		}
+	})
+	b.Run("engine-pooled", func(b *testing.B) {
+		eng := NewEngine(cfg)
+		defer eng.Close()
+		if _, err := eng.Invoke(mod, "run", n); err != nil { // warm the pool
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Invoke(mod, "run", n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineCompileCached measures the module cache: the first
+// CompileSource pays the full toolchain, every later one is a hash
+// lookup.
+func BenchmarkEngineCompileCached(b *testing.B) {
+	k, err := polybench.ByName("2mm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(FullHardening())
+	defer eng.Close()
+	if _, err := eng.CompileSource(k.Source); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CompileSource(k.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkCompiler measures toolchain throughput end to end.
 func BenchmarkCompiler(b *testing.B) {
 	k, err := polybench.ByName("2mm")

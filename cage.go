@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"cage/internal/alloc"
 	"cage/internal/arch"
@@ -158,24 +159,26 @@ func (tc *Toolchain) CompileSource(src string) (*Module, error) {
 
 // Runtime instantiates modules under a shared process context: one PAC
 // process key and one sandbox-tag allocator (at most 15 sandboxes per
-// process, paper §7.4).
+// process, paper §7.4). Instantiate is safe to call concurrently; the
+// sandbox allocator serializes tag assignment internally.
 type Runtime struct {
 	cfg       Config
 	key       pac.Key
 	sandboxes *core.SandboxAllocator
-	seed      uint64
+	seed      atomic.Uint64
 	stdout    io.Writer
 	stderr    io.Writer
 }
 
 // NewRuntime creates a process-level runtime for the configuration.
 func NewRuntime(cfg Config) *Runtime {
-	return &Runtime{
+	rt := &Runtime{
 		cfg:       cfg,
 		key:       pac.KeyFromSeed(0xCA6E_2025),
 		sandboxes: core.NewSandboxAllocator(core.NewPolicy(cfg.features())),
-		seed:      1,
 	}
+	rt.seed.Store(1)
+	return rt
 }
 
 // SetStdio routes WASI fd_write output.
@@ -202,12 +205,11 @@ func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
 	binding.Register(linker)
 	wasi.New(rt.stdout, rt.stderr).Register(linker)
 	registerEnv(linker, rt)
-	rt.seed++
 	inst, err := exec.NewInstance(m.wasm, exec.Config{
 		Features:   rt.cfg.features(),
 		Linker:     linker,
 		ProcessKey: rt.key,
-		Seed:       rt.seed,
+		Seed:       rt.seed.Add(1),
 		Sandboxes:  rt.sandboxes,
 	})
 	if err != nil {
@@ -217,6 +219,7 @@ func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
 	if heapBase, ok := inst.GlobalValue("__heap_base"); ok {
 		out.alloc, err = alloc.New(inst, heapBase)
 		if err != nil {
+			inst.Close() // return the sandbox tag
 			return nil, err
 		}
 		binding.A = out.alloc
@@ -253,6 +256,11 @@ func (i *Instance) Allocator() *alloc.Allocator { return i.alloc }
 
 // Raw exposes the underlying engine instance.
 func (i *Instance) Raw() *exec.Instance { return i.inst }
+
+// Close retires the instance, returning its sandbox tag to the process
+// allocator (§6.4 tag budget). Pooled instances are closed by their
+// Engine; call this only for instances created via Runtime.Instantiate.
+func (i *Instance) Close() error { return i.inst.Close() }
 
 // registerEnv installs the small env host surface MiniC programs use,
 // in both the wasm64 ("env") and ILP32 wasm32 ("env32") ABI variants.

@@ -1,9 +1,13 @@
 // Command cage-run executes a wasm binary under the Cage runtime.
 //
+// Modules are decoded through the engine's compiled-module cache and
+// invoked on pooled instances, so -repeat N re-invocations recycle one
+// hardened instance instead of re-instantiating N times.
+//
 // Usage:
 //
 //	cage-run [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox]
-//	         [-invoke name] [-args "1 2 3"] module.wasm
+//	         [-invoke name] [-args "1 2 3"] [-repeat n] [-stats] module.wasm
 package main
 
 import (
@@ -38,9 +42,11 @@ func main() {
 	cfgName := flag.String("config", "full", "runtime configuration")
 	invoke := flag.String("invoke", "main", "exported function to call")
 	argStr := flag.String("args", "", "space-separated integer arguments")
+	repeat := flag.Int("repeat", 1, "invoke the function n times on pooled instances")
+	stats := flag.Bool("stats", false, "print engine cache/pool statistics to stderr")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
+	if flag.NArg() != 1 || *repeat < 1 {
 		fmt.Fprintln(os.Stderr, "usage: cage-run [flags] module.wasm")
 		os.Exit(2)
 	}
@@ -54,18 +60,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
 		os.Exit(1)
 	}
-	mod, err := cage.DecodeModule(bin)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
-		os.Exit(1)
-	}
-	rt := cage.NewRuntime(cfg)
-	rt.SetStdio(os.Stdout, os.Stderr)
-	inst, err := rt.Instantiate(mod)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
-		os.Exit(1)
-	}
 	var args []uint64
 	for _, f := range strings.Fields(*argStr) {
 		v, err := strconv.ParseInt(f, 0, 64)
@@ -75,12 +69,29 @@ func main() {
 		}
 		args = append(args, uint64(v))
 	}
-	res, err := inst.Invoke(*invoke, args...)
+
+	eng := cage.NewEngine(cfg)
+	defer eng.Close()
+	eng.Runtime().SetStdio(os.Stdout, os.Stderr)
+	mod, err := eng.DecodeModule(bin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
 		os.Exit(1)
 	}
+	var res []uint64
+	for i := 0; i < *repeat; i++ {
+		res, err = eng.Invoke(mod, *invoke, args...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	for _, v := range res {
 		fmt.Printf("%d (0x%x)\n", int64(v), v)
+	}
+	if *stats {
+		s := eng.Stats()
+		fmt.Fprintf(os.Stderr, "cage-run: cache %d/%d hit, pool spawned %d recycled %d\n",
+			s.Cache.Hits, s.Cache.Hits+s.Cache.Misses, s.Pools.Spawned, s.Pools.Recycled)
 	}
 }

@@ -1,0 +1,199 @@
+package cage
+
+import (
+	"errors"
+	"fmt"
+
+	"cage/internal/core"
+	"cage/internal/engine"
+)
+
+// Engine is the scalable front end to the toolchain and runtime: one
+// process-wide compiled-module cache plus one recycled-instance pool
+// per module, behind a concurrency-safe invocation API.
+//
+// Where Toolchain and Runtime pay compilation, validation, and
+// whole-memory tagging (§7.2) on every CompileSource/Instantiate,
+// an Engine pays them once per (source, Config) pair and then serves
+// invocations from pooled instances that are reset — memory re-zeroed,
+// MTE tags re-seeded, PAC modifier rotated — between checkouts. Live
+// instances are bounded by the §7.4 sandbox-tag budget: per-module
+// invocation bursts queue instead of exhausting tags, and when several
+// modules compete for the budget, spawning reclaims idle sibling
+// instances before giving up. Only when every tag is held by an
+// in-flight invocation of another module does Invoke surface
+// core.ErrSandboxesExhausted; EnableExtendedSandboxes lifts the budget
+// entirely.
+//
+//	eng := cage.NewEngine(cage.FullHardening())
+//	mod, err := eng.CompileSource(src)
+//	res, err := eng.Invoke(mod, "sum", 100) // safe from many goroutines
+type Engine struct {
+	cfg Config
+	tc  *Toolchain
+	rt  *Runtime
+
+	modules engine.Cache[*Module]
+	pools   engine.PoolSet
+}
+
+// NewEngine creates an engine for the configuration. The zero pool
+// limit is derived from the configuration's sandbox-tag budget (15 for
+// sandboxing alone, 1 when MTE also carries memory safety, unlimited
+// without sandboxing, paper §6.4).
+func NewEngine(cfg Config) *Engine {
+	e := &Engine{cfg: cfg, tc: NewToolchain(cfg), rt: NewRuntime(cfg)}
+	e.pools.Limit = poolBudget(cfg)
+	// All pools draw reset seeds from the runtime's instantiation
+	// counter: every instance lifetime in the process — fresh or
+	// recycled, any module — gets a unique PAC modifier (§6.3).
+	e.pools.NextSeed = func() uint64 { return e.rt.seed.Add(1) }
+	return e
+}
+
+// poolBudget maps a configuration to the per-module live-instance cap.
+func poolBudget(cfg Config) int {
+	pol := core.NewPolicy(cfg.features())
+	if cfg.Sandboxing && pol.MaxSandboxes <= 1<<20 {
+		return pol.MaxSandboxes
+	}
+	return 0 // not tag-limited
+}
+
+// Runtime exposes the engine's process-level runtime (PAC key, sandbox
+// allocator, stdio routing).
+func (e *Engine) Runtime() *Runtime { return e.rt }
+
+// EnableExtendedSandboxes lifts the 15-sandbox limit via §6.4 tag reuse
+// and removes the pool cap it implies. Call before the first Invoke.
+func (e *Engine) EnableExtendedSandboxes() {
+	e.rt.EnableExtendedSandboxes()
+	e.pools.Limit = 0
+}
+
+// SetPoolLimit overrides the per-module live-instance cap (0 =
+// unlimited). Call before the first Invoke of a module.
+func (e *Engine) SetPoolLimit(n int) { e.pools.Limit = n }
+
+// cacheVariant encodes everything besides the source that influences
+// compilation, so distinct configurations never share a cache entry.
+func (c Config) cacheVariant() string {
+	return fmt.Sprintf("w64=%t ms=%t sb=%t pa=%t", c.Wasm64, c.MemorySafety, c.Sandboxing, c.PointerAuth)
+}
+
+// CompileSource compiles a MiniC translation unit, memoizing on the
+// source hash and configuration: recompiling identical source is O(1),
+// and concurrent first compilations collapse into one (singleflight).
+func (e *Engine) CompileSource(src string) (*Module, error) {
+	key := engine.KeyOfString(src, "minicc|"+e.cfg.cacheVariant())
+	return e.modules.GetOrBuild(key, func() (*Module, error) {
+		return e.tc.CompileSource(src)
+	})
+}
+
+// DecodeModule parses and validates a binary module image, memoized on
+// the image hash (decoding is configuration-independent).
+func (e *Engine) DecodeModule(bin []byte) (*Module, error) {
+	key := engine.KeyOf(bin, "decode")
+	return e.modules.GetOrBuild(key, func() (*Module, error) {
+		return DecodeModule(bin)
+	})
+}
+
+// pooledInstance adapts a linked Instance (interpreter instance plus
+// hardened allocator) to the pool's Resetter protocol.
+type pooledInstance Instance
+
+func (p *pooledInstance) Reset(seed uint64) error {
+	// Same order as a fresh instantiation: restore state, rewind the
+	// allocator, then run the start function — which may itself
+	// allocate through the (now empty) heap.
+	if err := p.inst.ResetState(seed); err != nil {
+		return err
+	}
+	if p.alloc != nil {
+		p.alloc.Reset()
+	}
+	return p.inst.RunStart()
+}
+
+func (p *pooledInstance) Close() error { return p.inst.Close() }
+
+// pool returns (creating on first use) the instance pool for m.
+//
+// The spawn path handles cross-module tag pressure: when pools of
+// several modules compete for one §7.4 tag budget, another module's
+// idle instances may pin every tag. Rather than failing, spawning
+// reclaims one idle sibling instance (closing it frees its tag) and
+// retries, so a multi-module engine degrades to re-instantiation
+// instead of rejecting invocations.
+func (e *Engine) pool(m *Module) *engine.Pool {
+	return e.pools.For(m, func() (engine.Resetter, error) {
+		for {
+			inst, err := e.rt.Instantiate(m)
+			if err == nil {
+				return (*pooledInstance)(inst), nil
+			}
+			if !errors.Is(err, core.ErrSandboxesExhausted) || e.pools.ReclaimIdle(1) == 0 {
+				return nil, err
+			}
+		}
+	})
+}
+
+// Invoke calls an exported function on a pooled instance of m. It is
+// safe to call from many goroutines; under a sandbox-tag budget, excess
+// concurrent invocations of the same module block until an instance
+// frees up (cross-module exhaustion semantics are documented on
+// Engine). The instance is reset before it becomes visible to the next
+// caller, so a trap in one invocation (memory-safety violation, failed
+// authentication...) cannot poison a later one.
+func (e *Engine) Invoke(m *Module, fn string, args ...uint64) ([]uint64, error) {
+	var res []uint64
+	err := e.WithInstance(m, func(inst *Instance) error {
+		var err error
+		res, err = inst.Invoke(fn, args...)
+		return err
+	})
+	return res, err
+}
+
+// InvokeF64 is Invoke for functions returning a double.
+func (e *Engine) InvokeF64(m *Module, fn string, args ...uint64) (float64, error) {
+	var res float64
+	err := e.WithInstance(m, func(inst *Instance) error {
+		var err error
+		res, err = inst.InvokeF64(fn, args...)
+		return err
+	})
+	return res, err
+}
+
+// WithInstance checks an instance of m out of the pool, runs f, and
+// checks it back in (resetting it). Use it when an invocation needs
+// more than Invoke offers — staging input in guest memory, reading
+// results back, multiple calls against one live state.
+func (e *Engine) WithInstance(m *Module, f func(inst *Instance) error) error {
+	p := e.pool(m)
+	r, err := p.Get()
+	if err != nil {
+		return err
+	}
+	defer p.Put(r)
+	return f((*Instance)(r.(*pooledInstance)))
+}
+
+// EngineStats aggregates the engine's cache and pool counters.
+type EngineStats struct {
+	Cache engine.CacheStats
+	Pools engine.PoolStats
+}
+
+// Stats snapshots the module cache and (summed) per-module pools.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Cache: e.modules.Stats(), Pools: e.pools.Stats()}
+}
+
+// Close retires every pooled instance, returning their sandbox tags.
+// The engine must not be used afterwards.
+func (e *Engine) Close() { e.pools.Close() }

@@ -1,0 +1,3 @@
+module cage
+
+go 1.24

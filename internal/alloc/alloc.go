@@ -79,6 +79,18 @@ func New(inst *exec.Instance, heapStart uint64) (*Allocator, error) {
 	}, nil
 }
 
+// Reset abandons every live allocation and returns the heap to its
+// initial empty state. Callers must reset (or re-instantiate) the
+// backing instance first: Reset assumes the linear memory has been
+// re-zeroed and all MTE tags cleared, so it only has to forget its own
+// bookkeeping — break pointer, free list, and §7.3 statistics.
+func (a *Allocator) Reset() {
+	a.heapEnd = a.heapStart
+	a.free = a.free[:0]
+	a.Allocs, a.Frees = 0, 0
+	a.InUse, a.Peak, a.Meta = 0, 0, 0
+}
+
 // Hardened reports whether allocations are tagged.
 func (a *Allocator) Hardened() bool { return a.hardened }
 

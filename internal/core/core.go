@@ -1,13 +1,9 @@
-// Package core implements the heart of the Cage extension: memory
-// segments backed by MTE tags (paper §4.2, Fig. 11), the tag-budget
-// policy that splits tag bits between internal memory safety and
-// external sandboxing (paper §6.4, Fig. 13), and the per-instance
-// pointer-authentication state (paper §6.3).
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"cage/internal/mte"
 	"cage/internal/pac"
@@ -128,9 +124,14 @@ func (p Policy) MaskIndex(index uint64) uint64 { return index & p.IndexMask }
 
 // SandboxAllocator hands out sandbox tags to instances (paper §6.4:
 // "the runtime assigns a tag to each instance on module instantiation").
+//
+// The allocator is safe for concurrent use: an engine that instantiates
+// and retires instances from many goroutines shares one allocator per
+// process, so Acquire/Release serialize on an internal mutex.
 type SandboxAllocator struct {
+	mu    sync.Mutex
 	pol   Policy
-	inUse uint16
+	refs  [mte.NumTags]int // live instances per tag (tag reuse may stack)
 	count int
 	// reuse implements the paper's §6.4 future-work extension: tags may
 	// be reused across sandboxes whose linear memories occupy disjoint,
@@ -145,7 +146,11 @@ type SandboxAllocator struct {
 // guard pages — which holds in this runtime because every instance owns
 // a private linear-memory mapping (the combination of guard pages and
 // memory tagging the paper's §6.4 suggests).
-func (a *SandboxAllocator) EnableTagReuse() { a.reuse = true }
+func (a *SandboxAllocator) EnableTagReuse() {
+	a.mu.Lock()
+	a.reuse = true
+	a.mu.Unlock()
+}
 
 // ErrSandboxesExhausted is returned when all sandbox tags are taken
 // (paper §7.4: at most 15 sandboxes per process).
@@ -153,7 +158,7 @@ var ErrSandboxesExhausted = errors.New("core: no free sandbox tags (max 15 per p
 
 // NewSandboxAllocator creates an allocator for the policy.
 func NewSandboxAllocator(pol Policy) *SandboxAllocator {
-	return &SandboxAllocator{pol: pol, inUse: 1 << RuntimeTag}
+	return &SandboxAllocator{pol: pol}
 }
 
 // Acquire reserves a sandbox tag for a new instance.
@@ -161,49 +166,58 @@ func (a *SandboxAllocator) Acquire() (uint8, error) {
 	if !a.pol.Features.Sandbox {
 		return RuntimeTag, nil
 	}
-	if a.count >= a.pol.MaxSandboxes && !a.reuse {
-		return 0, ErrSandboxesExhausted
-	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.pol.SandboxBit != 0 {
 		// Combined mode: the single sandbox is the odd-tag half.
-		if a.count >= 1 && !a.reuse {
+		if a.refs[a.pol.SandboxBit] >= 1 && !a.reuse {
 			return 0, ErrSandboxesExhausted
 		}
+		a.refs[a.pol.SandboxBit]++
 		a.count++
 		return a.pol.SandboxBit, nil
 	}
-	for t := uint8(1); t < mte.NumTags; t++ {
-		if a.inUse&(1<<t) == 0 {
-			a.inUse |= 1 << t
-			a.count++
-			return t, nil
+	if a.count < a.pol.MaxSandboxes {
+		for t := uint8(1); t < mte.NumTags; t++ {
+			if a.refs[t] == 0 {
+				a.refs[t]++
+				a.count++
+				return t, nil
+			}
 		}
 	}
 	if a.reuse {
 		// Extended mode: rotate through the guest tags; address-range
 		// disjointness keeps same-tag sandboxes apart.
 		a.nextRot = a.nextRot%(mte.NumTags-1) + 1
+		a.refs[a.nextRot]++
 		a.count++
 		return a.nextRot, nil
 	}
 	return 0, ErrSandboxesExhausted
 }
 
-// Release returns a sandbox tag to the pool.
+// Release returns a sandbox tag to the pool, making it available to a
+// later Acquire. Releasing the runtime tag or a tag with no live owner
+// is a no-op.
 func (a *SandboxAllocator) Release(tag uint8) {
-	if tag == RuntimeTag {
+	if tag == RuntimeTag || tag >= mte.NumTags {
 		return
 	}
-	if a.inUse&(1<<tag) != 0 {
-		a.inUse &^= 1 << tag
-		a.count--
-	} else if a.pol.SandboxBit != 0 && tag == a.pol.SandboxBit {
+	a.mu.Lock()
+	if a.refs[tag] > 0 {
+		a.refs[tag]--
 		a.count--
 	}
+	a.mu.Unlock()
 }
 
 // InUse reports the number of live sandboxes.
-func (a *SandboxAllocator) InUse() int { return a.count }
+func (a *SandboxAllocator) InUse() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.count
+}
 
 // SegmentError describes a failed segment operation; the engine turns it
 // into a wasm trap (Fig. 11 eqs. 6, 8, 10).

@@ -1,0 +1,19 @@
+// Package core implements the heart of the Cage extension: memory
+// segments backed by MTE tags (paper §4.2, Fig. 11), the tag-budget
+// policy that splits tag bits between internal memory safety and
+// external sandboxing (paper §6.4, Fig. 13), the per-instance
+// pointer-authentication state (paper §6.3), and the concurrency-safe
+// sandbox-tag allocator enforcing the 15-sandboxes-per-process limit
+// (paper §7.4).
+//
+// Paper map:
+//
+//   - Segments            — the segment.new / segment.set_tag /
+//     segment.free semantics of Fig. 11, eqs. 5–10
+//   - Policy / NewPolicy  — the Fig. 13 / §6.4 tag-budget split and
+//     index masking
+//   - SandboxAllocator    — §6.4 tag assignment at instantiation, §7.4
+//     budget, and the tag-reuse scaling extension the paper sketches
+//   - InstanceKeys        — §6.3 per-instance PAC modifiers over the
+//     process key, Fig. 11 eqs. 11–13
+package core

@@ -1,0 +1,414 @@
+// Package engine provides the process-level machinery that amortizes
+// Cage's per-instance hardening costs across many invocations: a keyed
+// compiled-module cache and a concurrent instance pool.
+//
+// The paper prices two one-time costs that dominate short-lived
+// executions: compiling and validating the module, and tagging the
+// whole linear memory at instantiation (§7.2, Table 4/Fig. 16). A
+// service handling many requests per module pays both once per request
+// if it naively re-instantiates. This package lets an embedder pay them
+// once per process instead:
+//
+//   - Cache deduplicates compilation: identical (content hash, config)
+//     pairs share one validated module, with singleflight semantics so
+//     concurrent first requests compile once.
+//   - Pool recycles instances: a checkout/checkin protocol over
+//     resettable instances replaces full re-instantiation with a reset
+//     (re-zero memory, re-tag, re-seed), and bounds live instances to
+//     the §7.4 sandbox-tag budget, blocking excess checkouts until an
+//     instance is returned.
+//
+// The package is deliberately ignorant of wasm: Cache is generic over
+// the cached value and Pool works against the small Resetter interface,
+// so the cage facade can pool fully-linked instances (interpreter
+// instance + hardened allocator) while tests can pool anything.
+package engine
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// Key identifies a cached artifact: a content hash plus a variant string
+// encoding everything else that influences the build (the Table 3
+// configuration, the ABI, the toolchain revision...).
+type Key struct {
+	Hash    [sha256.Size]byte
+	Variant string
+}
+
+// KeyOf hashes content and pairs it with a variant.
+func KeyOf(content []byte, variant string) Key {
+	return Key{Hash: sha256.Sum256(content), Variant: variant}
+}
+
+// KeyOfString is KeyOf for string content (e.g. MiniC source).
+func KeyOfString(content, variant string) Key {
+	return Key{Hash: sha256.Sum256([]byte(content)), Variant: variant}
+}
+
+// CacheStats is a point-in-time cache counter snapshot.
+type CacheStats struct {
+	Hits    uint64 // lookups served from (or joined onto) an entry
+	Misses  uint64 // lookups that ran the build function
+	Entries int    // values currently cached
+}
+
+// cacheEntry is a singleflight slot: the first goroutine to claim a key
+// builds; everyone else blocks on done.
+type cacheEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Cache is a concurrency-safe build cache with singleflight semantics:
+// for each key the build function runs at most once at a time, losers
+// wait for the winner's result, and failed builds are not cached (a
+// later lookup retries).
+//
+// The zero value is ready to use.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry[V]
+	hits    uint64
+	misses  uint64
+}
+
+// GetOrBuild returns the cached value for key, building it with build on
+// first use. Concurrent callers of the same key share one build.
+func (c *Cache[V]) GetOrBuild(key Key, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[Key]*cacheEntry[V])
+	}
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.val, e.err = build()
+	close(e.done)
+	if e.err != nil {
+		// Do not cache failures: the build may be retried (and an error
+		// kept alive forever would pin its inputs).
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default: // still building
+		}
+	}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: n}
+}
+
+// Resetter is the unit a Pool recycles. Reset must return the value to
+// its initial state (seed drives any fresh randomness the new lifetime
+// needs); Close releases resources held against shared budgets (e.g.
+// the instance's sandbox tag).
+type Resetter interface {
+	Reset(seed uint64) error
+	Close() error
+}
+
+// PoolStats is a point-in-time pool counter snapshot.
+type PoolStats struct {
+	Spawned   uint64 // instances created
+	Recycled  uint64 // successful checkins (reset ok)
+	Discarded uint64 // instances dropped because reset failed
+	Idle      int    // instances ready for checkout
+	Live      int    // spawned minus closed (checked out + idle)
+}
+
+// Pool recycles instances of one compiled module across invocations.
+//
+// Checkout (Get) prefers an idle instance; otherwise it spawns one,
+// unless doing so would exceed the pool's live cap — then it blocks
+// until a checkin frees one. Checkin (Put) resets the instance before
+// making it visible again, so state poisoned by a trapped execution
+// never leaks into the next checkout; instances whose reset fails are
+// closed and discarded.
+//
+// All methods are safe for concurrent use.
+type Pool struct {
+	spawn func() (Resetter, error)
+
+	// NextSeed supplies the reset seed for each checkin. Pools sharing a
+	// process (one PAC key) must share one seed source so no two
+	// instance lifetimes — across any pool — derive the same PAC
+	// modifier (§6.3). Nil falls back to a pool-private counter, which
+	// is only safe for a process with a single pool.
+	NextSeed func() uint64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	idle     []Resetter
+	live     int // materialized instances: checked out + idle
+	spawning int // spawn attempts in flight (reserve cap slots)
+	max      int
+	seed     uint64
+	closed   bool
+	stats    PoolStats
+}
+
+// NewPool creates a pool over spawn. max bounds live instances
+// (checked out plus idle); 0 means unlimited. Embedders running under a
+// sandbox-tag budget (§7.4) should pass the budget as max so checkouts
+// queue instead of failing with ErrSandboxesExhausted.
+func NewPool(max int, spawn func() (Resetter, error)) *Pool {
+	p := &Pool{spawn: spawn, max: max, seed: 0x6361_6765} // "cage"
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// nextSeed draws the next reset seed from NextSeed or the private
+// counter.
+func (p *Pool) nextSeed() uint64 {
+	if p.NextSeed != nil {
+		return p.NextSeed()
+	}
+	p.mu.Lock()
+	p.seed++
+	s := p.seed
+	p.mu.Unlock()
+	return s
+}
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = fmt.Errorf("engine: pool is closed")
+
+// Get checks an instance out of the pool, spawning or blocking as the
+// cap dictates.
+func (p *Pool) Get() (Resetter, error) {
+	p.mu.Lock()
+	for {
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		if n := len(p.idle); n > 0 {
+			inst := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			return inst, nil
+		}
+		if p.max == 0 || p.live+p.spawning < p.max {
+			p.spawning++
+			p.mu.Unlock()
+			inst, err := p.spawn()
+			p.mu.Lock()
+			p.spawning--
+			if err != nil {
+				// The cap slot this spawn reserved is free again; let a
+				// blocked waiter retry.
+				p.cond.Signal()
+				if p.live > 0 && !p.closed {
+					// Spawning can fail on a shared budget the cap does
+					// not see (several pools over one sandbox
+					// allocator). This pool's live instances will be
+					// checked in eventually; wait for one instead of
+					// failing the request — unless one arrived while we
+					// were spawning.
+					if len(p.idle) == 0 {
+						p.cond.Wait()
+					}
+					continue
+				}
+				p.mu.Unlock()
+				return nil, err
+			}
+			p.live++
+			p.stats.Spawned++
+			p.mu.Unlock()
+			return inst, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// Put checks an instance back in. The instance is reset first; a reset
+// failure closes and discards it (freeing its slot under the cap).
+func (p *Pool) Put(inst Resetter) {
+	err := inst.Reset(p.nextSeed())
+
+	p.mu.Lock()
+	if err != nil || p.closed {
+		p.live--
+		if err != nil {
+			p.stats.Discarded++
+		}
+		p.cond.Signal()
+		p.mu.Unlock()
+		inst.Close()
+		return
+	}
+	p.idle = append(p.idle, inst)
+	p.stats.Recycled++
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// ReclaimIdle closes up to n idle instances, freeing whatever shared
+// budget they hold (sandbox tags, memory). Returns how many were
+// reclaimed. Used by engines whose pools compete for one tag budget: a
+// pool that cannot spawn may reclaim a sibling's idle instance and
+// retry.
+func (p *Pool) ReclaimIdle(n int) int {
+	p.mu.Lock()
+	k := n
+	if k > len(p.idle) {
+		k = len(p.idle)
+	}
+	evicted := p.idle[len(p.idle)-k:]
+	p.idle = p.idle[:len(p.idle)-k]
+	p.live -= k
+	if k > 0 {
+		p.cond.Broadcast() // cap slots freed
+	}
+	p.mu.Unlock()
+	for _, inst := range evicted {
+		inst.Close()
+	}
+	return k
+}
+
+// Discard removes a checked-out instance from the pool without
+// recycling it (e.g. after an invocation error the embedder considers
+// fatal for the instance).
+func (p *Pool) Discard(inst Resetter) {
+	p.mu.Lock()
+	p.live--
+	p.stats.Discarded++
+	p.cond.Signal()
+	p.mu.Unlock()
+	inst.Close()
+}
+
+// Close retires all idle instances and fails future checkouts.
+// Instances currently checked out are closed as they come back.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.live -= len(idle)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, inst := range idle {
+		inst.Close()
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Idle = len(p.idle)
+	s.Live = p.live
+	return s
+}
+
+// PoolSet lazily manages one Pool per key (e.g. per compiled module).
+// The zero value is ready to use.
+type PoolSet struct {
+	// Limit is the live-instance cap applied to pools as they are
+	// created (0 = unlimited). Set it before the first For call.
+	Limit int
+	// NextSeed, when non-nil, is installed on every created pool so all
+	// pools of one process share a seed source (see Pool.NextSeed).
+	NextSeed func() uint64
+
+	mu     sync.Mutex
+	pools  map[any]*Pool
+	closed bool
+}
+
+// For returns the pool for key, creating it with spawn on first use.
+func (s *PoolSet) For(key any, spawn func() (Resetter, error)) *Pool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pools == nil {
+		s.pools = make(map[any]*Pool)
+	}
+	p, ok := s.pools[key]
+	if !ok {
+		p = NewPool(s.Limit, spawn)
+		p.NextSeed = s.NextSeed
+		if s.closed {
+			// A closed set must not resurrect: hand out a pool whose
+			// Get fails with ErrPoolClosed instead of silently leaking
+			// fresh instances past the one Close that already ran.
+			p.closed = true
+		}
+		s.pools[key] = p
+	}
+	return p
+}
+
+// ReclaimIdle closes up to n idle instances across the set's pools,
+// returning how many were reclaimed. See Pool.ReclaimIdle.
+func (s *PoolSet) ReclaimIdle(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	freed := 0
+	for _, p := range s.pools {
+		if freed >= n {
+			break
+		}
+		freed += p.ReclaimIdle(n - freed)
+	}
+	return freed
+}
+
+// Stats sums the counters of every pool in the set.
+func (s *PoolSet) Stats() PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum PoolStats
+	for _, p := range s.pools {
+		ps := p.Stats()
+		sum.Spawned += ps.Spawned
+		sum.Recycled += ps.Recycled
+		sum.Discarded += ps.Discarded
+		sum.Idle += ps.Idle
+		sum.Live += ps.Live
+	}
+	return sum
+}
+
+// Close closes every pool in the set; later For calls yield pools that
+// fail checkout with ErrPoolClosed.
+func (s *PoolSet) Close() {
+	s.mu.Lock()
+	pools := s.pools
+	s.pools = nil
+	s.closed = true
+	s.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+}

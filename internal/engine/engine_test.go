@@ -1,0 +1,486 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cage/internal/alloc"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/minicc"
+	"cage/internal/mte"
+)
+
+// --- Cache ---
+
+func TestCacheHitSemantics(t *testing.T) {
+	var c Cache[int]
+	builds := 0
+	build := func() (int, error) { builds++; return 42, nil }
+
+	k1 := KeyOfString("source A", "cfg1")
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrBuild(k1, build)
+		if err != nil || v != 42 {
+			t.Fatalf("GetOrBuild = %d, %v", v, err)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("build ran %d times, want 1", builds)
+	}
+
+	// Same content under a different variant is a distinct entry.
+	if _, err := c.GetOrBuild(KeyOfString("source A", "cfg2"), build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 2 {
+		t.Errorf("build ran %d times after variant change, want 2", builds)
+	}
+
+	s := c.Stats()
+	if s.Misses != 2 || s.Hits != 2 || s.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 misses, 2 hits, 2 entries", s)
+	}
+}
+
+func TestCacheDoesNotCacheFailures(t *testing.T) {
+	var c Cache[int]
+	calls := 0
+	failing := func() (int, error) {
+		calls++
+		if calls == 1 {
+			return 0, errors.New("transient")
+		}
+		return 7, nil
+	}
+	k := KeyOfString("x", "v")
+	if _, err := c.GetOrBuild(k, failing); err == nil {
+		t.Fatal("first build should fail")
+	}
+	v, err := c.GetOrBuild(k, failing)
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v; want 7, nil", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("build ran %d times, want 2 (failure must not be cached)", calls)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	var c Cache[int]
+	var builds atomic.Int32
+	release := make(chan struct{})
+	build := func() (int, error) {
+		builds.Add(1)
+		<-release
+		return 1, nil
+	}
+	k := KeyOfString("shared", "v")
+	const workers = 8
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrBuild(k, build)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("build ran %d times across %d concurrent lookups, want 1", n, workers)
+	}
+	for i, v := range results {
+		if v != 1 {
+			t.Errorf("worker %d got %d", i, v)
+		}
+	}
+}
+
+// --- Pool over synthetic instances ---
+
+// fake is a synthetic Resetter that records its lifecycle and can be
+// armed to fail its next reset.
+type fake struct {
+	resets    atomic.Uint64
+	closed    atomic.Bool
+	failReset atomic.Bool
+}
+
+func (f *fake) Reset(seed uint64) error {
+	f.resets.Add(1)
+	if f.failReset.Load() {
+		return errors.New("poisoned")
+	}
+	return nil
+}
+
+func (f *fake) Close() error { f.closed.Store(true); return nil }
+
+func TestPoolCheckoutCheckinConcurrent(t *testing.T) {
+	var spawned atomic.Int32
+	p := NewPool(4, func() (Resetter, error) {
+		spawned.Add(1)
+		return &fake{}, nil
+	})
+	defer p.Close()
+
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				inst, err := p.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Put(inst)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := spawned.Load(); n > 4 {
+		t.Errorf("spawned %d instances, cap is 4", n)
+	}
+	s := p.Stats()
+	if s.Recycled != workers*iters {
+		t.Errorf("recycled = %d, want %d", s.Recycled, workers*iters)
+	}
+	if s.Live > 4 || s.Idle > 4 || s.Discarded != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPoolDiscardsOnResetFailure(t *testing.T) {
+	p := NewPool(2, func() (Resetter, error) { return &fake{}, nil })
+	defer p.Close()
+
+	inst, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := inst.(*fake)
+	f.failReset.Store(true)
+	p.Put(inst)
+
+	if !f.closed.Load() {
+		t.Error("instance with failing reset was not closed")
+	}
+	s := p.Stats()
+	if s.Discarded != 1 || s.Live != 0 {
+		t.Errorf("stats = %+v, want 1 discarded, 0 live", s)
+	}
+
+	// The slot freed by the discard must be reusable.
+	next, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next == inst {
+		t.Error("discarded instance was checked out again")
+	}
+	p.Put(next)
+}
+
+func TestPoolBlocksAtCap(t *testing.T) {
+	p := NewPool(1, func() (Resetter, error) { return &fake{}, nil })
+	defer p.Close()
+
+	inst, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Resetter)
+	go func() {
+		second, err := p.Get()
+		if err != nil {
+			t.Error(err)
+		}
+		got <- second
+	}()
+	// Give the second Get a chance to (wrongly) complete.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("second Get returned before checkin despite cap 1")
+	default:
+	}
+	p.Put(inst)
+	second := <-got
+	if second != inst {
+		t.Error("blocked Get did not receive the recycled instance")
+	}
+	p.Put(second)
+}
+
+// TestPoolConcurrentSpawnFailuresAllReturn is the regression test for a
+// deadlock: concurrent Gets on an empty pool whose spawns all fail must
+// every one return the error — a failing spawner is not a live instance
+// another Get may wait on.
+func TestPoolConcurrentSpawnFailuresAllReturn(t *testing.T) {
+	spawnErr := errors.New("budget exhausted")
+	p := NewPool(0, func() (Resetter, error) { return nil, spawnErr })
+	defer p.Close()
+
+	const workers = 8
+	done := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			_, err := p.Get()
+			done <- err
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, spawnErr) {
+				t.Errorf("Get = %v, want spawn error", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("Get %d hung on concurrent spawn failure", i)
+		}
+	}
+}
+
+// TestPoolSpawnFailureWaitsForLiveInstance: when spawning fails but the
+// pool has a live instance checked out, Get waits for its checkin
+// instead of failing — and must see it even if the checkin raced the
+// failed spawn.
+func TestPoolSpawnFailureWaitsForLiveInstance(t *testing.T) {
+	only := &fake{}
+	first := true
+	p := NewPool(0, func() (Resetter, error) {
+		if first {
+			first = false
+			return only, nil
+		}
+		return nil, errors.New("budget exhausted")
+	})
+	defer p.Close()
+
+	inst, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Resetter, 1)
+	go func() {
+		second, err := p.Get()
+		if err != nil {
+			t.Errorf("Get with a live instance = %v, want wait", err)
+		}
+		got <- second
+	}()
+	time.Sleep(20 * time.Millisecond) // let the second Get hit the failing spawn
+	p.Put(inst)
+	select {
+	case second := <-got:
+		if second != only {
+			t.Error("waiter did not receive the recycled instance")
+		}
+		p.Put(second)
+	case <-time.After(5 * time.Second):
+		t.Fatal("Get hung despite a checked-in instance")
+	}
+}
+
+func TestPoolClosedGetFails(t *testing.T) {
+	p := NewPool(0, func() (Resetter, error) { return &fake{}, nil })
+	inst, _ := p.Get()
+	p.Put(inst)
+	p.Close()
+	if _, err := p.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Get after Close = %v, want ErrPoolClosed", err)
+	}
+	if !inst.(*fake).closed.Load() {
+		t.Error("idle instance not closed by pool Close")
+	}
+}
+
+// TestPoolSetClosedDoesNotResurrect: For after Close must hand out
+// closed pools, not silently revive the set and leak new instances.
+func TestPoolSetClosedDoesNotResurrect(t *testing.T) {
+	var s PoolSet
+	key := "module"
+	p := s.For(key, func() (Resetter, error) { return &fake{}, nil })
+	inst, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(inst)
+	s.Close()
+	again := s.For(key, func() (Resetter, error) { return &fake{}, nil })
+	if _, err := again.Get(); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Get on resurrected pool = %v, want ErrPoolClosed", err)
+	}
+}
+
+// --- Pool over real hardened instances ---
+
+const poolSource = `
+extern char* malloc(long n);
+extern void free(char* p);
+
+long sum(long n) {
+    long* a = (long*)malloc(n * 8);
+    long s = 0;
+    for (long i = 0; i < n; i++) { a[i] = i; s += a[i]; }
+    free((char*)a);
+    return s;
+}
+
+long uaf(void) {
+    long* a = (long*)malloc(32);
+    a[0] = 9;
+    free((char*)a);
+    return a[0];
+}
+`
+
+// hardenedInstance pairs an interpreter instance with its allocator, the
+// unit the cage facade pools.
+type hardenedInstance struct {
+	inst *exec.Instance
+	a    *alloc.Allocator
+}
+
+func (h *hardenedInstance) Reset(seed uint64) error {
+	if err := h.inst.ResetState(seed); err != nil {
+		return err
+	}
+	h.a.Reset()
+	return h.inst.RunStart()
+}
+
+func (h *hardenedInstance) Close() error { return h.inst.Close() }
+
+// spawnHardened builds a spawner compiling poolSource once and
+// instantiating it under full memory safety.
+func spawnHardened(t *testing.T) func() (Resetter, error) {
+	t.Helper()
+	file, err := minicc.Parse(poolSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := codegen.Compile(prog, codegen.Options{Wasm64: true, StackSanitizer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seeds atomic.Uint64
+	return func() (Resetter, error) {
+		binding := &alloc.Binding{}
+		linker := exec.NewLinker()
+		binding.Register(linker)
+		inst, err := exec.NewInstance(m, exec.Config{
+			Features: core.Features{MemSafety: true, MTEMode: mte.ModeSync},
+			Linker:   linker,
+			Seed:     seeds.Add(1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		heapBase, ok := inst.GlobalValue("__heap_base")
+		if !ok {
+			return nil, fmt.Errorf("module lacks __heap_base")
+		}
+		binding.A, err = alloc.New(inst, heapBase)
+		if err != nil {
+			return nil, err
+		}
+		return &hardenedInstance{inst: inst, a: binding.A}, nil
+	}
+}
+
+// TestPoolTrapDoesNotPoisonNextCheckout is the regression test for the
+// core pooling guarantee: a memory-safety trap mid-invocation leaves
+// arbitrary state behind (live segments, latched faults, a half-written
+// heap), and the checkin reset must scrub all of it before the instance
+// is visible again.
+func TestPoolTrapDoesNotPoisonNextCheckout(t *testing.T) {
+	p := NewPool(1, spawnHardened(t))
+	defer p.Close()
+
+	// First lifetime: trap on a use-after-free.
+	r, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.(*hardenedInstance)
+	if _, err := h.inst.Invoke("uaf"); err == nil {
+		t.Fatal("use-after-free did not trap under MemSafety")
+	}
+	p.Put(r)
+
+	// Next checkouts (cap 1, so the same recycled instance) must behave
+	// like a fresh instantiation.
+	for i := 0; i < 3; i++ {
+		r, err := p.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := r.(*hardenedInstance)
+		res, err := h.inst.Invoke("sum", 100)
+		if err != nil {
+			t.Fatalf("checkout %d after trap: %v", i, err)
+		}
+		if res[0] != 4950 {
+			t.Fatalf("checkout %d after trap: sum = %d, want 4950", i, res[0])
+		}
+		p.Put(r)
+	}
+	if s := p.Stats(); s.Spawned != 1 {
+		t.Errorf("spawned = %d, want 1 (instance must be recycled, not respawned)", s.Spawned)
+	}
+}
+
+func TestPoolConcurrentRealInstances(t *testing.T) {
+	p := NewPool(4, spawnHardened(t))
+	defer p.Close()
+
+	const workers = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r, err := p.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				h := r.(*hardenedInstance)
+				res, err := h.inst.Invoke("sum", 50)
+				if err != nil {
+					t.Error(err)
+				} else if res[0] != 1225 {
+					t.Errorf("sum = %d, want 1225", res[0])
+				}
+				p.Put(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Stats(); s.Spawned > 4 {
+		t.Errorf("spawned = %d, cap is 4", s.Spawned)
+	}
+}

@@ -1,0 +1,21 @@
+// Package exec executes Cage-extended wasm64 modules: an interpreter
+// implementing the paper's small-step semantics (Fig. 11), three
+// sandboxing strategies (32-bit guard pages, 64-bit software bounds
+// checks, MTE-based tagging per Fig. 12b/13), pointer authentication for
+// indirect calls (Figs. 9–11), and instruction-event accounting for the
+// timing model.
+//
+// Paper map:
+//
+//   - NewInstance      — instantiation: linking, sandbox-tag assignment
+//     and whole-memory tagging (Fig. 12b, the §7.2 startup cost)
+//   - Instance.Invoke  — execution with the Fig. 7/10/11 instruction
+//     extension (segment.*, i64.pointer_sign / i64.pointer_auth)
+//   - Instance.Reset   — instance recycling for pooled engines: restores
+//     the freshly-instantiated state (memory, tags, PAC modifier)
+//     without re-paying validation and precompilation
+//   - Instance.Close   — teardown returning the sandbox tag to the
+//     §6.4/§7.4 budget
+//   - Trap             — the trap taxonomy embedders classify violations
+//     with (tag mismatch, auth failure, bounds, segment misuse)
+package exec

@@ -103,6 +103,14 @@ type Instance struct {
 	sandbox  uint8  // this instance's sandbox tag
 	heapBase uint64 // tagged heap base (Fig. 12b)
 
+	// Recycling state (Reset/Close): the sandbox allocator the tag must
+	// return to, the host-reserve size, and whether the PAC modifier was
+	// pinned by the embedder (and must survive reseeding).
+	sandboxes     *core.SandboxAllocator
+	hostReserve   uint64
+	fixedModifier bool
+	closed        bool
+
 	counter      *arch.Counter
 	maxCallDepth int
 	depth        int
@@ -136,6 +144,14 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 	if inst.maxCallDepth == 0 {
 		inst.maxCallDepth = 1024
 	}
+	// If any later instantiation step fails, return the sandbox tag so a
+	// pooled engine retrying instantiation does not leak tag budget.
+	instantiated := false
+	defer func() {
+		if !instantiated && inst.sandboxes != nil {
+			inst.sandboxes.Release(inst.sandbox)
+		}
+	}()
 
 	// Resolve imports.
 	for _, im := range m.Imports {
@@ -159,15 +175,12 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 	if hostReserve == 0 {
 		hostReserve = defaultHostReserve
 	}
+	inst.hostReserve = hostReserve
 	if len(m.Mems) > 0 {
 		inst.memType = m.Mems[0]
 		inst.memSize = inst.memType.Limits.Min * wasm.PageSize
 		inst.mem = make([]byte, inst.memSize+hostReserve)
-		// Fill the host region with a recognizable pattern standing in
-		// for runtime data a sandbox escape would leak.
-		for i := inst.memSize; i < uint64(len(inst.mem)); i++ {
-			inst.mem[i] = 0x5A
-		}
+		inst.fillHostReserve()
 	}
 	switch {
 	case !inst.memType.Memory64:
@@ -208,6 +221,7 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		if err != nil {
 			return nil, err
 		}
+		inst.sandboxes = alloc
 		inst.sandbox = tag
 		inst.heapBase = ptrlayout.WithTag(0, tag)
 		// Tag the guest linear memory with the sandbox tag; the host
@@ -227,39 +241,20 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 	}
 	modifier := cfg.Modifier
 	if modifier == 0 {
-		modifier = cfg.Seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+		modifier = deriveModifier(cfg.Seed)
+	} else {
+		inst.fixedModifier = true
 	}
 	inst.keys = core.NewInstanceKeys(key, modifier)
 
-	// Globals.
-	for _, g := range m.Globals {
-		inst.globals = append(inst.globals, g.Init)
+	// Globals, table + element segments, data segments. Shared with
+	// Instance recycling (reset.go), which must replay them identically.
+	inst.initGlobals()
+	if err := inst.initTable(); err != nil {
+		return nil, err
 	}
-
-	// Table and element segments.
-	if len(m.Tables) > 0 {
-		inst.table = make([]int32, m.Tables[0].Limits.Min)
-		for i := range inst.table {
-			inst.table[i] = -1
-		}
-		for _, es := range m.Elems {
-			for i, fidx := range es.Funcs {
-				slot := int(es.Offset) + i
-				if slot >= len(inst.table) {
-					return nil, fmt.Errorf("exec: element segment exceeds table size")
-				}
-				inst.table[slot] = int32(fidx)
-			}
-		}
-	}
-
-	// Data segments.
-	for _, d := range m.Datas {
-		if d.Offset+uint64(len(d.Bytes)) > inst.memSize {
-			return nil, fmt.Errorf("exec: data segment [%d, +%d) exceeds memory size %d",
-				d.Offset, len(d.Bytes), inst.memSize)
-		}
-		copy(inst.mem[d.Offset:], d.Bytes)
+	if err := inst.initData(); err != nil {
+		return nil, err
 	}
 
 	// Precompile function bodies (control-flow target resolution).
@@ -272,13 +267,65 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		inst.funcs[i] = cf
 	}
 
-	// Start function.
-	if m.Start != nil {
-		if _, err := inst.invoke(*m.Start, nil); err != nil {
-			return nil, err
+	// Start function (shared with recycling, reset.go).
+	if err := inst.RunStart(); err != nil {
+		return nil, err
+	}
+	instantiated = true
+	return inst, nil
+}
+
+// fillHostReserve stamps a recognizable pattern over the host-owned
+// region after guest memory, standing in for runtime data a sandbox
+// escape would leak.
+func (inst *Instance) fillHostReserve() {
+	for i := inst.memSize; i < uint64(len(inst.mem)); i++ {
+		inst.mem[i] = 0x5A
+	}
+}
+
+// initGlobals (re)loads every global from its initializer.
+func (inst *Instance) initGlobals() {
+	inst.globals = inst.globals[:0]
+	for _, g := range inst.module.Globals {
+		inst.globals = append(inst.globals, g.Init)
+	}
+}
+
+// initTable (re)builds the indirect-call table from element segments.
+func (inst *Instance) initTable() error {
+	m := inst.module
+	if len(m.Tables) == 0 {
+		return nil
+	}
+	if inst.table == nil {
+		inst.table = make([]int32, m.Tables[0].Limits.Min)
+	}
+	for i := range inst.table {
+		inst.table[i] = -1
+	}
+	for _, es := range m.Elems {
+		for i, fidx := range es.Funcs {
+			slot := int(es.Offset) + i
+			if slot >= len(inst.table) {
+				return fmt.Errorf("exec: element segment exceeds table size")
+			}
+			inst.table[slot] = int32(fidx)
 		}
 	}
-	return inst, nil
+	return nil
+}
+
+// initData replays the active data segments into linear memory.
+func (inst *Instance) initData() error {
+	for _, d := range inst.module.Datas {
+		if d.Offset+uint64(len(d.Bytes)) > inst.memSize {
+			return fmt.Errorf("exec: data segment [%d, +%d) exceeds memory size %d",
+				d.Offset, len(d.Bytes), inst.memSize)
+		}
+		copy(inst.mem[d.Offset:], d.Bytes)
+	}
+	return nil
 }
 
 // Module returns the underlying module.

@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"fmt"
+
+	"cage/internal/arch"
+	"cage/internal/core"
+	"cage/internal/mte"
+	"cage/internal/wasm"
+)
+
+// deriveModifier turns an instantiation seed into a per-instance PAC
+// modifier (paper §6.3: per-instance behaviour from a random modifier).
+func deriveModifier(seed uint64) uint64 {
+	return seed*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+}
+
+// Reset returns the instance to its freshly-instantiated state so a pool
+// can recycle it instead of paying full re-instantiation (validation,
+// import resolution, function precompilation, memory allocation). It
+//
+//   - restores the linear memory to its initial size, zeroes it, and
+//     replays the module's data segments,
+//   - restores globals and the indirect-call table from their
+//     initializers,
+//   - re-zeroes all MTE tags, reseeds the deterministic tag generator
+//     from seed, clears any latched asynchronous fault, and re-tags the
+//     guest memory with the instance's sandbox tag (Fig. 12b),
+//   - re-derives the PAC modifier from seed (unless the embedder pinned
+//     one at instantiation), invalidating pointers signed in the
+//     previous lifetime (§6.3),
+//   - re-runs the module's start function, if any.
+//
+// The sandbox tag itself is retained: returning it to the allocator and
+// re-acquiring would be wasted work for a pooled instance, and keeping
+// it preserves the §7.4 tag-budget accounting. After a trap — even a
+// memory-safety violation mid-invocation — Reset scrubs every piece of
+// state an aborted execution can leave behind, so a recycled instance is
+// indistinguishable from a new one.
+//
+// Embedders that maintain host-side state tied to the instance (the
+// hardened allocator's heap bookkeeping, for example) must rewind that
+// state before the start function runs: call ResetState, rewind, then
+// RunStart, exactly as a fresh instantiation would order them.
+func (inst *Instance) Reset(seed uint64) error {
+	if err := inst.ResetState(seed); err != nil {
+		return err
+	}
+	return inst.RunStart()
+}
+
+// ResetState is Reset without the start function: it restores memory,
+// globals, table, data segments, MTE tags, and PAC state, leaving the
+// instance in the pre-start moment of instantiation.
+func (inst *Instance) ResetState(seed uint64) error {
+	if inst.closed {
+		return fmt.Errorf("exec: reset of closed instance")
+	}
+	// Memory: shrink back to the initial page count if memory.grow ran,
+	// otherwise zero in place (the common, cheap path).
+	var initSize uint64
+	if len(inst.module.Mems) > 0 {
+		initSize = inst.memType.Limits.Min * wasm.PageSize
+	}
+	if inst.memSize != initSize {
+		inst.mem = make([]byte, initSize+inst.hostReserve)
+		inst.memSize = initSize
+	} else {
+		clear(inst.mem)
+	}
+	// Refill the host-reserve pattern in both paths: a previous lifetime
+	// may have corrupted it (async-mode or bounds-check-disabled escape
+	// demos write past memSize), and a recycled instance must be
+	// indistinguishable from a fresh one.
+	inst.fillHostReserve()
+
+	// Globals, table + element segments, data segments — the same
+	// replay NewInstance performs.
+	inst.initGlobals()
+	if err := inst.initTable(); err != nil {
+		return err
+	}
+	if err := inst.initData(); err != nil {
+		return err
+	}
+
+	// MTE state: fresh tags, fresh randomness, no latched faults.
+	if inst.tags != nil {
+		inst.tags.ZeroAllTags()
+		if seed != 0 {
+			inst.tags.Seed(seed)
+		}
+		inst.tags.PendingFault()
+		if inst.features.Sandbox && inst.memSize > 0 {
+			if err := inst.tags.SetTagRange(0, inst.memSize, inst.sandbox); err != nil {
+				return err
+			}
+			// Re-tagging is the same cost center as the §7.2 startup
+			// experiment; charge it to the timing model.
+			inst.counter.Add(arch.EvSTGGranule, inst.memSize/mte.GranuleSize)
+		}
+	}
+
+	// PAC: a new lifetime gets a new modifier, so signed pointers that
+	// leaked out of the previous lifetime fail authentication.
+	if !inst.fixedModifier {
+		inst.keys = core.NewInstanceKeys(inst.keys.Key, deriveModifier(seed))
+	}
+
+	inst.depth = 0
+	return nil
+}
+
+// RunStart runs the module's start function, if any. It is the second
+// half of Reset (and of instantiation); no-op for modules without a
+// start section.
+func (inst *Instance) RunStart() error {
+	if inst.closed {
+		return fmt.Errorf("exec: start on closed instance")
+	}
+	if inst.module.Start != nil {
+		if _, err := inst.invoke(*inst.module.Start, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close retires the instance, returning its sandbox tag to the shared
+// allocator so a future instantiation can claim it (the teardown half of
+// the §6.4 tag budget). Close is idempotent; a closed instance must not
+// be invoked or reset again.
+func (inst *Instance) Close() error {
+	if inst.closed {
+		return nil
+	}
+	inst.closed = true
+	if inst.sandboxes != nil && inst.sandbox != core.RuntimeTag {
+		inst.sandboxes.Release(inst.sandbox)
+	}
+	return nil
+}

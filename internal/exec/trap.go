@@ -1,8 +1,3 @@
-// Package exec executes Cage-extended wasm64 modules: an interpreter
-// implementing the paper's small-step semantics (Fig. 11), three
-// sandboxing strategies (32-bit guard pages, 64-bit software bounds
-// checks, MTE-based tagging per Fig. 12b/13), pointer authentication for
-// indirect calls, and instruction-event accounting for the timing model.
 package exec
 
 import "fmt"

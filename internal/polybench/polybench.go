@@ -1,12 +1,3 @@
-// Package polybench provides the PolyBench/C 3.2 kernels the paper
-// evaluates Cage on (§7.1), written in MiniC so the Cage toolchain
-// compiles them, plus bit-faithful Go reference implementations used to
-// validate the compiled results.
-//
-// Every kernel allocates its arrays through malloc (exercising the
-// hardened allocator like the paper's polybench harness does through
-// wasi-libc), initializes them deterministically, runs the kernel, and
-// returns a checksum over the output data as a double.
 package polybench
 
 import "fmt"

@@ -1,16 +1,3 @@
-// Package ptrlayout models the aarch64 userspace pointer bit layouts used
-// by Cage, as shipped on Linux with and without MTE and PAC enabled
-// (paper Fig. 3).
-//
-// A 64-bit pointer only uses the low 48 bits to address memory. Bit 55
-// selects between kernel (1) and user (0) space. The remaining upper bits
-// are repurposed by hardware extensions:
-//
-//	no extension:  [63:48] must replicate bit 55 (sign extension)
-//	MTE:           [59:56] hold the 4-bit allocation tag
-//	PAC:           [63:56] and, with TBI off, part of [54:48] hold the
-//	               signature; on Linux with MTE enabled the PAC field is
-//	               bits [63:60] plus [54:49] (10 bits usable, 7 minimum)
 package ptrlayout
 
 // Field boundaries shared by every layout.
