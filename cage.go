@@ -15,6 +15,21 @@
 //   - timing models of the Pixel 8's Cortex-X3/A715/A510 cores that
 //     price executions for the paper's evaluation
 //
+// # Execution pipeline
+//
+// Modules flow compile → lower → cache → pool. CompileSource (or
+// DecodeModule) produces a validated wasm.Module; before the first
+// execution the module is lowered (internal/ir) into a flat,
+// pre-resolved instruction stream specialized for the configuration —
+// branch targets become absolute PCs, immediates are decoded once, and
+// each memory access is compiled to the configuration's sandboxing
+// mode (guard pages, software bounds checks, or MTE). A Runtime caches
+// one lowered program per (module content hash, configuration) and
+// every instance shares it; an Engine adds the compiled-module cache
+// and the recycled-instance pool on top, so steady-state invocations
+// touch neither the compiler nor the lowerer nor the §7.2
+// instantiation costs.
+//
 // # Quick start
 //
 //	tc := cage.NewToolchain(cage.FullHardening())
@@ -32,17 +47,21 @@
 package cage
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"cage/internal/alloc"
 	"cage/internal/arch"
 	"cage/internal/codegen"
 	"cage/internal/core"
+	"cage/internal/engine"
 	"cage/internal/exec"
+	"cage/internal/ir"
 	"cage/internal/minicc"
 	"cage/internal/mte"
 	"cage/internal/pac"
@@ -108,6 +127,25 @@ func (c Config) codegenOptions() codegen.Options {
 // Module is a compiled WebAssembly module.
 type Module struct {
 	wasm *wasm.Module
+
+	// Content hash for the lowered-program cache, computed lazily from
+	// the binary encoding (the same identity the module cache uses).
+	hashOnce sync.Once
+	hash     [sha256.Size]byte
+	hashErr  error
+}
+
+// contentHash returns the module's binary-encoding SHA-256, memoized.
+func (m *Module) contentHash() ([sha256.Size]byte, error) {
+	m.hashOnce.Do(func() {
+		bin, err := wasm.Encode(m.wasm)
+		if err != nil {
+			m.hashErr = err
+			return
+		}
+		m.hash = sha256.Sum256(bin)
+	})
+	return m.hash, m.hashErr
 }
 
 // Raw exposes the underlying module representation.
@@ -168,6 +206,12 @@ type Runtime struct {
 	seed      atomic.Uint64
 	stdout    io.Writer
 	stderr    io.Writer
+
+	// programs caches lowered instruction streams per (module content
+	// hash, lowering config): every instance of one module under this
+	// runtime shares a single ir.Program, so the lowering pass runs
+	// once per process instead of once per instantiation.
+	programs engine.Cache[*ir.Program]
 }
 
 // NewRuntime creates a process-level runtime for the configuration.
@@ -205,13 +249,19 @@ func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
 	binding.Register(linker)
 	wasi.New(rt.stdout, rt.stderr).Register(linker)
 	registerEnv(linker, rt)
-	inst, err := exec.NewInstance(m.wasm, exec.Config{
+	ecfg := exec.Config{
 		Features:   rt.cfg.features(),
 		Linker:     linker,
 		ProcessKey: rt.key,
 		Seed:       rt.seed.Add(1),
 		Sandboxes:  rt.sandboxes,
-	})
+	}
+	prog, err := rt.loweredProgram(m, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	ecfg.Program = prog
+	inst, err := exec.NewInstance(m.wasm, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -226,6 +276,27 @@ func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
 	}
 	return out, nil
 }
+
+// loweredProgram returns the shared lowered program for m under the
+// runtime's configuration, lowering on first use. The cache is keyed by
+// the module's content hash plus the derived lowering config — exactly
+// the compiled-module cache's identity — with singleflight semantics.
+// A module whose binary encoding fails (never produced by this
+// toolchain) is lowered privately instead of cached.
+func (rt *Runtime) loweredProgram(m *Module, ecfg exec.Config) (*ir.Program, error) {
+	lcfg := exec.LowerConfig(m.wasm, ecfg)
+	hash, err := m.contentHash()
+	if err != nil {
+		return ir.Lower(m.wasm, lcfg)
+	}
+	key := engine.Key{Hash: hash, Variant: fmt.Sprintf("ir|%+v", lcfg)}
+	return rt.programs.GetOrBuild(key, func() (*ir.Program, error) {
+		return ir.Lower(m.wasm, lcfg)
+	})
+}
+
+// ProgramCacheStats snapshots the lowered-program cache counters.
+func (rt *Runtime) ProgramCacheStats() engine.CacheStats { return rt.programs.Stats() }
 
 // Invoke calls an exported function with raw 64-bit argument bits.
 func (i *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {

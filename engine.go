@@ -3,6 +3,7 @@ package cage
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"cage/internal/core"
 	"cage/internal/engine"
@@ -12,18 +13,20 @@ import (
 // process-wide compiled-module cache plus one recycled-instance pool
 // per module, behind a concurrency-safe invocation API.
 //
-// Where Toolchain and Runtime pay compilation, validation, and
-// whole-memory tagging (§7.2) on every CompileSource/Instantiate,
+// Where Toolchain and Runtime pay compilation, validation, lowering,
+// and whole-memory tagging (§7.2) on every CompileSource/Instantiate,
 // an Engine pays them once per (source, Config) pair and then serves
 // invocations from pooled instances that are reset — memory re-zeroed,
-// MTE tags re-seeded, PAC modifier rotated — between checkouts. Live
+// MTE tags re-seeded, PAC modifier rotated — between checkouts; all
+// instances of a module share one cached lowered program. Live
 // instances are bounded by the §7.4 sandbox-tag budget: per-module
-// invocation bursts queue instead of exhausting tags, and when several
-// modules compete for the budget, spawning reclaims idle sibling
-// instances before giving up. Only when every tag is held by an
-// in-flight invocation of another module does Invoke surface
-// core.ErrSandboxesExhausted; EnableExtendedSandboxes lifts the budget
-// entirely.
+// invocation bursts queue instead of exhausting tags, when several
+// modules compete for the budget spawning reclaims idle sibling
+// instances, and when every tag is held by an in-flight invocation of
+// another module the checkout queues until a tag is released or an
+// instance is checked in — Invoke never surfaces
+// core.ErrSandboxesExhausted under a plain budget.
+// EnableExtendedSandboxes lifts the budget entirely.
 //
 //	eng := cage.NewEngine(cage.FullHardening())
 //	mod, err := eng.CompileSource(src)
@@ -35,6 +38,12 @@ type Engine struct {
 
 	modules engine.Cache[*Module]
 	pools   engine.PoolSet
+
+	// idle broadcasts instance checkins to spawns queued on the shared
+	// tag budget (a Release alone never fires for a tag that moved to a
+	// sibling pool's idle list).
+	idleMu sync.Mutex
+	idleCh chan struct{}
 }
 
 // NewEngine creates an engine for the configuration. The zero pool
@@ -119,14 +128,38 @@ func (p *pooledInstance) Reset(seed uint64) error {
 
 func (p *pooledInstance) Close() error { return p.inst.Close() }
 
+// notifyIdle wakes spawns queued on the tag budget after a checkin.
+func (e *Engine) notifyIdle() {
+	e.idleMu.Lock()
+	if e.idleCh != nil {
+		close(e.idleCh)
+		e.idleCh = nil
+	}
+	e.idleMu.Unlock()
+}
+
+// idleWait returns a channel closed at the next checkin.
+func (e *Engine) idleWait() <-chan struct{} {
+	e.idleMu.Lock()
+	if e.idleCh == nil {
+		e.idleCh = make(chan struct{})
+	}
+	ch := e.idleCh
+	e.idleMu.Unlock()
+	return ch
+}
+
 // pool returns (creating on first use) the instance pool for m.
 //
 // The spawn path handles cross-module tag pressure: when pools of
 // several modules compete for one §7.4 tag budget, another module's
 // idle instances may pin every tag. Rather than failing, spawning
 // reclaims one idle sibling instance (closing it frees its tag) and
-// retries, so a multi-module engine degrades to re-instantiation
-// instead of rejecting invocations.
+// retries. When even that fails — every tag is held by an in-flight
+// invocation — the spawn queues until the allocator releases a tag or
+// any pool checks an instance in, then retries, so Engine.Invoke
+// queues across modules on §7.4 exhaustion instead of surfacing
+// core.ErrSandboxesExhausted.
 func (e *Engine) pool(m *Module) *engine.Pool {
 	return e.pools.For(m, func() (engine.Resetter, error) {
 		for {
@@ -134,8 +167,15 @@ func (e *Engine) pool(m *Module) *engine.Pool {
 			if err == nil {
 				return (*pooledInstance)(inst), nil
 			}
-			if !errors.Is(err, core.ErrSandboxesExhausted) || e.pools.ReclaimIdle(1) == 0 {
+			if !errors.Is(err, core.ErrSandboxesExhausted) {
 				return nil, err
+			}
+			if e.pools.ReclaimIdle(1) > 0 {
+				continue
+			}
+			select {
+			case <-e.rt.sandboxes.Released():
+			case <-e.idleWait():
 			}
 		}
 	})
@@ -179,19 +219,28 @@ func (e *Engine) WithInstance(m *Module, f func(inst *Instance) error) error {
 	if err != nil {
 		return err
 	}
-	defer p.Put(r)
+	defer func() {
+		p.Put(r)
+		e.notifyIdle()
+	}()
 	return f((*Instance)(r.(*pooledInstance)))
 }
 
 // EngineStats aggregates the engine's cache and pool counters.
 type EngineStats struct {
-	Cache engine.CacheStats
-	Pools engine.PoolStats
+	Cache    engine.CacheStats
+	Programs engine.CacheStats
+	Pools    engine.PoolStats
 }
 
-// Stats snapshots the module cache and (summed) per-module pools.
+// Stats snapshots the module cache, the lowered-program cache, and the
+// (summed) per-module pools.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{Cache: e.modules.Stats(), Pools: e.pools.Stats()}
+	return EngineStats{
+		Cache:    e.modules.Stats(),
+		Programs: e.rt.ProgramCacheStats(),
+		Pools:    e.pools.Stats(),
+	}
 }
 
 // Close retires every pooled instance, returning their sandbox tags.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -138,6 +139,10 @@ type SandboxAllocator struct {
 	// guard-separated address ranges, lifting the 15-per-process limit.
 	reuse   bool
 	nextRot uint8
+	// freed broadcasts tag releases to blocked acquirers: it is closed
+	// (and replaced lazily) on every Release that frees budget, the
+	// channel-shaped condition variable AcquireContext waits on.
+	freed chan struct{}
 }
 
 // EnableTagReuse lifts the sandbox limit by cycling tags across
@@ -161,13 +166,57 @@ func NewSandboxAllocator(pol Policy) *SandboxAllocator {
 	return &SandboxAllocator{pol: pol}
 }
 
-// Acquire reserves a sandbox tag for a new instance.
+// Acquire reserves a sandbox tag for a new instance, failing with
+// ErrSandboxesExhausted when the budget is spent. Use AcquireContext to
+// queue for a tag instead.
 func (a *SandboxAllocator) Acquire() (uint8, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acquireLocked()
+}
+
+// AcquireContext reserves a sandbox tag, blocking while the §7.4 budget
+// is exhausted until another instance releases one (each Release wakes
+// the waiters, condition-variable style) or ctx ends — pass a context
+// with a deadline to bound the wait.
+func (a *SandboxAllocator) AcquireContext(ctx context.Context) (uint8, error) {
+	for {
+		a.mu.Lock()
+		tag, err := a.acquireLocked()
+		if err == nil {
+			a.mu.Unlock()
+			return tag, nil
+		}
+		ch := a.releasedLocked()
+		a.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// Released returns a channel closed at the next Release that frees
+// budget. Engines that hold tags in pooled instances wait on it (plus
+// their own checkin signal) before retrying a failed instantiation.
+func (a *SandboxAllocator) Released() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.releasedLocked()
+}
+
+func (a *SandboxAllocator) releasedLocked() chan struct{} {
+	if a.freed == nil {
+		a.freed = make(chan struct{})
+	}
+	return a.freed
+}
+
+func (a *SandboxAllocator) acquireLocked() (uint8, error) {
 	if !a.pol.Features.Sandbox {
 		return RuntimeTag, nil
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.pol.SandboxBit != 0 {
 		// Combined mode: the single sandbox is the odd-tag half.
 		if a.refs[a.pol.SandboxBit] >= 1 && !a.reuse {
@@ -208,6 +257,10 @@ func (a *SandboxAllocator) Release(tag uint8) {
 	if a.refs[tag] > 0 {
 		a.refs[tag]--
 		a.count--
+		if a.freed != nil {
+			close(a.freed) // wake every blocked acquirer
+			a.freed = nil
+		}
 	}
 	a.mu.Unlock()
 }

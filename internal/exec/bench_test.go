@@ -1,0 +1,65 @@
+package exec_test
+
+import (
+	"testing"
+
+	"cage/internal/arch"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/polybench"
+)
+
+// BenchmarkLoweredVsLegacy is the before/after of the lowered-IR
+// execution pipeline: the same instantiated PolyBench kernel invoked
+// through the legacy re-scanning interpreter (the pre-refactor engine,
+// preserved in legacy_test.go) and through the lowered flat-dispatch
+// loop. Kernels free their allocations, so one instance serves every
+// iteration and the delta is pure dispatch.
+func BenchmarkLoweredVsLegacy(b *testing.B) {
+	for _, kernel := range []string{"gemm", "jacobi-1d"} {
+		k, err := polybench.ByName(kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			name  string
+			opts  codegen.Options
+			feats core.Features
+		}{
+			{"baseline64", codegen.Options{Wasm64: true}, core.Features{}},
+			{"full-cage", codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}, core.CageAll()},
+		} {
+			m, err := polybench.Build(k, cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := uint64(k.TestN)
+
+			b.Run(kernel+"/"+cfg.name+"/legacy", func(b *testing.B) {
+				var ctr arch.Counter
+				inst := newKernelInstance(b, m, cfg.feats, &ctr)
+				lr, err := exec.NewLegacyRunner(inst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := lr.Invoke("run", n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(kernel+"/"+cfg.name+"/lowered", func(b *testing.B) {
+				var ctr arch.Counter
+				inst := newKernelInstance(b, m, cfg.feats, &ctr)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := inst.Invoke("run", n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

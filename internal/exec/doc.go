@@ -5,10 +5,19 @@
 // indirect calls (Figs. 9–11), and instruction-event accounting for the
 // timing model.
 //
+// Execution runs over the lowered form of internal/ir: NewInstance
+// lowers the module's functions once (or adopts a cached ir.Program
+// via Config.Program) and Invoke drives a flat dispatch loop with
+// pre-resolved branches and mode-specialized memory opcodes — the
+// sandboxing strategy is baked into the instruction stream at lower
+// time, so the hot path never branches on it. Each lowered opcode
+// reports its fixed cost events, keeping the arch timing model exact.
+//
 // Paper map:
 //
-//   - NewInstance      — instantiation: linking, sandbox-tag assignment
-//     and whole-memory tagging (Fig. 12b, the §7.2 startup cost)
+//   - NewInstance      — instantiation: linking, lowering, sandbox-tag
+//     assignment and whole-memory tagging (Fig. 12b, the §7.2 startup
+//     cost)
 //   - Instance.Invoke  — execution with the Fig. 7/10/11 instruction
 //     extension (segment.*, i64.pointer_sign / i64.pointer_auth)
 //   - Instance.Reset   — instance recycling for pooled engines: restores

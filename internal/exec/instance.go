@@ -6,6 +6,7 @@ import (
 
 	"cage/internal/arch"
 	"cage/internal/core"
+	"cage/internal/ir"
 	"cage/internal/mte"
 	"cage/internal/pac"
 	"cage/internal/ptrlayout"
@@ -65,9 +66,58 @@ type Config struct {
 	// CVE-2023-26489 (paper §3): software sandboxing silently breaks,
 	// while MTE sandboxing still catches the escape. Test/demo use only.
 	SkipBoundsChecks bool
+	// Program is an optional pre-lowered instruction stream for the
+	// module, typically shared from an engine cache so pooled instances
+	// skip the lowering pass. It must have been produced by
+	// LowerModule (or ir.Lower with LowerConfig) for the same module
+	// and an equivalent configuration; nil lowers privately.
+	Program *ir.Program
 	// HostReserve appends a host-owned, runtime-tagged region after the
 	// guest memory for sandbox-escape demonstrations; 0 means 4 KiB.
 	HostReserve uint64
+}
+
+// strategyFor derives the sandboxing strategy from the module's memory
+// kind and the active features (paper Table 3 → Figs. 12–13).
+func strategyFor(mt wasm.MemoryType, f core.Features) memStrategy {
+	switch {
+	case !mt.Memory64:
+		return stratGuard32
+	case f.Sandbox:
+		return stratMTE64
+	default:
+		return stratBounds64
+	}
+}
+
+// LowerConfig derives the ir lowering configuration NewInstance uses
+// for module m under cfg. Cache layers key lowered programs on it (plus
+// the module's content hash).
+func LowerConfig(m *wasm.Module, cfg Config) ir.Config {
+	var mt wasm.MemoryType
+	if len(m.Mems) > 0 {
+		mt = m.Mems[0]
+	}
+	mode := ir.ModeGuard32
+	switch strategyFor(mt, cfg.Features) {
+	case stratBounds64:
+		mode = ir.ModeBounds64
+	case stratMTE64:
+		mode = ir.ModeMTE64
+	}
+	return ir.Config{
+		Mode:       mode,
+		SkipBounds: cfg.SkipBoundsChecks,
+		MemSafety:  cfg.Features.MemSafety,
+		PtrAuth:    cfg.Features.PtrAuth,
+	}
+}
+
+// LowerModule lowers m exactly as NewInstance would under cfg, for
+// embedders that cache lowered programs and pass them back via
+// Config.Program.
+func LowerModule(m *wasm.Module, cfg Config) (*ir.Program, error) {
+	return ir.Lower(m, LowerConfig(m, cfg))
 }
 
 // memStrategy is how the engine enforces the sandbox on each access.
@@ -91,7 +141,7 @@ type Instance struct {
 	memType wasm.MemoryType
 	globals []uint64
 	table   []int32
-	funcs   []compiledFunc
+	prog    *ir.Program
 	imports []HostFunc
 
 	features core.Features
@@ -182,16 +232,9 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		inst.mem = make([]byte, inst.memSize+hostReserve)
 		inst.fillHostReserve()
 	}
-	switch {
-	case !inst.memType.Memory64:
-		inst.strategy = stratGuard32
-		if cfg.Features.MemSafety || cfg.Features.Sandbox {
-			return nil, fmt.Errorf("exec: Cage features require a 64-bit memory (wasm64)")
-		}
-	case cfg.Features.Sandbox:
-		inst.strategy = stratMTE64
-	default:
-		inst.strategy = stratBounds64
+	inst.strategy = strategyFor(inst.memType, cfg.Features)
+	if inst.strategy == stratGuard32 && (cfg.Features.MemSafety || cfg.Features.Sandbox) {
+		return nil, fmt.Errorf("exec: Cage features require a 64-bit memory (wasm64)")
 	}
 
 	// MTE state.
@@ -257,14 +300,22 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		return nil, err
 	}
 
-	// Precompile function bodies (control-flow target resolution).
-	inst.funcs = make([]compiledFunc, len(m.Funcs))
-	for i := range m.Funcs {
-		cf, err := compileFunc(m, &m.Funcs[i])
+	// Lower function bodies to the flat executable form, or adopt a
+	// shared pre-lowered program (engine caches lower once per module
+	// hash + configuration and hand the result to every instance).
+	lcfg := LowerConfig(m, cfg)
+	if cfg.Program != nil {
+		if !cfg.Program.Matches(m, lcfg) {
+			return nil, fmt.Errorf("exec: pre-lowered program does not match module/configuration (have %+v, want %+v)",
+				cfg.Program.Cfg, lcfg)
+		}
+		inst.prog = cfg.Program
+	} else {
+		prog, err := ir.Lower(m, lcfg)
 		if err != nil {
 			return nil, err
 		}
-		inst.funcs[i] = cf
+		inst.prog = prog
 	}
 
 	// Start function (shared with recycling, reset.go).
@@ -330,6 +381,9 @@ func (inst *Instance) initData() error {
 
 // Module returns the underlying module.
 func (inst *Instance) Module() *wasm.Module { return inst.module }
+
+// Program returns the lowered instruction stream the instance executes.
+func (inst *Instance) Program() *ir.Program { return inst.prog }
 
 // Memory returns the guest-visible linear memory.
 func (inst *Instance) Memory() []byte { return inst.mem[:inst.memSize] }

@@ -6,70 +6,12 @@ import (
 	"math/bits"
 
 	"cage/internal/arch"
-	"cage/internal/core"
+	"cage/internal/ir"
 	"cage/internal/mte"
 	"cage/internal/pac"
 	"cage/internal/ptrlayout"
 	"cage/internal/wasm"
 )
-
-// compiledFunc is a function body with control-flow targets resolved.
-type compiledFunc struct {
-	fn        *wasm.Function
-	typ       wasm.FuncType
-	matchEnd  []int32 // for block/loop/if/else: pc of the matching end
-	matchElse []int32 // for if: pc of its else, or -1
-}
-
-func compileFunc(m *wasm.Module, f *wasm.Function) (compiledFunc, error) {
-	cf := compiledFunc{
-		fn:        f,
-		typ:       m.Types[f.TypeIdx],
-		matchEnd:  make([]int32, len(f.Body)),
-		matchElse: make([]int32, len(f.Body)),
-	}
-	for i := range cf.matchElse {
-		cf.matchElse[i] = -1
-	}
-	var stack []int
-	var elses []int // pending else pc per open frame (-1 if none)
-	for pc, in := range f.Body {
-		switch in.Op {
-		case wasm.OpBlock, wasm.OpLoop, wasm.OpIf:
-			stack = append(stack, pc)
-			elses = append(elses, -1)
-		case wasm.OpElse:
-			if len(stack) == 0 {
-				return cf, newTrap(TrapUnreachable, "else without if at pc %d", pc)
-			}
-			cf.matchElse[stack[len(stack)-1]] = int32(pc)
-			elses[len(elses)-1] = pc
-		case wasm.OpEnd:
-			if len(stack) == 0 {
-				// Function-level end: must be the last instruction
-				// (checked by validation).
-				continue
-			}
-			open := stack[len(stack)-1]
-			cf.matchEnd[open] = int32(pc)
-			if e := elses[len(elses)-1]; e >= 0 {
-				cf.matchEnd[e] = int32(pc)
-			}
-			stack = stack[:len(stack)-1]
-			elses = elses[:len(elses)-1]
-		}
-	}
-	return cf, nil
-}
-
-// ctrl is a runtime control-stack entry.
-type ctrl struct {
-	op     wasm.Opcode
-	height int   // operand-stack height at entry
-	arity  int   // branch arity (results for block/if, 0 for loop)
-	endPC  int32 // pc of the matching end
-	loopPC int32 // pc of the loop instruction (for back-edges)
-}
 
 // invoke runs function fidx with args, returning result values.
 func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
@@ -92,131 +34,115 @@ func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 		return res, nil
 	}
 	di := int(fidx) - len(inst.imports)
-	if di >= len(inst.funcs) {
+	if di >= len(inst.prog.Funcs) {
 		return nil, newTrap(TrapIndirectCall, "function index %d out of range", fidx)
 	}
-	cf := &inst.funcs[di]
-	if len(args) != len(cf.typ.Params) {
+	fn := &inst.prog.Funcs[di]
+	if len(args) != fn.NumParams {
 		return nil, newTrap(TrapIndirectCall, "function %d expects %d args, got %d",
-			fidx, len(cf.typ.Params), len(args))
+			fidx, fn.NumParams, len(args))
 	}
-	locals := make([]uint64, len(cf.typ.Params)+len(cf.fn.Locals))
+	locals := make([]uint64, fn.NumParams+fn.NumLocals)
 	copy(locals, args)
-	return inst.run(cf, locals)
+	return inst.run(fn, locals)
 }
 
-// run executes a compiled function body.
-func (inst *Instance) run(cf *compiledFunc, locals []uint64) ([]uint64, error) {
-	body := cf.fn.Body
+// branchRepair applies a branch's precomputed stack repair: carry the
+// top arity values, truncate to the recorded height, in place.
+func branchRepair(stack []uint64, keep, arity int) []uint64 {
+	if arity > 0 {
+		copy(stack[keep:keep+arity], stack[len(stack)-arity:])
+	}
+	return stack[:keep+arity]
+}
+
+// run executes a lowered function body: a flat dispatch loop over the
+// pre-resolved instruction stream. There is no control stack and no
+// end/else matching — branches carry absolute target PCs and their
+// stack repair — and each opcode reports its cost event(s) to the arch
+// timing model, so one execution can still be priced on all three
+// cores afterwards.
+func (inst *Instance) run(fn *ir.Func, locals []uint64) ([]uint64, error) {
+	code := fn.Code
 	ctr := inst.counter
-	var stack []uint64
-	ctrls := []ctrl{{op: wasm.OpEnd, arity: len(cf.typ.Results), endPC: int32(len(body) - 1)}}
-
-	push := func(v uint64) { stack = append(stack, v) }
-	pop := func() uint64 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
-	}
-
-	// branch performs br to relative depth d, returning the new pc.
-	branch := func(d int, pc int) int {
-		idx := len(ctrls) - 1 - d
-		fr := ctrls[idx]
-		if fr.op == wasm.OpLoop {
-			stack = stack[:fr.height]
-			ctrls = ctrls[:idx+1]
-			return int(fr.loopPC) // re-enter loop body after the loop opcode
-		}
-		// Carry the label arity values.
-		vals := stack[len(stack)-fr.arity:]
-		tmp := make([]uint64, fr.arity)
-		copy(tmp, vals)
-		stack = append(stack[:fr.height], tmp...)
-		ctrls = ctrls[:idx]
-		return int(fr.endPC) // skip to after the matching end
-	}
+	stack := make([]uint64, 0, fn.MaxStack)
 
 	pc := 0
-	for pc < len(body) {
-		in := body[pc]
-		op := in.Op
-		switch op {
-		case wasm.OpUnreachable:
+	for {
+		in := &code[pc]
+		switch in.Op {
+		case ir.OpUnreachable:
 			return nil, newTrap(TrapUnreachable, "at pc %d", pc)
-		case wasm.OpNop:
-		case wasm.OpBlock:
-			arity := 0
-			if _, ok := in.Block.Result(); ok {
-				arity = 1
-			}
-			ctrls = append(ctrls, ctrl{op: op, height: len(stack), arity: arity, endPC: cf.matchEnd[pc]})
-		case wasm.OpLoop:
-			ctrls = append(ctrls, ctrl{op: op, height: len(stack), endPC: cf.matchEnd[pc], loopPC: int32(pc)})
-		case wasm.OpIf:
+
+		case ir.OpGoto:
+			pc = int(in.B)
+			continue
+
+		case ir.OpBr:
 			ctr.Add(arch.EvBranch, 1)
-			arity := 0
-			if _, ok := in.Block.Result(); ok {
-				arity = 1
-			}
-			cond := pop()
-			ctrls = append(ctrls, ctrl{op: op, height: len(stack), arity: arity, endPC: cf.matchEnd[pc]})
-			if uint32(cond) == 0 {
-				if e := cf.matchElse[pc]; e >= 0 {
-					pc = int(e) // fall into the else arm
-				} else {
-					pc = int(cf.matchEnd[pc]) - 1 // jump to the end
-				}
-			}
-		case wasm.OpElse:
-			// Reached from the then-arm: skip over the else arm.
-			pc = int(cf.matchEnd[pc]) - 1
-		case wasm.OpEnd:
-			ctrls = ctrls[:len(ctrls)-1]
-			if len(ctrls) == 0 {
-				res := make([]uint64, len(cf.typ.Results))
-				copy(res, stack[len(stack)-len(res):])
-				return res, nil
-			}
-		case wasm.OpBr:
+			stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
+			pc = int(in.B)
+			continue
+
+		case ir.OpBrIf:
 			ctr.Add(arch.EvBranch, 1)
-			pc = branch(int(in.X), pc)
-		case wasm.OpBrIf:
-			ctr.Add(arch.EvBranch, 1)
-			if uint32(pop()) != 0 {
-				pc = branch(int(in.X), pc)
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if uint32(c) != 0 {
+				stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
+				pc = int(in.B)
+				continue
 			}
-		case wasm.OpBrTable:
+
+		case ir.OpBrIfZ:
+			ctr.Add(arch.EvBranch, 1)
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if uint32(c) == 0 {
+				pc = int(in.B)
+				continue
+			}
+
+		case ir.OpBrTable:
 			ctr.Add(arch.EvBrTable, 1)
-			i := uint32(pop())
-			d := uint32(in.X)
-			if uint64(i) < uint64(len(in.Targets)) {
-				d = in.Targets[i]
+			i := uint32(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
+			ts := in.Targets
+			t := ts[len(ts)-1] // default
+			if uint64(i) < uint64(len(ts)-1) {
+				t = ts[i]
 			}
-			pc = branch(int(d), pc)
-		case wasm.OpReturn:
+			stack = branchRepair(stack, int(t.Keep), int(t.Arity))
+			pc = int(t.PC)
+			continue
+
+		case ir.OpReturn:
 			ctr.Add(arch.EvReturn, 1)
-			res := make([]uint64, len(cf.typ.Results))
+			res := make([]uint64, in.A)
 			copy(res, stack[len(stack)-len(res):])
 			return res, nil
-		case wasm.OpCall:
+
+		case ir.OpRetEnd:
+			res := make([]uint64, in.A)
+			copy(res, stack[len(stack)-len(res):])
+			return res, nil
+
+		case ir.OpCall:
 			ctr.Add(arch.EvCall, 1)
-			ft, err := inst.module.FuncTypeAt(uint32(in.X))
-			if err != nil {
-				return nil, newTrap(TrapIndirectCall, "%v", err)
-			}
-			n := len(ft.Params)
+			n := int(in.B)
 			args := make([]uint64, n)
 			copy(args, stack[len(stack)-n:])
 			stack = stack[:len(stack)-n]
-			res, err := inst.invoke(uint32(in.X), args)
+			res, err := inst.invoke(uint32(in.A), args)
 			if err != nil {
 				return nil, err
 			}
 			stack = append(stack, res...)
-		case wasm.OpCallIndirect:
+
+		case ir.OpCallIndirect:
 			ctr.Add(arch.EvCallIndirect, 1)
-			ti := uint32(pop())
+			ti := uint32(stack[len(stack)-1])
+			stack = stack[:len(stack)-1]
 			if uint64(ti) >= uint64(len(inst.table)) {
 				return nil, newTrap(TrapIndirectCall, "table index %d out of range", ti)
 			}
@@ -224,7 +150,7 @@ func (inst *Instance) run(cf *compiledFunc, locals []uint64) ([]uint64, error) {
 			if fidx < 0 {
 				return nil, newTrap(TrapIndirectCall, "null table entry %d", ti)
 			}
-			want := inst.module.Types[in.X]
+			want := inst.module.Types[in.A]
 			got, err := inst.module.FuncTypeAt(uint32(fidx))
 			if err != nil {
 				return nil, newTrap(TrapIndirectCall, "%v", err)
@@ -233,7 +159,7 @@ func (inst *Instance) run(cf *compiledFunc, locals []uint64) ([]uint64, error) {
 				return nil, newTrap(TrapIndirectCall,
 					"signature mismatch: table entry %d has %v, expected %v", ti, got, want)
 			}
-			n := len(want.Params)
+			n := int(in.B)
 			args := make([]uint64, n)
 			copy(args, stack[len(stack)-n:])
 			stack = stack[:len(stack)-n]
@@ -242,237 +168,378 @@ func (inst *Instance) run(cf *compiledFunc, locals []uint64) ([]uint64, error) {
 				return nil, err
 			}
 			stack = append(stack, res...)
-		case wasm.OpDrop:
-			pop()
-		case wasm.OpSelect:
+
+		case ir.OpDrop:
+			stack = stack[:len(stack)-1]
+
+		case ir.OpSelect:
 			ctr.Add(arch.EvSelect, 1)
-			c := uint32(pop())
-			b := pop()
-			a := pop()
-			if c != 0 {
-				push(a)
-			} else {
-				push(b)
+			if uint32(stack[len(stack)-1]) == 0 {
+				stack[len(stack)-3] = stack[len(stack)-2]
 			}
-		case wasm.OpLocalGet:
+			stack = stack[:len(stack)-2]
+
+		case ir.OpLocalGet:
 			ctr.Add(arch.EvLocal, 1)
-			push(locals[in.X])
-		case wasm.OpLocalSet:
+			stack = append(stack, locals[in.A])
+		case ir.OpLocalSet:
 			ctr.Add(arch.EvLocal, 1)
-			locals[in.X] = pop()
-		case wasm.OpLocalTee:
+			locals[in.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case ir.OpLocalTee:
 			ctr.Add(arch.EvLocal, 1)
-			locals[in.X] = stack[len(stack)-1]
-		case wasm.OpGlobalGet:
+			locals[in.A] = stack[len(stack)-1]
+
+		case ir.OpGlobalGet:
 			ctr.Add(arch.EvGlobal, 1)
-			push(inst.globals[in.X])
-		case wasm.OpGlobalSet:
+			stack = append(stack, inst.globals[in.A])
+		case ir.OpGlobalSet:
 			ctr.Add(arch.EvGlobal, 1)
-			inst.globals[in.X] = pop()
-		case wasm.OpI32Const, wasm.OpI64Const:
+			inst.globals[in.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+
+		case ir.OpConst:
 			ctr.Add(arch.EvConst, 1)
-			push(in.X)
-		case wasm.OpF32Const:
-			ctr.Add(arch.EvConst, 1)
-			push(uint64(math.Float32bits(float32(in.F))))
-		case wasm.OpF64Const:
-			ctr.Add(arch.EvConst, 1)
-			push(math.Float64bits(in.F))
-		case wasm.OpMemorySize:
+			stack = append(stack, in.A)
+
+		case ir.OpMemorySize:
 			ctr.Add(arch.EvALU, 1)
-			push(inst.memSize / wasm.PageSize)
-		case wasm.OpMemoryGrow:
+			stack = append(stack, inst.memSize/wasm.PageSize)
+		case ir.OpMemoryGrow:
 			ctr.Add(arch.EvMemGrow, 1)
-			push(inst.memoryGrow(pop()))
-		case wasm.OpMemoryFill:
+			stack[len(stack)-1] = inst.memoryGrow(stack[len(stack)-1])
+		case ir.OpMemoryFill:
 			if err := inst.memoryFill(&stack); err != nil {
 				return nil, err
 			}
-		case wasm.OpMemoryCopy:
+		case ir.OpMemoryCopy:
 			if err := inst.memoryCopy(&stack); err != nil {
 				return nil, err
 			}
-		case wasm.OpSegmentNew:
-			length := pop()
-			ptr := pop()
-			tagged, err := inst.segmentNew(ptr, length, in.Offset)
+
+		case ir.OpSegmentNew:
+			length := stack[len(stack)-1]
+			ptr := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			tagged, err := inst.segmentNew(ptr, length, in.A)
 			if err != nil {
 				return nil, err
 			}
-			push(tagged)
-		case wasm.OpSegmentSetTag:
-			length := pop()
-			tagged := pop()
-			ptr := pop()
-			if err := inst.segmentSetTag(ptr, tagged, length, in.Offset); err != nil {
+			stack = append(stack, tagged)
+		case ir.OpSegmentSetTag:
+			length := stack[len(stack)-1]
+			tagged := stack[len(stack)-2]
+			ptr := stack[len(stack)-3]
+			stack = stack[:len(stack)-3]
+			if err := inst.segmentSetTag(ptr, tagged, length, in.A); err != nil {
 				return nil, err
 			}
-		case wasm.OpSegmentFree:
-			length := pop()
-			tagged := pop()
-			if err := inst.segmentFree(tagged, length, in.Offset); err != nil {
+		case ir.OpSegmentFree:
+			length := stack[len(stack)-1]
+			tagged := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			if err := inst.segmentFree(tagged, length, in.A); err != nil {
 				return nil, err
 			}
-		case wasm.OpPointerSign:
+
+		case ir.OpPtrSign:
 			ctr.Add(arch.EvPACSign, 1)
-			if inst.features.PtrAuth {
-				push(inst.keys.Sign(pop()))
-			}
-			// Without the feature the instruction is a no-op fallback,
-			// mirroring deployment on hardware without PAC.
-		case wasm.OpPointerAuth:
+			stack[len(stack)-1] = inst.keys.Sign(stack[len(stack)-1])
+		case ir.OpPtrSignNop:
+			// PAC disabled: the instruction is a no-op fallback, but the
+			// timing model still prices the lowered pacda.
+			ctr.Add(arch.EvPACSign, 1)
+		case ir.OpPtrAuth:
 			ctr.Add(arch.EvPACAuth, 1)
-			if inst.features.PtrAuth {
-				v, err := inst.keys.Auth(pop())
-				if err != nil {
-					if errors.Is(err, pac.ErrAuthFailed) {
-						return nil, newTrap(TrapAuthFailure, "i64.pointer_auth at pc %d", pc)
-					}
-					return nil, err
+			v, err := inst.keys.Auth(stack[len(stack)-1])
+			if err != nil {
+				if errors.Is(err, pac.ErrAuthFailed) {
+					return nil, newTrap(TrapAuthFailure, "i64.pointer_auth at pc %d", pc)
 				}
-				push(v)
+				return nil, err
 			}
+			stack[len(stack)-1] = v
+		case ir.OpPtrAuthNop:
+			ctr.Add(arch.EvPACAuth, 1)
+
+		// Loads, specialized per address-translation mode at lower time.
+		case ir.OpLoadG32:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrG32(stack[len(stack)-1], in.A, sz, inst.memSize)
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadG32NC:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrG32(stack[len(stack)-1], in.A, sz, uint64(len(inst.mem)))
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadB64:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, true, false)
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadB64NC:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, false, false)
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadB64Tag:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, true, true)
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadB64NCTag:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, false, true)
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadMTE:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrMTE(stack[len(stack)-1], in.A, sz, false, true)
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadMTENC:
+			ctr.Add(arch.EvLoad, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrMTE(stack[len(stack)-1], in.A, sz, false, false)
+			if err != nil {
+				return nil, err
+			}
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+
+		// Stores, same specialization.
+		case ir.OpStoreG32:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrG32(stack[len(stack)-2], in.A, sz, inst.memSize)
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+		case ir.OpStoreG32NC:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrG32(stack[len(stack)-2], in.A, sz, uint64(len(inst.mem)))
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+		case ir.OpStoreB64:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, true, false)
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+		case ir.OpStoreB64NC:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, false, false)
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+		case ir.OpStoreB64Tag:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, true, true)
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+		case ir.OpStoreB64NCTag:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, false, true)
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+		case ir.OpStoreMTE:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrMTE(stack[len(stack)-2], in.A, sz, true, true)
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+		case ir.OpStoreMTENC:
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr, err := inst.addrMTE(stack[len(stack)-2], in.A, sz, true, false)
+			if err != nil {
+				return nil, err
+			}
+			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+
 		default:
-			if op.IsLoad() {
-				if err := inst.doLoad(in, &stack); err != nil {
-					return nil, err
-				}
-			} else if op.IsStore() {
-				if err := inst.doStore(in, &stack); err != nil {
-					return nil, err
-				}
-			} else if err := inst.numeric(in, &stack); err != nil {
+			if err := inst.numeric(wasm.Opcode(in.Op-ir.OpNumericBase), &stack); err != nil {
 				return nil, err
 			}
 		}
 		pc++
 	}
-	// Bodies are end-terminated, so this is unreachable for valid code.
-	return nil, newTrap(TrapUnreachable, "fell off function body")
 }
 
-// effectiveAddr applies the instance's sandboxing strategy to a guest
-// index and access size, returning the in-bounds physical offset.
-func (inst *Instance) effectiveAddr(idx, offset, size uint64, write bool) (uint64, error) {
+// addrG32 is the wasm32 guard-page strategy: 4 GiB reservation + guard
+// pages; no per-access cost. The Go-level check stands in for the MMU.
+// limit is the guest size normally, the whole host mapping when the
+// bounds lowering is (deliberately) buggy.
+func (inst *Instance) addrG32(idx, offset, size, limit uint64) (uint64, error) {
+	addr := uint64(uint32(idx)) + offset
+	if addr+size > limit || addr+size < addr {
+		return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d (guard page)", addr, size)
+	}
+	return addr, nil
+}
+
+// addrB64 is the wasm64 software strategy: an explicit bounds check
+// (skipped by the buggy-lowering demo, which then only faults at the
+// host mapping), plus the MTE memory-safety tag check when enabled.
+func (inst *Instance) addrB64(idx, offset, size uint64, write, check, tagCheck bool) (uint64, error) {
 	ctr := inst.counter
-	switch inst.strategy {
-	case stratGuard32:
-		// 32-bit wasm: 4 GiB reservation + guard pages; no per-access
-		// cost. The Go-level check stands in for the MMU.
-		addr := uint64(uint32(idx)) + offset
-		limit := inst.memSize
-		if inst.skipBounds {
-			limit = uint64(len(inst.mem)) // buggy lowering reaches host data
+	full := idx + offset
+	tag := ptrlayout.Tag(full)
+	addr := ptrlayout.Address(ptrlayout.StripTag(full))
+	if check {
+		ctr.Add(arch.EvBoundsCheck, 1)
+		if addr+size > inst.memSize || addr+size < addr {
+			return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d >= 0x%x", addr, size, inst.memSize)
 		}
-		if addr+size > limit || addr+size < addr {
-			return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d (guard page)", addr, size)
-		}
-		return addr, nil
-
-	case stratBounds64:
-		full := idx + offset
-		tag := ptrlayout.Tag(full)
-		addr := ptrlayout.Address(ptrlayout.StripTag(full))
-		if !inst.skipBounds {
-			ctr.Add(arch.EvBoundsCheck, 1)
-			if addr+size > inst.memSize || addr+size < addr {
-				return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d >= 0x%x", addr, size, inst.memSize)
-			}
-		} else if addr+size > uint64(len(inst.mem)) || addr+size < addr {
-			return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d (host fault)", addr, size)
-		}
-		if inst.features.MemSafety {
-			if write {
-				ctr.Add(arch.EvTagCheckStore, 1)
-			} else {
-				ctr.Add(arch.EvTagCheckLoad, 1)
-			}
-			if err := inst.tags.CheckAccess(addr, size, tag, write); err != nil {
-				return 0, newTrap(TrapTagMismatch, "%v", err)
-			}
-		}
-		return addr, nil
-
-	default: // stratMTE64, Fig. 12b / Fig. 13
-		masked := idx
-		if !inst.skipBounds {
-			ctr.Add(arch.EvMask, 1)
-			masked = inst.policy.MaskIndex(idx)
-		}
-		full := inst.heapBase + masked + offset
-		tag := ptrlayout.Tag(full)
-		addr := ptrlayout.Address(ptrlayout.StripTag(full))
+	} else if addr+size > uint64(len(inst.mem)) || addr+size < addr {
+		return 0, newTrap(TrapOutOfBounds, "address 0x%x+%d (host fault)", addr, size)
+	}
+	if tagCheck {
 		if write {
 			ctr.Add(arch.EvTagCheckStore, 1)
 		} else {
 			ctr.Add(arch.EvTagCheckLoad, 1)
 		}
-		// Addresses beyond the mapped region belong to the runtime: the
-		// tag memory reports tag 0 there, so the check below faults.
-		if addr+size > uint64(len(inst.mem)) || addr+size < addr {
-			return 0, newTrap(TrapTagMismatch,
-				"sandbox violation: address 0x%x outside mapped memory (runtime tag 0, pointer tag %#x)", addr, tag)
-		}
 		if err := inst.tags.CheckAccess(addr, size, tag, write); err != nil {
 			return 0, newTrap(TrapTagMismatch, "%v", err)
 		}
-		return addr, nil
+	}
+	return addr, nil
+}
+
+// addrMTE is Cage's MTE-based sandboxing (Fig. 12b / Fig. 13): mask the
+// untrusted index (unless the demo drops the mask), add the tagged heap
+// base, and let the tag check catch any escape.
+func (inst *Instance) addrMTE(idx, offset, size uint64, write, mask bool) (uint64, error) {
+	ctr := inst.counter
+	masked := idx
+	if mask {
+		ctr.Add(arch.EvMask, 1)
+		masked = inst.policy.MaskIndex(idx)
+	}
+	full := inst.heapBase + masked + offset
+	tag := ptrlayout.Tag(full)
+	addr := ptrlayout.Address(ptrlayout.StripTag(full))
+	if write {
+		ctr.Add(arch.EvTagCheckStore, 1)
+	} else {
+		ctr.Add(arch.EvTagCheckLoad, 1)
+	}
+	// Addresses beyond the mapped region belong to the runtime: the
+	// tag memory reports tag 0 there, so the check below faults.
+	if addr+size > uint64(len(inst.mem)) || addr+size < addr {
+		return 0, newTrap(TrapTagMismatch,
+			"sandbox violation: address 0x%x outside mapped memory (runtime tag 0, pointer tag %#x)", addr, tag)
+	}
+	if err := inst.tags.CheckAccess(addr, size, tag, write); err != nil {
+		return 0, newTrap(TrapTagMismatch, "%v", err)
+	}
+	return addr, nil
+}
+
+// effectiveAddr applies the instance's sandboxing strategy to a guest
+// index and access size, returning the in-bounds physical offset. It is
+// the un-specialized path used by bulk/host operations (memory.fill,
+// memory.copy, the hardened allocator); guest loads and stores run the
+// specialized lowered opcodes instead, which call the same per-mode
+// helpers, so the semantics cannot drift apart.
+func (inst *Instance) effectiveAddr(idx, offset, size uint64, write bool) (uint64, error) {
+	switch inst.strategy {
+	case stratGuard32:
+		limit := inst.memSize
+		if inst.skipBounds {
+			limit = uint64(len(inst.mem)) // buggy lowering reaches host data
+		}
+		return inst.addrG32(idx, offset, size, limit)
+	case stratBounds64:
+		return inst.addrB64(idx, offset, size, write, !inst.skipBounds, inst.features.MemSafety)
+	default: // stratMTE64, Fig. 12b / Fig. 13
+		return inst.addrMTE(idx, offset, size, write, !inst.skipBounds)
 	}
 }
 
-func (inst *Instance) doLoad(in wasm.Instr, stack *[]uint64) error {
-	inst.counter.Add(arch.EvLoad, 1)
-	s := *stack
-	idx := s[len(s)-1]
-	size := in.Op.AccessSize()
-	addr, err := inst.effectiveAddr(idx, in.Offset, size, false)
-	if err != nil {
-		return err
-	}
+// readScalar reads a little-endian scalar of the given width.
+func readScalar(mem []byte, addr, size uint64) uint64 {
 	var raw uint64
 	for i := uint64(0); i < size; i++ {
-		raw |= uint64(inst.mem[addr+i]) << (8 * i)
+		raw |= uint64(mem[addr+i]) << (8 * i)
 	}
-	var v uint64
-	switch in.Op {
-	case wasm.OpI32Load, wasm.OpF32Load, wasm.OpI64Load32U:
-		v = raw
-	case wasm.OpI64Load, wasm.OpF64Load:
-		v = raw
-	case wasm.OpI32Load8S:
-		v = uint64(uint32(int32(int8(raw))))
-	case wasm.OpI32Load8U, wasm.OpI64Load8U:
-		v = raw & 0xFF
-	case wasm.OpI32Load16S:
-		v = uint64(uint32(int32(int16(raw))))
-	case wasm.OpI32Load16U, wasm.OpI64Load16U:
-		v = raw & 0xFFFF
-	case wasm.OpI64Load8S:
-		v = uint64(int64(int8(raw)))
-	case wasm.OpI64Load16S:
-		v = uint64(int64(int16(raw)))
-	case wasm.OpI64Load32S:
-		v = uint64(int64(int32(raw)))
-	}
-	s[len(s)-1] = v
-	return nil
+	return raw
 }
 
-func (inst *Instance) doStore(in wasm.Instr, stack *[]uint64) error {
-	inst.counter.Add(arch.EvStore, 1)
-	s := *stack
-	val := s[len(s)-1]
-	idx := s[len(s)-2]
-	*stack = s[:len(s)-2]
-	size := in.Op.AccessSize()
-	addr, err := inst.effectiveAddr(idx, in.Offset, size, true)
-	if err != nil {
-		return err
-	}
+// writeScalar writes a little-endian scalar of the given width.
+func writeScalar(mem []byte, addr, size, val uint64) {
 	for i := uint64(0); i < size; i++ {
-		inst.mem[addr+i] = byte(val >> (8 * i))
+		mem[addr+i] = byte(val >> (8 * i))
 	}
-	return nil
+}
+
+// extendLoad applies a load opcode's sign/zero extension to raw bytes.
+func extendLoad(op wasm.Opcode, raw uint64) uint64 {
+	switch op {
+	case wasm.OpI32Load8S:
+		return uint64(uint32(int32(int8(raw))))
+	case wasm.OpI32Load8U, wasm.OpI64Load8U:
+		return raw & 0xFF
+	case wasm.OpI32Load16S:
+		return uint64(uint32(int32(int16(raw))))
+	case wasm.OpI32Load16U, wasm.OpI64Load16U:
+		return raw & 0xFFFF
+	case wasm.OpI64Load8S:
+		return uint64(int64(int8(raw)))
+	case wasm.OpI64Load16S:
+		return uint64(int64(int16(raw)))
+	case wasm.OpI64Load32S:
+		return uint64(int64(int32(raw)))
+	default:
+		// Full-width and unsigned 32-bit loads: the raw bits.
+		return raw
+	}
 }
 
 // memoryGrow grows the guest memory by delta pages, returning the old
@@ -609,10 +676,9 @@ func (inst *Instance) segmentFree(tagged, length, offset uint64) error {
 }
 
 // numeric executes the pure value instructions.
-func (inst *Instance) numeric(in wasm.Instr, stack *[]uint64) error {
+func (inst *Instance) numeric(op wasm.Opcode, stack *[]uint64) error {
 	ctr := inst.counter
 	s := *stack
-	op := in.Op
 
 	top := func() *uint64 { return &s[len(s)-1] }
 	pop2 := func() (uint64, uint64) {
@@ -1036,6 +1102,3 @@ func (inst *Instance) numeric(in wasm.Instr, stack *[]uint64) error {
 	}
 	return nil
 }
-
-// Ensure unused imports stay referenced when features are compiled out.
-var _ = core.RuntimeTag

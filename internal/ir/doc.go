@@ -1,0 +1,30 @@
+// Package ir is the lowered intermediate representation the execution
+// engine runs: a one-time compilation pass (Lower) flattens each wasm
+// function body into a dense instruction stream in which
+//
+//   - structured control flow (block/loop/if/else/end) is dissolved
+//     into absolute-PC branches whose stack repair — the operand height
+//     to keep and the values to carry — is precomputed, so execution
+//     needs no control stack and no end/else re-scanning;
+//   - immediates (constants, indices, memarg offsets, call signatures,
+//     br_table targets) are decoded once at lower time;
+//   - memory accesses are specialized to the instance configuration's
+//     address-translation mode (wasm32 guard pages, wasm64 software
+//     bounds checks with or without MTE tag checks, MTE sandboxing,
+//     paper Figs. 12–13), eliminating per-access mode branching from
+//     the hot path;
+//   - per-function operand-stack high-water marks are precomputed so
+//     the executor allocates each frame exactly once.
+//
+// A Program is immutable after Lower and safe to share: the engine
+// caches programs per (module content hash, Config) — exactly like
+// compiled modules — so pooled instances of one module under one
+// configuration all execute the same lowered stream and the lowering
+// cost amortizes across millions of invocations.
+//
+// The package depends only on internal/wasm. Mapping a runtime
+// configuration (core.Features, memory kind, demo flags) onto a Config
+// is the exec layer's job, as is attaching the arch timing model: each
+// lowered opcode has a fixed cost-event signature that the dispatch
+// loop reports (interp.go's per-op hooks).
+package ir

@@ -1,0 +1,308 @@
+package ir
+
+import (
+	"fmt"
+
+	"cage/internal/wasm"
+)
+
+// Op is a lowered opcode. Control flow, calls, and memory accesses get
+// dedicated dense opcodes; pure value (numeric) instructions pass
+// through as OpNumericBase+wasm-opcode so the executor's numeric ALU
+// keeps a single switch.
+type Op uint16
+
+// Lowered opcodes. The memory-access family is specialized at lower
+// time on the instance's sandboxing strategy (paper Figs. 12–13) so the
+// hot dispatch loop never branches on the mode:
+//
+//   - G32: wasm32 guard-page sandboxing (no per-access check cost)
+//   - B64: wasm64 software bounds check; Tag variants add the MTE
+//     memory-safety tag check; NC variants model a disabled (buggy)
+//     bounds check, limited only by the host mapping
+//   - MTE: MTE-based sandboxing (index mask + tag check); the NC
+//     variant drops the mask
+const (
+	OpInvalid Op = iota
+
+	// Control flow, fully resolved to absolute lowered PCs.
+	OpUnreachable
+	OpGoto    // unconditional jump, no cost event (else-arm skip)
+	OpBr      // unconditional branch with stack repair (br)
+	OpBrIf    // pop cond, branch if non-zero (br_if)
+	OpBrIfZ   // pop cond, branch if zero (the "if" conditional)
+	OpBrTable // pop index, branch through Targets (default last)
+	OpReturn  // explicit return
+	OpRetEnd  // fall-through function epilogue, no cost event
+
+	// Calls.
+	OpCall         // A = callee index, B = param count
+	OpCallIndirect // A = type index, B = param count
+
+	// Parametric / variable / constant.
+	OpDrop
+	OpSelect
+	OpLocalGet  // A = local index
+	OpLocalSet  // A = local index
+	OpLocalTee  // A = local index
+	OpGlobalGet // A = global index
+	OpGlobalSet // A = global index
+	OpConst     // A = raw value bits (i32/i64/f32/f64 alike)
+
+	// Memory management and bulk ops.
+	OpMemorySize
+	OpMemoryGrow
+	OpMemoryFill
+	OpMemoryCopy
+
+	// Cage segment ops. A = static offset immediate.
+	OpSegmentNew
+	OpSegmentSetTag
+	OpSegmentFree
+
+	// Pointer authentication. The Nop variants are chosen at lower time
+	// when the feature is off: they keep the timing-model event (the
+	// paper's software-fallback deployment still executes the
+	// instruction) but touch nothing.
+	OpPtrSign
+	OpPtrAuth
+	OpPtrSignNop
+	OpPtrAuthNop
+
+	// Loads: A = memarg offset, B = size<<32 | wasm opcode (extension).
+	OpLoadG32
+	OpLoadG32NC
+	OpLoadB64
+	OpLoadB64NC
+	OpLoadB64Tag
+	OpLoadB64NCTag
+	OpLoadMTE
+	OpLoadMTENC
+
+	// Stores: same immediates as loads.
+	OpStoreG32
+	OpStoreG32NC
+	OpStoreB64
+	OpStoreB64NC
+	OpStoreB64Tag
+	OpStoreB64NCTag
+	OpStoreMTE
+	OpStoreMTENC
+
+	numNamedOps
+)
+
+// OpNumericBase offsets pass-through numeric opcodes: a lowered op
+// >= OpNumericBase encodes wasm.Opcode(op - OpNumericBase).
+const OpNumericBase Op = 0x100
+
+// IsNumeric reports whether op is a pass-through numeric opcode.
+func (op Op) IsNumeric() bool { return op >= OpNumericBase }
+
+// Wasm returns the wasm opcode of a pass-through numeric op.
+func (op Op) Wasm() wasm.Opcode { return wasm.Opcode(op - OpNumericBase) }
+
+// IsLoad reports whether op is a lowered load.
+func (op Op) IsLoad() bool { return op >= OpLoadG32 && op <= OpLoadMTENC }
+
+// IsStore reports whether op is a lowered store.
+func (op Op) IsStore() bool { return op >= OpStoreG32 && op <= OpStoreMTENC }
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpUnreachable: "unreachable", OpGoto: "goto",
+	OpBr: "br", OpBrIf: "br_if", OpBrIfZ: "br_ifz", OpBrTable: "br_table",
+	OpReturn: "return", OpRetEnd: "ret_end",
+	OpCall: "call", OpCallIndirect: "call_indirect",
+	OpDrop: "drop", OpSelect: "select",
+	OpLocalGet: "local.get", OpLocalSet: "local.set", OpLocalTee: "local.tee",
+	OpGlobalGet: "global.get", OpGlobalSet: "global.set", OpConst: "const",
+	OpMemorySize: "memory.size", OpMemoryGrow: "memory.grow",
+	OpMemoryFill: "memory.fill", OpMemoryCopy: "memory.copy",
+	OpSegmentNew: "segment.new", OpSegmentSetTag: "segment.set_tag",
+	OpSegmentFree: "segment.free",
+	OpPtrSign:     "ptr_sign", OpPtrAuth: "ptr_auth",
+	OpPtrSignNop: "ptr_sign.nop", OpPtrAuthNop: "ptr_auth.nop",
+	OpLoadG32: "load.g32", OpLoadG32NC: "load.g32.nc",
+	OpLoadB64: "load.b64", OpLoadB64NC: "load.b64.nc",
+	OpLoadB64Tag: "load.b64.tag", OpLoadB64NCTag: "load.b64.nc.tag",
+	OpLoadMTE: "load.mte", OpLoadMTENC: "load.mte.nc",
+	OpStoreG32: "store.g32", OpStoreG32NC: "store.g32.nc",
+	OpStoreB64: "store.b64", OpStoreB64NC: "store.b64.nc",
+	OpStoreB64Tag: "store.b64.tag", OpStoreB64NCTag: "store.b64.nc.tag",
+	OpStoreMTE: "store.mte", OpStoreMTENC: "store.mte.nc",
+}
+
+// String returns the lowered mnemonic.
+func (op Op) String() string {
+	if op.IsNumeric() {
+		return op.Wasm().String()
+	}
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("irop(0x%x)", uint16(op))
+}
+
+// BranchTarget is one resolved br_table destination.
+type BranchTarget struct {
+	PC    uint32 // absolute lowered pc
+	Keep  uint32 // operand-stack height to truncate to
+	Arity uint32 // values carried over the branch
+}
+
+// PackBranch packs the stack repair of a branch into the A immediate.
+func PackBranch(keep, arity int) uint64 {
+	return uint64(keep)<<32 | uint64(uint32(arity))
+}
+
+// BranchKeep unpacks the stack height from a packed branch immediate.
+func BranchKeep(a uint64) int { return int(a >> 32) }
+
+// BranchArity unpacks the carried-value count from a packed immediate.
+func BranchArity(a uint64) int { return int(uint32(a)) }
+
+// PackMem packs a memory access's byte width and originating wasm
+// opcode (which fixes the load extension) into the B immediate.
+func PackMem(size uint64, op wasm.Opcode) uint64 {
+	return size<<32 | uint64(uint32(op))
+}
+
+// MemSize unpacks the access width from a packed memory immediate.
+func MemSize(b uint64) uint64 { return b >> 32 }
+
+// MemOp unpacks the originating wasm opcode from a packed immediate.
+func MemOp(b uint64) wasm.Opcode { return wasm.Opcode(uint32(b)) }
+
+// Instr is one lowered instruction. The meaning of A and B depends on
+// the opcode:
+//
+//	OpBr/OpBrIf/OpBrIfZ  A = PackBranch(keep, arity), B = target pc
+//	OpGoto               B = target pc
+//	OpBrTable            Targets (default entry last)
+//	OpReturn/OpRetEnd    A = result count
+//	OpCall               A = callee function index, B = param count
+//	OpCallIndirect       A = type index, B = param count
+//	OpLocal*/OpGlobal*   A = index
+//	OpConst              A = value bits
+//	loads/stores         A = memarg offset, B = PackMem(size, wasmOp)
+//	OpSegment*           A = static offset immediate
+type Instr struct {
+	Op      Op
+	A       uint64
+	B       uint64
+	Targets []BranchTarget
+}
+
+// String renders a readable disassembly of the lowered instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpGoto:
+		return fmt.Sprintf("%s ->%d", in.Op, in.B)
+	case OpBr, OpBrIf, OpBrIfZ:
+		return fmt.Sprintf("%s ->%d keep=%d arity=%d",
+			in.Op, in.B, BranchKeep(in.A), BranchArity(in.A))
+	case OpBrTable:
+		s := fmt.Sprintf("%s", in.Op)
+		for i, t := range in.Targets {
+			sep := " "
+			if i == len(in.Targets)-1 {
+				sep = " default="
+			}
+			s += fmt.Sprintf("%s->%d(keep=%d,arity=%d)", sep, t.PC, t.Keep, t.Arity)
+		}
+		return s
+	case OpReturn, OpRetEnd:
+		return fmt.Sprintf("%s arity=%d", in.Op, in.A)
+	case OpCall:
+		return fmt.Sprintf("%s func=%d nargs=%d", in.Op, in.A, in.B)
+	case OpCallIndirect:
+		return fmt.Sprintf("%s type=%d nargs=%d", in.Op, in.A, in.B)
+	case OpLocalGet, OpLocalSet, OpLocalTee, OpGlobalGet, OpGlobalSet:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case OpConst:
+		return fmt.Sprintf("%s %#x", in.Op, in.A)
+	case OpSegmentNew, OpSegmentSetTag, OpSegmentFree:
+		return fmt.Sprintf("%s offset=%d", in.Op, in.A)
+	}
+	if in.Op.IsLoad() || in.Op.IsStore() {
+		return fmt.Sprintf("%s offset=%d size=%d (%s)",
+			in.Op, in.A, MemSize(in.B), MemOp(in.B))
+	}
+	return in.Op.String()
+}
+
+// Mode is the address-translation strategy a program was lowered for.
+// It mirrors the exec package's sandboxing strategies; the lowered
+// memory opcodes bake the mode in so dispatch never re-derives it.
+type Mode int
+
+// Address-translation modes.
+const (
+	// ModeGuard32 is 32-bit wasm with virtual-memory guard pages.
+	ModeGuard32 Mode = iota
+	// ModeBounds64 is wasm64 with explicit software bounds checks.
+	ModeBounds64
+	// ModeMTE64 is Cage's MTE-based sandboxing.
+	ModeMTE64
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeGuard32:
+		return "guard32"
+	case ModeBounds64:
+		return "bounds64"
+	case ModeMTE64:
+		return "mte64"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config selects the specialization a module is lowered under. It is
+// derived from the instance configuration (core.Features plus the
+// module's memory kind) by the exec layer, and is part of the cache key
+// for lowered programs: two configs that differ in any field produce
+// distinct instruction streams.
+type Config struct {
+	// Mode is the address-translation strategy.
+	Mode Mode
+	// SkipBounds drops software checks (the CVE-2023-26489-style buggy
+	// lowering of paper §3), selecting the NC opcode variants.
+	SkipBounds bool
+	// MemSafety adds MTE tag checks to Bounds64 accesses.
+	MemSafety bool
+	// PtrAuth enables i64.pointer_sign/auth; off lowers them to the
+	// event-only Nop variants.
+	PtrAuth bool
+}
+
+// Func is one lowered function body.
+type Func struct {
+	// NumParams/NumResults mirror the function signature; NumLocals is
+	// the count of declared (non-parameter) locals.
+	NumParams  int
+	NumResults int
+	NumLocals  int
+	// MaxStack is the operand-stack high-water mark, precomputed so the
+	// executor can allocate the stack once, exactly.
+	MaxStack int
+	// Code is the flat lowered instruction stream. Every function ends
+	// with OpRetEnd; branch targets are absolute indices into Code.
+	Code []Instr
+}
+
+// Program is a module lowered under one Config. Programs are immutable
+// after Lower and safe to share across concurrent instances; the engine
+// caches them per (module content hash, config).
+type Program struct {
+	Cfg   Config
+	Funcs []Func
+}
+
+// Matches reports whether the program can execute module m under cfg —
+// the compatibility check instances run before adopting a shared
+// (cached) program.
+func (p *Program) Matches(m *wasm.Module, cfg Config) bool {
+	return p != nil && p.Cfg == cfg && len(p.Funcs) == len(m.Funcs)
+}

@@ -6,6 +6,12 @@ import (
 	"math"
 )
 
+// MaxFunctionLocals bounds the declared locals of one function. The
+// spec leaves the limit to implementations; this matches the order of
+// magnitude production engines allow and keeps a hostile code section
+// from amplifying a few run-length bytes into gigabytes.
+const MaxFunctionLocals = 1 << 16
+
 // Decode parses a binary module image.
 func Decode(buf []byte) (*Module, error) {
 	if len(buf) < len(magicHeader) || !bytes.Equal(buf[:len(magicHeader)], magicHeader) {
@@ -422,6 +428,12 @@ func decodeCode(r *reader, m *Module, typeIdxs []uint32) error {
 			t, err := br.byte()
 			if err != nil {
 				return err
+			}
+			// A run-length count amplifies a few input bytes into an
+			// arbitrarily large allocation; bound it like production
+			// engines do.
+			if uint64(len(f.Locals))+uint64(cnt) > MaxFunctionLocals {
+				return fmt.Errorf("wasm: function %d declares more than %d locals", i, MaxFunctionLocals)
 			}
 			for k := uint32(0); k < cnt; k++ {
 				f.Locals = append(f.Locals, ValType(t))

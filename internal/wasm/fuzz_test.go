@@ -1,0 +1,202 @@
+package wasm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedModules builds a corpus of well-formed modules covering every
+// section and instruction family the decoder handles, so the fuzzer
+// starts from deep program points instead of flailing at the header.
+func seedModules(t testing.TB) [][]byte {
+	t.Helper()
+	i64_1 := FuncType{Params: []ValType{I64}, Results: []ValType{I64}}
+	void := FuncType{}
+
+	arith := &Module{
+		Types: []FuncType{i64_1},
+		Funcs: []Function{{TypeIdx: 0, Body: []Instr{
+			LocalGet(0), I64Const(3), Op(OpI64Mul),
+			I64Const(1), Op(OpI64Add),
+			F64Const(1.5), Op(OpI64TruncF64S), Op(OpI64Xor),
+			F32Const(0.25), Op(OpI32TruncF32U), Op(OpI64ExtendI32U), Op(OpI64Or),
+			End(),
+		}}},
+		Exports: []Export{{Name: "arith", Kind: ExportFunc, Idx: 0}},
+	}
+
+	start := uint32(1)
+	control := &Module{
+		Types: []FuncType{i64_1, void},
+		Funcs: []Function{
+			{TypeIdx: 0, Locals: []ValType{I64, I64}, Body: []Instr{
+				Block(BlockVoid),
+				Loop(BlockVoid),
+				LocalGet(0), Op(OpI64Eqz), BrIf(1),
+				LocalGet(0), I64Const(1), Op(OpI64Sub), LocalSet(0),
+				Br(0),
+				End(),
+				End(),
+				LocalGet(0),
+				If(BlockI64), I64Const(1), Else(), I64Const(2), End(),
+				Block(BlockVoid),
+				Block(BlockVoid),
+				LocalGet(0), Op(OpI32WrapI64),
+				BrTable([]uint32{0, 1}, 1),
+				End(),
+				End(),
+				Op(OpReturn),
+				End(),
+			}},
+			{TypeIdx: 1, Body: []Instr{Op(OpNop), End()}},
+		},
+		Start:   &start,
+		Exports: []Export{{Name: "ctl", Kind: ExportFunc, Idx: 0}},
+	}
+
+	memory := &Module{
+		Types: []FuncType{i64_1, void},
+		Mems:  []MemoryType{{Limits: Limits{Min: 1, Max: 4, HasMax: true}, Memory64: true}},
+		Funcs: []Function{
+			{TypeIdx: 0, Body: []Instr{
+				LocalGet(0), Load(OpI64Load, 8),
+				LocalGet(0), Load(OpI32Load8S, 0), Op(OpI64ExtendI32S), Op(OpI64Add),
+				LocalGet(0), LocalGet(0), Store(OpI64Store32, 16),
+				I64Const(0), I64Const(0), I64Const(64), Op(OpMemoryFill),
+				I64Const(64), I64Const(0), I64Const(32), Op(OpMemoryCopy),
+				Op(OpMemorySize), Op(OpI64Add),
+				End(),
+			}},
+			{TypeIdx: 1, Body: []Instr{
+				I64Const(0), I64Const(16), SegmentNew(0),
+				I64Const(16), SegmentFree(0),
+				I64Const(32), PointerSign(), PointerAuth(), Op(OpDrop),
+				End(),
+			}},
+		},
+		Globals: []Global{
+			{Type: GlobalType{Type: I64, Mutable: true}, Init: 4096},
+			{Type: GlobalType{Type: F64}, Init: F64Bits(2.5)},
+		},
+		Datas:   []DataSegment{{Offset: 8, Bytes: []byte("cage")}},
+		Exports: []Export{{Name: "mem", Kind: ExportFunc, Idx: 0}, {Name: "__heap_base", Kind: ExportGlobal, Idx: 0}},
+	}
+
+	indirect := &Module{
+		Types: []FuncType{i64_1},
+		Imports: []Import{
+			{Module: "env", Name: "sqrt", TypeIdx: 0},
+		},
+		Funcs: []Function{{TypeIdx: 0, Body: []Instr{
+			LocalGet(0),
+			I32Const(0), CallIndirect(0),
+			Call(0),
+			End(),
+		}}},
+		Tables:  []TableType{{Limits: Limits{Min: 2}}},
+		Elems:   []ElemSegment{{Offset: 0, Funcs: []uint32{1}}},
+		Exports: []Export{{Name: "ind", Kind: ExportFunc, Idx: 1}},
+	}
+
+	var seeds [][]byte
+	for _, m := range []*Module{arith, control, memory, indirect} {
+		bin, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encoding seed module: %v", err)
+		}
+		seeds = append(seeds, bin)
+	}
+	return seeds
+}
+
+// FuzzDecode asserts the decoder's robustness contract: arbitrary bytes
+// never panic, and any image that decodes and validates round-trips
+// stably (decode → encode → decode → encode reproduces the identical
+// binary).
+func FuzzDecode(f *testing.F) {
+	for _, seed := range seedModules(f) {
+		f.Add(seed)
+	}
+	// Header-adjacent edge cases.
+	f.Add([]byte{})
+	f.Add(magicHeader)
+	f.Add(append(append([]byte{}, magicHeader...), 0x01, 0x03, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := Validate(m); err != nil {
+			return
+		}
+		bin, err := Encode(m)
+		if err != nil {
+			// A decoded, validated module must be encodable.
+			t.Fatalf("encode after decode+validate: %v", err)
+		}
+		m2, err := Decode(bin)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding: %v", err)
+		}
+		bin2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(bin, bin2) {
+			t.Fatalf("round-trip not stable:\n first: %x\nsecond: %x", bin, bin2)
+		}
+	})
+}
+
+// TestDecodeLocalsBound pins the run-length amplification guard: a tiny
+// code section declaring 2^32-ish locals must be rejected, not
+// allocated.
+func TestDecodeLocalsBound(t *testing.T) {
+	m := &Module{
+		Types: []FuncType{{}},
+		Funcs: []Function{{TypeIdx: 0, Body: []Instr{End()}}},
+	}
+	bin, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the code section: rewrite the single body to declare one
+	// run of 0xFFFFFFFF i64 locals. Encode the replacement body and
+	// splice it over the old code section.
+	body := appendULEB(nil, 1)               // one locals run
+	body = appendULEB(body, 0xFFFFFFFF)      // count
+	body = append(body, byte(I64))           // type
+	body = append(body, byte(OpEnd))         // body
+	sec := appendULEB(nil, 1)                // one function body
+	sec = appendULEB(sec, uint64(len(body))) // body size
+	sec = append(sec, body...)               //
+	full := appendULEB([]byte{secCode}, uint64(len(sec)))
+	full = append(full, sec...)
+
+	// Drop the original code section (last section emitted) and append
+	// the hostile one. Find it by scanning sections.
+	r := &reader{buf: bin, pos: len(magicHeader)}
+	out := append([]byte{}, bin[:len(magicHeader)]...)
+	for !r.eof() {
+		secStart := r.pos
+		id, err := r.byte()
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := r.uleb32()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.bytes(int(size)); err != nil {
+			t.Fatal(err)
+		}
+		if id != secCode {
+			out = append(out, bin[secStart:r.pos]...)
+		}
+	}
+	out = append(out, full...)
+
+	if _, err := Decode(out); err == nil {
+		t.Fatal("decoder accepted a 4-billion-local function")
+	}
+}
