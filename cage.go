@@ -15,6 +15,18 @@
 //   - timing models of the Pixel 8's Cortex-X3/A715/A510 cores that
 //     price executions for the paper's evaluation
 //
+// # Invocation API
+//
+// Execution is driven through the context-first Call API:
+// Engine.Call(ctx, mod, fn, args, opts...) and Instance.Call(ctx, fn,
+// args, opts...) return a Result carrying the return values, the fuel
+// consumed, and the timing-model event snapshot. Per-call options bound
+// the call: WithFuel meters it deterministically, WithTimeout /
+// WithDeadline interrupt it (in addition to whatever deadline or
+// cancellation ctx itself carries), WithStackDepth bounds recursion,
+// and WithMemoryLimit caps memory.grow. Invoke and InvokeF64 remain as
+// deprecated wrappers over Call with a background context.
+//
 // # Execution pipeline
 //
 // Modules flow compile → lower → cache → pool. CompileSource (or
@@ -29,6 +41,17 @@
 // and the recycled-instance pool on top, so steady-state invocations
 // touch neither the compiler nor the lowerer nor the §7.2
 // instantiation costs.
+//
+// Every layer of that pipeline is interruptible. A queued checkout —
+// blocked on the pool's live cap or on the §7.4 sandbox-tag budget —
+// selects on the call's context and abandons the queue when it ends. A
+// running guest polls an atomic interrupt flag (armed by a per-call
+// context watcher) and the fuel budget at every taken branch and
+// function call in the lowered dispatch loop, trapping with
+// TrapInterrupted or TrapFuelExhausted; unbounded calls keep the
+// zero-cost variant of those checkpoints (a nil test). The interrupted
+// instance is reset like any trapped one before the pool reuses it, so
+// cancellation never poisons a pooled instance or leaks a tag.
 //
 // # Quick start
 //
@@ -47,6 +70,7 @@
 package cage
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -106,6 +130,35 @@ func SandboxingOnly() Config { return Config{Wasm64: true, Sandboxing: true} }
 func FullHardening() Config {
 	return Config{Wasm64: true, MemorySafety: true, Sandboxing: true, PointerAuth: true}
 }
+
+// ConfigByName maps the preset names the CLI tools share (full,
+// baseline32, baseline64, memsafety, ptrauth, sandbox) to their
+// Config, so every tool resolves a name to the exact same
+// configuration.
+func ConfigByName(name string) (Config, error) {
+	switch name {
+	case "full":
+		return FullHardening(), nil
+	case "baseline32":
+		return Baseline32(), nil
+	case "baseline64":
+		return Baseline64(), nil
+	case "memsafety":
+		return MemorySafetyOnly(), nil
+	case "ptrauth":
+		return PointerAuthOnly(), nil
+	case "sandbox":
+		return SandboxingOnly(), nil
+	}
+	return Config{}, fmt.Errorf("cage: unknown config %q", name)
+}
+
+// Features exposes the core feature selection this configuration
+// implies — the form the lowering and execution layers consume. Tools
+// that lower modules outside a Runtime (cage-objdump -lowered) use it
+// so their output matches what an engine under the same preset
+// executes.
+func (c Config) Features() core.Features { return c.features() }
 
 func (c Config) features() core.Features {
 	return core.Features{
@@ -299,20 +352,27 @@ func (rt *Runtime) loweredProgram(m *Module, ecfg exec.Config) (*ir.Program, err
 func (rt *Runtime) ProgramCacheStats() engine.CacheStats { return rt.programs.Stats() }
 
 // Invoke calls an exported function with raw 64-bit argument bits.
+//
+// Deprecated: use Call, which adds context cancellation, deadlines, and
+// per-call fuel/stack/memory bounds. Invoke delegates to Call with a
+// background context.
 func (i *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
-	return i.inst.Invoke(name, args...)
+	res, err := i.Call(context.Background(), name, args)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
 }
 
 // InvokeF64 calls an exported function returning a double.
+//
+// Deprecated: use Call and Result.F64.
 func (i *Instance) InvokeF64(name string, args ...uint64) (float64, error) {
-	res, err := i.inst.Invoke(name, args...)
+	res, err := i.Call(context.Background(), name, args)
 	if err != nil {
 		return 0, err
 	}
-	if len(res) == 0 {
-		return 0, fmt.Errorf("cage: %s returned no value", name)
-	}
-	return exec.F64Val(res[0]), nil
+	return res.F64(name)
 }
 
 // Memory exposes the guest linear memory.

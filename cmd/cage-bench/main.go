@@ -1,8 +1,14 @@
 // Command cage-bench regenerates the paper's tables and figures.
 //
+// With -json it instead emits one machine-readable document (schema
+// cage-bench/v1) with per-kernel wall time, timing-model event counts,
+// and fuel consumed for every Table 3 variant — the format CI archives
+// as a perf-trajectory artifact.
+//
 // Usage:
 //
 //	cage-bench [-quick] [-exp all|table1|table2|fig4|fig14|fig15|fig16|startup|mem|security]
+//	cage-bench [-quick] -json
 package main
 
 import (
@@ -16,10 +22,25 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use small problem sizes")
 	exp := flag.String("exp", "all", "which experiment to run")
+	jsonOut := flag.Bool("json", false, "emit per-kernel JSON (ns/op, event counts, fuel) instead of the report tables")
 	flag.Parse()
 
 	w := os.Stdout
 	var err error
+	if *jsonOut {
+		if *exp != "all" {
+			// -json is its own sweep (every kernel × every Table 3
+			// variant); silently dropping an explicit -exp selection
+			// would mislead.
+			fmt.Fprintln(os.Stderr, "cage-bench: -json does not combine with -exp")
+			os.Exit(2)
+		}
+		if err := bench.WriteJSON(w, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch *exp {
 	case "all":
 		err = bench.RunAll(w, *quick)

@@ -1,24 +1,40 @@
 // Command cage-objdump disassembles a wasm binary into a WAT-style text
 // listing, including the Cage extension instructions.
 //
+// With -lowered it additionally disassembles the internal/ir program
+// the interpreter actually executes — absolute-PC branches, specialized
+// memory opcodes, PAC nop variants — as lowered for the chosen
+// configuration. That is the form in which interrupt-check placement is
+// audited: every br/br_if/br_table in the lowered stream (the superset
+// of loop back-edges) and every call/call_indirect is a cancellation
+// and fuel checkpoint of the context-first Call API.
+//
 // Usage:
 //
-//	cage-objdump module.wasm
+//	cage-objdump [-lowered] [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox] module.wasm
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"cage"
+	"cage/internal/exec"
+	"cage/internal/ir"
 	"cage/internal/wasm"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: cage-objdump module.wasm")
+	lowered := flag.Bool("lowered", false, "also disassemble the lowered internal/ir program")
+	cfgName := flag.String("config", "full", "configuration the lowered program is specialized for")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cage-objdump [-lowered] [-config name] module.wasm")
 		os.Exit(2)
 	}
-	bin, err := os.ReadFile(os.Args[1])
+	bin, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cage-objdump: %v\n", err)
 		os.Exit(1)
@@ -29,4 +45,31 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(wasm.Wat(m))
+	if !*lowered {
+		return
+	}
+
+	cfg, err := cage.ConfigByName(*cfgName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-objdump: %v\n", err)
+		os.Exit(2)
+	}
+	lcfg := exec.LowerConfig(m, exec.Config{Features: cfg.Features()})
+	prog, err := ir.Lower(m, lcfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-objdump: lower: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n;; lowered program (config=%s mode=%s memsafety=%t ptrauth=%t)\n",
+		*cfgName, lcfg.Mode, lcfg.MemSafety, lcfg.PtrAuth)
+	numImports := len(m.Imports)
+	for i := range prog.Funcs {
+		fn := &prog.Funcs[i]
+		fmt.Printf(";; func[%d] params=%d results=%d locals=%d maxstack=%d\n",
+			numImports+i, fn.NumParams, fn.NumResults, fn.NumLocals, fn.MaxStack)
+		for pc, in := range fn.Code {
+			fmt.Printf("  %4d: %s\n", pc, in)
+		}
+	}
 }

@@ -4,13 +4,20 @@
 // invoked on pooled instances, so -repeat N re-invocations recycle one
 // hardened instance instead of re-instantiating N times.
 //
+// Invocations run through the context-first Call API: -timeout bounds
+// each invocation's wall time (a guest infinite loop is interrupted
+// with a TrapInterrupted trap) and -fuel meters it deterministically
+// (TrapFuelExhausted on an exceeded budget).
+//
 // Usage:
 //
 //	cage-run [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox]
-//	         [-invoke name] [-args "1 2 3"] [-repeat n] [-stats] module.wasm
+//	         [-invoke name] [-args "1 2 3"] [-repeat n] [-stats]
+//	         [-timeout d] [-fuel n] module.wasm
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,37 +27,21 @@ import (
 	"cage"
 )
 
-func configByName(name string) (cage.Config, error) {
-	switch name {
-	case "full":
-		return cage.FullHardening(), nil
-	case "baseline32":
-		return cage.Baseline32(), nil
-	case "baseline64":
-		return cage.Baseline64(), nil
-	case "memsafety":
-		return cage.MemorySafetyOnly(), nil
-	case "ptrauth":
-		return cage.PointerAuthOnly(), nil
-	case "sandbox":
-		return cage.SandboxingOnly(), nil
-	}
-	return cage.Config{}, fmt.Errorf("unknown config %q", name)
-}
-
 func main() {
 	cfgName := flag.String("config", "full", "runtime configuration")
 	invoke := flag.String("invoke", "main", "exported function to call")
 	argStr := flag.String("args", "", "space-separated integer arguments")
 	repeat := flag.Int("repeat", 1, "invoke the function n times on pooled instances")
 	stats := flag.Bool("stats", false, "print engine cache/pool statistics to stderr")
+	timeout := flag.Duration("timeout", 0, "per-invocation deadline (0 = none)")
+	fuel := flag.Uint64("fuel", 0, "per-invocation fuel budget in timing-model events (0 = unmetered)")
 	flag.Parse()
 
 	if flag.NArg() != 1 || *repeat < 1 {
 		fmt.Fprintln(os.Stderr, "usage: cage-run [flags] module.wasm")
 		os.Exit(2)
 	}
-	cfg, err := configByName(*cfgName)
+	cfg, err := cage.ConfigByName(*cfgName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
 		os.Exit(2)
@@ -78,20 +69,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
 		os.Exit(1)
 	}
-	var res []uint64
+	var opts []cage.CallOption
+	if *timeout > 0 {
+		opts = append(opts, cage.WithTimeout(*timeout))
+	}
+	if *fuel > 0 {
+		opts = append(opts, cage.WithFuel(*fuel))
+	}
+	var res cage.Result
+	var fuelTotal uint64
 	for i := 0; i < *repeat; i++ {
-		res, err = eng.Invoke(mod, *invoke, args...)
+		res, err = eng.Call(context.Background(), mod, *invoke, args, opts...)
+		fuelTotal += res.Fuel
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cage-run: %v\n", err)
 			os.Exit(1)
 		}
 	}
-	for _, v := range res {
+	for _, v := range res.Values {
 		fmt.Printf("%d (0x%x)\n", int64(v), v)
 	}
 	if *stats {
 		s := eng.Stats()
-		fmt.Fprintf(os.Stderr, "cage-run: cache %d/%d hit, pool spawned %d recycled %d\n",
-			s.Cache.Hits, s.Cache.Hits+s.Cache.Misses, s.Pools.Spawned, s.Pools.Recycled)
+		fmt.Fprintf(os.Stderr, "cage-run: cache %d/%d hit, pool spawned %d recycled %d, fuel %d\n",
+			s.Cache.Hits, s.Cache.Hits+s.Cache.Misses, s.Pools.Spawned, s.Pools.Recycled, fuelTotal)
 	}
 }

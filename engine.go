@@ -1,6 +1,7 @@
 package cage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -30,7 +31,7 @@ import (
 //
 //	eng := cage.NewEngine(cage.FullHardening())
 //	mod, err := eng.CompileSource(src)
-//	res, err := eng.Invoke(mod, "sum", 100) // safe from many goroutines
+//	res, err := eng.Call(ctx, mod, "sum", []uint64{100}) // safe from many goroutines
 type Engine struct {
 	cfg Config
 	tc  *Toolchain
@@ -52,7 +53,8 @@ type Engine struct {
 // without sandboxing, paper §6.4).
 func NewEngine(cfg Config) *Engine {
 	e := &Engine{cfg: cfg, tc: NewToolchain(cfg), rt: NewRuntime(cfg)}
-	e.pools.Limit = poolBudget(cfg)
+	// The set is fresh — no pool exists yet, so the limit always takes.
+	_ = e.pools.SetLimit(poolBudget(cfg))
 	// All pools draw reset seeds from the runtime's instantiation
 	// counter: every instance lifetime in the process — fresh or
 	// recycled, any module — gets a unique PAC modifier (§6.3).
@@ -73,16 +75,36 @@ func poolBudget(cfg Config) int {
 // allocator, stdio routing).
 func (e *Engine) Runtime() *Runtime { return e.rt }
 
+// ErrEngineStarted is returned by configuration methods called after
+// the engine has served its first invocation: pool parameters are fixed
+// once the first pool exists, so late mutation would race with (and be
+// silently ignored by) in-flight checkouts. The check shares the pool
+// set's lock with pool creation, so a configuration call racing the
+// first Call either takes effect or fails — never silently neither.
+var ErrEngineStarted = errors.New("cage: engine already served an invocation; configure it before the first Call")
+
 // EnableExtendedSandboxes lifts the 15-sandbox limit via §6.4 tag reuse
-// and removes the pool cap it implies. Call before the first Invoke.
-func (e *Engine) EnableExtendedSandboxes() {
+// and removes the pool cap it implies. It must be called before the
+// first Call/Invoke of any module; afterwards it fails with
+// ErrEngineStarted.
+func (e *Engine) EnableExtendedSandboxes() error {
+	if err := e.pools.SetLimit(0); err != nil {
+		return ErrEngineStarted
+	}
 	e.rt.EnableExtendedSandboxes()
-	e.pools.Limit = 0
+	return nil
 }
 
 // SetPoolLimit overrides the per-module live-instance cap (0 =
-// unlimited). Call before the first Invoke of a module.
-func (e *Engine) SetPoolLimit(n int) { e.pools.Limit = n }
+// unlimited). It must be called before the first Call/Invoke of any
+// module; afterwards it fails with ErrEngineStarted (a pool built under
+// the old cap would never observe the new one).
+func (e *Engine) SetPoolLimit(n int) error {
+	if err := e.pools.SetLimit(n); err != nil {
+		return ErrEngineStarted
+	}
+	return nil
+}
 
 // cacheVariant encodes everything besides the source that influences
 // compilation, so distinct configurations never share a cache entry.
@@ -156,12 +178,14 @@ func (e *Engine) idleWait() <-chan struct{} {
 // idle instances may pin every tag. Rather than failing, spawning
 // reclaims one idle sibling instance (closing it frees its tag) and
 // retries. When even that fails — every tag is held by an in-flight
-// invocation — the spawn queues until the allocator releases a tag or
-// any pool checks an instance in, then retries, so Engine.Invoke
-// queues across modules on §7.4 exhaustion instead of surfacing
-// core.ErrSandboxesExhausted.
+// invocation — the spawn queues until the allocator releases a tag
+// (the condition AcquireContext waits on) or any pool checks an
+// instance in, then retries, so Engine.Call queues across modules on
+// §7.4 exhaustion instead of surfacing core.ErrSandboxesExhausted.
+// The queued wait honors the checkout's context, so a caller with a
+// deadline abandons the queue cleanly without holding any tag.
 func (e *Engine) pool(m *Module) *engine.Pool {
-	return e.pools.For(m, func() (engine.Resetter, error) {
+	return e.pools.For(m, func(ctx context.Context) (engine.Resetter, error) {
 		for {
 			inst, err := e.rt.Instantiate(m)
 			if err == nil {
@@ -176,46 +200,55 @@ func (e *Engine) pool(m *Module) *engine.Pool {
 			select {
 			case <-e.rt.sandboxes.Released():
 			case <-e.idleWait():
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
 		}
 	})
 }
 
-// Invoke calls an exported function on a pooled instance of m. It is
-// safe to call from many goroutines; under a sandbox-tag budget, excess
-// concurrent invocations of the same module block until an instance
-// frees up (cross-module exhaustion semantics are documented on
-// Engine). The instance is reset before it becomes visible to the next
-// caller, so a trap in one invocation (memory-safety violation, failed
-// authentication...) cannot poison a later one.
+// Invoke calls an exported function on a pooled instance of m with no
+// cancellation and no per-call bounds.
+//
+// Deprecated: use Call, which adds context cancellation, deadlines, and
+// per-call fuel/stack/memory bounds. Invoke delegates to Call with a
+// background context.
 func (e *Engine) Invoke(m *Module, fn string, args ...uint64) ([]uint64, error) {
-	var res []uint64
-	err := e.WithInstance(m, func(inst *Instance) error {
-		var err error
-		res, err = inst.Invoke(fn, args...)
-		return err
-	})
-	return res, err
+	res, err := e.Call(context.Background(), m, fn, args)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
 }
 
 // InvokeF64 is Invoke for functions returning a double.
+//
+// Deprecated: use Call and Result.F64.
 func (e *Engine) InvokeF64(m *Module, fn string, args ...uint64) (float64, error) {
-	var res float64
-	err := e.WithInstance(m, func(inst *Instance) error {
-		var err error
-		res, err = inst.InvokeF64(fn, args...)
-		return err
-	})
-	return res, err
+	res, err := e.Call(context.Background(), m, fn, args)
+	if err != nil {
+		return 0, err
+	}
+	return res.F64(fn)
 }
 
 // WithInstance checks an instance of m out of the pool, runs f, and
 // checks it back in (resetting it). Use it when an invocation needs
-// more than Invoke offers — staging input in guest memory, reading
-// results back, multiple calls against one live state.
+// more than Call offers — staging input in guest memory, reading
+// results back, multiple calls against one live state. It is
+// WithInstanceContext with a background context.
 func (e *Engine) WithInstance(m *Module, f func(inst *Instance) error) error {
+	return e.WithInstanceContext(context.Background(), m, f)
+}
+
+// WithInstanceContext is WithInstance under a context: a checkout
+// queued on the live cap or on the §7.4 tag budget is abandoned with
+// ctx (returning ctx.Err()), releasing nothing it did not own. The
+// context only governs the checkout — pass it to Instance.Call as well
+// to bound the invocation itself.
+func (e *Engine) WithInstanceContext(ctx context.Context, m *Module, f func(inst *Instance) error) error {
 	p := e.pool(m)
-	r, err := p.Get()
+	r, err := p.GetContext(ctx)
 	if err != nil {
 		return err
 	}

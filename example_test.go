@@ -1,7 +1,9 @@
 package cage_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"cage"
 )
@@ -37,6 +39,40 @@ func ExampleToolchain_CompileSource() {
 	}
 	fmt.Println(res[0])
 	// Output: 4950
+}
+
+// ExampleEngine_Call drives the context-first invocation API: the call
+// is bounded by a timeout and a deterministic fuel budget, and the
+// Result reports what the call actually consumed.
+func ExampleEngine_Call() {
+	eng := cage.NewEngine(cage.FullHardening())
+	defer eng.Close()
+
+	mod, err := eng.CompileSource(`
+		long square_sum(long n) {
+		    long s = 0;
+		    for (long i = 0; i < n; i++) { s = s + i * i; }
+		    return s;
+		}`)
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := eng.Call(context.Background(), mod, "square_sum", []uint64{100},
+		cage.WithTimeout(time.Second),
+		cage.WithFuel(1_000_000))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Values[0], res.Fuel > 0 && res.Fuel < 1_000_000)
+
+	// An insufficient budget traps deterministically.
+	_, err = eng.Call(context.Background(), mod, "square_sum", []uint64{100},
+		cage.WithFuel(10))
+	fmt.Println(cage.IsFuelExhausted(err))
+	// Output:
+	// 328350 true
+	// true
 }
 
 // ExampleEngine_Invoke serves repeated invocations through the engine:

@@ -1,0 +1,78 @@
+// Metering: bound untrusted guest execution with the context-first
+// Call API — deterministic fuel budgets, wall-clock timeouts, and the
+// per-call resource telemetry the Result carries.
+//
+// The demo runs the same engine three ways: a well-behaved workload
+// reporting its fuel bill, the same workload under a too-small fuel
+// budget (trapping deterministically), and a guest infinite loop
+// interrupted by a 100ms timeout — after which the pooled instance is
+// reused as if nothing happened.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"cage"
+)
+
+const program = `
+long work(long n) {
+    long s = 0;
+    for (long i = 0; i < n; i++) { s = s + i * i; }
+    return s;
+}
+
+// An infinite loop: the denial-of-service shape a hosted runtime must
+// survive. Only a timeout (or fuel budget) gets control back.
+long spin(long n) {
+    while (1) { n = n + 1; }
+    return n;
+}
+`
+
+func main() {
+	eng := cage.NewEngine(cage.FullHardening())
+	defer eng.Close()
+	mod, err := eng.CompileSource(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// 1. A normal call: the Result reports the values, the fuel bill
+	// (timing-model events), and the event breakdown.
+	res, err := eng.Call(ctx, mod, "work", []uint64{10000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("work(10000) = %d, consumed %d fuel\n", int64(res.Values[0]), res.Fuel)
+
+	// 2. The same call under a quarter of that budget: deterministic
+	// TrapFuelExhausted, at the same guest instruction every run.
+	budget := res.Fuel / 4
+	res2, err := eng.Call(ctx, mod, "work", []uint64{10000}, cage.WithFuel(budget))
+	fmt.Printf("work(10000) with %d fuel: %v (used %d)\n", budget, err, res2.Fuel)
+	if !cage.IsFuelExhausted(err) {
+		log.Fatal("expected fuel exhaustion")
+	}
+
+	// 3. A guest infinite loop under a 100ms timeout: interrupted at the
+	// next branch checkpoint; the trap wraps context.DeadlineExceeded.
+	start := time.Now()
+	_, err = eng.Call(ctx, mod, "spin", []uint64{0}, cage.WithTimeout(100*time.Millisecond))
+	fmt.Printf("spin() with 100ms timeout: %v (after %v)\n", err, time.Since(start).Round(time.Millisecond))
+	if !cage.IsInterrupted(err) {
+		log.Fatal("expected interruption")
+	}
+
+	// The interrupted instance was reset on checkin — the pool slot is
+	// not poisoned and the §7.4 sandbox tag is not leaked.
+	res, err = eng.Call(ctx, mod, "work", []uint64{100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("work(100) after the interrupt = %d (pool reuse ok)\n", int64(res.Values[0]))
+}

@@ -109,31 +109,30 @@ type WasmCosts [NumEvents]float64
 // all three cores.
 type Counter struct {
 	counts [NumEvents]uint64
+	// total is maintained incrementally so Total() is O(1): the fuel
+	// metering of the exec layer compares it at every interrupt
+	// checkpoint of a metered call.
+	total uint64
 }
 
 // Add records n occurrences of ev.
-func (c *Counter) Add(ev Event, n uint64) { c.counts[ev] += n }
+func (c *Counter) Add(ev Event, n uint64) { c.counts[ev] += n; c.total += n }
 
 // Get returns the count for ev.
 func (c *Counter) Get(ev Event) uint64 { return c.counts[ev] }
 
 // Total returns the total event count.
-func (c *Counter) Total() uint64 {
-	var t uint64
-	for _, n := range c.counts {
-		t += n
-	}
-	return t
-}
+func (c *Counter) Total() uint64 { return c.total }
 
 // Reset zeroes all counts.
-func (c *Counter) Reset() { c.counts = [NumEvents]uint64{} }
+func (c *Counter) Reset() { *c = Counter{} }
 
 // Merge adds other's counts into c.
 func (c *Counter) Merge(other *Counter) {
 	for i, n := range other.counts {
 		c.counts[i] += n
 	}
+	c.total += other.total
 }
 
 // Snapshot returns a copy of the counter.
@@ -147,7 +146,20 @@ func (c *Counter) DeltaSince(prev Counter) Counter {
 	for i := range c.counts {
 		d.counts[i] = c.counts[i] - prev.counts[i]
 	}
+	d.total = c.total - prev.total
 	return d
+}
+
+// EventCounts returns the non-zero event counts keyed by event name,
+// the stable serialization used by machine-readable bench output.
+func (c *Counter) EventCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for ev, n := range c.counts {
+		if n != 0 {
+			out[Event(ev).String()] = n
+		}
+	}
+	return out
 }
 
 // Cycles prices the accumulated events on core.

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"cage/internal/arch"
+	"cage/internal/exec"
+	"cage/internal/polybench"
+)
+
+// Machine-readable benchmark output (cage-bench -json): one record per
+// (kernel, Table 3 variant) with the wall time, the timing-model event
+// counts, and the fuel the run consumed, so BENCH_*.json trajectory
+// files can be produced by CI instead of by hand.
+
+// JSONSchema identifies the record layout; bump it when fields change
+// incompatibly.
+const JSONSchema = "cage-bench/v1"
+
+// KernelRecord is one kernel × variant measurement.
+type KernelRecord struct {
+	Kernel   string  `json:"kernel"`
+	Variant  string  `json:"variant"`
+	N        int     `json:"n"`
+	Checksum float64 `json:"checksum"`
+	// NsPerOp is the wall time of the single invocation (instantiation
+	// excluded), comparable across runs of the same machine only.
+	NsPerOp int64 `json:"ns_per_op"`
+	// Fuel is the timing-model event total the invocation consumed —
+	// the same unit cage.WithFuel meters, deterministic per (kernel,
+	// variant, n).
+	Fuel uint64 `json:"fuel"`
+	// Events breaks Fuel down by event name (non-zero entries only).
+	Events map[string]uint64 `json:"events"`
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	Schema  string         `json:"schema"`
+	Quick   bool           `json:"quick"`
+	Kernels []KernelRecord `json:"kernels"`
+}
+
+// runKernelRecord instantiates kernel k under variant v and measures
+// one invocation of run(n).
+func runKernelRecord(k polybench.Kernel, v Variant, n int) (KernelRecord, error) {
+	rec := KernelRecord{Kernel: k.Name, Variant: v.Name, N: n}
+	m, err := polybench.Build(k, v.Compile)
+	if err != nil {
+		return rec, err
+	}
+	var ctr arch.Counter
+	inst, _, err := polybench.Instantiate(m, v.Features, &ctr)
+	if err != nil {
+		return rec, err
+	}
+	defer inst.Close()
+
+	before := ctr.Snapshot()
+	t0 := time.Now()
+	res, err := inst.Invoke("run", uint64(n))
+	elapsed := time.Since(t0)
+	if err != nil {
+		return rec, fmt.Errorf("bench: %s/%s: %w", k.Name, v.Name, err)
+	}
+	delta := ctr.DeltaSince(before)
+
+	rec.Checksum = exec.F64Val(res[0])
+	rec.NsPerOp = elapsed.Nanoseconds()
+	rec.Fuel = delta.Total()
+	rec.Events = delta.EventCounts()
+	return rec, nil
+}
+
+// WriteJSON runs every PolyBench kernel under every Table 3 variant and
+// writes the JSONReport document to w. quick selects the test problem
+// sizes (the CI smoke configuration); otherwise the Fig. 14 sizes run.
+func WriteJSON(w io.Writer, quick bool) error {
+	rep := JSONReport{Schema: JSONSchema, Quick: quick}
+	for _, k := range polybench.Kernels() {
+		n := k.BenchN
+		if quick {
+			n = k.TestN
+		}
+		for _, v := range Table3Variants() {
+			rec, err := runKernelRecord(k, v, n)
+			if err != nil {
+				return err
+			}
+			rep.Kernels = append(rep.Kernels, rec)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -15,8 +15,8 @@
 //   - Pool recycles instances: a checkout/checkin protocol over
 //     resettable instances replaces full re-instantiation with a reset
 //     (re-zero memory, re-tag, re-seed), and bounds live instances to
-//     the §7.4 sandbox-tag budget, blocking excess checkouts until an
-//     instance is returned.
+//     the §7.4 sandbox-tag budget, queueing excess checkouts until an
+//     instance is returned or the checkout's context ends.
 //
 // The package is deliberately ignorant of wasm: Cache is generic over
 // the cached value and Pool works against the small Resetter interface,
@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"sync"
@@ -145,16 +146,17 @@ type PoolStats struct {
 
 // Pool recycles instances of one compiled module across invocations.
 //
-// Checkout (Get) prefers an idle instance; otherwise it spawns one,
-// unless doing so would exceed the pool's live cap — then it blocks
-// until a checkin frees one. Checkin (Put) resets the instance before
-// making it visible again, so state poisoned by a trapped execution
-// never leaks into the next checkout; instances whose reset fails are
-// closed and discarded.
+// Checkout (GetContext) prefers an idle instance; otherwise it spawns
+// one, unless doing so would exceed the pool's live cap — then it
+// queues until a checkin frees one or the context ends, so a caller
+// holding a deadline can abandon a contended checkout without leaking
+// anything. Checkin (Put) resets the instance before making it visible
+// again, so state poisoned by a trapped execution never leaks into the
+// next checkout; instances whose reset fails are closed and discarded.
 //
 // All methods are safe for concurrent use.
 type Pool struct {
-	spawn func() (Resetter, error)
+	spawn func(ctx context.Context) (Resetter, error)
 
 	// NextSeed supplies the reset seed for each checkin. Pools sharing a
 	// process (one PAC key) must share one seed source so no two
@@ -164,7 +166,6 @@ type Pool struct {
 	NextSeed func() uint64
 
 	mu       sync.Mutex
-	cond     *sync.Cond
 	idle     []Resetter
 	live     int // materialized instances: checked out + idle
 	spawning int // spawn attempts in flight (reserve cap slots)
@@ -172,16 +173,41 @@ type Pool struct {
 	seed     uint64
 	closed   bool
 	stats    PoolStats
+	// wake is a channel-shaped broadcast condition variable: it is
+	// closed (and lazily replaced) whenever a checkout might newly
+	// succeed — checkin, discard, reclaim, close, failed spawn — so
+	// queued GetContext calls can select on it against ctx.Done().
+	// Broadcast (vs. the old cond.Signal) wakes every waiter per event;
+	// that is a deliberate tradeoff for cancellability, matching the
+	// core.SandboxAllocator condvar, and queue depth is bounded by the
+	// caller's concurrency (at most the §7.4 budget's overflow).
+	wake chan struct{}
 }
 
-// NewPool creates a pool over spawn. max bounds live instances
-// (checked out plus idle); 0 means unlimited. Embedders running under a
-// sandbox-tag budget (§7.4) should pass the budget as max so checkouts
-// queue instead of failing with ErrSandboxesExhausted.
-func NewPool(max int, spawn func() (Resetter, error)) *Pool {
-	p := &Pool{spawn: spawn, max: max, seed: 0x6361_6765} // "cage"
-	p.cond = sync.NewCond(&p.mu)
-	return p
+// NewPool creates a pool over spawn. The spawn function receives the
+// checkout's context so a queued spawn (e.g. one waiting on a shared
+// sandbox-tag budget) can be abandoned with it. max bounds live
+// instances (checked out plus idle); 0 means unlimited. Embedders
+// running under a sandbox-tag budget (§7.4) should pass the budget as
+// max so checkouts queue instead of failing with ErrSandboxesExhausted.
+func NewPool(max int, spawn func(ctx context.Context) (Resetter, error)) *Pool {
+	return &Pool{spawn: spawn, max: max, seed: 0x6361_6765} // "cage"
+}
+
+// waitLocked returns the channel closed at the next wakeLocked.
+func (p *Pool) waitLocked() chan struct{} {
+	if p.wake == nil {
+		p.wake = make(chan struct{})
+	}
+	return p.wake
+}
+
+// wakeLocked wakes every queued checkout (they re-examine the pool).
+func (p *Pool) wakeLocked() {
+	if p.wake != nil {
+		close(p.wake)
+		p.wake = nil
+	}
 }
 
 // nextSeed draws the next reset seed from NextSeed or the private
@@ -201,13 +227,26 @@ func (p *Pool) nextSeed() uint64 {
 var ErrPoolClosed = fmt.Errorf("engine: pool is closed")
 
 // Get checks an instance out of the pool, spawning or blocking as the
-// cap dictates.
+// cap dictates. It is GetContext with a background context.
 func (p *Pool) Get() (Resetter, error) {
+	return p.GetContext(context.Background())
+}
+
+// GetContext checks an instance out of the pool, spawning or queueing
+// as the cap dictates. A queued checkout — whether blocked on the live
+// cap or inside a spawn waiting on a shared budget — is abandoned
+// cleanly when ctx ends: GetContext returns ctx.Err() and no instance
+// or budget reservation leaks.
+func (p *Pool) GetContext(ctx context.Context) (Resetter, error) {
 	p.mu.Lock()
 	for {
 		if p.closed {
 			p.mu.Unlock()
 			return nil, ErrPoolClosed
+		}
+		if err := ctx.Err(); err != nil {
+			p.mu.Unlock()
+			return nil, err
 		}
 		if n := len(p.idle); n > 0 {
 			inst := p.idle[n-1]
@@ -218,13 +257,19 @@ func (p *Pool) Get() (Resetter, error) {
 		if p.max == 0 || p.live+p.spawning < p.max {
 			p.spawning++
 			p.mu.Unlock()
-			inst, err := p.spawn()
+			inst, err := p.spawn(ctx)
 			p.mu.Lock()
 			p.spawning--
 			if err != nil {
-				// The cap slot this spawn reserved is free again; let a
-				// blocked waiter retry.
-				p.cond.Signal()
+				// The cap slot this spawn reserved is free again; let
+				// blocked waiters retry.
+				p.wakeLocked()
+				if ctx.Err() != nil {
+					// The spawn was abandoned by our own context; report
+					// that, not whatever wrapped error it surfaced as.
+					p.mu.Unlock()
+					return nil, ctx.Err()
+				}
 				if p.live > 0 && !p.closed {
 					// Spawning can fail on a shared budget the cap does
 					// not see (several pools over one sandbox
@@ -233,7 +278,13 @@ func (p *Pool) Get() (Resetter, error) {
 					// failing the request — unless one arrived while we
 					// were spawning.
 					if len(p.idle) == 0 {
-						p.cond.Wait()
+						ch := p.waitLocked()
+						p.mu.Unlock()
+						select {
+						case <-ch:
+						case <-ctx.Done():
+						}
+						p.mu.Lock()
 					}
 					continue
 				}
@@ -245,7 +296,13 @@ func (p *Pool) Get() (Resetter, error) {
 			p.mu.Unlock()
 			return inst, nil
 		}
-		p.cond.Wait()
+		ch := p.waitLocked()
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		p.mu.Lock()
 	}
 }
 
@@ -260,14 +317,14 @@ func (p *Pool) Put(inst Resetter) {
 		if err != nil {
 			p.stats.Discarded++
 		}
-		p.cond.Signal()
+		p.wakeLocked()
 		p.mu.Unlock()
 		inst.Close()
 		return
 	}
 	p.idle = append(p.idle, inst)
 	p.stats.Recycled++
-	p.cond.Signal()
+	p.wakeLocked()
 	p.mu.Unlock()
 }
 
@@ -286,7 +343,7 @@ func (p *Pool) ReclaimIdle(n int) int {
 	p.idle = p.idle[:len(p.idle)-k]
 	p.live -= k
 	if k > 0 {
-		p.cond.Broadcast() // cap slots freed
+		p.wakeLocked() // cap slots freed
 	}
 	p.mu.Unlock()
 	for _, inst := range evicted {
@@ -302,7 +359,7 @@ func (p *Pool) Discard(inst Resetter) {
 	p.mu.Lock()
 	p.live--
 	p.stats.Discarded++
-	p.cond.Signal()
+	p.wakeLocked()
 	p.mu.Unlock()
 	inst.Close()
 }
@@ -315,7 +372,7 @@ func (p *Pool) Close() {
 	idle := p.idle
 	p.idle = nil
 	p.live -= len(idle)
-	p.cond.Broadcast()
+	p.wakeLocked()
 	p.mu.Unlock()
 	for _, inst := range idle {
 		inst.Close()
@@ -335,28 +392,48 @@ func (p *Pool) Stats() PoolStats {
 // PoolSet lazily manages one Pool per key (e.g. per compiled module).
 // The zero value is ready to use.
 type PoolSet struct {
-	// Limit is the live-instance cap applied to pools as they are
-	// created (0 = unlimited). Set it before the first For call.
-	Limit int
 	// NextSeed, when non-nil, is installed on every created pool so all
 	// pools of one process share a seed source (see Pool.NextSeed).
 	NextSeed func() uint64
 
-	mu     sync.Mutex
-	pools  map[any]*Pool
-	closed bool
+	mu      sync.Mutex
+	limit   int // live-instance cap applied to pools as they are created
+	pools   map[any]*Pool
+	started bool // a pool has been built; limit is frozen
+	closed  bool
+}
+
+// ErrSetStarted is returned by SetLimit once a pool exists: that pool
+// was built under the old limit and would never observe a new one.
+var ErrSetStarted = fmt.Errorf("engine: pool set already built a pool; set the limit before first use")
+
+// SetLimit sets the live-instance cap applied to pools as they are
+// created (0 = unlimited). The check and the mutation share the set's
+// lock with For, so a SetLimit racing the first checkout either wins
+// (the pool sees the new limit) or fails with ErrSetStarted — it can
+// never return success while a pool built under the old limit ignores
+// it.
+func (s *PoolSet) SetLimit(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return ErrSetStarted
+	}
+	s.limit = n
+	return nil
 }
 
 // For returns the pool for key, creating it with spawn on first use.
-func (s *PoolSet) For(key any, spawn func() (Resetter, error)) *Pool {
+func (s *PoolSet) For(key any, spawn func(ctx context.Context) (Resetter, error)) *Pool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.started = true
 	if s.pools == nil {
 		s.pools = make(map[any]*Pool)
 	}
 	p, ok := s.pools[key]
 	if !ok {
-		p = NewPool(s.Limit, spawn)
+		p = NewPool(s.limit, spawn)
 		p.NextSeed = s.NextSeed
 		if s.closed {
 			// A closed set must not resurrect: hand out a pool whose

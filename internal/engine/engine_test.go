@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -129,7 +130,7 @@ func (f *fake) Close() error { f.closed.Store(true); return nil }
 
 func TestPoolCheckoutCheckinConcurrent(t *testing.T) {
 	var spawned atomic.Int32
-	p := NewPool(4, func() (Resetter, error) {
+	p := NewPool(4, func(context.Context) (Resetter, error) {
 		spawned.Add(1)
 		return &fake{}, nil
 	})
@@ -167,7 +168,7 @@ func TestPoolCheckoutCheckinConcurrent(t *testing.T) {
 }
 
 func TestPoolDiscardsOnResetFailure(t *testing.T) {
-	p := NewPool(2, func() (Resetter, error) { return &fake{}, nil })
+	p := NewPool(2, func(context.Context) (Resetter, error) { return &fake{}, nil })
 	defer p.Close()
 
 	inst, err := p.Get()
@@ -198,7 +199,7 @@ func TestPoolDiscardsOnResetFailure(t *testing.T) {
 }
 
 func TestPoolBlocksAtCap(t *testing.T) {
-	p := NewPool(1, func() (Resetter, error) { return &fake{}, nil })
+	p := NewPool(1, func(context.Context) (Resetter, error) { return &fake{}, nil })
 	defer p.Close()
 
 	inst, err := p.Get()
@@ -228,13 +229,70 @@ func TestPoolBlocksAtCap(t *testing.T) {
 	p.Put(second)
 }
 
+// TestPoolGetContextCancelledWhileQueued: a checkout queued on the live
+// cap must be abandonable — GetContext returns the context error, no cap
+// slot leaks, and the pool keeps serving later checkouts.
+func TestPoolGetContextCancelledWhileQueued(t *testing.T) {
+	p := NewPool(1, func(context.Context) (Resetter, error) { return &fake{}, nil })
+	defer p.Close()
+
+	inst, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := p.GetContext(ctx)
+		queued <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the checkout queue on the cap
+	cancel()
+	select {
+	case err := <-queued:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("abandoned GetContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetContext did not observe cancellation while queued")
+	}
+
+	// The abandoned checkout must not have consumed the recycled slot.
+	p.Put(inst)
+	again, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get after abandoned checkout: %v", err)
+	}
+	p.Put(again)
+}
+
+// TestPoolGetContextCancelledInSpawn: a spawn blocked on a shared budget
+// (modelled by a spawn that waits for ctx) is abandoned with the
+// checkout's context, and the reserved cap slot is returned.
+func TestPoolGetContextCancelledInSpawn(t *testing.T) {
+	p := NewPool(1, func(ctx context.Context) (Resetter, error) {
+		<-ctx.Done() // a queued budget wait that only ctx can end
+		return nil, ctx.Err()
+	})
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := p.GetContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("GetContext = %v, want context.DeadlineExceeded", err)
+	}
+	if s := p.Stats(); s.Live != 0 || s.Spawned != 0 {
+		t.Errorf("stats after abandoned spawn = %+v, want no live instances", s)
+	}
+}
+
 // TestPoolConcurrentSpawnFailuresAllReturn is the regression test for a
 // deadlock: concurrent Gets on an empty pool whose spawns all fail must
 // every one return the error — a failing spawner is not a live instance
 // another Get may wait on.
 func TestPoolConcurrentSpawnFailuresAllReturn(t *testing.T) {
 	spawnErr := errors.New("budget exhausted")
-	p := NewPool(0, func() (Resetter, error) { return nil, spawnErr })
+	p := NewPool(0, func(context.Context) (Resetter, error) { return nil, spawnErr })
 	defer p.Close()
 
 	const workers = 8
@@ -264,7 +322,7 @@ func TestPoolConcurrentSpawnFailuresAllReturn(t *testing.T) {
 func TestPoolSpawnFailureWaitsForLiveInstance(t *testing.T) {
 	only := &fake{}
 	first := true
-	p := NewPool(0, func() (Resetter, error) {
+	p := NewPool(0, func(context.Context) (Resetter, error) {
 		if first {
 			first = false
 			return only, nil
@@ -299,7 +357,7 @@ func TestPoolSpawnFailureWaitsForLiveInstance(t *testing.T) {
 }
 
 func TestPoolClosedGetFails(t *testing.T) {
-	p := NewPool(0, func() (Resetter, error) { return &fake{}, nil })
+	p := NewPool(0, func(context.Context) (Resetter, error) { return &fake{}, nil })
 	inst, _ := p.Get()
 	p.Put(inst)
 	p.Close()
@@ -316,14 +374,14 @@ func TestPoolClosedGetFails(t *testing.T) {
 func TestPoolSetClosedDoesNotResurrect(t *testing.T) {
 	var s PoolSet
 	key := "module"
-	p := s.For(key, func() (Resetter, error) { return &fake{}, nil })
+	p := s.For(key, func(context.Context) (Resetter, error) { return &fake{}, nil })
 	inst, err := p.Get()
 	if err != nil {
 		t.Fatal(err)
 	}
 	p.Put(inst)
 	s.Close()
-	again := s.For(key, func() (Resetter, error) { return &fake{}, nil })
+	again := s.For(key, func(context.Context) (Resetter, error) { return &fake{}, nil })
 	if _, err := again.Get(); !errors.Is(err, ErrPoolClosed) {
 		t.Errorf("Get on resurrected pool = %v, want ErrPoolClosed", err)
 	}
@@ -370,7 +428,7 @@ func (h *hardenedInstance) Close() error { return h.inst.Close() }
 
 // spawnHardened builds a spawner compiling poolSource once and
 // instantiating it under full memory safety.
-func spawnHardened(t *testing.T) func() (Resetter, error) {
+func spawnHardened(t *testing.T) func(context.Context) (Resetter, error) {
 	t.Helper()
 	file, err := minicc.Parse(poolSource)
 	if err != nil {
@@ -385,7 +443,7 @@ func spawnHardened(t *testing.T) func() (Resetter, error) {
 		t.Fatal(err)
 	}
 	var seeds atomic.Uint64
-	return func() (Resetter, error) {
+	return func(context.Context) (Resetter, error) {
 		binding := &alloc.Binding{}
 		linker := exec.NewLinker()
 		binding.Register(linker)

@@ -13,13 +13,31 @@
 // time, so the hot path never branches on it. Each lowered opcode
 // reports its fixed cost events, keeping the arch timing model exact.
 //
+// # Interruption points
+//
+// InvokeWith is the bounded-call entry (call.go): it arms a per-call
+// meter carrying an atomic interrupt flag (set by a context watcher
+// goroutine) and a fuel limit measured in timing-model events. The
+// dispatch loop polls the meter at every taken branch — br, taken
+// br_if, br_table, the superset of loop back-edges — and at every
+// function-call entry, so a guest infinite loop or runaway recursion is
+// reached within one iteration. A tripped checkpoint unwinds with
+// TrapInterrupted (wrapping ctx.Err()) or TrapFuelExhausted; like any
+// trap, the unwind leaves the instance resettable, so pooled engines
+// recycle interrupted instances normally. When no context cancellation
+// and no fuel budget apply, the meter is nil and every checkpoint
+// degenerates to a single never-taken pointer test — the zero-cost nop
+// variant that keeps unmetered dispatch at full speed.
+//
 // Paper map:
 //
 //   - NewInstance      — instantiation: linking, lowering, sandbox-tag
 //     assignment and whole-memory tagging (Fig. 12b, the §7.2 startup
 //     cost)
 //   - Instance.Invoke  — execution with the Fig. 7/10/11 instruction
-//     extension (segment.*, i64.pointer_sign / i64.pointer_auth)
+//     extension (segment.*, i64.pointer_sign / i64.pointer_auth);
+//     InvokeWith adds context interruption and per-call fuel, stack,
+//     and memory bounds
 //   - Instance.Reset   — instance recycling for pooled engines: restores
 //     the freshly-instantiated state (memory, tags, PAC modifier)
 //     without re-paying validation and precompilation

@@ -166,6 +166,13 @@ type Instance struct {
 	depth        int
 	skipBounds   bool
 
+	// Per-call interruption state (call.go): meter is non-nil only while
+	// an InvokeWith with a cancellable context or a fuel budget is in
+	// flight — the dispatch loop's checkpoints reduce to one nil test
+	// otherwise — and memLimitPages caps memory.grow for the call.
+	meter         *meter
+	memLimitPages uint64
+
 	// StartupGranulesTagged records how many granules were tagged at
 	// instantiation (the §7.2 startup-cost experiment).
 	StartupGranulesTagged uint64

@@ -15,6 +15,13 @@ import (
 
 // invoke runs function fidx with args, returning result values.
 func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
+	// Interrupt checkpoint: every call boundary polls the per-call meter
+	// (if armed), so cancellation reaches even loop-free recursion.
+	if m := inst.meter; m != nil {
+		if err := m.check(inst.counter); err != nil {
+			return nil, err
+		}
+	}
 	if inst.depth >= inst.maxCallDepth {
 		return nil, newTrap(TrapCallDepth, "call depth %d", inst.depth)
 	}
@@ -65,6 +72,11 @@ func branchRepair(stack []uint64, keep, arity int) []uint64 {
 func (inst *Instance) run(fn *ir.Func, locals []uint64) ([]uint64, error) {
 	code := fn.Code
 	ctr := inst.counter
+	// mtr is the per-call interruption meter, nil for unbounded calls:
+	// every taken branch below (the superset of loop back-edges) is an
+	// interrupt checkpoint, and the unmetered variant of that checkpoint
+	// is a single never-taken nil test.
+	mtr := inst.meter
 	stack := make([]uint64, 0, fn.MaxStack)
 
 	pc := 0
@@ -82,6 +94,11 @@ func (inst *Instance) run(fn *ir.Func, locals []uint64) ([]uint64, error) {
 			ctr.Add(arch.EvBranch, 1)
 			stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
 			pc = int(in.B)
+			if mtr != nil {
+				if err := mtr.check(ctr); err != nil {
+					return nil, err
+				}
+			}
 			continue
 
 		case ir.OpBrIf:
@@ -91,6 +108,11 @@ func (inst *Instance) run(fn *ir.Func, locals []uint64) ([]uint64, error) {
 			if uint32(c) != 0 {
 				stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
 				pc = int(in.B)
+				if mtr != nil {
+					if err := mtr.check(ctr); err != nil {
+						return nil, err
+					}
+				}
 				continue
 			}
 
@@ -114,6 +136,11 @@ func (inst *Instance) run(fn *ir.Func, locals []uint64) ([]uint64, error) {
 			}
 			stack = branchRepair(stack, int(t.Keep), int(t.Arity))
 			pc = int(t.PC)
+			if mtr != nil {
+				if err := mtr.check(ctr); err != nil {
+					return nil, err
+				}
+			}
 			continue
 
 		case ir.OpReturn:
@@ -547,7 +574,19 @@ func extendLoad(op wasm.Opcode, raw uint64) uint64 {
 func (inst *Instance) memoryGrow(deltaPages uint64) uint64 {
 	oldPages := inst.memSize / wasm.PageSize
 	newPages := oldPages + deltaPages
+	if newPages < oldPages {
+		// Guest-controlled 64-bit delta wrapped the page count; a wrap
+		// would bypass every cap below and shrink memory.
+		return ^uint64(0)
+	}
 	if inst.memType.Limits.HasMax && newPages > inst.memType.Limits.Max {
+		return ^uint64(0)
+	}
+	if deltaPages != 0 && inst.memLimitPages != 0 && newPages > inst.memLimitPages {
+		// Per-call cap (CallOptions.MemoryLimitPages): fail the grow the
+		// same way an exceeded declared maximum does. A zero-delta grow
+		// (the size-query idiom) always succeeds, per wasm semantics,
+		// even under a cap below the current size.
 		return ^uint64(0)
 	}
 	if newPages > 1<<32 { // 256 TiB cap to keep the simulation sane

@@ -108,6 +108,11 @@ func (inst *Instance) ResetState(seed uint64) error {
 	}
 
 	inst.depth = 0
+	// Per-call interruption state never outlives InvokeWith, but a reset
+	// instance must be indistinguishable from a fresh one even if an
+	// embedder drove the instance in unexpected ways.
+	inst.meter = nil
+	inst.memLimitPages = 0
 	return nil
 }
 

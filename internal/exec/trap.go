@@ -33,20 +33,29 @@ const (
 	TrapHost
 	// TrapExit is a clean proc_exit from WASI.
 	TrapExit
+	// TrapFuelExhausted aborts a metered call that consumed its fuel
+	// budget (CallOptions.Fuel).
+	TrapFuelExhausted
+	// TrapInterrupted aborts a call whose context was cancelled or whose
+	// deadline passed; the trap wraps the context error (Unwrap), so
+	// errors.Is(err, context.DeadlineExceeded) still works.
+	TrapInterrupted
 )
 
 var trapNames = map[TrapCode]string{
-	TrapUnreachable:  "unreachable",
-	TrapOutOfBounds:  "out of bounds memory access",
-	TrapTagMismatch:  "MTE tag mismatch",
-	TrapAuthFailure:  "pointer authentication failure",
-	TrapSegment:      "invalid segment operation",
-	TrapDivByZero:    "integer divide by zero",
-	TrapIntOverflow:  "integer overflow",
-	TrapIndirectCall: "invalid indirect call",
-	TrapCallDepth:    "call stack exhausted",
-	TrapHost:         "host function error",
-	TrapExit:         "process exit",
+	TrapUnreachable:   "unreachable",
+	TrapOutOfBounds:   "out of bounds memory access",
+	TrapTagMismatch:   "MTE tag mismatch",
+	TrapAuthFailure:   "pointer authentication failure",
+	TrapSegment:       "invalid segment operation",
+	TrapDivByZero:     "integer divide by zero",
+	TrapIntOverflow:   "integer overflow",
+	TrapIndirectCall:  "invalid indirect call",
+	TrapCallDepth:     "call stack exhausted",
+	TrapHost:          "host function error",
+	TrapExit:          "process exit",
+	TrapFuelExhausted: "fuel exhausted",
+	TrapInterrupted:   "call interrupted",
 }
 
 // Trap is a wasm trap: execution aborts and unwinds to the embedder.
@@ -55,6 +64,9 @@ type Trap struct {
 	Msg  string
 	// ExitCode is set for TrapExit.
 	ExitCode int32
+	// Cause, when non-nil, is the error that provoked the trap (the
+	// context error for TrapInterrupted); it is exposed via Unwrap.
+	Cause error
 }
 
 // Error implements the error interface.
@@ -65,6 +77,9 @@ func (t *Trap) Error() string {
 	}
 	return fmt.Sprintf("wasm trap: %s: %s", name, t.Msg)
 }
+
+// Unwrap exposes the trap's cause to errors.Is/errors.As chains.
+func (t *Trap) Unwrap() error { return t.Cause }
 
 func newTrap(code TrapCode, format string, args ...any) *Trap {
 	return &Trap{Code: code, Msg: fmt.Sprintf(format, args...)}

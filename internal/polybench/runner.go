@@ -51,10 +51,12 @@ func NewLinker(binding *alloc.Binding) *exec.Linker {
 	return l
 }
 
-// RunModule instantiates a compiled kernel and invokes run(n), returning
-// the checksum. The counter, when non-nil, accumulates lowered-code
-// events for the timing model.
-func RunModule(m *wasm.Module, n int, features core.Features, counter *arch.Counter) (float64, error) {
+// Instantiate builds a linked, allocator-bound instance of a compiled
+// kernel, ready to Invoke its exports — the one kernel-bootstrapping
+// sequence every runner (and the bench JSON harness) shares. The
+// counter, when non-nil, accumulates lowered-code events for the
+// timing model.
+func Instantiate(m *wasm.Module, features core.Features, counter *arch.Counter) (*exec.Instance, *alloc.Allocator, error) {
 	binding := &alloc.Binding{}
 	linker := NewLinker(binding)
 	inst, err := exec.NewInstance(m, exec.Config{
@@ -64,16 +66,29 @@ func RunModule(m *wasm.Module, n int, features core.Features, counter *arch.Coun
 		Counter:  counter,
 	})
 	if err != nil {
-		return 0, err
+		return nil, nil, err
 	}
 	heapBase, ok := inst.GlobalValue("__heap_base")
 	if !ok {
-		return 0, fmt.Errorf("polybench: module lacks __heap_base")
+		inst.Close()
+		return nil, nil, fmt.Errorf("polybench: module lacks __heap_base")
 	}
 	binding.A, err = alloc.New(inst, heapBase)
 	if err != nil {
+		inst.Close()
+		return nil, nil, err
+	}
+	return inst, binding.A, nil
+}
+
+// RunModule instantiates a compiled kernel and invokes run(n), returning
+// the checksum.
+func RunModule(m *wasm.Module, n int, features core.Features, counter *arch.Counter) (float64, error) {
+	inst, _, err := Instantiate(m, features, counter)
+	if err != nil {
 		return 0, err
 	}
+	defer inst.Close()
 	res, err := inst.Invoke("run", uint64(n))
 	if err != nil {
 		return 0, err
@@ -84,47 +99,27 @@ func RunModule(m *wasm.Module, n int, features core.Features, counter *arch.Coun
 // RunModuleWithAllocator runs a compiled kernel and returns the
 // allocator for footprint inspection (§7.3 memory accounting).
 func RunModuleWithAllocator(m *wasm.Module, n int, features core.Features) (*alloc.Allocator, error) {
-	binding := &alloc.Binding{}
-	linker := NewLinker(binding)
-	inst, err := exec.NewInstance(m, exec.Config{Features: features, Linker: linker, Seed: 1234})
+	inst, a, err := Instantiate(m, features, nil)
 	if err != nil {
 		return nil, err
 	}
-	heapBase, ok := inst.GlobalValue("__heap_base")
-	if !ok {
-		return nil, fmt.Errorf("polybench: module lacks __heap_base")
-	}
-	binding.A, err = alloc.New(inst, heapBase)
-	if err != nil {
-		return nil, err
-	}
+	defer inst.Close()
 	if _, err := inst.Invoke("run", uint64(n)); err != nil {
 		return nil, err
 	}
-	return binding.A, nil
+	return a, nil
 }
 
 // RunKernelRegion instantiates a module exporting setup(n) and
 // kernel(n), runs both, and returns the checksum plus the event delta of
 // the kernel region alone (the PolyBench timer methodology).
 func RunKernelRegion(m *wasm.Module, n int, features core.Features) (float64, arch.Counter, error) {
-	binding := &alloc.Binding{}
-	linker := NewLinker(binding)
 	var ctr arch.Counter
-	inst, err := exec.NewInstance(m, exec.Config{
-		Features: features, Linker: linker, Seed: 1234, Counter: &ctr,
-	})
+	inst, _, err := Instantiate(m, features, &ctr)
 	if err != nil {
 		return 0, arch.Counter{}, err
 	}
-	heapBase, ok := inst.GlobalValue("__heap_base")
-	if !ok {
-		return 0, arch.Counter{}, fmt.Errorf("polybench: module lacks __heap_base")
-	}
-	binding.A, err = alloc.New(inst, heapBase)
-	if err != nil {
-		return 0, arch.Counter{}, err
-	}
+	defer inst.Close()
 	if _, err := inst.Invoke("setup", uint64(n)); err != nil {
 		return 0, arch.Counter{}, err
 	}
