@@ -8,6 +8,7 @@ package cage
 // everything.
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -340,6 +341,74 @@ func BenchmarkMTETagOps(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkHostCall prices one guest→host crossing through the public
+// host-module API: the typed adapter (signature derived from the Go
+// function, args marshalled) against the raw slot (uint64 bits
+// straight through). Each iteration runs a guest loop of `calls` host
+// calls on a checked-out pooled instance, so the ns/hostcall metric
+// isolates the crossing from pool and dispatch overhead.
+func BenchmarkHostCall(b *testing.B) {
+	const src = `
+		extern long host_add(long a, long b);
+		long run(long n) {
+		    long s = 0;
+		    for (long i = 0; i < n; i++) { s = host_add(s, i); }
+		    return s;
+		}`
+	const calls = 1024
+	run := func(b *testing.B, register func(hm *HostModule)) {
+		eng := NewEngine(Baseline64())
+		defer eng.Close()
+		hm, err := eng.NewHostModule("env")
+		if err != nil {
+			b.Fatal(err)
+		}
+		register(hm)
+		mod, err := eng.CompileSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		err = eng.WithInstance(mod, func(inst *Instance) error {
+			want := uint64(calls * (calls - 1) / 2)
+			res, err := inst.Call(context.Background(), "run", []uint64{calls})
+			if err != nil {
+				return err
+			}
+			if res.Values[0] != want {
+				b.Fatalf("host add sum = %d, want %d", res.Values[0], want)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Call(context.Background(), "run", []uint64{calls}); err != nil {
+					return err
+				}
+			}
+			b.StopTimer()
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/calls, "ns/hostcall")
+	}
+	b.Run("typed", func(b *testing.B) {
+		run(b, func(hm *HostModule) {
+			HostFunc2(hm, "host_add", func(_ *HostContext, a, x int64) (int64, error) {
+				return a + x, nil
+			})
+		})
+	})
+	b.Run("raw", func(b *testing.B) {
+		run(b, func(hm *HostModule) {
+			hm.Func("host_add",
+				FuncType{Params: []ValType{I64, I64}, Results: []ValType{I64}},
+				func(_ *HostContext, args []uint64) ([]uint64, error) {
+					return []uint64{args[0] + args[1]}, nil
+				})
+		})
 	})
 }
 

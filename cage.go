@@ -27,6 +27,21 @@
 // and WithMemoryLimit caps memory.grow. Invoke and InvokeF64 remain as
 // deprecated wrappers over Call with a background context.
 //
+// # Host modules
+//
+// Embedders extend the host surface with Engine.NewHostModule (or
+// Runtime.NewHostModule) before the first call: typed adapters
+// (HostFunc1, HostVoid2, ...) lower Go functions onto wasm import
+// slots, and every host function receives a HostContext carrying the
+// call's context, a bounds-checked Memory view over guest memory,
+// ConsumeFuel debiting against WithFuel budgets, and re-entrant guest
+// Call riding the per-call meter chain. The host surface freezes at
+// first use (ErrEngineStarted), so resolved import tables are
+// snapshotted per compiled module and shared by pooled instances; the
+// built-in WASI, hardened-libc, and env surfaces register through the
+// same API. Link failures are structured LinkErrors wrapping
+// ErrUnresolvedImport / ErrImportTypeMismatch.
+//
 // # Execution pipeline
 //
 // Modules flow compile → lower → cache → pool. CompileSource (or
@@ -249,9 +264,10 @@ func (tc *Toolchain) CompileSource(src string) (*Module, error) {
 }
 
 // Runtime instantiates modules under a shared process context: one PAC
-// process key and one sandbox-tag allocator (at most 15 sandboxes per
-// process, paper §7.4). Instantiate is safe to call concurrently; the
-// sandbox allocator serializes tag assignment internally.
+// process key, one sandbox-tag allocator (at most 15 sandboxes per
+// process, paper §7.4), and one host surface. Instantiate is safe to
+// call concurrently; the sandbox allocator serializes tag assignment
+// internally.
 type Runtime struct {
 	cfg       Config
 	key       pac.Key
@@ -260,11 +276,24 @@ type Runtime struct {
 	stdout    io.Writer
 	stderr    io.Writer
 
+	// Host surface: the built-in modules (hardened libc, WASI, env)
+	// plus embedder modules registered via NewHostModule. The set
+	// freezes at the first Instantiate — afterwards NewHostModule fails
+	// with ErrEngineStarted — so resolved import tables can be cached
+	// per module and shared by pooled instances.
+	hostMu      sync.Mutex
+	hostStarted bool
+	hostMods    []*exec.HostModule
+
 	// programs caches lowered instruction streams per (module content
 	// hash, lowering config): every instance of one module under this
 	// runtime shares a single ir.Program, so the lowering pass runs
-	// once per process instead of once per instantiation.
+	// once per process instead of once per instantiation. imports is
+	// the same idea for resolved import tables (keyed on the content
+	// hash alone: the host surface is frozen and configuration does not
+	// influence linking).
 	programs engine.Cache[*ir.Program]
+	imports  engine.Cache[*exec.ImportTable]
 }
 
 // NewRuntime creates a process-level runtime for the configuration.
@@ -274,8 +303,61 @@ func NewRuntime(cfg Config) *Runtime {
 		key:       pac.KeyFromSeed(0xCA6E_2025),
 		sandboxes: core.NewSandboxAllocator(core.NewPolicy(cfg.features())),
 	}
+	rt.hostMods = append(rt.hostMods, alloc.HostModules()...)
+	rt.hostMods = append(rt.hostMods, wasi.HostModule())
+	rt.hostMods = append(rt.hostMods, envHostModules(rt)...)
 	rt.seed.Store(1)
 	return rt
+}
+
+// NewHostModule creates an embedder host module named name and
+// registers it with the runtime: its functions become importable by
+// every module instantiated afterwards. Functions land in the guest's
+// import namespace alongside the built-ins — a module named "env"
+// extends the default env surface (MiniC extern functions resolve
+// there), and a per-function name collision with a built-in surfaces
+// as a link error at Instantiate.
+//
+// The host surface is fixed at the runtime's first Instantiate (the
+// engine's first Call); afterwards NewHostModule fails with
+// ErrEngineStarted, mirroring SetPoolLimit and friends.
+func (rt *Runtime) NewHostModule(name string) (*HostModule, error) {
+	rt.hostMu.Lock()
+	defer rt.hostMu.Unlock()
+	if rt.hostStarted {
+		return nil, ErrEngineStarted
+	}
+	hm := exec.NewHostModule(name)
+	rt.hostMods = append(rt.hostMods, hm)
+	return hm, nil
+}
+
+// hostModules freezes and returns the runtime's host surface.
+func (rt *Runtime) hostModules() []*exec.HostModule {
+	rt.hostMu.Lock()
+	defer rt.hostMu.Unlock()
+	if !rt.hostStarted {
+		rt.hostStarted = true
+		for _, hm := range rt.hostMods {
+			hm.Freeze()
+		}
+	}
+	return rt.hostMods
+}
+
+// importTable resolves (with caching) m's imports against the frozen
+// host surface. Link failures carry structured detail: errors.Is
+// ErrUnresolvedImport / ErrImportTypeMismatch, errors.As *LinkError.
+func (rt *Runtime) importTable(m *Module) (*exec.ImportTable, error) {
+	mods := rt.hostModules()
+	hash, err := m.contentHash()
+	if err != nil {
+		return exec.ResolveImports(m.wasm, mods...)
+	}
+	key := engine.Key{Hash: hash, Variant: "imports"}
+	return rt.imports.GetOrBuild(key, func() (*exec.ImportTable, error) {
+		return exec.ResolveImports(m.wasm, mods...)
+	})
 }
 
 // SetStdio routes WASI fd_write output.
@@ -294,17 +376,32 @@ type Instance struct {
 	alloc *alloc.Allocator
 }
 
-// Instantiate validates, links (WASI + hardened libc + env helpers), and
-// instantiates a module.
+// hostState is the per-instance host-side state every host function
+// reaches through HostContext.Data: the hardened allocator binding
+// (alloc.Provider) and the WASI system (wasi.Provider). One value per
+// instance keeps the host modules themselves stateless, so a single
+// resolved import table serves every pooled instance of a module.
+type hostState struct {
+	alloc *alloc.Allocator
+	wasi  *wasi.System
+}
+
+func (h *hostState) HeapAllocator() *alloc.Allocator { return h.alloc }
+func (h *hostState) WASISystem() *wasi.System        { return h.wasi }
+
+// Instantiate validates, links (WASI + hardened libc + env helpers +
+// registered embedder host modules), and instantiates a module. The
+// first Instantiate freezes the runtime's host surface.
 func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
-	binding := &alloc.Binding{}
-	linker := exec.NewLinker()
-	binding.Register(linker)
-	wasi.New(rt.stdout, rt.stderr).Register(linker)
-	registerEnv(linker, rt)
+	table, err := rt.importTable(m)
+	if err != nil {
+		return nil, err
+	}
+	state := &hostState{wasi: wasi.New(rt.stdout, rt.stderr)}
 	ecfg := exec.Config{
 		Features:   rt.cfg.features(),
-		Linker:     linker,
+		Imports:    table,
+		HostData:   state,
 		ProcessKey: rt.key,
 		Seed:       rt.seed.Add(1),
 		Sandboxes:  rt.sandboxes,
@@ -325,7 +422,7 @@ func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
 			inst.Close() // return the sandbox tag
 			return nil, err
 		}
-		binding.A = out.alloc
+		state.alloc = out.alloc
 	}
 	return out, nil
 }
@@ -393,60 +490,46 @@ func (i *Instance) Raw() *exec.Instance { return i.inst }
 // Engine; call this only for instances created via Runtime.Instantiate.
 func (i *Instance) Close() error { return i.inst.Close() }
 
-// registerEnv installs the small env host surface MiniC programs use,
-// in both the wasm64 ("env") and ILP32 wasm32 ("env32") ABI variants.
-func registerEnv(l *exec.Linker, rt *Runtime) {
-	for _, abi := range []struct {
-		module  string
-		ptr     wasm.ValType
-		ptrMask uint64
-	}{
-		{"env", wasm.I64, (1 << 48) - 1},
-		{"env32", wasm.I32, 0xFFFFFFFF},
-	} {
-		abi := abi
-		l.Define(abi.module, "sqrt", exec.HostFunc{
-			Type: wasm.FuncType{Params: []wasm.ValType{wasm.F64}, Results: []wasm.ValType{wasm.F64}},
-			Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-				return []uint64{exec.F64Bits(math.Sqrt(exec.F64Val(args[0])))}, nil
-			},
+// envHostModules builds the small env host surface MiniC programs use,
+// in both the wasm64 ("env") and ILP32 wasm32 ("env32") ABI variants,
+// on the typed adapters (print_str's Str parameter is the (ptr, len)
+// pair read through the bounds-checked Memory view). The print
+// functions read rt.stdout at call time, so SetStdio keeps working.
+func envHostModules(rt *Runtime) []*exec.HostModule {
+	build := func(hm *exec.HostModule) *exec.HostModule {
+		exec.Func1(hm, "sqrt", func(_ *exec.HostContext, x float64) (float64, error) {
+			return math.Sqrt(x), nil
 		})
-		l.Define(abi.module, "print_long", exec.HostFunc{
-			Type: wasm.FuncType{Params: []wasm.ValType{abi.ptr}},
-			Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-				if rt.stdout != nil {
-					fmt.Fprintf(rt.stdout, "%d\n", int64(args[0]))
-				}
-				return nil, nil
-			},
+		exec.Void1(hm, "print_double", func(_ *exec.HostContext, v float64) error {
+			if rt.stdout != nil {
+				fmt.Fprintf(rt.stdout, "%g\n", v)
+			}
+			return nil
 		})
-		l.Define(abi.module, "print_double", exec.HostFunc{
-			Type: wasm.FuncType{Params: []wasm.ValType{wasm.F64}},
-			Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-				if rt.stdout != nil {
-					fmt.Fprintf(rt.stdout, "%g\n", exec.F64Val(args[0]))
-				}
-				return nil, nil
-			},
+		exec.Void1(hm, "print_str", func(_ *exec.HostContext, s exec.Str) error {
+			if rt.stdout != nil {
+				fmt.Fprintf(rt.stdout, "%s", string(s))
+			}
+			return nil
 		})
-		l.Define(abi.module, "print_str", exec.HostFunc{
-			Type: wasm.FuncType{Params: []wasm.ValType{abi.ptr, abi.ptr}},
-			Fn: func(inst *exec.Instance, args []uint64) ([]uint64, error) {
-				if rt.stdout != nil {
-					b, err := inst.ReadBytes(args[0]&abi.ptrMask, args[1]&abi.ptrMask)
-					if err != nil {
-						return nil, err
-					}
-					fmt.Fprintf(rt.stdout, "%s", b)
-				}
-				return nil, nil
-			},
-		})
-		l.Define(abi.module, "sink", exec.HostFunc{
-			Type: wasm.FuncType{Params: []wasm.ValType{abi.ptr}},
-			Fn:   func(_ *exec.Instance, _ []uint64) ([]uint64, error) { return nil, nil },
-		})
+		exec.Void1(hm, "sink", func(_ *exec.HostContext, _ exec.Ptr) error { return nil })
+		return hm
 	}
+	env := build(exec.NewHostModule("env"))
+	exec.Void1(env, "print_long", func(_ *exec.HostContext, v int64) error {
+		if rt.stdout != nil {
+			fmt.Fprintf(rt.stdout, "%d\n", v)
+		}
+		return nil
+	})
+	env32 := build(exec.NewHostModule("env32").Ptr32())
+	exec.Void1(env32, "print_long", func(_ *exec.HostContext, v int32) error {
+		if rt.stdout != nil {
+			fmt.Fprintf(rt.stdout, "%d\n", v)
+		}
+		return nil
+	})
+	return []*exec.HostModule{env, env32}
 }
 
 // Trap classification helpers for embedders.

@@ -75,6 +75,21 @@ func poolBudget(cfg Config) int {
 // allocator, stdio routing).
 func (e *Engine) Runtime() *Runtime { return e.rt }
 
+// NewHostModule creates an embedder host module named name and
+// registers it with the engine: every module instantiated by this
+// engine can import its functions. Define functions with the typed
+// adapters (HostFunc1, HostVoid2, ...) or the raw Func slot; a module
+// named "env" extends the built-in env surface, which is where MiniC
+// extern declarations resolve.
+//
+// Like the other configuration methods, it must be called before the
+// engine's first Call/Invoke of any module; afterwards it fails with
+// ErrEngineStarted (the host surface is frozen so resolved import
+// tables can be shared by pooled instances).
+func (e *Engine) NewHostModule(name string) (*HostModule, error) {
+	return e.rt.NewHostModule(name)
+}
+
 // ErrEngineStarted is returned by configuration methods called after
 // the engine has served its first invocation: pool parameters are fixed
 // once the first pool exists, so late mutation would race with (and be

@@ -75,10 +75,10 @@ func ExampleEngine_Call() {
 	// true
 }
 
-// ExampleEngine_Invoke serves repeated invocations through the engine:
-// the second CompileSource is a cache hit, and the invocations recycle
-// one pooled instance instead of re-instantiating.
-func ExampleEngine_Invoke() {
+// ExampleEngine serves repeated invocations through the engine: the
+// second CompileSource is a cache hit, and the invocations recycle one
+// pooled instance instead of re-instantiating.
+func ExampleEngine() {
 	const src = `
 		long fib(long n) {
 		    long a = 0; long b = 1;
@@ -98,11 +98,11 @@ func ExampleEngine_Invoke() {
 	}
 
 	for _, n := range []uint64{10, 20, 30} {
-		res, err := eng.Invoke(mod, "fib", n)
+		res, err := eng.Call(context.Background(), mod, "fib", []uint64{n})
 		if err != nil {
 			panic(err)
 		}
-		fmt.Println(res[0])
+		fmt.Println(res.Values[0])
 	}
 
 	s := eng.Stats()
@@ -113,4 +113,38 @@ func ExampleEngine_Invoke() {
 	// 6765
 	// 832040
 	// compiles: 1, instances spawned: 1, recycled: 3
+}
+
+// ExampleEngine_NewHostModule registers an embedder host module before
+// the engine's first call: the typed adapter derives the wasm import
+// signature from the Go function, and the MiniC extern resolves
+// against it.
+func ExampleEngine_NewHostModule() {
+	eng := cage.NewEngine(cage.FullHardening())
+	defer eng.Close()
+
+	hm, err := eng.NewHostModule("env")
+	if err != nil {
+		panic(err)
+	}
+	cage.HostFunc2(hm, "powi", func(_ *cage.HostContext, base, exp int64) (int64, error) {
+		r := int64(1)
+		for ; exp > 0; exp-- {
+			r *= base
+		}
+		return r, nil
+	})
+
+	mod, err := eng.CompileSource(`
+		extern long powi(long base, long exp);
+		long run(long n) { return powi(2, n) + powi(3, 2); }`)
+	if err != nil {
+		panic(err)
+	}
+	res, err := eng.Call(context.Background(), mod, "run", []uint64{10})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Values[0])
+	// Output: 1033
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,9 +52,9 @@ func run(name string, cfg cage.Config, inputLen uint64) {
 	if err != nil {
 		log.Fatalf("%s: instantiate: %v", name, err)
 	}
-	res, err := inst.Invoke("vulnerable", inputLen)
+	res, err := inst.Call(context.Background(), "vulnerable", []uint64{inputLen})
 	switch {
-	case err == nil && res[0] != 0:
+	case err == nil && res.Values[0] != 0:
 		fmt.Printf("%-28s control flow HIJACKED (grantRoot ran)\n", name+":")
 	case err == nil:
 		fmt.Printf("%-28s ran benignly\n", name+":")

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -53,15 +54,15 @@ func main() {
 		log.Fatalf("instantiate: %v", err)
 	}
 
-	res, err := inst.Invoke("checksum", 1000)
+	res, err := inst.Call(context.Background(), "checksum", []uint64{1000})
 	if err != nil {
 		log.Fatalf("checksum: %v", err)
 	}
-	fmt.Printf("checksum(1000) = %d\n", int64(res[0]))
+	fmt.Printf("checksum(1000) = %d\n", int64(res.Values[0]))
 
 	// Heap overflow: one byte past the allocation lands in the
 	// untagged allocator metadata slot and trips the tag check.
-	_, err = inst.Invoke("oops", 0)
+	_, err = inst.Call(context.Background(), "oops", []uint64{0})
 	if err == nil {
 		log.Fatal("the overflow went unnoticed!")
 	}

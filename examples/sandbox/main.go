@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,12 +53,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := inst.Invoke("work", uint64(i*10))
+		res, err := inst.Call(context.Background(), "work", []uint64{uint64(i * 10)})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  instance %d: work(%d) = %d (sandbox tag %d)\n",
-			i, i*10, int64(res[0]), inst.Raw().SandboxTag())
+			i, i*10, int64(res.Values[0]), inst.Raw().SandboxTag())
 	}
 
 	// Escape attempt: read far outside the linear memory. MTE catches
@@ -66,7 +67,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	_, err = inst.Invoke("poke", 1<<30)
+	_, err = inst.Call(context.Background(), "poke", []uint64{1 << 30})
 	if err == nil {
 		log.Fatal("sandbox escape succeeded!")
 	}
@@ -106,12 +107,11 @@ func buildBuggy(features core.Features, skipBounds bool) *wrapped {
 	if err != nil {
 		log.Fatal(err)
 	}
-	binding := &alloc.Binding{}
-	linker := exec.NewLinker()
-	binding.Register(linker)
+	host := &alloc.Host{}
 	inst, err := exec.NewInstance(m, exec.Config{
 		Features:         features,
-		Linker:           linker,
+		HostModules:      alloc.HostModules(),
+		HostData:         host,
 		Seed:             7,
 		SkipBoundsChecks: skipBounds,
 	})
@@ -119,7 +119,7 @@ func buildBuggy(features core.Features, skipBounds bool) *wrapped {
 		log.Fatal(err)
 	}
 	heapBase, _ := inst.GlobalValue("__heap_base")
-	binding.A, err = alloc.New(inst, heapBase)
+	host.A, err = alloc.New(inst, heapBase)
 	if err != nil {
 		log.Fatal(err)
 	}

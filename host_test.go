@@ -1,0 +1,319 @@
+package cage
+
+// Tests for the public host-module API: Engine.NewHostModule with the
+// typed adapters, the freeze-at-first-use contract, structured link
+// errors, interruption of blocking host calls through Engine.Call, and
+// a WASI round-trip through the public Memory view.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cage/internal/exec"
+	"cage/internal/wasm"
+)
+
+func TestEngineHostModuleTypedEndToEnd(t *testing.T) {
+	eng := NewEngine(FullHardening())
+	defer eng.Close()
+	hm, err := eng.NewHostModule("env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	HostFunc2(hm, "clamp", func(_ *HostContext, v, hi int64) (int64, error) {
+		if v > hi {
+			return hi, nil
+		}
+		return v, nil
+	})
+	mod, err := eng.CompileSource(`
+		extern long clamp(long v, long hi);
+		long run(long n) {
+		    long s = 0;
+		    for (long i = 0; i < n; i++) { s = s + clamp(i, 10); }
+		    return s;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Call(context.Background(), mod, "run", []uint64{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0+1+...+9 + 10*10 = 45 + 100.
+	if res.Values[0] != 145 {
+		t.Errorf("run = %d", res.Values[0])
+	}
+}
+
+func TestNewHostModuleAfterFirstCallFails(t *testing.T) {
+	eng := NewEngine(Baseline64())
+	defer eng.Close()
+	mod, err := eng.CompileSource(`long one(long x) { return 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Call(context.Background(), mod, "one", []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.NewHostModule("late"); !errors.Is(err, ErrEngineStarted) {
+		t.Errorf("NewHostModule after first Call = %v, want ErrEngineStarted", err)
+	}
+}
+
+func TestBlockingHostCallTimesOutWithTrapInterrupted(t *testing.T) {
+	// The acceptance scenario: a guest parked inside a blocking host
+	// function is interruptible — Engine.Call with WithTimeout returns
+	// TrapInterrupted, because the host observes the call context.
+	eng := NewEngine(Baseline64())
+	defer eng.Close()
+	hm, err := eng.NewHostModule("env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{}, 1)
+	HostFunc0(hm, "block", func(hc *HostContext) (int64, error) {
+		entered <- struct{}{}
+		<-hc.Context().Done() // a blocking syscall standing in
+		return 0, hc.Context().Err()
+	})
+	mod, err := eng.CompileSource(`
+		extern long block();
+		long run(long x) { return block(); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = eng.Call(context.Background(), mod, "run", []uint64{0},
+		WithTimeout(50*time.Millisecond))
+	if !IsInterrupted(err) {
+		t.Fatalf("blocking host call = %v, want interrupted", err)
+	}
+	var trap *exec.Trap
+	if !errors.As(err, &trap) || trap.Code != exec.TrapInterrupted {
+		t.Fatalf("err = %v, want TrapInterrupted trap", err)
+	}
+	select {
+	case <-entered:
+	default:
+		t.Fatal("host function never entered")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("interruption took %v", elapsed)
+	}
+	// The pooled instance survives for the next call.
+	if _, err := eng.Call(context.Background(), mod, "run", []uint64{0},
+		WithTimeout(20*time.Millisecond)); !IsInterrupted(err) {
+		t.Errorf("second call = %v, want interrupted", err)
+	}
+}
+
+func TestLinkErrorsThroughPublicAPI(t *testing.T) {
+	eng := NewEngine(FullHardening())
+	defer eng.Close()
+	missing, err := eng.CompileSource(`
+		extern long nosuch(long x);
+		long run(long x) { return nosuch(x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.Call(context.Background(), missing, "run", []uint64{1})
+	if !errors.Is(err, ErrUnresolvedImport) {
+		t.Fatalf("missing import = %v, want ErrUnresolvedImport", err)
+	}
+	var le *LinkError
+	if !errors.As(err, &le) || le.Module != "env" || le.Name != "nosuch" {
+		t.Fatalf("LinkError detail = %+v", le)
+	}
+
+	// The built-in env.sqrt is f64→f64; declaring it long→long must be
+	// a structured type mismatch.
+	eng2 := NewEngine(FullHardening())
+	defer eng2.Close()
+	mismatched, err := eng2.CompileSource(`
+		extern long sqrt(long x);
+		long run(long x) { return sqrt(x); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng2.Call(context.Background(), mismatched, "run", []uint64{1})
+	if !errors.Is(err, ErrImportTypeMismatch) {
+		t.Fatalf("mismatched import = %v, want ErrImportTypeMismatch", err)
+	}
+	if !errors.As(err, &le) || le.Name != "sqrt" {
+		t.Fatalf("LinkError detail = %+v", le)
+	}
+}
+
+func TestHostModuleRawSlot(t *testing.T) {
+	// The raw Func slot handles signatures the typed adapters do not.
+	eng := NewEngine(Baseline64())
+	defer eng.Close()
+	hm, err := eng.NewHostModule("env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm.Func("mix", FuncType{Params: []ValType{I64, I64}, Results: []ValType{I64}},
+		func(_ *HostContext, args []uint64) ([]uint64, error) {
+			return []uint64{args[0] ^ args[1]}, nil
+		})
+	mod, err := eng.CompileSource(`
+		extern long mix(long a, long b);
+		long run(long x) { return mix(x, 255); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Call(context.Background(), mod, "run", []uint64{0xF0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != 0x0F {
+		t.Errorf("mix = %#x", res.Values[0])
+	}
+}
+
+// wasiWriteModule builds a wasm64 module importing
+// wasi_snapshot_preview1.fd_write and exporting write(iovs, len,
+// nwritten) that forwards to it with fd=1.
+func wasiWriteModule() *wasm.Module {
+	m := &wasm.Module{}
+	tFd := m.AddType(wasm.FuncType{
+		Params:  []wasm.ValType{wasm.I32, wasm.I64, wasm.I64, wasm.I64},
+		Results: []wasm.ValType{wasm.I32},
+	})
+	tGo := m.AddType(wasm.FuncType{
+		Params:  []wasm.ValType{wasm.I64, wasm.I64, wasm.I64},
+		Results: []wasm.ValType{wasm.I32},
+	})
+	m.Imports = []wasm.Import{{Module: "wasi_snapshot_preview1", Name: "fd_write", TypeIdx: tFd}}
+	m.Mems = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}, Memory64: true}}
+	m.Funcs = []wasm.Function{{TypeIdx: tGo, Body: []wasm.Instr{
+		wasm.I32Const(1),
+		wasm.LocalGet(0), wasm.LocalGet(1), wasm.LocalGet(2),
+		wasm.Call(0), wasm.End(),
+	}}}
+	m.Exports = []wasm.Export{{Name: "write", Kind: wasm.ExportFunc, Idx: 1}}
+	return m
+}
+
+func TestWASIFdWriteRoundTripThroughMemoryView(t *testing.T) {
+	var out bytes.Buffer
+	rt := NewRuntime(Baseline64())
+	rt.SetStdio(&out, nil)
+	inst, err := rt.Instantiate(&Module{wasm: wasiWriteModule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	// Lay out "hello wasi" at 64 and an iovec {base=64, len=11} at 128.
+	mem := inst.Memory()
+	copy(mem[64:], "hello wasi\n")
+	raw := inst.Raw().HostContext(nil).Memory()
+	if err := raw.WriteU64(128, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.WriteU64(136, 11); err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Call(context.Background(), "write", []uint64{128, 1, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(res.Values[0]) != 0 {
+		t.Fatalf("fd_write errno = %d", int32(res.Values[0]))
+	}
+	if out.String() != "hello wasi\n" {
+		t.Errorf("stdout = %q", out.String())
+	}
+	n, err := raw.ReadU64(256)
+	if err != nil || n != 11 {
+		t.Errorf("nwritten = %d, %v", n, err)
+	}
+}
+
+func TestConcurrentCallsWithHostModule(t *testing.T) {
+	// Pooled instances share one resolved import table; hammer it from
+	// several goroutines to prove the snapshot (and the per-instance
+	// host state behind it) is race-free.
+	eng := NewEngine(FullHardening())
+	defer eng.Close()
+	hm, err := eng.NewHostModule("env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	HostFunc1(hm, "twice", func(_ *HostContext, v int64) (int64, error) { return 2 * v, nil })
+	mod, err := eng.CompileSource(`
+		extern char* malloc(long n);
+		extern long twice(long v);
+		long run(long n) {
+		    long* a = (long*)malloc(n * 8);
+		    long s = 0;
+		    for (long i = 0; i < n; i++) { a[i] = twice(i); s = s + a[i]; }
+		    return s;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := eng.Call(context.Background(), mod, "run", []uint64{50})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Values[0] != 2450 {
+					errs <- errors.New("wrong sum")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestHostStrParameter(t *testing.T) {
+	eng := NewEngine(FullHardening())
+	defer eng.Close()
+	var seen []string
+	var mu sync.Mutex
+	hm, err := eng.NewHostModule("env")
+	if err != nil {
+		t.Fatal(err)
+	}
+	HostVoid1(hm, "log_str", func(_ *HostContext, s HostStr) error {
+		mu.Lock()
+		seen = append(seen, string(s))
+		mu.Unlock()
+		return nil
+	})
+	mod, err := eng.CompileSource(`
+		extern void log_str(char* p, long n);
+		long run(long x) {
+		    log_str("host api", 8);
+		    return 0;
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Call(context.Background(), mod, "run", []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || !strings.Contains(seen[0], "host api") {
+		t.Errorf("log_str saw %q", seen)
+	}
+}

@@ -344,105 +344,133 @@ const (
 	HostModule32 = "cage_libc32"
 )
 
-// Binding lets host functions reach the allocator that is created after
-// the linker (the instance must exist first).
-type Binding struct {
+// Provider locates the instance's hardened allocator from the host
+// data attached to it (exec.Config.HostData / HostContext.Data). The
+// allocator is created after instantiation — it needs the instance's
+// __heap_base — so providers return nil until it is bound.
+type Provider interface {
+	HeapAllocator() *Allocator
+}
+
+// Host is the minimal Provider: embedders put a *Host in
+// exec.Config.HostData and fill A once the allocator exists.
+type Host struct {
 	A *Allocator
 }
 
-// Register installs malloc/free/calloc/realloc as host functions, in
-// both the wasm64 (HostModule) and wasm32 (HostModule32) ABI variants.
-func (b *Binding) Register(l *exec.Linker) {
-	b.register64(l)
-	b.register32(l)
+// HeapAllocator implements Provider.
+func (h *Host) HeapAllocator() *Allocator { return h.A }
+
+// allocatorOf resolves the calling instance's allocator.
+func allocatorOf(hc *exec.HostContext) (*Allocator, error) {
+	if p, ok := hc.Data().(Provider); ok {
+		if a := p.HeapAllocator(); a != nil {
+			return a, nil
+		}
+	}
+	return nil, errors.New("alloc: instance has no allocator bound (HostData must implement alloc.Provider)")
 }
 
-func (b *Binding) register64(l *exec.Linker) {
-	i64 := []wasm.ValType{wasm.I64}
-	i64i64 := []wasm.ValType{wasm.I64, wasm.I64}
-	l.Define(HostModule, "malloc", exec.HostFunc{
-		Type: wasm.FuncType{Params: i64, Results: i64},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			p, err := b.A.Malloc(args[0])
-			if err != nil {
-				return []uint64{0}, nil // C malloc reports failure as NULL
-			}
-			return []uint64{p}, nil
-		},
-	})
-	l.Define(HostModule, "calloc", exec.HostFunc{
-		Type: wasm.FuncType{Params: i64i64, Results: i64},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			p, err := b.A.Calloc(args[0], args[1])
-			if err != nil {
-				return []uint64{0}, nil
-			}
-			return []uint64{p}, nil
-		},
-	})
-	l.Define(HostModule, "realloc", exec.HostFunc{
-		Type: wasm.FuncType{Params: i64i64, Results: i64},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			p, err := b.A.Realloc(args[0], args[1])
-			if err != nil {
-				return []uint64{0}, nil
-			}
-			return []uint64{p}, nil
-		},
-	})
-	l.Define(HostModule, "free", exec.HostFunc{
-		Type: wasm.FuncType{Params: i64},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			// Invalid frees are memory-safety violations: trap, exactly
-			// as segment.free would (Fig. 11 eq. 10).
-			if err := b.A.Free(args[0]); err != nil {
-				return nil, err
-			}
-			return nil, nil
-		},
-	})
+// HostModules builds the hardened-libc host surface — malloc / calloc /
+// realloc / free in both the wasm64 (HostModule) and ILP32 wasm32
+// (HostModule32) ABI variants — on the typed host-module builder. The
+// functions reach the per-instance allocator through the host data, so
+// the modules themselves are stateless and one resolved import table
+// can serve every pooled instance.
+func HostModules() []*exec.HostModule {
+	return []*exec.HostModule{hostModule64(), hostModule32()}
 }
 
-// register32 is the ILP32 ABI of wasi-libc on wasm32: pointers and
+func hostModule64() *exec.HostModule {
+	hm := exec.NewHostModule(HostModule)
+	exec.Func1(hm, "malloc", func(hc *exec.HostContext, n uint64) (uint64, error) {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return 0, err
+		}
+		p, err := a.Malloc(n)
+		if err != nil {
+			return 0, nil // C malloc reports failure as NULL
+		}
+		return p, nil
+	})
+	exec.Func2(hm, "calloc", func(hc *exec.HostContext, n, size uint64) (uint64, error) {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return 0, err
+		}
+		p, err := a.Calloc(n, size)
+		if err != nil {
+			return 0, nil
+		}
+		return p, nil
+	})
+	exec.Func2(hm, "realloc", func(hc *exec.HostContext, p, n uint64) (uint64, error) {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return 0, err
+		}
+		q, err := a.Realloc(p, n)
+		if err != nil {
+			return 0, nil
+		}
+		return q, nil
+	})
+	exec.Void1(hm, "free", func(hc *exec.HostContext, p uint64) error {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return err
+		}
+		// Invalid frees are memory-safety violations: trap, exactly
+		// as segment.free would (Fig. 11 eq. 10).
+		return a.Free(p)
+	})
+	return hm
+}
+
+// hostModule32 is the ILP32 ABI of wasi-libc on wasm32: pointers and
 // sizes are i32.
-func (b *Binding) register32(l *exec.Linker) {
-	l.Define(HostModule32, "malloc", exec.HostFunc{
-		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32}, Results: []wasm.ValType{wasm.I32}},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			p, err := b.A.Malloc(args[0] & 0xFFFFFFFF)
-			if err != nil {
-				return []uint64{0}, nil
-			}
-			return []uint64{p & 0xFFFFFFFF}, nil
-		},
+func hostModule32() *exec.HostModule {
+	hm := exec.NewHostModule(HostModule32).Ptr32()
+	exec.Func1(hm, "malloc", func(hc *exec.HostContext, n uint32) (uint32, error) {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return 0, err
+		}
+		p, err := a.Malloc(uint64(n))
+		if err != nil {
+			return 0, nil
+		}
+		return uint32(p), nil
 	})
-	l.Define(HostModule32, "calloc", exec.HostFunc{
-		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			p, err := b.A.Calloc(args[0]&0xFFFFFFFF, args[1]&0xFFFFFFFF)
-			if err != nil {
-				return []uint64{0}, nil
-			}
-			return []uint64{p & 0xFFFFFFFF}, nil
-		},
+	exec.Func2(hm, "calloc", func(hc *exec.HostContext, n, size uint32) (uint32, error) {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return 0, err
+		}
+		p, err := a.Calloc(uint64(n), uint64(size))
+		if err != nil {
+			return 0, nil
+		}
+		return uint32(p), nil
 	})
-	l.Define(HostModule32, "realloc", exec.HostFunc{
-		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32, wasm.I32}, Results: []wasm.ValType{wasm.I32}},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			p, err := b.A.Realloc(args[0]&0xFFFFFFFF, args[1]&0xFFFFFFFF)
-			if err != nil {
-				return []uint64{0}, nil
-			}
-			return []uint64{p & 0xFFFFFFFF}, nil
-		},
+	exec.Func2(hm, "realloc", func(hc *exec.HostContext, p, n uint32) (uint32, error) {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return 0, err
+		}
+		q, err := a.Realloc(uint64(p), uint64(n))
+		if err != nil {
+			return 0, nil
+		}
+		return uint32(q), nil
 	})
-	l.Define(HostModule32, "free", exec.HostFunc{
-		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I32}},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			if err := b.A.Free(args[0] & 0xFFFFFFFF); err != nil {
-				return nil, err
-			}
-			return nil, nil
-		},
+	exec.Void1(hm, "free", func(hc *exec.HostContext, p uint32) error {
+		a, err := allocatorOf(hc)
+		if err != nil {
+			return err
+		}
+		return a.Free(uint64(p))
 	})
+	return hm
 }

@@ -77,6 +77,11 @@ const (
 	EvPACAuth
 	// EvMemGrow covers memory.grow.
 	EvMemGrow
+	// EvHost covers work performed inside host functions, reported
+	// explicitly via HostContext.ConsumeFuel: one event approximates one
+	// cycle of host-side work, so metered calls can account for time the
+	// guest spends on the other side of the sandbox boundary.
+	EvHost
 	// NumEvents is the table size.
 	NumEvents
 )
@@ -91,6 +96,7 @@ var eventNames = [...]string{
 	EvTagCheckLoad: "tagcheck_ld", EvTagCheckStore: "tagcheck_st",
 	EvIRG: "irg", EvADDG: "addg", EvSTGGranule: "stg_granule",
 	EvPACSign: "pac_sign", EvPACAuth: "pac_auth", EvMemGrow: "memgrow",
+	EvHost: "host",
 }
 
 // String returns the event's short name.
@@ -194,7 +200,7 @@ var (
 		EvBoundsCheck: 0.14, EvMask: 0.016,
 		EvTagCheckLoad: 0.012, EvTagCheckStore: 0.012,
 		EvIRG: 0.90, EvADDG: 0.50, EvSTGGranule: 1.20,
-		EvPACSign: 1.2, EvPACAuth: 1.5, EvMemGrow: 300,
+		EvPACSign: 1.2, EvPACAuth: 1.5, EvMemGrow: 300, EvHost: 1.0,
 	}
 	wasmCostsA715 = WasmCosts{
 		EvConst: 0.06, EvLocal: 0.06, EvGlobal: 0.20, EvALU: 0.22,
@@ -205,7 +211,7 @@ var (
 		EvBoundsCheck: 0.30, EvMask: 0.03,
 		EvTagCheckLoad: 0.05, EvTagCheckStore: 0.05,
 		EvIRG: 1.30, EvADDG: 0.27, EvSTGGranule: 2.00,
-		EvPACSign: 1.1, EvPACAuth: 1.4, EvMemGrow: 300,
+		EvPACSign: 1.1, EvPACAuth: 1.4, EvMemGrow: 300, EvHost: 1.1,
 	}
 	wasmCostsA510 = WasmCosts{
 		EvConst: 0.20, EvLocal: 0.25, EvGlobal: 0.55, EvALU: 0.60,
@@ -216,6 +222,6 @@ var (
 		EvBoundsCheck: 6.00, EvMask: 0.30,
 		EvTagCheckLoad: 0.25, EvTagCheckStore: 0.25,
 		EvIRG: 2.00, EvADDG: 0.45, EvSTGGranule: 2.50,
-		EvPACSign: 5.2, EvPACAuth: 8.2, EvMemGrow: 300,
+		EvPACSign: 5.2, EvPACAuth: 8.2, EvMemGrow: 300, EvHost: 2.0,
 	}
 )

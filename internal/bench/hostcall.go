@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cage/internal/codegen"
+	"cage/internal/exec"
+	"cage/internal/minicc"
+	"cage/internal/wasm"
+)
+
+// Host-call microbenchmark for the -json report: the per-crossing cost
+// of a guest→host call through the typed adapter vs the raw slot, the
+// same comparison BenchmarkHostCall makes under `go test -bench`.
+
+// HostCallRecord prices one guest→host crossing.
+type HostCallRecord struct {
+	// Calls is the number of host calls per measured guest invocation.
+	Calls int `json:"calls"`
+	// TypedNsPerCall is the per-call wall time with the typed adapter
+	// (signature derived from the Go function, args marshalled).
+	TypedNsPerCall float64 `json:"typed_ns_per_call"`
+	// RawNsPerCall is the per-call wall time with the raw uint64 slot.
+	RawNsPerCall float64 `json:"raw_ns_per_call"`
+}
+
+// hostCallSource loops n host calls through env.host_add.
+const hostCallSource = `
+extern long host_add(long a, long b);
+long run(long n) {
+    long s = 0;
+    for (long i = 0; i < n; i++) { s = host_add(s, i); }
+    return s;
+}`
+
+// measureHostCalls builds the loop module against the given env module
+// and times `rounds` invocations of run(calls), returning the best
+// per-call time.
+func measureHostCalls(env *exec.HostModule, calls, rounds int) (float64, error) {
+	file, err := minicc.Parse(hostCallSource)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		return 0, err
+	}
+	m, err := codegen.Compile(prog, codegen.Options{Wasm64: true})
+	if err != nil {
+		return 0, err
+	}
+	inst, err := exec.NewInstance(m, exec.Config{HostModules: []*exec.HostModule{env}})
+	if err != nil {
+		return 0, err
+	}
+	want := uint64(calls) * uint64(calls-1) / 2
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < rounds+1; r++ { // +1 warm-up round, not timed below
+		t0 := time.Now()
+		res, err := inst.Invoke("run", uint64(calls))
+		elapsed := time.Since(t0)
+		if err != nil {
+			return 0, err
+		}
+		if res[0] != want {
+			return 0, fmt.Errorf("bench: host_add sum = %d, want %d", res[0], want)
+		}
+		if r > 0 && elapsed < best {
+			best = elapsed
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(calls), nil
+}
+
+// MeasureHostCall runs the typed-vs-raw host-call comparison.
+func MeasureHostCall(quick bool) (*HostCallRecord, error) {
+	calls, rounds := 4096, 5
+	if quick {
+		calls, rounds = 512, 2
+	}
+	typedEnv := exec.NewHostModule("env")
+	exec.Func2(typedEnv, "host_add", func(_ *exec.HostContext, a, x int64) (int64, error) {
+		return a + x, nil
+	})
+	rawEnv := exec.NewHostModule("env")
+	rawEnv.Func("host_add",
+		wasm.FuncType{Params: []wasm.ValType{wasm.I64, wasm.I64}, Results: []wasm.ValType{wasm.I64}},
+		func(_ *exec.HostContext, args []uint64) ([]uint64, error) {
+			return []uint64{args[0] + args[1]}, nil
+		})
+	rec := &HostCallRecord{Calls: calls}
+	var err error
+	if rec.TypedNsPerCall, err = measureHostCalls(typedEnv, calls, rounds); err != nil {
+		return nil, err
+	}
+	if rec.RawNsPerCall, err = measureHostCalls(rawEnv, calls, rounds); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

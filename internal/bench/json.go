@@ -42,6 +42,10 @@ type JSONReport struct {
 	Schema  string         `json:"schema"`
 	Quick   bool           `json:"quick"`
 	Kernels []KernelRecord `json:"kernels"`
+	// HostCall prices one guest→host crossing (typed adapter vs raw
+	// slot); added with the public host-module API, omitted never —
+	// consumers of cage-bench/v1 tolerate new fields.
+	HostCall *HostCallRecord `json:"host_call,omitempty"`
 }
 
 // runKernelRecord instantiates kernel k under variant v and measures
@@ -93,6 +97,11 @@ func WriteJSON(w io.Writer, quick bool) error {
 			rep.Kernels = append(rep.Kernels, rec)
 		}
 	}
+	hostCall, err := MeasureHostCall(quick)
+	if err != nil {
+		return err
+	}
+	rep.HostCall = hostCall
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

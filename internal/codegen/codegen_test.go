@@ -36,14 +36,15 @@ func compile(t *testing.T, src string, opts Options) *wasm.Module {
 // instantiate runs a compiled module with the standard host surface.
 func instantiate(t *testing.T, m *wasm.Module, features core.Features) (*exec.Instance, *alloc.Allocator) {
 	t.Helper()
-	linker := exec.NewLinker()
-	binding := &alloc.Binding{}
-	binding.Register(linker)
-	linker.Define("env", "print_long", exec.HostFunc{
-		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I64}},
-		Fn:   func(_ *exec.Instance, _ []uint64) ([]uint64, error) { return nil, nil },
+	env := exec.NewHostModule("env")
+	exec.Void1(env, "print_long", func(_ *exec.HostContext, _ int64) error { return nil })
+	host := &alloc.Host{}
+	inst, err := exec.NewInstance(m, exec.Config{
+		Features:    features,
+		HostModules: append(alloc.HostModules(), env),
+		HostData:    host,
+		Seed:        17,
 	})
-	inst, err := exec.NewInstance(m, exec.Config{Features: features, Linker: linker, Seed: 17})
 	if err != nil {
 		t.Fatalf("instantiate: %v", err)
 	}
@@ -55,7 +56,7 @@ func instantiate(t *testing.T, m *wasm.Module, features core.Features) (*exec.In
 	if err != nil {
 		t.Fatal(err)
 	}
-	binding.A = a
+	host.A = a
 	return inst, a
 }
 

@@ -444,13 +444,12 @@ func spawnHardened(t *testing.T) func(context.Context) (Resetter, error) {
 	}
 	var seeds atomic.Uint64
 	return func(context.Context) (Resetter, error) {
-		binding := &alloc.Binding{}
-		linker := exec.NewLinker()
-		binding.Register(linker)
+		host := &alloc.Host{}
 		inst, err := exec.NewInstance(m, exec.Config{
-			Features: core.Features{MemSafety: true, MTEMode: mte.ModeSync},
-			Linker:   linker,
-			Seed:     seeds.Add(1),
+			Features:    core.Features{MemSafety: true, MTEMode: mte.ModeSync},
+			HostModules: alloc.HostModules(),
+			HostData:    host,
+			Seed:        seeds.Add(1),
 		})
 		if err != nil {
 			return nil, err
@@ -459,11 +458,11 @@ func spawnHardened(t *testing.T) func(context.Context) (Resetter, error) {
 		if !ok {
 			return nil, fmt.Errorf("module lacks __heap_base")
 		}
-		binding.A, err = alloc.New(inst, heapBase)
+		host.A, err = alloc.New(inst, heapBase)
 		if err != nil {
 			return nil, err
 		}
-		return &hardenedInstance{inst: inst, a: binding.A}, nil
+		return &hardenedInstance{inst: inst, a: host.A}, nil
 	}
 }
 

@@ -80,6 +80,28 @@ func (m *meter) check(ctr *arch.Counter) error {
 	return nil
 }
 
+// checkSync is check plus a direct ctx.Err() poll of every meter in
+// the chain. The atomic interrupted flag is set by a watcher goroutine
+// (context.AfterFunc), so immediately after a context fires there is a
+// window where the flag is not yet visible; at a host-call boundary —
+// where a blocking host function typically returns *because* the
+// context fired — that window must not let the guest resume, so the
+// boundary consults the contexts synchronously. Branch checkpoints in
+// the dispatch loop keep the cheap flag-only variant.
+func (m *meter) checkSync(ctr *arch.Counter) error {
+	if err := m.check(ctr); err != nil {
+		return err
+	}
+	for cur := m; cur != nil; cur = cur.parent {
+		if cur.ctx != nil {
+			if err := cur.ctx.Err(); err != nil {
+				return &Trap{Code: TrapInterrupted, Msg: "context done", Cause: err}
+			}
+		}
+	}
+	return nil
+}
+
 // InvokeWith calls an exported function under a context and per-call
 // bounds. It is the context-first core of the public invocation API:
 //
@@ -131,12 +153,15 @@ func (inst *Instance) InvokeWith(ctx context.Context, name string, args []uint64
 	// embedder) cannot leave the instance armed with a dead call's
 	// meter or overrides.
 	prevMeter := inst.meter
+	prevCtx := inst.callCtx
+	inst.callCtx = ctx // host functions see this via HostContext.Context
 	var stopWatch func() bool
 	defer func() {
 		if stopWatch != nil {
 			stopWatch()
 		}
 		inst.meter = prevMeter
+		inst.callCtx = prevCtx
 		inst.maxCallDepth = prevDepth
 		inst.memLimitPages = prevMemLimit
 	}()

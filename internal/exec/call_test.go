@@ -222,11 +222,11 @@ func TestNestedInvokeWithDoesNotMaskOuterDeadline(t *testing.T) {
 	linker := NewLinker()
 	linker.Define("env", "reenter", HostFunc{
 		Type: wasm.FuncType{},
-		Fn: func(inst *Instance, _ []uint64) ([]uint64, error) {
+		Fn: func(hc *HostContext, _ []uint64) ([]uint64, error) {
 			// A bounded-but-large inner budget: if the chain is broken
 			// the outer deadline is ignored until this runs dry, and the
 			// test observes the wrong trap code instead of hanging.
-			_, err := inst.InvokeWith(context.Background(), "spin", nil,
+			_, err := hc.Instance().InvokeWith(context.Background(), "spin", nil,
 				CallOptions{Fuel: 100_000_000})
 			return nil, err
 		},

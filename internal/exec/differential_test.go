@@ -25,10 +25,10 @@ import (
 // instance handle.
 func newKernelInstance(t testing.TB, m *wasm.Module, feats core.Features, ctr *arch.Counter) *exec.Instance {
 	t.Helper()
-	binding := &alloc.Binding{}
-	linker := polybench.NewLinker(binding)
+	host := &alloc.Host{}
 	inst, err := exec.NewInstance(m, exec.Config{
-		Features: feats, Linker: linker, Seed: 1234, Counter: ctr,
+		Features: feats, HostModules: polybench.HostModules(), HostData: host,
+		Seed: 1234, Counter: ctr,
 	})
 	if err != nil {
 		t.Fatalf("instantiate: %v", err)
@@ -37,7 +37,7 @@ func newKernelInstance(t testing.TB, m *wasm.Module, feats core.Features, ctr *a
 	if !ok {
 		t.Fatal("module lacks __heap_base")
 	}
-	binding.A, err = alloc.New(inst, heapBase)
+	host.A, err = alloc.New(inst, heapBase)
 	if err != nil {
 		t.Fatalf("allocator: %v", err)
 	}

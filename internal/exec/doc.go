@@ -29,6 +29,45 @@
 // degenerates to a single never-taken pointer test — the zero-cost nop
 // variant that keeps unmetered dispatch at full speed.
 //
+// # Host functions and the privilege model
+//
+// Host functions are defined in HostModules — typed adapters
+// (Func0..Func4, Void0..Void4) or raw slots — and linked either via
+// Config.HostModules or, for pooled engines, via a Config.Imports
+// snapshot resolved once per compiled module (ResolveImports). Link
+// failures are structured LinkErrors wrapping ErrUnresolvedImport /
+// ErrImportTypeMismatch. Every host function receives a HostContext:
+// the in-flight call's context, a Memory view, fuel accounting, and
+// re-entrant guest Call.
+//
+// Host code runs with runtime privileges, which draws a precise line
+// through the MTE machinery:
+//
+//   - Guest accesses (lowered loads/stores) are subject to the full
+//     sandbox: bounds or masking, and tag checks under MTE modes. A
+//     mismatch traps.
+//   - The HostContext Memory view accepts guest pointers (untagging
+//     them the way the address-lowering helpers do), enforces bounds
+//     against the guest-visible memory size, and charges the timing
+//     model — but performs no tag check. The host is the runtime: like
+//     the kernel servicing a syscall, it accesses memory under its own
+//     privilege, and a tag check against a guest-chosen tag would add
+//     no integrity (the host's bounds check is what keeps it inside
+//     the sandbox). This mirrors real MTE, where EL1 accesses are
+//     checked against TCF settings of the kernel, not the process.
+//   - The Instance.ReadBytes/WriteBytes/ReadU64/WriteU64 accessors take
+//     physical offsets with no untagging and no event accounting; they
+//     are for runtime subsystems (the hardened allocator's metadata
+//     walks) that already hold canonical addresses.
+//   - The HostSegment* wrappers go through the same segment semantics
+//     (and event accounting) as the guest's segment.* instructions, so
+//     allocator tagging behaves exactly like in-guest tagging.
+//
+// A blocking host function should select on HostContext.Context: when
+// the call's deadline fires, returning the context error makes the
+// guest trap with TrapInterrupted, and even a host function that
+// swallows the cancellation is caught by the post-host meter check.
+//
 // Paper map:
 //
 //   - NewInstance      — instantiation: linking, lowering, sandbox-tag

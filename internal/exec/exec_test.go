@@ -381,7 +381,7 @@ func TestHostFunctionCall(t *testing.T) {
 	l := NewLinker()
 	l.Define("env", "triple", HostFunc{
 		Type: wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}},
-		Fn: func(_ *Instance, args []uint64) ([]uint64, error) {
+		Fn: func(_ *HostContext, args []uint64) ([]uint64, error) {
 			return []uint64{args[0] * 3}, nil
 		},
 	})

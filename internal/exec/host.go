@@ -1,12 +1,19 @@
 package exec
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Host-side accessors used by runtime components (the hardened
 // allocator, WASI). Host code runs with runtime privileges: raw reads
 // and writes bypass MTE tag checks the way the runtime's own memory
 // accesses do, while the HostSegment* wrappers go through the same
-// segment semantics (and event accounting) as guest instructions.
+// segment semantics (and event accounting) as guest instructions. These
+// accessors take physical offsets and charge no timing-model events;
+// host functions handling guest-supplied pointers should use the
+// HostContext's Memory view instead, which untags pointers and accounts
+// its accesses.
 
 // HostSegmentNew performs segment.new on behalf of the runtime.
 func (inst *Instance) HostSegmentNew(ptr, length uint64) (uint64, error) {
@@ -29,12 +36,19 @@ func (inst *Instance) GrowMemory(deltaPages uint64) uint64 {
 	return inst.memoryGrow(deltaPages)
 }
 
-func (inst *Instance) hostRange(addr, n uint64) error {
-	if addr+n < addr || addr+n > inst.memSize {
+// checkHostRange is the one overflow-safe bounds check every host
+// accessor shares: it verifies [addr, addr+n) lies inside a memory of
+// size bytes without ever forming the possibly-wrapping sum addr+n.
+func checkHostRange(addr, n, size uint64) error {
+	if n > size || addr > size-n {
 		return fmt.Errorf("exec: host access [%#x, +%d) outside guest memory (%#x bytes)",
-			addr, n, inst.memSize)
+			addr, n, size)
 	}
 	return nil
+}
+
+func (inst *Instance) hostRange(addr, n uint64) error {
+	return checkHostRange(addr, n, inst.memSize)
 }
 
 // ReadU64 reads a little-endian u64 at addr with runtime privileges.
@@ -42,11 +56,7 @@ func (inst *Instance) ReadU64(addr uint64) (uint64, error) {
 	if err := inst.hostRange(addr, 8); err != nil {
 		return 0, err
 	}
-	var v uint64
-	for i := uint64(0); i < 8; i++ {
-		v |= uint64(inst.mem[addr+i]) << (8 * i)
-	}
-	return v, nil
+	return binary.LittleEndian.Uint64(inst.mem[addr:]), nil
 }
 
 // WriteU64 writes a little-endian u64 at addr with runtime privileges.
@@ -54,9 +64,7 @@ func (inst *Instance) WriteU64(addr, v uint64) error {
 	if err := inst.hostRange(addr, 8); err != nil {
 		return err
 	}
-	for i := uint64(0); i < 8; i++ {
-		inst.mem[addr+i] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(inst.mem[addr:], v)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -13,40 +14,29 @@ import (
 	"cage/internal/wasm"
 )
 
-// HostFunc is a function provided by the embedder (e.g. WASI or the
-// hardened allocator). Args and results are raw 64-bit value bits.
-type HostFunc struct {
-	Type wasm.FuncType
-	Fn   func(inst *Instance, args []uint64) ([]uint64, error)
-}
-
-// Linker resolves module imports to host functions.
-type Linker struct {
-	funcs map[string]HostFunc
-}
-
-// NewLinker creates an empty linker.
-func NewLinker() *Linker {
-	return &Linker{funcs: make(map[string]HostFunc)}
-}
-
-// Define registers a host function under module.name.
-func (l *Linker) Define(module, name string, fn HostFunc) {
-	l.funcs[module+"."+name] = fn
-}
-
-// Lookup resolves module.name.
-func (l *Linker) Lookup(module, name string) (HostFunc, bool) {
-	fn, ok := l.funcs[module+"."+name]
-	return fn, ok
-}
-
 // Config controls instantiation.
 type Config struct {
 	// Features selects the active Cage components (paper Table 3).
 	Features core.Features
-	// Linker resolves imports; nil means no imports allowed.
+	// HostModules is the host surface the module links against; with
+	// Imports and Linker nil, imports resolve against these modules
+	// (freezing them). Embedders outside internal/exec provide host
+	// functions exclusively this way (or pre-resolved via Imports).
+	HostModules []*HostModule
+	// Imports is an optional pre-resolved import table (ResolveImports),
+	// typically cached per compiled module so pooled instances share one
+	// snapshot instead of re-linking. It takes precedence over
+	// HostModules and Linker; NewInstance verifies it fits the module.
+	Imports *ImportTable
+	// Linker resolves imports when Imports is nil; nil with no
+	// HostModules means no imports allowed. Low-level: only this package
+	// (and its tests) construct Linkers.
 	Linker *Linker
+	// HostData is an arbitrary embedder value attached to the instance
+	// and reachable from every host function via HostContext.Data: the
+	// per-instance state (allocator binding, WASI system) that host
+	// closures must not capture once import tables are shared.
+	HostData any
 	// ProcessKey is the process-wide PAC key; zero value gets a
 	// deterministic default.
 	ProcessKey pac.Key
@@ -170,8 +160,16 @@ type Instance struct {
 	// an InvokeWith with a cancellable context or a fuel budget is in
 	// flight — the dispatch loop's checkpoints reduce to one nil test
 	// otherwise — and memLimitPages caps memory.grow for the call.
+	// callCtx is the in-flight call's context, handed to host functions
+	// through their HostContext (nil outside InvokeWith). All three are
+	// only touched by the goroutine driving the instance.
 	meter         *meter
 	memLimitPages uint64
+	callCtx       context.Context
+
+	// hostData is the embedder value host functions reach through
+	// HostContext.Data (Config.HostData).
+	hostData any
 
 	// StartupGranulesTagged records how many granules were tagged at
 	// instantiation (the §7.2 startup-cost experiment).
@@ -194,6 +192,7 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		counter:      cfg.Counter,
 		maxCallDepth: cfg.MaxCallDepth,
 		skipBounds:   cfg.SkipBoundsChecks,
+		hostData:     cfg.HostData,
 	}
 	if inst.counter == nil {
 		inst.counter = &arch.Counter{}
@@ -210,21 +209,29 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		}
 	}()
 
-	// Resolve imports.
-	for _, im := range m.Imports {
-		if cfg.Linker == nil {
-			return nil, fmt.Errorf("exec: unresolved import %s.%s (no linker)", im.Module, im.Name)
+	// Resolve imports: adopt the shared pre-resolved snapshot when the
+	// embedder cached one, otherwise link now (structured LinkErrors).
+	switch {
+	case cfg.Imports != nil:
+		if err := cfg.Imports.matches(m); err != nil {
+			return nil, err
 		}
-		fn, ok := cfg.Linker.Lookup(im.Module, im.Name)
-		if !ok {
-			return nil, fmt.Errorf("exec: unresolved import %s.%s", im.Module, im.Name)
+		inst.imports = cfg.Imports.funcs
+	default:
+		linker := cfg.Linker
+		if linker == nil {
+			linker = NewLinker()
+			for _, hm := range cfg.HostModules {
+				if err := linker.AddModule(hm); err != nil {
+					return nil, err
+				}
+			}
 		}
-		want := m.Types[im.TypeIdx]
-		if !fn.Type.Equal(want) {
-			return nil, fmt.Errorf("exec: import %s.%s: host type %v does not match %v",
-				im.Module, im.Name, fn.Type, want)
+		table, err := linker.Resolve(m)
+		if err != nil {
+			return nil, err
 		}
-		inst.imports = append(inst.imports, fn)
+		inst.imports = table.funcs
 	}
 
 	// Memory.
@@ -388,6 +395,16 @@ func (inst *Instance) initData() error {
 
 // Module returns the underlying module.
 func (inst *Instance) Module() *wasm.Module { return inst.module }
+
+// HostData returns the embedder value attached at instantiation
+// (Config.HostData), also reachable from host functions via
+// HostContext.Data.
+func (inst *Instance) HostData() any { return inst.hostData }
+
+// SetHostData replaces the instance's host data. It must not race an
+// in-flight invocation; embedders normally set it once via
+// Config.HostData and mutate the pointed-to state instead.
+func (inst *Instance) SetHostData(v any) { inst.hostData = v }
 
 // Program returns the lowered instruction stream the instance executes.
 func (inst *Instance) Program() *ir.Program { return inst.prog }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/bits"
@@ -29,16 +30,7 @@ func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 	defer func() { inst.depth-- }()
 
 	if int(fidx) < len(inst.imports) {
-		hf := inst.imports[fidx]
-		res, err := hf.Fn(inst, args)
-		if err != nil {
-			var t *Trap
-			if errors.As(err, &t) {
-				return nil, t
-			}
-			return nil, &Trap{Code: TrapHost, Msg: err.Error()}
-		}
-		return res, nil
+		return inst.callHost(int(fidx), args)
 	}
 	di := int(fidx) - len(inst.imports)
 	if di >= len(inst.prog.Funcs) {
@@ -52,6 +44,42 @@ func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 	locals := make([]uint64, fn.NumParams+fn.NumLocals)
 	copy(locals, args)
 	return inst.run(fn, locals)
+}
+
+// callHost crosses the sandbox boundary into an imported host
+// function. The host runs under a HostContext carrying the in-flight
+// call's context; on return, errors are classified:
+//
+//   - a *Trap propagates unchanged (so a re-entrant guest call's trap,
+//     or WASI's proc_exit, keeps its code);
+//   - a context error — a blocking host function that observed
+//     cancellation via HostContext.Context — becomes TrapInterrupted,
+//     exactly like a cancellation caught at a guest checkpoint;
+//   - anything else is a TrapHost.
+//
+// Even a successful host return re-polls the meter chain, so a
+// deadline that fired while the guest was parked inside the host traps
+// here instead of running guest code until the next branch.
+func (inst *Instance) callHost(idx int, args []uint64) ([]uint64, error) {
+	hf := inst.imports[idx]
+	hc := HostContext{inst: inst, ctx: inst.callCtx}
+	res, err := hf.Fn(&hc, args)
+	if err != nil {
+		var t *Trap
+		if errors.As(err, &t) {
+			return nil, t
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, &Trap{Code: TrapInterrupted, Msg: "during host call", Cause: err}
+		}
+		return nil, &Trap{Code: TrapHost, Msg: err.Error()}
+	}
+	if m := inst.meter; m != nil {
+		if err := m.checkSync(inst.counter); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // branchRepair applies a branch's precomputed stack repair: carry the

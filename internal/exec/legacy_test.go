@@ -121,7 +121,7 @@ func (lr *LegacyRunner) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 
 	if int(fidx) < len(inst.imports) {
 		hf := inst.imports[fidx]
-		res, err := hf.Fn(inst, args)
+		res, err := hf.Fn(&HostContext{inst: inst, ctx: inst.callCtx}, args)
 		if err != nil {
 			var t *Trap
 			if errors.As(err, &t) {

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"cage/internal/wasm"
+)
+
+// HostFunc is a function provided by the embedder (e.g. WASI or the
+// hardened allocator): a raw host slot. Args and results are raw 64-bit
+// value bits. Most embedders define host functions through HostModule's
+// typed adapters, which lower onto this form.
+type HostFunc struct {
+	Type wasm.FuncType
+	Fn   HostFn
+}
+
+// Link-failure sentinels, carried by LinkError and matchable with
+// errors.Is.
+var (
+	// ErrUnresolvedImport marks an import no host module provides.
+	ErrUnresolvedImport = errors.New("unresolved import")
+	// ErrImportTypeMismatch marks an import whose host signature does
+	// not match the module's declared type.
+	ErrImportTypeMismatch = errors.New("import type mismatch")
+)
+
+// LinkError is a structured instantiation-time link failure: which
+// import failed (module/name), what the guest required, and — for type
+// mismatches — what the host offered. It wraps ErrUnresolvedImport or
+// ErrImportTypeMismatch for errors.Is dispatch.
+type LinkError struct {
+	// Module and Name identify the failing import.
+	Module, Name string
+	// Want is the function type the guest module declares.
+	Want wasm.FuncType
+	// Have is the host function's type (zero for unresolved imports).
+	Have wasm.FuncType
+	// Err is ErrUnresolvedImport or ErrImportTypeMismatch.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *LinkError) Error() string {
+	if errors.Is(e.Err, ErrImportTypeMismatch) {
+		return fmt.Sprintf("exec: import %s.%s: host type %v does not match %v",
+			e.Module, e.Name, e.Have, e.Want)
+	}
+	return fmt.Sprintf("exec: unresolved import %s.%s (want %v)", e.Module, e.Name, e.Want)
+}
+
+// Unwrap exposes the sentinel to errors.Is.
+func (e *LinkError) Unwrap() error { return e.Err }
+
+// linkKey keys host functions by the (module, name) pair. A struct key
+// cannot collide the way the historical module+"."+name string did
+// (module "a.b"/func "c" vs module "a"/func "b.c").
+type linkKey struct {
+	module, name string
+}
+
+// Linker resolves module imports to host functions. It is the low-level
+// registry beneath HostModule: embedders outside this package assemble
+// HostModules and hand them to Config.HostModules or ResolveImports
+// instead of building Linkers. All methods are safe for concurrent use;
+// Define after instantiation is race-free (resolution snapshots into an
+// ImportTable, and lookups lock).
+type Linker struct {
+	mu    sync.RWMutex
+	funcs map[linkKey]HostFunc
+}
+
+// NewLinker creates an empty linker.
+func NewLinker() *Linker {
+	return &Linker{funcs: make(map[linkKey]HostFunc)}
+}
+
+// Define registers a host function under (module, name), replacing any
+// previous definition.
+func (l *Linker) Define(module, name string, fn HostFunc) {
+	l.mu.Lock()
+	l.funcs[linkKey{module, name}] = fn
+	l.mu.Unlock()
+}
+
+// AddModule merges a host module's functions into the linker and
+// freezes the module (its definition set is now part of resolved import
+// tables). Two modules sharing an import-module name may both
+// contribute — embedders extend "env" alongside the built-ins this way
+// — but defining the same (module, name) twice is an error.
+func (l *Linker) AddModule(hm *HostModule) error {
+	hm.Freeze()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, name := range hm.names {
+		k := linkKey{hm.name, name}
+		if _, dup := l.funcs[k]; dup {
+			return fmt.Errorf("exec: host function %s.%s defined twice", hm.name, name)
+		}
+		l.funcs[k] = hm.funcs[name]
+	}
+	return nil
+}
+
+// Lookup resolves (module, name).
+func (l *Linker) Lookup(module, name string) (HostFunc, bool) {
+	l.mu.RLock()
+	fn, ok := l.funcs[linkKey{module, name}]
+	l.mu.RUnlock()
+	return fn, ok
+}
+
+// ImportTable is a resolved import list for one module: the result of
+// linking, snapshotted so every instance of the module — pooled or
+// fresh — shares one immutable table instead of re-resolving (and
+// re-checking) each import per instantiation.
+type ImportTable struct {
+	funcs []HostFunc
+	types []wasm.FuncType
+}
+
+// Resolve links every import of m against the linker, returning the
+// snapshot or the first structured LinkError.
+func (l *Linker) Resolve(m *wasm.Module) (*ImportTable, error) {
+	t := &ImportTable{}
+	for _, im := range m.Imports {
+		want := m.Types[im.TypeIdx]
+		fn, ok := l.Lookup(im.Module, im.Name)
+		if !ok {
+			return nil, &LinkError{Module: im.Module, Name: im.Name, Want: want, Err: ErrUnresolvedImport}
+		}
+		if !fn.Type.Equal(want) {
+			return nil, &LinkError{Module: im.Module, Name: im.Name, Want: want, Have: fn.Type, Err: ErrImportTypeMismatch}
+		}
+		t.funcs = append(t.funcs, fn)
+		t.types = append(t.types, want)
+	}
+	return t, nil
+}
+
+// ResolveImports links m against the given host modules (freezing
+// them), returning the shareable import-table snapshot. It is the one
+// linking entry point for embedders: no Linker surfaces outside this
+// package.
+func ResolveImports(m *wasm.Module, mods ...*HostModule) (*ImportTable, error) {
+	l := NewLinker()
+	for _, hm := range mods {
+		if err := l.AddModule(hm); err != nil {
+			return nil, err
+		}
+	}
+	return l.Resolve(m)
+}
+
+// matches verifies the snapshot still fits module m (same import count
+// and types), guarding against a table cached for a different module.
+func (t *ImportTable) matches(m *wasm.Module) error {
+	if len(t.types) != len(m.Imports) {
+		return fmt.Errorf("exec: import table has %d entries, module declares %d imports",
+			len(t.types), len(m.Imports))
+	}
+	for i, im := range m.Imports {
+		if !t.types[i].Equal(m.Types[im.TypeIdx]) {
+			return fmt.Errorf("exec: import table entry %d (%s.%s) has type %v, module wants %v",
+				i, im.Module, im.Name, t.types[i], m.Types[im.TypeIdx])
+		}
+	}
+	return nil
+}

@@ -112,6 +112,7 @@ func (inst *Instance) ResetState(seed uint64) error {
 	// instance must be indistinguishable from a fresh one even if an
 	// embedder drove the instance in unexpected ways.
 	inst.meter = nil
+	inst.callCtx = nil
 	inst.memLimitPages = 0
 	return nil
 }

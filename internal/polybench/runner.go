@@ -34,21 +34,19 @@ func Build(k Kernel, opts codegen.Options) (*wasm.Module, error) {
 	return m, nil
 }
 
-// NewLinker builds the host surface the kernels need: the (possibly
+// HostModules builds the host surface the kernels need: the (possibly
 // hardened) allocator and libm-style helpers, for both pointer-width
 // ABIs.
-func NewLinker(binding *alloc.Binding) *exec.Linker {
-	l := exec.NewLinker()
-	binding.Register(l)
-	sqrtFn := exec.HostFunc{
-		Type: wasm.FuncType{Params: []wasm.ValType{wasm.F64}, Results: []wasm.ValType{wasm.F64}},
-		Fn: func(_ *exec.Instance, args []uint64) ([]uint64, error) {
-			return []uint64{exec.F64Bits(math.Sqrt(exec.F64Val(args[0])))}, nil
-		},
+func HostModules() []*exec.HostModule {
+	mods := alloc.HostModules()
+	sqrt := func(_ *exec.HostContext, x float64) (float64, error) {
+		return math.Sqrt(x), nil
 	}
-	l.Define("env", "sqrt", sqrtFn)
-	l.Define("env32", "sqrt", sqrtFn)
-	return l
+	env := exec.NewHostModule("env")
+	exec.Func1(env, "sqrt", sqrt)
+	env32 := exec.NewHostModule("env32").Ptr32()
+	exec.Func1(env32, "sqrt", sqrt)
+	return append(mods, env, env32)
 }
 
 // Instantiate builds a linked, allocator-bound instance of a compiled
@@ -57,13 +55,13 @@ func NewLinker(binding *alloc.Binding) *exec.Linker {
 // counter, when non-nil, accumulates lowered-code events for the
 // timing model.
 func Instantiate(m *wasm.Module, features core.Features, counter *arch.Counter) (*exec.Instance, *alloc.Allocator, error) {
-	binding := &alloc.Binding{}
-	linker := NewLinker(binding)
+	host := &alloc.Host{}
 	inst, err := exec.NewInstance(m, exec.Config{
-		Features: features,
-		Linker:   linker,
-		Seed:     1234,
-		Counter:  counter,
+		Features:    features,
+		HostModules: HostModules(),
+		HostData:    host,
+		Seed:        1234,
+		Counter:     counter,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -73,12 +71,12 @@ func Instantiate(m *wasm.Module, features core.Features, counter *arch.Counter) 
 		inst.Close()
 		return nil, nil, fmt.Errorf("polybench: module lacks __heap_base")
 	}
-	binding.A, err = alloc.New(inst, heapBase)
+	host.A, err = alloc.New(inst, heapBase)
 	if err != nil {
 		inst.Close()
 		return nil, nil, err
 	}
-	return inst, binding.A, nil
+	return inst, host.A, nil
 }
 
 // RunModule instantiates a compiled kernel and invokes run(n), returning

@@ -8,30 +8,29 @@ import (
 	"cage/internal/wasm"
 )
 
-// newInstance builds a bare wasm64 instance with the WASI surface.
+// newInstance builds a bare wasm64 instance with the WASI surface; the
+// *System itself is the host data (it implements Provider).
 func newInstance(t *testing.T, sys *System) *exec.Instance {
 	t.Helper()
-	l := exec.NewLinker()
-	sys.Register(l)
 	m := &wasm.Module{}
 	m.Mems = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1}, Memory64: true}}
-	inst, err := exec.NewInstance(m, exec.Config{Linker: l})
+	inst, err := exec.NewInstance(m, exec.Config{
+		HostModules: []*exec.HostModule{HostModule()},
+		HostData:    sys,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return inst
 }
 
-func call(t *testing.T, sys *System, inst *exec.Instance, name string, args ...uint64) []uint64 {
+func call(t *testing.T, inst *exec.Instance, name string, args ...uint64) []uint64 {
 	t.Helper()
-	// Resolve through a fresh linker for direct host invocation.
-	l := exec.NewLinker()
-	sys.Register(l)
-	hf, found := l.Lookup(Module, name)
+	hf, found := HostModule().Lookup(name)
 	if !found {
 		t.Fatalf("no wasi function %s", name)
 	}
-	res, err := hf.Fn(inst, args)
+	res, err := hf.Fn(inst.HostContext(nil), args)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
@@ -53,7 +52,7 @@ func TestFdWrite(t *testing.T) {
 	if err := inst.WriteU64(136, 5); err != nil {
 		t.Fatal(err)
 	}
-	res := call(t, sys, inst, "fd_write", 1, 128, 1, 256)
+	res := call(t, inst, "fd_write", 1, 128, 1, 256)
 	if res[0] != ErrnoSuccess {
 		t.Fatalf("fd_write errno %d", res[0])
 	}
@@ -72,7 +71,7 @@ func TestFdWrite(t *testing.T) {
 func TestFdWriteBadFd(t *testing.T) {
 	sys := New(nil, nil)
 	inst := newInstance(t, sys)
-	res := call(t, sys, inst, "fd_write", 7, 128, 0, 256)
+	res := call(t, inst, "fd_write", 7, 128, 0, 256)
 	if res[0] != ErrnoBadf {
 		t.Errorf("bad fd errno = %d, want %d", res[0], ErrnoBadf)
 	}
@@ -81,10 +80,8 @@ func TestFdWriteBadFd(t *testing.T) {
 func TestProcExit(t *testing.T) {
 	sys := New(nil, nil)
 	inst := newInstance(t, sys)
-	l := exec.NewLinker()
-	sys.Register(l)
-	hf, _ := l.Lookup(Module, "proc_exit")
-	_, err := hf.Fn(inst, []uint64{3})
+	hf, _ := HostModule().Lookup("proc_exit")
+	_, err := hf.Fn(inst.HostContext(nil), []uint64{3})
 	trap, ok := err.(*exec.Trap)
 	if !ok || trap.Code != exec.TrapExit || trap.ExitCode != 3 {
 		t.Errorf("proc_exit: got %v", err)
@@ -94,9 +91,9 @@ func TestProcExit(t *testing.T) {
 func TestClockMonotone(t *testing.T) {
 	sys := New(nil, nil)
 	inst := newInstance(t, sys)
-	call(t, sys, inst, "clock_time_get", 0, 0, 64)
+	call(t, inst, "clock_time_get", 0, 0, 64)
 	t1, _ := inst.ReadU64(64)
-	call(t, sys, inst, "clock_time_get", 0, 0, 64)
+	call(t, inst, "clock_time_get", 0, 0, 64)
 	t2, _ := inst.ReadU64(64)
 	if t2 <= t1 {
 		t.Errorf("clock not monotone: %d then %d", t1, t2)
@@ -107,7 +104,7 @@ func TestRandomGetDeterministic(t *testing.T) {
 	mk := func() []byte {
 		sys := New(nil, nil)
 		inst := newInstance(t, sys)
-		call(t, sys, inst, "random_get", 64, 16)
+		call(t, inst, "random_get", 64, 16)
 		b, _ := inst.ReadBytes(64, 16)
 		return b
 	}
@@ -126,13 +123,13 @@ func TestArgsRoundTrip(t *testing.T) {
 	sys.Args = []string{"prog", "x"}
 	inst := newInstance(t, sys)
 
-	call(t, sys, inst, "args_sizes_get", 64, 72)
+	call(t, inst, "args_sizes_get", 64, 72)
 	argc, _ := inst.ReadU64(64)
 	buflen, _ := inst.ReadU64(72)
 	if argc != 2 || buflen != uint64(len("prog")+1+len("x")+1) {
 		t.Fatalf("args_sizes_get = %d, %d", argc, buflen)
 	}
-	call(t, sys, inst, "args_get", 128, 256)
+	call(t, inst, "args_get", 128, 256)
 	p0, _ := inst.ReadU64(128)
 	b, _ := inst.ReadBytes(p0, 5)
 	if string(b) != "prog\x00" {
