@@ -23,9 +23,11 @@
 // consumed, and the timing-model event snapshot. Per-call options bound
 // the call: WithFuel meters it deterministically, WithTimeout /
 // WithDeadline interrupt it (in addition to whatever deadline or
-// cancellation ctx itself carries), WithStackDepth bounds recursion,
-// and WithMemoryLimit caps memory.grow. Invoke and InvokeF64 remain as
-// deprecated wrappers over Call with a background context.
+// cancellation ctx itself carries), WithStackDepth bounds recursion at
+// an exact frame count, WithValueStack bounds the execution arena in
+// words (both trap with TrapStackOverflow), and WithMemoryLimit caps
+// memory.grow. Invoke and InvokeF64 remain as deprecated wrappers over
+// Call with a background context.
 //
 // # Host modules
 //

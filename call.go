@@ -21,6 +21,7 @@ type CallOption func(*callSettings)
 type callSettings struct {
 	fuel        uint64
 	stackDepth  int
+	stackWords  uint64
 	memPages    uint64
 	timeout     time.Duration
 	deadline    time.Time
@@ -51,9 +52,21 @@ func WithDeadline(t time.Time) CallOption {
 }
 
 // WithStackDepth overrides the engine's recursion bound (default 1024
-// frames) for this call only.
+// frames) for this call only. The bound is exact: the frame machine
+// counts live activations — guest frames plus in-flight host crossings
+// — and the n+1'th frame traps with a deterministic TrapStackOverflow,
+// not a Go-recursion proxy.
 func WithStackDepth(n int) CallOption {
 	return func(s *callSettings) { s.stackDepth = n }
+}
+
+// WithValueStack caps the call's value arena — the contiguous slots
+// holding every live frame's parameters, locals, and operand stack — at
+// n 64-bit words (default 1<<22, 32 MiB), for this call only. Exceeding
+// the cap traps with TrapStackOverflow at an exact, deterministic
+// arena size, so guest recursion is bounded in bytes as well as frames.
+func WithValueStack(words uint64) CallOption {
+	return func(s *callSettings) { s.stackWords = words }
 }
 
 // WithMemoryLimit caps the guest memory size (in 64 KiB wasm pages)
@@ -96,6 +109,7 @@ func (s callSettings) execOptions() exec.CallOptions {
 	return exec.CallOptions{
 		Fuel:             s.fuel,
 		MaxCallDepth:     s.stackDepth,
+		MaxStackWords:    s.stackWords,
 		MemoryLimitPages: s.memPages,
 	}
 }

@@ -266,3 +266,26 @@ func TestInvokeDelegatesToCall(t *testing.T) {
 		t.Fatalf("Invoke(work, 100) = %v, want [4950]", res)
 	}
 }
+
+// TestCallValueStackOption: WithValueStack bounds the call's value
+// arena in words, per call, with an exact TrapStackOverflow.
+func TestCallValueStackOption(t *testing.T) {
+	eng := NewEngine(Baseline64())
+	defer eng.Close()
+	mod := compileCallTest(t, eng)
+
+	_, err := eng.Call(context.Background(), mod, "rec", []uint64{100}, WithValueStack(64))
+	var trap *exec.Trap
+	if !errors.As(err, &trap) || trap.Code != exec.TrapStackOverflow {
+		t.Fatalf("rec(100) under WithValueStack(64) = %v, want TrapStackOverflow", err)
+	}
+
+	// The override must not stick to the pooled instance.
+	res, err := eng.Call(context.Background(), mod, "rec", []uint64{100})
+	if err != nil {
+		t.Fatalf("rec(100) with default arena: %v", err)
+	}
+	if res.Values[0] != 100 {
+		t.Fatalf("rec(100) = %d, want 100", res.Values[0])
+	}
+}

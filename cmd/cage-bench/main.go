@@ -1,9 +1,11 @@
 // Command cage-bench regenerates the paper's tables and figures.
 //
 // With -json it instead emits one machine-readable document (schema
-// cage-bench/v1) with per-kernel wall time, timing-model event counts,
-// and fuel consumed for every Table 3 variant — the format CI archives
-// as a perf-trajectory artifact.
+// cage-bench/v2) with per-kernel wall time, timing-model event counts,
+// and fuel consumed for every Table 3 variant, plus host-call and
+// guest-call microbenchmark records — the format CI archives as a
+// perf-trajectory artifact. v2 is a superset of v1; see
+// internal/bench.JSONSchema for the compatibility note.
 //
 // Usage:
 //

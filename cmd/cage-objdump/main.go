@@ -4,10 +4,13 @@
 // With -lowered it additionally disassembles the internal/ir program
 // the interpreter actually executes — absolute-PC branches, specialized
 // memory opcodes, PAC nop variants — as lowered for the chosen
-// configuration. That is the form in which interrupt-check placement is
-// audited: every br/br_if/br_table in the lowered stream (the superset
-// of loop back-edges) and every call/call_indirect is a cancellation
-// and fuel checkpoint of the context-first Call API.
+// configuration, with each function's frame layout: the FrameSize the
+// frame machine reserves in the value arena and the slot ranges for
+// params, declared locals, and the operand stack. That is the form in
+// which interrupt-check placement is audited: every br/br_if/br_ifz/
+// br_table taken edge in the lowered stream (the superset of loop
+// back-edges) and every call/call_indirect is a cancellation and fuel
+// checkpoint of the context-first Call API.
 //
 // Usage:
 //
@@ -66,8 +69,13 @@ func main() {
 	numImports := len(m.Imports)
 	for i := range prog.Funcs {
 		fn := &prog.Funcs[i]
-		fmt.Printf(";; func[%d] params=%d results=%d locals=%d maxstack=%d\n",
-			numImports+i, fn.NumParams, fn.NumResults, fn.NumLocals, fn.MaxStack)
+		fmt.Printf(";; func[%d] params=%d results=%d locals=%d maxstack=%d framesize=%d\n",
+			numImports+i, fn.NumParams, fn.NumResults, fn.NumLocals, fn.MaxStack, fn.FrameSize)
+		// The frame machine's slot layout: one activation occupies
+		// FrameSize contiguous arena slots — params, declared locals,
+		// then the operand stack.
+		fmt.Printf(";;   frame: slots [0,%d) params | [%d,%d) locals | [%d,%d) operand stack\n",
+			fn.NumParams, fn.NumParams, fn.StackBase(), fn.StackBase(), fn.FrameSize)
 		for pc, in := range fn.Code {
 			fmt.Printf("  %4d: %s\n", pc, in)
 		}

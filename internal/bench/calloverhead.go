@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cage/internal/codegen"
+	"cage/internal/exec"
+	"cage/internal/minicc"
+)
+
+// Call-overhead microbenchmarks for the -json report: the per-call cost
+// of guest→guest calls under the frame machine, measured on kernels
+// where call discipline — not loops or memory — dominates. Two shapes:
+// recursive fib (an exponential call tree whose frames stack and unwind
+// constantly) and mutual recursion (a deep alternating call chain).
+// These are the workloads the frame machine's zero-allocation, in-place
+// parameter frames exist for.
+
+// CallOverheadRecord prices guest→guest call overhead.
+type CallOverheadRecord struct {
+	// FibN is the fib argument; FibCalls the calls one run(n) makes.
+	FibN     int   `json:"fib_n"`
+	FibCalls int64 `json:"fib_calls"`
+	// FibNsPerCall is the best-of-rounds wall time per guest→guest call
+	// in the fib tree.
+	FibNsPerCall float64 `json:"fib_ns_per_call"`
+	// MutualN is the recursion depth; MutualCalls the calls per run(n).
+	MutualN     int   `json:"mutual_n"`
+	MutualCalls int64 `json:"mutual_calls"`
+	// MutualNsPerCall is the best-of-rounds wall time per call of the
+	// alternating is_even/is_odd chain.
+	MutualNsPerCall float64 `json:"mutual_ns_per_call"`
+}
+
+// fibSource is the recursive-fib kernel.
+const fibSource = `
+long fib(long n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+long run(long n) { return fib(n); }`
+
+// mutualSource is the mutual-recursion kernel.
+const mutualSource = `
+long is_odd(long n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+long is_even(long n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+long run(long n) { return is_even(n); }`
+
+// fibCalls counts the guest→guest calls run(n) makes: one call to fib
+// per node of the call tree, plus the run→fib entry itself.
+func fibCalls(n int) int64 {
+	memo := make(map[int]int64)
+	var nodes func(int) int64
+	nodes = func(k int) int64 {
+		if k < 2 {
+			return 1
+		}
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := 1 + nodes(k-1) + nodes(k-2)
+		memo[k] = v
+		return v
+	}
+	return nodes(n)
+}
+
+// compileCallKernel builds a wasm64 module from MiniC source. maxDepth
+// sizes the frame machine's exact activation bound for the kernel's
+// recursion (0 keeps the 1024-frame default) — the deep mutual chain
+// deliberately exceeds the default to showcase that frame towers live
+// in the value arena, not the Go stack.
+func compileCallKernel(src string, maxDepth int) (*exec.Instance, error) {
+	file, err := minicc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		return nil, err
+	}
+	m, err := codegen.Compile(prog, codegen.Options{Wasm64: true})
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewInstance(m, exec.Config{MaxCallDepth: maxDepth})
+}
+
+// measurePerCall times `rounds` invocations of run(n) and returns the
+// best wall time divided by the number of guest→guest calls one run
+// performs. An untimed warm-up round lets the frame machine's arena and
+// frame stack reach steady state first.
+func measurePerCall(inst *exec.Instance, n uint64, calls int64, want uint64, rounds int) (float64, error) {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < rounds+1; r++ {
+		t0 := time.Now()
+		res, err := inst.Invoke("run", n)
+		elapsed := time.Since(t0)
+		if err != nil {
+			return 0, err
+		}
+		if res[0] != want {
+			return 0, fmt.Errorf("bench: run(%d) = %d, want %d", n, res[0], want)
+		}
+		if r > 0 && elapsed < best {
+			best = elapsed
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(calls), nil
+}
+
+// MeasureCallOverhead runs the guest→guest call microbenchmarks.
+func MeasureCallOverhead(quick bool) (*CallOverheadRecord, error) {
+	fibN, mutualN, rounds := 22, 100_000, 5
+	if quick {
+		fibN, mutualN, rounds = 16, 512, 2
+	}
+	rec := &CallOverheadRecord{
+		FibN:     fibN,
+		FibCalls: fibCalls(fibN),
+		MutualN:  mutualN,
+		// run→is_even, then one call per decrement down to zero.
+		MutualCalls: int64(mutualN) + 1,
+	}
+
+	fib, err := compileCallKernel(fibSource, 0)
+	if err != nil {
+		return nil, err
+	}
+	fibWant := uint64(fibRef(fibN))
+	if rec.FibNsPerCall, err = measurePerCall(fib, uint64(fibN), rec.FibCalls, fibWant, rounds); err != nil {
+		return nil, err
+	}
+
+	// run + is_even(n) + the n alternating activations below it.
+	mutual, err := compileCallKernel(mutualSource, mutualN+16)
+	if err != nil {
+		return nil, err
+	}
+	// is_even(n) with even n is 1.
+	mutualWant := uint64(1 - mutualN%2)
+	if rec.MutualNsPerCall, err = measurePerCall(mutual, uint64(mutualN), rec.MutualCalls, mutualWant, rounds); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// fibRef is the reference fibonacci value.
+func fibRef(n int) int64 {
+	a, b := int64(0), int64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}

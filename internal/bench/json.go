@@ -18,7 +18,15 @@ import (
 
 // JSONSchema identifies the record layout; bump it when fields change
 // incompatibly.
-const JSONSchema = "cage-bench/v1"
+//
+// v2 (frame-machine PR): adds the call_overhead record pricing
+// guest→guest calls. Every cage-bench/v1 field is carried over
+// unchanged — v1 consumers that tolerate unknown fields (the documented
+// v1 contract) can read v2 documents as-is; the schema string is bumped
+// because trajectory tooling keys comparisons on it and per-call
+// numbers measured before the frame machine are not comparable after
+// it.
+const JSONSchema = "cage-bench/v2"
 
 // KernelRecord is one kernel × variant measurement.
 type KernelRecord struct {
@@ -46,6 +54,9 @@ type JSONReport struct {
 	// slot); added with the public host-module API, omitted never —
 	// consumers of cage-bench/v1 tolerate new fields.
 	HostCall *HostCallRecord `json:"host_call,omitempty"`
+	// CallOverhead prices one guest→guest call (recursive fib and
+	// mutual-recursion kernels); added with cage-bench/v2.
+	CallOverhead *CallOverheadRecord `json:"call_overhead,omitempty"`
 }
 
 // runKernelRecord instantiates kernel k under variant v and measures
@@ -102,6 +113,11 @@ func WriteJSON(w io.Writer, quick bool) error {
 		return err
 	}
 	rep.HostCall = hostCall
+	callOverhead, err := MeasureCallOverhead(quick)
+	if err != nil {
+		return err
+	}
+	rep.CallOverhead = callOverhead
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

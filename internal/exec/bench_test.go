@@ -7,6 +7,7 @@ import (
 	"cage/internal/codegen"
 	"cage/internal/core"
 	"cage/internal/exec"
+	"cage/internal/minicc"
 	"cage/internal/polybench"
 )
 
@@ -61,5 +62,73 @@ func BenchmarkLoweredVsLegacy(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkCallOverhead is the before/after of the frame machine on
+// call-dominated workloads: recursive fib (exponential call tree) and
+// mutual recursion (deep alternating call chain), under the legacy
+// recursive interpreter — which pays Go's call stack and a fresh
+// locals/args/results allocation per call — and under the frame
+// machine's contiguous-arena, zero-allocation call path. The
+// call_overhead record of cage-bench -json reports the same kernels.
+func BenchmarkCallOverhead(b *testing.B) {
+	// The kernels are the differential suite's call kernels
+	// (callKernelSources, differential_test.go) minus "deep" — fib and
+	// mutual are the overhead-dominated shapes worth timing.
+	for _, k := range callKernelSources {
+		if k.name == "deep" {
+			continue
+		}
+		file, err := minicc.Parse(k.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := minicc.Analyze(file, minicc.Layout64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := codegen.Compile(prog, codegen.Options{Wasm64: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(k.name+"/legacy", func(b *testing.B) {
+			inst, err := exec.NewInstance(m, exec.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			lr, err := exec.NewLegacyRunner(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := lr.Invoke("run", k.arg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res[0] != k.want {
+					b.Fatalf("run(%d) = %d, want %d", k.arg, res[0], k.want)
+				}
+			}
+		})
+		b.Run(k.name+"/framemachine", func(b *testing.B) {
+			inst, err := exec.NewInstance(m, exec.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := inst.Invoke("run", k.arg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res[0] != k.want {
+					b.Fatalf("run(%d) = %d, want %d", k.arg, res[0], k.want)
+				}
+			}
+		})
 	}
 }

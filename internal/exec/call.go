@@ -19,8 +19,16 @@ type CallOptions struct {
 	// traps with TrapFuelExhausted at the same guest instruction.
 	Fuel uint64
 	// MaxCallDepth overrides the instance's recursion bound for this
-	// call only; 0 keeps the instance default.
+	// call only; 0 keeps the instance default. The bound is an exact
+	// frame count — live guest frames plus in-flight host crossings —
+	// enforced by the frame machine with TrapStackOverflow, not a
+	// Go-recursion proxy.
 	MaxCallDepth int
+	// MaxStackWords overrides the instance's value-arena bound (64-bit
+	// words across every live frame's params, locals, and operand stack)
+	// for this call only; 0 keeps the instance default. Exceeding it
+	// traps with TrapStackOverflow.
+	MaxStackWords uint64
 	// MemoryLimitPages caps the guest memory size (in 64 KiB pages) that
 	// memory.grow may reach during this call, on top of the module's own
 	// declared maximum; 0 means no per-call cap. A grow beyond the cap
@@ -139,6 +147,10 @@ func (inst *Instance) InvokeWith(ctx context.Context, name string, args []uint64
 	if opts.MaxCallDepth > 0 {
 		inst.maxCallDepth = opts.MaxCallDepth
 	}
+	prevStackWords := inst.maxStackWords
+	if opts.MaxStackWords > 0 {
+		inst.maxStackWords = opts.MaxStackWords
+	}
 	prevMemLimit := inst.memLimitPages
 	if opts.MemoryLimitPages > 0 {
 		inst.memLimitPages = opts.MemoryLimitPages
@@ -163,6 +175,7 @@ func (inst *Instance) InvokeWith(ctx context.Context, name string, args []uint64
 		inst.meter = prevMeter
 		inst.callCtx = prevCtx
 		inst.maxCallDepth = prevDepth
+		inst.maxStackWords = prevStackWords
 		inst.memLimitPages = prevMemLimit
 	}()
 	if ctx.Done() != nil || opts.Fuel > 0 {

@@ -15,6 +15,7 @@ import (
 	"cage/internal/codegen"
 	"cage/internal/core"
 	"cage/internal/exec"
+	"cage/internal/minicc"
 	"cage/internal/mte"
 	"cage/internal/polybench"
 	"cage/internal/wasm"
@@ -121,6 +122,168 @@ func TestLoweredMatchesLegacyOnPolybench(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// callKernelSources are call-heavy and deep-recursion programs for the
+// frame-machine differential suite: recursive fib (exponential call
+// tree), mutual recursion (call chains alternating between functions),
+// and deep linear recursion (hundreds of simultaneously live frames —
+// the arena keeps growing while the legacy oracle recurses through the
+// Go stack). Each must produce identical results, traps, and arch-event
+// counts under both executors.
+var callKernelSources = []struct {
+	name string
+	src  string
+	arg  uint64
+	want uint64
+}{
+	{"fib", `
+long fib(long n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+long run(long n) { return fib(n); }`, 18, 2584},
+	{"mutual", `
+long is_odd(long n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+long is_even(long n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+long run(long n) { return is_even(n); }`, 601, 0},
+	{"deep", `
+long deep(long n) {
+    if (n == 0) { return 0; }
+    return deep(n - 1) + 1;
+}
+long run(long n) { return deep(n); }`, 900, 900},
+}
+
+// TestFrameMachineMatchesLegacyOnCallKernels is the call-path half of
+// the differential suite: where the polybench kernels exercise loops
+// and memory, these kernels exercise the frame machine's call/return
+// discipline (in-place parameter frames, result slides, deep frame
+// towers) against the legacy recursive interpreter, across the same
+// four configurations.
+func TestFrameMachineMatchesLegacyOnCallKernels(t *testing.T) {
+	configs := []struct {
+		name  string
+		opts  codegen.Options
+		feats core.Features
+	}{
+		{"baseline64", codegen.Options{Wasm64: true}, core.Features{}},
+		{"memsafety", codegen.Options{Wasm64: true, StackSanitizer: true},
+			core.Features{MemSafety: true, MTEMode: mte.ModeSync}},
+		{"sandbox", codegen.Options{Wasm64: true},
+			core.Features{Sandbox: true, MTEMode: mte.ModeSync}},
+		{"full-cage", codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true},
+			core.CageAll()},
+	}
+	for _, k := range callKernelSources {
+		for _, cfg := range configs {
+			t.Run(k.name+"/"+cfg.name, func(t *testing.T) {
+				file, err := minicc.Parse(k.src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := minicc.Analyze(file, minicc.Layout64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := codegen.Compile(prog, cfg.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var ctrLow arch.Counter
+				low, err := exec.NewInstance(m, exec.Config{Features: cfg.feats, Seed: 99, Counter: &ctrLow})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lowRes, lowErr := low.Invoke("run", k.arg)
+
+				var ctrLeg arch.Counter
+				leg, err := exec.NewInstance(m, exec.Config{Features: cfg.feats, Seed: 99, Counter: &ctrLeg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lr, err := exec.NewLegacyRunner(leg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				legRes, legErr := lr.Invoke("run", k.arg)
+
+				if (lowErr == nil) != (legErr == nil) {
+					t.Fatalf("error mismatch: frame machine=%v legacy=%v", lowErr, legErr)
+				}
+				if lowErr != nil {
+					t.Fatalf("kernel failed under both executors: %v", lowErr)
+				}
+				if lowRes[0] != k.want || legRes[0] != k.want {
+					t.Fatalf("results: frame machine=%d legacy=%d, want %d", lowRes[0], legRes[0], k.want)
+				}
+				for ev := arch.Event(0); ev < arch.NumEvents; ev++ {
+					if ctrLow.Get(ev) != ctrLeg.Get(ev) {
+						t.Errorf("event %v: frame machine=%d legacy=%d", ev, ctrLow.Get(ev), ctrLeg.Get(ev))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFrameMachineMatchesLegacyStackOverflow: both executors must trap
+// runaway recursion with the same code at the same exact depth.
+func TestFrameMachineMatchesLegacyStackOverflow(t *testing.T) {
+	src := callKernelSources[2].src // deep
+	file, err := minicc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := codegen.Compile(prog, codegen.Options{Wasm64: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 64
+	low, err := exec.NewInstance(m, exec.Config{MaxCallDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, err := exec.NewInstance(m, exec.Config{MaxCallDepth: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := exec.NewLegacyRunner(leg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the deepest argument the frame machine accepts, then require
+	// the legacy oracle to agree on both sides of the boundary.
+	deepest := -1
+	for n := 0; n < depth+2; n++ {
+		if _, err := low.Invoke("run", uint64(n)); err != nil {
+			if !exec.IsTrap(err, exec.TrapStackOverflow) {
+				t.Fatalf("run(%d) = %v, want TrapStackOverflow", n, err)
+			}
+			deepest = n - 1
+			break
+		}
+	}
+	if deepest < 0 {
+		t.Fatal("depth bound never tripped")
+	}
+	if _, err := lr.Invoke("run", uint64(deepest)); err != nil {
+		t.Fatalf("legacy disagrees below the boundary: run(%d) = %v", deepest, err)
+	}
+	if _, err := lr.Invoke("run", uint64(deepest+1)); !exec.IsTrap(err, exec.TrapStackOverflow) {
+		t.Fatalf("legacy disagrees above the boundary: run(%d) = %v", deepest+1, err)
 	}
 }
 

@@ -5,13 +5,47 @@
 // indirect calls (Figs. 9–11), and instruction-event accounting for the
 // timing model.
 //
+// # The frame machine
+//
 // Execution runs over the lowered form of internal/ir: NewInstance
-// lowers the module's functions once (or adopts a cached ir.Program
-// via Config.Program) and Invoke drives a flat dispatch loop with
-// pre-resolved branches and mode-specialized memory opcodes — the
-// sandboxing strategy is baked into the instruction stream at lower
-// time, so the hot path never branches on it. Each lowered opcode
-// reports its fixed cost events, keeping the arch timing model exact.
+// lowers the module's functions once (or adopts a cached ir.Program via
+// Config.Program), and invocation drives a frame machine (frame.go) —
+// one flat dispatch loop over a single reusable per-instance value
+// arena. Each lowered function carries a FrameSize computed at lower
+// time, and one activation occupies exactly that many contiguous
+// []uint64 slots: parameters, declared locals, then the operand stack.
+//
+// Guest→guest calls never recurse through Go and never allocate. A call
+// pushes a typed frame record and opens the callee's frame at the
+// caller's operand-stack top, so the arguments already sit in the
+// callee's parameter slots — no copy; a return slides the results down
+// over the dead frame, landing exactly where the caller expects its
+// stack top. The arena and the frame-record stack retain their capacity
+// across calls and across Reset, which makes the pooled
+// checkout→call→checkin cycle steady-state allocation-free (CI gates
+// this with testing.AllocsPerRun), and deep wasm recursion consumes
+// arena slots, not Go stack.
+//
+// The resource bounds are exact: MaxCallDepth counts live activations
+// (guest frames plus in-flight host crossings) and MaxStackWords counts
+// arena slots, and exceeding either traps with TrapStackOverflow at a
+// deterministic frame count and size — not whenever Go's stack happens
+// to run out. Both have per-call overrides (CallOptions).
+//
+// Go recursion and allocation survive only at the sandbox boundary:
+// invoke copies the embedder's args into the entry frame and the
+// results back out, and each such entry is a re-entry barrier — a host
+// function that re-enters the guest through HostContext.Call stacks its
+// frames above the live arena top, and the barrier state is restored
+// however the inner run unwinds, so the outer activation always
+// resumes intact.
+//
+// Branches carry absolute target PCs and precomputed stack repair, the
+// sandboxing strategy is baked into mode-specialized memory opcodes at
+// lower time, and each opcode reports its fixed cost events, keeping
+// the arch timing model exact — the legacy-oracle differential suite
+// holds the frame machine to identical results, traps, and event
+// counts.
 //
 // # Interruption points
 //
@@ -19,8 +53,8 @@
 // meter carrying an atomic interrupt flag (set by a context watcher
 // goroutine) and a fuel limit measured in timing-model events. The
 // dispatch loop polls the meter at every taken branch — br, taken
-// br_if, br_table, the superset of loop back-edges — and at every
-// function-call entry, so a guest infinite loop or runaway recursion is
+// br_if, taken br_ifz, br_table, the superset of loop back-edges — and
+// at every call, so a guest infinite loop or runaway recursion is
 // reached within one iteration. A tripped checkpoint unwinds with
 // TrapInterrupted (wrapping ctx.Err()) or TrapFuelExhausted; like any
 // trap, the unwind leaves the instance resettable, so pooled engines
@@ -38,7 +72,9 @@
 // failures are structured LinkErrors wrapping ErrUnresolvedImport /
 // ErrImportTypeMismatch. Every host function receives a HostContext:
 // the in-flight call's context, a Memory view, fuel accounting, and
-// re-entrant guest Call.
+// re-entrant guest Call. The args slice a host function receives is a
+// view of the caller's operand-stack slots in the arena — valid for the
+// duration of the host call, exactly like the HostContext itself.
 //
 // Host code runs with runtime privileges, which draws a precise line
 // through the MTE machinery:
@@ -79,9 +115,11 @@
 //     and memory bounds
 //   - Instance.Reset   — instance recycling for pooled engines: restores
 //     the freshly-instantiated state (memory, tags, PAC modifier)
-//     without re-paying validation and precompilation
+//     without re-paying validation, precompilation, or the frame
+//     machine's arena
 //   - Instance.Close   — teardown returning the sandbox tag to the
 //     §6.4/§7.4 budget
 //   - Trap             — the trap taxonomy embedders classify violations
-//     with (tag mismatch, auth failure, bounds, segment misuse)
+//     with (tag mismatch, auth failure, bounds, segment misuse,
+//     stack overflow)
 package exec

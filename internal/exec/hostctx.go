@@ -72,7 +72,12 @@ func (hc *HostContext) ConsumeFuel(n uint64) error {
 // the same instance under ctx (nil means the host call's own context).
 // The inner invocation chains onto the in-flight call's meters, so the
 // outer deadline and fuel budget keep counting — a host function cannot
-// launder an unbounded guest call out of a bounded one.
+// launder an unbounded guest call out of a bounded one. In the frame
+// machine the re-entry opens a barrier frame above the in-flight
+// activation's live arena: the inner call tree stacks (and, if needed,
+// grows the arena) above the outer frames and is unwound to the
+// barrier however it exits, so the interrupted caller always resumes
+// on intact state.
 func (hc *HostContext) Call(ctx context.Context, name string, args []uint64) ([]uint64, error) {
 	if ctx == nil {
 		ctx = hc.Context()

@@ -50,8 +50,17 @@ type Config struct {
 	// Sandboxes shares sandbox-tag allocation across instances of one
 	// process; nil allocates a private allocator.
 	Sandboxes *core.SandboxAllocator
-	// MaxCallDepth bounds recursion; 0 means the default (1024).
+	// MaxCallDepth bounds recursion; 0 means the default (1024). The
+	// bound is exact: it counts live activations (guest frames plus
+	// in-flight host crossings), and exceeding it traps with
+	// TrapStackOverflow at a deterministic frame count.
 	MaxCallDepth int
+	// MaxStackWords bounds the value arena — the contiguous slots
+	// holding every live frame's params, locals, and operand stack — in
+	// 64-bit words; 0 means the default (1<<22 words, 32 MiB). Exceeding
+	// it traps with TrapStackOverflow, so deep recursion is bounded in
+	// bytes as well as frames.
+	MaxStackWords uint64
 	// SkipBoundsChecks emulates a buggy bounds-check lowering such as
 	// CVE-2023-26489 (paper §3): software sandboxing silently breaks,
 	// while MTE sandboxing still catches the escape. Test/demo use only.
@@ -153,8 +162,20 @@ type Instance struct {
 
 	counter      *arch.Counter
 	maxCallDepth int
-	depth        int
+	depth        int // live activations: guest frames + in-flight host crossings
 	skipBounds   bool
+
+	// Frame-machine state (frame.go). vals is the one contiguous value
+	// arena holding params, locals, and operand stack for every live
+	// frame; frames is the typed frame-record stack. Both retain their
+	// capacity across calls and Reset, so steady-state guest→guest calls
+	// allocate nothing. arenaTop is the first free arena slot outside
+	// any running dispatch loop — the base a re-entrant invocation (the
+	// embedder, or a host function via HostContext.Call) builds on.
+	vals          []uint64
+	frames        []frameRec
+	arenaTop      int
+	maxStackWords uint64
 
 	// Per-call interruption state (call.go): meter is non-nil only while
 	// an InvokeWith with a cancellable context or a fuel budget is in
@@ -199,6 +220,10 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 	}
 	if inst.maxCallDepth == 0 {
 		inst.maxCallDepth = 1024
+	}
+	inst.maxStackWords = cfg.MaxStackWords
+	if inst.maxStackWords == 0 {
+		inst.maxStackWords = defaultMaxStackWords
 	}
 	// If any later instantiation step fails, return the sandbox tag so a
 	// pooled engine retrying instantiation does not leak tag budget.

@@ -1,470 +1,23 @@
 package exec
 
 import (
-	"context"
-	"errors"
 	"math"
 	"math/bits"
 
 	"cage/internal/arch"
-	"cage/internal/ir"
 	"cage/internal/mte"
-	"cage/internal/pac"
 	"cage/internal/ptrlayout"
 	"cage/internal/wasm"
 )
 
-// invoke runs function fidx with args, returning result values.
-func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
-	// Interrupt checkpoint: every call boundary polls the per-call meter
-	// (if armed), so cancellation reaches even loop-free recursion.
-	if m := inst.meter; m != nil {
-		if err := m.check(inst.counter); err != nil {
-			return nil, err
-		}
-	}
-	if inst.depth >= inst.maxCallDepth {
-		return nil, newTrap(TrapCallDepth, "call depth %d", inst.depth)
-	}
-	inst.depth++
-	defer func() { inst.depth-- }()
-
-	if int(fidx) < len(inst.imports) {
-		return inst.callHost(int(fidx), args)
-	}
-	di := int(fidx) - len(inst.imports)
-	if di >= len(inst.prog.Funcs) {
-		return nil, newTrap(TrapIndirectCall, "function index %d out of range", fidx)
-	}
-	fn := &inst.prog.Funcs[di]
-	if len(args) != fn.NumParams {
-		return nil, newTrap(TrapIndirectCall, "function %d expects %d args, got %d",
-			fidx, fn.NumParams, len(args))
-	}
-	locals := make([]uint64, fn.NumParams+fn.NumLocals)
-	copy(locals, args)
-	return inst.run(fn, locals)
-}
-
-// callHost crosses the sandbox boundary into an imported host
-// function. The host runs under a HostContext carrying the in-flight
-// call's context; on return, errors are classified:
-//
-//   - a *Trap propagates unchanged (so a re-entrant guest call's trap,
-//     or WASI's proc_exit, keeps its code);
-//   - a context error — a blocking host function that observed
-//     cancellation via HostContext.Context — becomes TrapInterrupted,
-//     exactly like a cancellation caught at a guest checkpoint;
-//   - anything else is a TrapHost.
-//
-// Even a successful host return re-polls the meter chain, so a
-// deadline that fired while the guest was parked inside the host traps
-// here instead of running guest code until the next branch.
-func (inst *Instance) callHost(idx int, args []uint64) ([]uint64, error) {
-	hf := inst.imports[idx]
-	hc := HostContext{inst: inst, ctx: inst.callCtx}
-	res, err := hf.Fn(&hc, args)
-	if err != nil {
-		var t *Trap
-		if errors.As(err, &t) {
-			return nil, t
-		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			return nil, &Trap{Code: TrapInterrupted, Msg: "during host call", Cause: err}
-		}
-		return nil, &Trap{Code: TrapHost, Msg: err.Error()}
-	}
-	if m := inst.meter; m != nil {
-		if err := m.checkSync(inst.counter); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
-// branchRepair applies a branch's precomputed stack repair: carry the
-// top arity values, truncate to the recorded height, in place.
-func branchRepair(stack []uint64, keep, arity int) []uint64 {
-	if arity > 0 {
-		copy(stack[keep:keep+arity], stack[len(stack)-arity:])
-	}
-	return stack[:keep+arity]
-}
-
-// run executes a lowered function body: a flat dispatch loop over the
-// pre-resolved instruction stream. There is no control stack and no
-// end/else matching — branches carry absolute target PCs and their
-// stack repair — and each opcode reports its cost event(s) to the arch
-// timing model, so one execution can still be priced on all three
-// cores afterwards.
-func (inst *Instance) run(fn *ir.Func, locals []uint64) ([]uint64, error) {
-	code := fn.Code
-	ctr := inst.counter
-	// mtr is the per-call interruption meter, nil for unbounded calls:
-	// every taken branch below (the superset of loop back-edges) is an
-	// interrupt checkpoint, and the unmetered variant of that checkpoint
-	// is a single never-taken nil test.
-	mtr := inst.meter
-	stack := make([]uint64, 0, fn.MaxStack)
-
-	pc := 0
-	for {
-		in := &code[pc]
-		switch in.Op {
-		case ir.OpUnreachable:
-			return nil, newTrap(TrapUnreachable, "at pc %d", pc)
-
-		case ir.OpGoto:
-			pc = int(in.B)
-			continue
-
-		case ir.OpBr:
-			ctr.Add(arch.EvBranch, 1)
-			stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
-			pc = int(in.B)
-			if mtr != nil {
-				if err := mtr.check(ctr); err != nil {
-					return nil, err
-				}
-			}
-			continue
-
-		case ir.OpBrIf:
-			ctr.Add(arch.EvBranch, 1)
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if uint32(c) != 0 {
-				stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
-				pc = int(in.B)
-				if mtr != nil {
-					if err := mtr.check(ctr); err != nil {
-						return nil, err
-					}
-				}
-				continue
-			}
-
-		case ir.OpBrIfZ:
-			ctr.Add(arch.EvBranch, 1)
-			c := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if uint32(c) == 0 {
-				pc = int(in.B)
-				continue
-			}
-
-		case ir.OpBrTable:
-			ctr.Add(arch.EvBrTable, 1)
-			i := uint32(stack[len(stack)-1])
-			stack = stack[:len(stack)-1]
-			ts := in.Targets
-			t := ts[len(ts)-1] // default
-			if uint64(i) < uint64(len(ts)-1) {
-				t = ts[i]
-			}
-			stack = branchRepair(stack, int(t.Keep), int(t.Arity))
-			pc = int(t.PC)
-			if mtr != nil {
-				if err := mtr.check(ctr); err != nil {
-					return nil, err
-				}
-			}
-			continue
-
-		case ir.OpReturn:
-			ctr.Add(arch.EvReturn, 1)
-			res := make([]uint64, in.A)
-			copy(res, stack[len(stack)-len(res):])
-			return res, nil
-
-		case ir.OpRetEnd:
-			res := make([]uint64, in.A)
-			copy(res, stack[len(stack)-len(res):])
-			return res, nil
-
-		case ir.OpCall:
-			ctr.Add(arch.EvCall, 1)
-			n := int(in.B)
-			args := make([]uint64, n)
-			copy(args, stack[len(stack)-n:])
-			stack = stack[:len(stack)-n]
-			res, err := inst.invoke(uint32(in.A), args)
-			if err != nil {
-				return nil, err
-			}
-			stack = append(stack, res...)
-
-		case ir.OpCallIndirect:
-			ctr.Add(arch.EvCallIndirect, 1)
-			ti := uint32(stack[len(stack)-1])
-			stack = stack[:len(stack)-1]
-			if uint64(ti) >= uint64(len(inst.table)) {
-				return nil, newTrap(TrapIndirectCall, "table index %d out of range", ti)
-			}
-			fidx := inst.table[ti]
-			if fidx < 0 {
-				return nil, newTrap(TrapIndirectCall, "null table entry %d", ti)
-			}
-			want := inst.module.Types[in.A]
-			got, err := inst.module.FuncTypeAt(uint32(fidx))
-			if err != nil {
-				return nil, newTrap(TrapIndirectCall, "%v", err)
-			}
-			if !got.Equal(want) {
-				return nil, newTrap(TrapIndirectCall,
-					"signature mismatch: table entry %d has %v, expected %v", ti, got, want)
-			}
-			n := int(in.B)
-			args := make([]uint64, n)
-			copy(args, stack[len(stack)-n:])
-			stack = stack[:len(stack)-n]
-			res, err := inst.invoke(uint32(fidx), args)
-			if err != nil {
-				return nil, err
-			}
-			stack = append(stack, res...)
-
-		case ir.OpDrop:
-			stack = stack[:len(stack)-1]
-
-		case ir.OpSelect:
-			ctr.Add(arch.EvSelect, 1)
-			if uint32(stack[len(stack)-1]) == 0 {
-				stack[len(stack)-3] = stack[len(stack)-2]
-			}
-			stack = stack[:len(stack)-2]
-
-		case ir.OpLocalGet:
-			ctr.Add(arch.EvLocal, 1)
-			stack = append(stack, locals[in.A])
-		case ir.OpLocalSet:
-			ctr.Add(arch.EvLocal, 1)
-			locals[in.A] = stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-		case ir.OpLocalTee:
-			ctr.Add(arch.EvLocal, 1)
-			locals[in.A] = stack[len(stack)-1]
-
-		case ir.OpGlobalGet:
-			ctr.Add(arch.EvGlobal, 1)
-			stack = append(stack, inst.globals[in.A])
-		case ir.OpGlobalSet:
-			ctr.Add(arch.EvGlobal, 1)
-			inst.globals[in.A] = stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-
-		case ir.OpConst:
-			ctr.Add(arch.EvConst, 1)
-			stack = append(stack, in.A)
-
-		case ir.OpMemorySize:
-			ctr.Add(arch.EvALU, 1)
-			stack = append(stack, inst.memSize/wasm.PageSize)
-		case ir.OpMemoryGrow:
-			ctr.Add(arch.EvMemGrow, 1)
-			stack[len(stack)-1] = inst.memoryGrow(stack[len(stack)-1])
-		case ir.OpMemoryFill:
-			if err := inst.memoryFill(&stack); err != nil {
-				return nil, err
-			}
-		case ir.OpMemoryCopy:
-			if err := inst.memoryCopy(&stack); err != nil {
-				return nil, err
-			}
-
-		case ir.OpSegmentNew:
-			length := stack[len(stack)-1]
-			ptr := stack[len(stack)-2]
-			stack = stack[:len(stack)-2]
-			tagged, err := inst.segmentNew(ptr, length, in.A)
-			if err != nil {
-				return nil, err
-			}
-			stack = append(stack, tagged)
-		case ir.OpSegmentSetTag:
-			length := stack[len(stack)-1]
-			tagged := stack[len(stack)-2]
-			ptr := stack[len(stack)-3]
-			stack = stack[:len(stack)-3]
-			if err := inst.segmentSetTag(ptr, tagged, length, in.A); err != nil {
-				return nil, err
-			}
-		case ir.OpSegmentFree:
-			length := stack[len(stack)-1]
-			tagged := stack[len(stack)-2]
-			stack = stack[:len(stack)-2]
-			if err := inst.segmentFree(tagged, length, in.A); err != nil {
-				return nil, err
-			}
-
-		case ir.OpPtrSign:
-			ctr.Add(arch.EvPACSign, 1)
-			stack[len(stack)-1] = inst.keys.Sign(stack[len(stack)-1])
-		case ir.OpPtrSignNop:
-			// PAC disabled: the instruction is a no-op fallback, but the
-			// timing model still prices the lowered pacda.
-			ctr.Add(arch.EvPACSign, 1)
-		case ir.OpPtrAuth:
-			ctr.Add(arch.EvPACAuth, 1)
-			v, err := inst.keys.Auth(stack[len(stack)-1])
-			if err != nil {
-				if errors.Is(err, pac.ErrAuthFailed) {
-					return nil, newTrap(TrapAuthFailure, "i64.pointer_auth at pc %d", pc)
-				}
-				return nil, err
-			}
-			stack[len(stack)-1] = v
-		case ir.OpPtrAuthNop:
-			ctr.Add(arch.EvPACAuth, 1)
-
-		// Loads, specialized per address-translation mode at lower time.
-		case ir.OpLoadG32:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrG32(stack[len(stack)-1], in.A, sz, inst.memSize)
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-		case ir.OpLoadG32NC:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrG32(stack[len(stack)-1], in.A, sz, uint64(len(inst.mem)))
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-		case ir.OpLoadB64:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, true, false)
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-		case ir.OpLoadB64NC:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, false, false)
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-		case ir.OpLoadB64Tag:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, true, true)
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-		case ir.OpLoadB64NCTag:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-1], in.A, sz, false, false, true)
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-		case ir.OpLoadMTE:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrMTE(stack[len(stack)-1], in.A, sz, false, true)
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-		case ir.OpLoadMTENC:
-			ctr.Add(arch.EvLoad, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrMTE(stack[len(stack)-1], in.A, sz, false, false)
-			if err != nil {
-				return nil, err
-			}
-			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
-
-		// Stores, same specialization.
-		case ir.OpStoreG32:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrG32(stack[len(stack)-2], in.A, sz, inst.memSize)
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-		case ir.OpStoreG32NC:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrG32(stack[len(stack)-2], in.A, sz, uint64(len(inst.mem)))
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-		case ir.OpStoreB64:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, true, false)
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-		case ir.OpStoreB64NC:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, false, false)
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-		case ir.OpStoreB64Tag:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, true, true)
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-		case ir.OpStoreB64NCTag:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrB64(stack[len(stack)-2], in.A, sz, true, false, true)
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-		case ir.OpStoreMTE:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrMTE(stack[len(stack)-2], in.A, sz, true, true)
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-		case ir.OpStoreMTENC:
-			ctr.Add(arch.EvStore, 1)
-			sz := ir.MemSize(in.B)
-			addr, err := inst.addrMTE(stack[len(stack)-2], in.A, sz, true, false)
-			if err != nil {
-				return nil, err
-			}
-			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
-			stack = stack[:len(stack)-2]
-
-		default:
-			if err := inst.numeric(wasm.Opcode(in.Op-ir.OpNumericBase), &stack); err != nil {
-				return nil, err
-			}
-		}
-		pc++
-	}
-}
+// This file holds the opcode semantics shared by the frame machine
+// (frame.go) and the test-only legacy oracle (legacy_test.go): address
+// translation per sandboxing strategy, scalar memory access, bulk
+// memory operations, Cage segment instructions, and the numeric ALU.
+// The stack-consuming helpers take the operand stack as a value slice
+// and return its new height, so callers that keep the stack in the
+// contiguous value arena (the frame machine) and callers that keep a
+// private slice (the oracle) share one implementation.
 
 // addrG32 is the wasm32 guard-page strategy: 4 GiB reservation + guard
 // pages; no per-access cost. The Go-level check stands in for the MMU.
@@ -640,48 +193,50 @@ func (inst *Instance) memoryGrow(deltaPages uint64) uint64 {
 	return oldPages
 }
 
-func (inst *Instance) memoryFill(stack *[]uint64) error {
-	s := *stack
+// memoryFill pops (dst, val, n) off the operand stack s and fills guest
+// memory; it returns the stack's new height.
+func (inst *Instance) memoryFill(s []uint64) (int, error) {
 	n := s[len(s)-1]
 	val := byte(s[len(s)-2])
 	dst := s[len(s)-3]
-	*stack = s[:len(s)-3]
+	h := len(s) - 3
 	if n == 0 {
-		return nil
+		return h, nil
 	}
 	// Streamed as 8-byte stores for cost purposes.
 	inst.counter.Add(arch.EvStore, (n+7)/8)
 	addr, err := inst.effectiveAddr(dst, 0, n, true)
 	if err != nil {
-		return err
+		return h, err
 	}
 	for i := uint64(0); i < n; i++ {
 		inst.mem[addr+i] = val
 	}
-	return nil
+	return h, nil
 }
 
-func (inst *Instance) memoryCopy(stack *[]uint64) error {
-	s := *stack
+// memoryCopy pops (dst, src, n) off the operand stack s and copies guest
+// memory; it returns the stack's new height.
+func (inst *Instance) memoryCopy(s []uint64) (int, error) {
 	n := s[len(s)-1]
 	src := s[len(s)-2]
 	dst := s[len(s)-3]
-	*stack = s[:len(s)-3]
+	h := len(s) - 3
 	if n == 0 {
-		return nil
+		return h, nil
 	}
 	inst.counter.Add(arch.EvLoad, (n+7)/8)
 	inst.counter.Add(arch.EvStore, (n+7)/8)
 	srcAddr, err := inst.effectiveAddr(src, 0, n, false)
 	if err != nil {
-		return err
+		return h, err
 	}
 	dstAddr, err := inst.effectiveAddr(dst, 0, n, true)
 	if err != nil {
-		return err
+		return h, err
 	}
 	copy(inst.mem[dstAddr:dstAddr+n], inst.mem[srcAddr:srcAddr+n])
-	return nil
+	return h, nil
 }
 
 // Segment instruction implementations. Without the memory-safety
@@ -742,19 +297,25 @@ func (inst *Instance) segmentFree(tagged, length, offset uint64) error {
 	return nil
 }
 
-// numeric executes the pure value instructions.
-func (inst *Instance) numeric(op wasm.Opcode, stack *[]uint64) error {
+// numeric executes the pure value instructions. s is the value slice
+// holding the operand stack and sp the absolute index one past its top
+// — the frame machine passes its arena and stack pointer directly, the
+// legacy oracle its private stack and length — and the new top index is
+// returned. The helpers are written against the entry top: setTop2
+// writes the slot that becomes the new top after a binary op's
+// single-value pop.
+func (inst *Instance) numeric(op wasm.Opcode, s []uint64, sp int) (int, error) {
 	ctr := inst.counter
-	s := *stack
+	h := sp // top index on return
 
-	top := func() *uint64 { return &s[len(s)-1] }
+	top := func() *uint64 { return &s[sp-1] }
 	pop2 := func() (uint64, uint64) {
-		b := s[len(s)-1]
-		a := s[len(s)-2]
-		*stack = s[:len(s)-1]
+		b := s[sp-1]
+		a := s[sp-2]
+		h = sp - 1
 		return a, b
 	}
-	setTop2 := func(v uint64) { s[len(s)-2] = v }
+	setTop2 := func(v uint64) { s[sp-2] = v }
 
 	b32 := func(f func(a, b uint32) uint32) {
 		ctr.Add(arch.EvALU, 1)
@@ -938,12 +499,12 @@ func (inst *Instance) numeric(op wasm.Opcode, stack *[]uint64) error {
 		ctr.Add(arch.EvDivInt, 1)
 		a, b := pop2()
 		if uint32(b) == 0 {
-			return newTrap(TrapDivByZero, "%v", op)
+			return h, newTrap(TrapDivByZero, "%v", op)
 		}
 		switch op {
 		case wasm.OpI32DivS:
 			if int32(a) == math.MinInt32 && int32(b) == -1 {
-				return newTrap(TrapIntOverflow, "i32.div_s overflow")
+				return h, newTrap(TrapIntOverflow, "i32.div_s overflow")
 			}
 			setTop2(uint64(uint32(int32(a) / int32(b))))
 		case wasm.OpI32DivU:
@@ -999,12 +560,12 @@ func (inst *Instance) numeric(op wasm.Opcode, stack *[]uint64) error {
 		ctr.Add(arch.EvDivInt, 1)
 		a, b := pop2()
 		if b == 0 {
-			return newTrap(TrapDivByZero, "%v", op)
+			return h, newTrap(TrapDivByZero, "%v", op)
 		}
 		switch op {
 		case wasm.OpI64DivS:
 			if int64(a) == math.MinInt64 && int64(b) == -1 {
-				return newTrap(TrapIntOverflow, "i64.div_s overflow")
+				return h, newTrap(TrapIntOverflow, "i64.div_s overflow")
 			}
 			setTop2(uint64(int64(a) / int64(b)))
 		case wasm.OpI64DivU:
@@ -1114,28 +675,28 @@ func (inst *Instance) numeric(op wasm.Opcode, stack *[]uint64) error {
 			f = math.Float64frombits(*t)
 		}
 		if math.IsNaN(f) {
-			return newTrap(TrapIntOverflow, "%v of NaN", op)
+			return h, newTrap(TrapIntOverflow, "%v of NaN", op)
 		}
 		f = math.Trunc(f)
 		switch op {
 		case wasm.OpI32TruncF64S, wasm.OpI32TruncF32S:
 			if f < math.MinInt32 || f > math.MaxInt32 {
-				return newTrap(TrapIntOverflow, "%v out of range", op)
+				return h, newTrap(TrapIntOverflow, "%v out of range", op)
 			}
 			*t = uint64(uint32(int32(f)))
 		case wasm.OpI32TruncF64U, wasm.OpI32TruncF32U:
 			if f < 0 || f > math.MaxUint32 {
-				return newTrap(TrapIntOverflow, "%v out of range", op)
+				return h, newTrap(TrapIntOverflow, "%v out of range", op)
 			}
 			*t = uint64(uint32(f))
 		case wasm.OpI64TruncF64S, wasm.OpI64TruncF32S:
 			if f < math.MinInt64 || f >= math.MaxInt64 {
-				return newTrap(TrapIntOverflow, "%v out of range", op)
+				return h, newTrap(TrapIntOverflow, "%v out of range", op)
 			}
 			*t = uint64(int64(f))
 		default:
 			if f < 0 || f >= math.MaxUint64 {
-				return newTrap(TrapIntOverflow, "%v out of range", op)
+				return h, newTrap(TrapIntOverflow, "%v out of range", op)
 			}
 			*t = uint64(f)
 		}
@@ -1165,7 +726,7 @@ func (inst *Instance) numeric(op wasm.Opcode, stack *[]uint64) error {
 		conv(func(v uint64) uint64 { return v })
 
 	default:
-		return newTrap(TrapUnreachable, "unimplemented opcode %v", op)
+		return h, newTrap(TrapUnreachable, "unimplemented opcode %v", op)
 	}
-	return nil
+	return h, nil
 }

@@ -1,12 +1,14 @@
 package exec
 
 // Test-only copy of the pre-lowering re-scanning interpreter: function
-// bodies keep their wasm.Instr form and control flow is resolved into
+// bodies keep their wasm.Instr form, control flow is resolved into
 // matchEnd/matchElse side tables re-consulted at every block, if, and
-// branch. It serves as the oracle for the lowered pipeline — the
-// differential tests require identical results, identical traps, and
-// identical timing-model event counts — and as the "before" side of
-// BenchmarkLoweredVsLegacy. It shares the instance's state and the
+// branch, and calls recurse through Go with freshly allocated locals,
+// args, and results per activation. It serves as the oracle for the
+// frame machine — the differential tests require identical results,
+// identical traps, and identical timing-model event counts — and as
+// the "before" side of BenchmarkLoweredVsLegacy and
+// BenchmarkCallOverhead. It shares the instance's state and the
 // un-specialized effectiveAddr path, so any semantic drift between the
 // two executors is a real bug, not a harness artifact.
 
@@ -114,7 +116,7 @@ func (lr *LegacyRunner) Invoke(name string, args ...uint64) ([]uint64, error) {
 func (lr *LegacyRunner) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 	inst := lr.inst
 	if inst.depth >= inst.maxCallDepth {
-		return nil, newTrap(TrapCallDepth, "call depth %d", inst.depth)
+		return nil, newTrap(TrapStackOverflow, "call depth %d", inst.depth)
 	}
 	inst.depth++
 	defer func() { inst.depth-- }()
@@ -353,13 +355,17 @@ func (lr *LegacyRunner) run(cf *legacyFunc, locals []uint64) ([]uint64, error) {
 			ctr.Add(arch.EvMemGrow, 1)
 			push(inst.memoryGrow(pop()))
 		case wasm.OpMemoryFill:
-			if err := inst.memoryFill(&stack); err != nil {
+			n, err := inst.memoryFill(stack)
+			if err != nil {
 				return nil, err
 			}
+			stack = stack[:n]
 		case wasm.OpMemoryCopy:
-			if err := inst.memoryCopy(&stack); err != nil {
+			n, err := inst.memoryCopy(stack)
+			if err != nil {
 				return nil, err
 			}
+			stack = stack[:n]
 		case wasm.OpSegmentNew:
 			length := pop()
 			ptr := pop()
@@ -407,8 +413,12 @@ func (lr *LegacyRunner) run(cf *legacyFunc, locals []uint64) ([]uint64, error) {
 				if err := lr.doStore(in, &stack); err != nil {
 					return nil, err
 				}
-			} else if err := inst.numeric(op, &stack); err != nil {
-				return nil, err
+			} else {
+				n, err := inst.numeric(op, stack, len(stack))
+				if err != nil {
+					return nil, err
+				}
+				stack = stack[:n]
 			}
 		}
 		pc++

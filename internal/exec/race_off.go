@@ -1,0 +1,7 @@
+//go:build !race
+
+package exec
+
+// raceEnabled reports whether the race detector is active; see
+// race_on.go.
+const raceEnabled = false

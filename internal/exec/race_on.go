@@ -1,0 +1,9 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports that the race detector is active. The detector
+// instruments allocations and inflates testing.AllocsPerRun, so the
+// zero-allocation gate skips itself under -race (the same programs are
+// still executed race-checked by the rest of the suite).
+const raceEnabled = true

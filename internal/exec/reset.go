@@ -107,7 +107,15 @@ func (inst *Instance) ResetState(seed uint64) error {
 		inst.keys = core.NewInstanceKeys(inst.keys.Key, deriveModifier(seed))
 	}
 
+	// Frame-machine state: the arena and frame stack keep their capacity
+	// — that retention is what makes a pooled checkout→call→checkin
+	// cycle steady-state allocation-free — but their contents are
+	// scrubbed so no value from a previous lifetime (dead locals, an
+	// aborted operand stack) is observable in the next one.
 	inst.depth = 0
+	inst.arenaTop = 0
+	inst.frames = inst.frames[:0]
+	clear(inst.vals)
 	// Per-call interruption state never outlives InvokeWith, but a reset
 	// instance must be indistinguishable from a fresh one even if an
 	// embedder drove the instance in unexpected ways.

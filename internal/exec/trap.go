@@ -27,8 +27,12 @@ const (
 	// TrapIndirectCall is a bad call_indirect (null entry, out of range,
 	// signature mismatch).
 	TrapIndirectCall
-	// TrapCallDepth is call-stack exhaustion.
-	TrapCallDepth
+	// TrapStackOverflow is call-stack exhaustion: the frame machine's
+	// exact frame-count bound (MaxCallDepth frames, host crossings
+	// included) or its value-arena bound (MaxStackWords) was exceeded.
+	// Unlike a Go-recursion proxy, the trap fires at a precise,
+	// deterministic frame count.
+	TrapStackOverflow
 	// TrapHost is an error returned by a host function.
 	TrapHost
 	// TrapExit is a clean proc_exit from WASI.
@@ -42,6 +46,11 @@ const (
 	TrapInterrupted
 )
 
+// TrapCallDepth is the pre-frame-machine name for TrapStackOverflow.
+//
+// Deprecated: use TrapStackOverflow.
+const TrapCallDepth = TrapStackOverflow
+
 var trapNames = map[TrapCode]string{
 	TrapUnreachable:   "unreachable",
 	TrapOutOfBounds:   "out of bounds memory access",
@@ -51,7 +60,7 @@ var trapNames = map[TrapCode]string{
 	TrapDivByZero:     "integer divide by zero",
 	TrapIntOverflow:   "integer overflow",
 	TrapIndirectCall:  "invalid indirect call",
-	TrapCallDepth:     "call stack exhausted",
+	TrapStackOverflow: "call stack exhausted",
 	TrapHost:          "host function error",
 	TrapExit:          "process exit",
 	TrapFuelExhausted: "fuel exhausted",

@@ -13,8 +13,12 @@
 //     bounds checks with or without MTE tag checks, MTE sandboxing,
 //     paper Figs. 12–13), eliminating per-access mode branching from
 //     the hot path;
-//   - per-function operand-stack high-water marks are precomputed so
-//     the executor allocates each frame exactly once.
+//   - per-function frame layouts are precomputed: FrameSize = params +
+//     declared locals + the operand-stack high-water mark, with local
+//     index i occupying frame-relative slot i, so the exec frame
+//     machine can open every activation as one contiguous span of its
+//     value arena — callee parameters materialize in place at the
+//     caller's stack top — and never allocate on a guest→guest call.
 //
 // A Program is immutable after Lower and safe to share: the engine
 // caches programs per (module content hash, Config) — exactly like

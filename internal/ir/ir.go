@@ -278,6 +278,18 @@ type Config struct {
 }
 
 // Func is one lowered function body.
+//
+// Frame layout: one activation of the function occupies FrameSize
+// contiguous value slots in the executor's arena —
+//
+//	slot [0, NumParams)                      parameters
+//	slot [NumParams, NumParams+NumLocals)    declared locals
+//	slot [StackBase(), FrameSize)            operand stack (MaxStack deep)
+//
+// Local index i (the immediate of OpLocalGet/Set/Tee) is frame-relative
+// slot i, so a caller's operand-stack top can become the callee's
+// parameter slots in place: the frame machine opens the callee frame at
+// the caller's stack top minus the argument count, with no copy.
 type Func struct {
 	// NumParams/NumResults mirror the function signature; NumLocals is
 	// the count of declared (non-parameter) locals.
@@ -285,12 +297,21 @@ type Func struct {
 	NumResults int
 	NumLocals  int
 	// MaxStack is the operand-stack high-water mark, precomputed so the
-	// executor can allocate the stack once, exactly.
+	// executor can size the frame once, exactly.
 	MaxStack int
+	// FrameSize is the total number of contiguous arena slots one
+	// activation needs: NumParams + NumLocals + MaxStack. Computed at
+	// lower time; the frame machine's exact arena bound is a sum of
+	// these.
+	FrameSize int
 	// Code is the flat lowered instruction stream. Every function ends
 	// with OpRetEnd; branch targets are absolute indices into Code.
 	Code []Instr
 }
+
+// StackBase returns the frame-relative slot where the operand stack
+// begins: the first slot past the parameters and declared locals.
+func (f *Func) StackBase() int { return f.NumParams + f.NumLocals }
 
 // Program is a module lowered under one Config. Programs are immutable
 // after Lower and safe to share across concurrent instances; the engine

@@ -399,6 +399,7 @@ func lowerFunc(m *wasm.Module, f *wasm.Function, cfg Config) (Func, error) {
 		return out, fmt.Errorf("function body not terminated by end")
 	}
 	out.MaxStack = maxStack
+	out.FrameSize = out.NumParams + out.NumLocals + maxStack
 	out.Code = code
 	return out, nil
 }
