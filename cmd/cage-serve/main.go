@@ -1,0 +1,81 @@
+// Command cage-serve runs the multi-tenant execution service: an HTTP
+// daemon that registers uploaded modules by content hash, invokes them
+// on pooled hardened instances, and enforces per-tenant quotas
+// (fuel/timeout/memory/stack), admission control, and bounded request
+// queueing. See internal/serve for the HTTP contract.
+//
+// Usage:
+//
+//	cage-serve [-addr :8080]
+//	           [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox]
+//	           [-fuel n] [-timeout d] [-memory-pages n]
+//	           [-stack-depth n] [-stack-words n]
+//	           [-max-concurrent n] [-max-queue n]
+//	           [-max-modules n] [-max-module-bytes n]
+//	           [-extended-sandboxes]
+//
+// The quota flags define the default tenant policy, applied to every
+// tenant (tenants are named by the X-Cage-Tenant request header).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"cage"
+	"cage/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cfgName := flag.String("config", "full", "sandbox configuration preset")
+	fuel := flag.Uint64("fuel", 0, "per-call fuel ceiling in timing-model events (0 = unmetered)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-call wall-clock ceiling (0 = none)")
+	memPages := flag.Uint64("memory-pages", 0, "per-call memory.grow ceiling in 64 KiB pages (0 = module maximum)")
+	stackDepth := flag.Int("stack-depth", 0, "per-call frame-count ceiling (0 = engine default)")
+	stackWords := flag.Uint64("stack-words", 0, "per-call value-arena ceiling in 64-bit words (0 = engine default)")
+	maxConcurrent := flag.Int("max-concurrent", 64, "per-tenant in-flight invocation cap (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 256, "per-tenant admission queue depth beyond the in-flight cap")
+	maxModules := flag.Int("max-modules", 0, "per-tenant registered-module cap (0 = unlimited)")
+	maxModuleBytes := flag.Int64("max-module-bytes", 16<<20, "per-upload size cap in bytes (0 = unlimited)")
+	extended := flag.Bool("extended-sandboxes", false, "lift the 15-sandbox budget via §6.4 tag reuse")
+	flag.Parse()
+
+	cfg, err := cage.ConfigByName(*cfgName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-serve: %v\n", err)
+		os.Exit(2)
+	}
+	srv, err := serve.New(serve.Options{
+		Config:     cfg,
+		ConfigName: *cfgName,
+		DefaultQuota: serve.QuotaPolicy{
+			Fuel:           *fuel,
+			Timeout:        *timeout,
+			MemoryPages:    *memPages,
+			StackDepth:     *stackDepth,
+			StackWords:     *stackWords,
+			MaxConcurrent:  *maxConcurrent,
+			MaxQueue:       *maxQueue,
+			MaxModules:     *maxModules,
+			MaxModuleBytes: *maxModuleBytes,
+		},
+		ExtendedSandboxes: *extended,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cage-serve: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	log.Printf("cage-serve: config %s, listening on %s", *cfgName, *addr)
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintf(os.Stderr, "cage-serve: %v\n", err)
+		os.Exit(1)
+	}
+}

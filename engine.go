@@ -291,6 +291,15 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// PoolStatsFor snapshots the instance pool serving one module (zero
+// stats before the module's first checkout). Engine.Stats sums every
+// pool; a multi-module embedder (the serve daemon) uses this to report
+// occupancy per module.
+func (e *Engine) PoolStatsFor(m *Module) engine.PoolStats {
+	stats, _ := e.pools.StatsFor(m)
+	return stats
+}
+
 // Close retires every pooled instance, returning their sandbox tags.
 // The engine must not be used afterwards.
 func (e *Engine) Close() { e.pools.Close() }

@@ -47,9 +47,11 @@ type KernelRecord struct {
 
 // JSONReport is the top-level -json document.
 type JSONReport struct {
-	Schema  string         `json:"schema"`
-	Quick   bool           `json:"quick"`
-	Kernels []KernelRecord `json:"kernels"`
+	Schema string `json:"schema"`
+	Quick  bool   `json:"quick"`
+	// Kernels is empty in documents produced by cage-loadgen, which
+	// emits only the saturation record under the same schema.
+	Kernels []KernelRecord `json:"kernels,omitempty"`
 	// HostCall prices one guest→host crossing (typed adapter vs raw
 	// slot); added with the public host-module API, omitted never —
 	// consumers of cage-bench/v1 tolerate new fields.
@@ -57,6 +59,11 @@ type JSONReport struct {
 	// CallOverhead prices one guest→guest call (recursive fib and
 	// mutual-recursion kernels); added with cage-bench/v2.
 	CallOverhead *CallOverheadRecord `json:"call_overhead,omitempty"`
+	// Saturation is the multi-tenant service benchmark (p50/p99 latency
+	// and throughput vs concurrency against a live cage-serve, per
+	// sandbox preset), emitted by cage-loadgen; a compatible addition —
+	// consumers tolerate unknown fields.
+	Saturation *SaturationRecord `json:"saturation,omitempty"`
 }
 
 // runKernelRecord instantiates kernel k under variant v and measures

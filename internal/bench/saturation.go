@@ -1,0 +1,42 @@
+package bench
+
+// Saturation record: the multi-tenant service benchmark's JSON shape.
+// The measurement itself lives in internal/serve (serve.MeasureSaturation)
+// — it drives a live cage-serve over loopback HTTP, and the serve
+// package sits above the cage facade, which this package must stay
+// importable from.
+
+// SaturationPoint is one (sandbox config, concurrency) measurement.
+type SaturationPoint struct {
+	// Config is the cage.ConfigByName preset the server ran.
+	Config string `json:"config"`
+	// Concurrency is the number of in-flight clients.
+	Concurrency int `json:"concurrency"`
+	// Requests is how many invocations the point measured.
+	Requests int `json:"requests"`
+	// Errors counts failed invocations (a healthy sweep stays inside
+	// quota, so this should be 0).
+	Errors int `json:"errors"`
+	// P50Ns/P99Ns are request-latency percentiles (wall clock, upload
+	// excluded), comparable within one run of one machine only.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// ThroughputRPS is successful requests per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// SaturationRecord is the cage-bench JSON "saturation" record: the
+// repo's top-line "many tenants, one host" trajectory artifact —
+// p50/p99 latency and throughput versus concurrency, per sandbox
+// preset. The shape of each curve (where p99 departs from p50) is
+// where that configuration's instance budget saturates.
+type SaturationRecord struct {
+	// Workload names the benchmark guest; N is its problem size.
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	// RequestsPerClient is the per-concurrency-level request multiplier.
+	RequestsPerClient int `json:"requests_per_client"`
+	// Points holds every (config, concurrency) measurement in sweep
+	// order.
+	Points []SaturationPoint `json:"points"`
+}

@@ -461,6 +461,21 @@ func (s *PoolSet) ReclaimIdle(n int) int {
 	return freed
 }
 
+// StatsFor snapshots the pool for key alone; ok is false when no pool
+// has been created for it yet (no checkout has happened). Services
+// exporting per-module occupancy (cage-serve's /stats) use this to
+// attribute live instances, recycles, and discards to one module
+// instead of the set-wide sum.
+func (s *PoolSet) StatsFor(key any) (stats PoolStats, ok bool) {
+	s.mu.Lock()
+	p, ok := s.pools[key]
+	s.mu.Unlock()
+	if !ok {
+		return PoolStats{}, false
+	}
+	return p.Stats(), true
+}
+
 // Stats sums the counters of every pool in the set.
 func (s *PoolSet) Stats() PoolStats {
 	s.mu.Lock()

@@ -67,6 +67,17 @@ var trapNames = map[TrapCode]string{
 	TrapInterrupted:   "call interrupted",
 }
 
+// String returns the trap code's stable human-readable name (the same
+// string Trap.Error embeds), so embedders building structured error
+// surfaces (e.g. the serve daemon's JSON errors) never re-invent the
+// mapping.
+func (c TrapCode) String() string {
+	if name, ok := trapNames[c]; ok {
+		return name
+	}
+	return fmt.Sprintf("trap(%d)", int(c))
+}
+
 // Trap is a wasm trap: execution aborts and unwinds to the embedder.
 type Trap struct {
 	Code TrapCode

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cage"
+)
+
+// fuzzServer is one server shared across fuzz iterations, with registry
+// quotas tight enough that a long fuzz run cannot grow memory without
+// bound.
+func fuzzServer(tb testing.TB) *Server {
+	tb.Helper()
+	srv, err := New(Options{
+		Config:     cage.Baseline64(),
+		ConfigName: "baseline64",
+		DefaultQuota: QuotaPolicy{
+			Fuel:           100_000,
+			MaxModules:     64,
+			MaxModuleBytes: 1 << 16,
+		},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(srv.Close)
+	return srv
+}
+
+// FuzzServeRequest asserts the daemon's robustness contract, mirroring
+// wasm.FuzzDecode one layer up: an arbitrary body POSTed to the upload
+// or invoke decoder never panics the handler, always yields a known
+// status code, and always yields a JSON body. The handlers run in-
+// process (no network), so a panic reaches the fuzzer instead of being
+// swallowed by net/http's connection recovery.
+func FuzzServeRequest(f *testing.F) {
+	// Invoke-shaped seeds: the valid shape and every near miss.
+	f.Add(false, []byte(`{"module":"sha256:ab","function":"run","args":[1,2]}`))
+	f.Add(false, []byte(`{"module":"sha256:ab","function":"run","args":[],"fuel":1000,"timeout_ms":50}`))
+	f.Add(false, []byte(`{"module":"","function":""}`))
+	f.Add(false, []byte(`{"module":"m","function":"f","args":[1.5]}`))
+	f.Add(false, []byte(`{"module":"m","function":"f","args":[18446744073709551615]}`))
+	f.Add(false, []byte(`{"module":"m","function":"f","args":[-1]}`))
+	f.Add(false, []byte(`{"module":"m","function":"f","timeout_ms":-5}`))
+	f.Add(false, []byte(`{"module":"m","function":"f","unknown":true}`))
+	f.Add(false, []byte(`{"module":"m","function":"f"}{"again":1}`))
+	f.Add(false, []byte(`{`))
+	f.Add(false, []byte(``))
+	f.Add(false, []byte(`[]`))
+	f.Add(false, bytes.Repeat([]byte(`[`), 10_000))
+
+	// Upload-shaped seeds: MiniC source, a valid binary image, and
+	// header-adjacent garbage (FuzzDecode's edge cases).
+	f.Add(true, []byte(`long f(long n) { return n + 1; }`))
+	f.Add(true, []byte(`long f( {`))
+	f.Add(true, []byte("\x00asm"))
+	f.Add(true, []byte("\x00asm\x01\x00\x00\x00"))
+	f.Add(true, []byte("\x00asm\x01\x03\xFF\xFF"))
+	if mod, err := cage.NewToolchain(cage.Baseline64()).CompileSource(`long one() { return 1; }`); err == nil {
+		if bin, err := mod.Encode(); err == nil {
+			f.Add(true, bin)
+		}
+	}
+
+	srv := fuzzServer(f)
+	okStatus := map[int]bool{
+		http.StatusOK: true, http.StatusCreated: true,
+		http.StatusBadRequest: true, http.StatusForbidden: true,
+		http.StatusNotFound: true, http.StatusRequestTimeout: true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusUnprocessableEntity:   true,
+		http.StatusTooManyRequests:       true,
+		http.StatusInternalServerError:   true,
+	}
+
+	f.Fuzz(func(t *testing.T, upload bool, body []byte) {
+		path := "/v1/invoke"
+		if upload {
+			path = "/v1/modules"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set(TenantHeader, "fuzz")
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+
+		if !okStatus[rec.Code] {
+			t.Fatalf("POST %s (%d bytes): unexpected status %d", path, len(body), rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("POST %s: status %d with non-JSON body %q", path, rec.Code, rec.Body.String())
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a minimal cage-serve API client, shared by cage-loadgen and
+// the saturation benchmark.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Tenant is sent as X-Cage-Tenant (empty means the default tenant).
+	Tenant string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, strings.TrimSuffix(c.BaseURL, "/")+path, body)
+	if err != nil {
+		return err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error.Code != "" {
+			return fmt.Errorf("serve: %s %s: %d %s: %s", method, path, resp.StatusCode, eb.Error.Code, eb.Error.Message)
+		}
+		return fmt.Errorf("serve: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Upload registers a module (MiniC source or binary wasm image) and
+// returns its content-hash id.
+func (c *Client) Upload(body []byte) (string, error) {
+	var resp UploadResponse
+	if err := c.do(http.MethodPost, "/v1/modules", bytes.NewReader(body), &resp); err != nil {
+		return "", err
+	}
+	return resp.Module, nil
+}
+
+// Invoke calls an exported function of a registered module.
+func (c *Client) Invoke(req InvokeRequest) (*InvokeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp InvokeResponse
+	if err := c.do(http.MethodPost, "/v1/invoke", bytes.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats() (*Stats, error) {
+	var s Stats
+	if err := c.do(http.MethodGet, "/v1/stats", nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// LoadResult is one load-generation run at a fixed concurrency.
+type LoadResult struct {
+	Concurrency int
+	Requests    int // attempted
+	Errors      int // non-200 responses and transport failures
+	Elapsed     time.Duration
+	P50, P99    time.Duration
+	// Throughput is successful requests per second of wall clock.
+	Throughput float64
+}
+
+// RunLoad fires total invocations of one function at the given
+// concurrency and reports latency percentiles and throughput.
+// Individual request failures are counted, not fatal — saturation runs
+// deliberately drive servers into 429/timeout territory.
+func RunLoad(c *Client, req InvokeRequest, concurrency, total int) LoadResult {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	var (
+		next      atomic.Int64
+		errs      atomic.Int64
+		mu        sync.Mutex
+		latencies = make([]time.Duration, 0, total)
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, total/concurrency+1)
+			for next.Add(1) <= int64(total) {
+				t0 := time.Now()
+				_, err := c.Invoke(req)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := LoadResult{
+		Concurrency: concurrency,
+		Requests:    total,
+		Errors:      int(errs.Load()),
+		Elapsed:     elapsed,
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		res.P50 = percentile(latencies, 0.50)
+		res.P99 = percentile(latencies, 0.99)
+		res.Throughput = float64(len(latencies)) / elapsed.Seconds()
+	}
+	return res
+}
+
+// percentile reads the p'th percentile from sorted latencies
+// (nearest-rank on the inclusive index).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"cage"
+)
+
+// QuotaPolicy bounds one tenant. Per-call fields are ceilings mapped
+// onto the engine's CallOptions — a request may ask for less, never
+// more; zero means "no bound on this axis". Admission fields bound the
+// tenant's presented load; registry fields bound its uploads.
+type QuotaPolicy struct {
+	// Fuel caps each call's deterministic timing-model event budget
+	// (cage.WithFuel). 0 leaves calls unmetered.
+	Fuel uint64
+	// Timeout caps each call's wall clock, queueing included
+	// (cage.WithTimeout). 0 means the call runs until the client
+	// disconnects.
+	Timeout time.Duration
+	// MemoryPages caps memory.grow in 64 KiB pages (cage.WithMemoryLimit).
+	MemoryPages uint64
+	// StackDepth caps live frames (cage.WithStackDepth).
+	StackDepth int
+	// StackWords caps the value arena in 64-bit words (cage.WithValueStack).
+	StackWords uint64
+
+	// MaxConcurrent caps the tenant's in-flight invocations; 0 is
+	// unlimited (the engine pool still arbitrates instances).
+	MaxConcurrent int
+	// MaxQueue caps invocations waiting for an admission slot beyond
+	// MaxConcurrent; one more is rejected with 429. Meaningless unless
+	// MaxConcurrent > 0.
+	MaxQueue int
+	// RetryAfter is the hint returned with 429; zero defaults to 1s.
+	RetryAfter time.Duration
+
+	// MaxModules caps how many distinct modules the tenant may register
+	// (re-uploading existing content is free); 0 is unlimited.
+	MaxModules int
+	// MaxModuleBytes caps one upload body; 0 is unlimited.
+	MaxModuleBytes int64
+}
+
+// callOptions folds the policy's per-call ceilings with the request's
+// asks: the effective bound on each axis is the smaller of the two
+// (an ask of 0 inherits the ceiling).
+func (q QuotaPolicy) callOptions(askFuel uint64, askTimeout time.Duration) []cage.CallOption {
+	var opts []cage.CallOption
+	fuel := askFuel
+	if q.Fuel > 0 && (fuel == 0 || fuel > q.Fuel) {
+		fuel = q.Fuel
+	}
+	if fuel > 0 {
+		opts = append(opts, cage.WithFuel(fuel))
+	}
+	timeout := askTimeout
+	if q.Timeout > 0 && (timeout <= 0 || timeout > q.Timeout) {
+		timeout = q.Timeout
+	}
+	if timeout > 0 {
+		opts = append(opts, cage.WithTimeout(timeout))
+	}
+	if q.MemoryPages > 0 {
+		opts = append(opts, cage.WithMemoryLimit(q.MemoryPages))
+	}
+	if q.StackDepth > 0 {
+		opts = append(opts, cage.WithStackDepth(q.StackDepth))
+	}
+	if q.StackWords > 0 {
+		opts = append(opts, cage.WithValueStack(q.StackWords))
+	}
+	return opts
+}
+
+// retryAfter returns the 429 hint with its default applied.
+func (q QuotaPolicy) retryAfter() time.Duration {
+	if q.RetryAfter > 0 {
+		return q.RetryAfter
+	}
+	return time.Second
+}
+
+// errQueueFull rejects a request that found the tenant's admission
+// queue at capacity.
+var errQueueFull = errors.New("serve: tenant admission queue is full")
+
+// tenant is one quota + metrics namespace.
+type tenant struct {
+	name   string
+	policy QuotaPolicy
+
+	// sem is the admission semaphore (nil when MaxConcurrent == 0);
+	// waiting counts requests queued on it, bounded by MaxQueue with a
+	// CAS so the bound is exact under concurrent arrivals.
+	sem     chan struct{}
+	waiting atomic.Int64
+	// active counts invocations between admission and response,
+	// including time queued on the engine pool.
+	active atomic.Int64
+	// modules counts distinct registrations against MaxModules.
+	modules atomic.Int64
+
+	m counters
+}
+
+func newTenant(name string, policy QuotaPolicy) *tenant {
+	t := &tenant{name: name, policy: policy}
+	if policy.MaxConcurrent > 0 {
+		t.sem = make(chan struct{}, policy.MaxConcurrent)
+	}
+	return t
+}
+
+// admit acquires an admission slot, queueing up to the policy's bound.
+// It returns the release func, errQueueFull when the queue is at
+// capacity, or ctx.Err() when the caller disconnected while queued —
+// the queued wait is abandoned immediately, holding nothing.
+func (t *tenant) admit(ctx context.Context) (release func(), err error) {
+	if t.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case t.sem <- struct{}{}:
+		return t.release, nil
+	default:
+	}
+	for {
+		w := t.waiting.Load()
+		if w >= int64(t.policy.MaxQueue) {
+			return nil, errQueueFull
+		}
+		if t.waiting.CompareAndSwap(w, w+1) {
+			break
+		}
+	}
+	defer t.waiting.Add(-1)
+	select {
+	case t.sem <- struct{}{}:
+		return t.release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (t *tenant) release() { <-t.sem }

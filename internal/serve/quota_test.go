@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cage"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestTenantTimeoutFreesInstanceAndTag is the §7.4 denial-of-service
+// regression: under full hardening the process owns ONE sandbox tag, so
+// a guest `for(;;);` that outlived its quota would wedge the whole
+// service. The tenant timeout must interrupt it (408), the trapped
+// instance must be reset and recycled — not discarded — and the next
+// request must get the tag promptly.
+func TestTenantTimeoutFreesInstanceAndTag(t *testing.T) {
+	ts, srv := newTestServer(t, Options{
+		Config:       cage.FullHardening(),
+		ConfigName:   "full",
+		DefaultQuota: QuotaPolicy{Timeout: 150 * time.Millisecond},
+	})
+	up := uploadSource(t, ts, "", guestSource)
+
+	resp, _, eb := invoke(t, ts, "", InvokeRequest{Module: up.Module, Function: "spin", Args: []uint64{0}})
+	if resp.StatusCode != http.StatusRequestTimeout || eb.Error.Code != "timeout" {
+		t.Fatalf("spin: got (%d, %q), want (408, timeout)", resp.StatusCode, eb.Error.Code)
+	}
+	if eb.Error.Trap != "call interrupted" {
+		t.Errorf("trap = %q, want %q", eb.Error.Trap, "call interrupted")
+	}
+
+	// The tag is free again: a well-behaved call on the same (only)
+	// instance must succeed, fast.
+	start := time.Now()
+	r2, res, _ := invoke(t, ts, "", InvokeRequest{Module: up.Module, Function: "add", Args: []uint64{40, 2}})
+	if r2.StatusCode != http.StatusOK || res.Values[0] != 42 {
+		t.Fatalf("add after interrupted spin: status %d values %v", r2.StatusCode, res.Values)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("add took %v — the interrupted instance pinned the tag", d)
+	}
+
+	stats := srv.StatsSnapshot()
+	tn := stats.Tenants[DefaultTenant]
+	if tn.Interrupted != 1 || tn.OK != 1 {
+		t.Errorf("tenant counters %+v, want interrupted=1 ok=1", tn.CounterStats)
+	}
+	pool := stats.Modules[up.Module].Pool
+	if pool.Spawned != 1 {
+		t.Errorf("pool spawned %d instances, want 1 (the interrupted one must be reused)", pool.Spawned)
+	}
+	if pool.Recycled < 2 {
+		t.Errorf("pool recycled %d times, want ≥2 (interrupted call's checkin included)", pool.Recycled)
+	}
+	if pool.Live > 1 {
+		t.Errorf("pool live=%d exceeds the single-tag budget", pool.Live)
+	}
+}
+
+// TestQueueFull429 pins bounded admission: MaxConcurrent=1, MaxQueue=1,
+// so the third simultaneous request is shed immediately with 429 and a
+// Retry-After hint instead of growing the queue.
+func TestQueueFull429(t *testing.T) {
+	ts, srv := newTestServer(t, Options{
+		Config:     cage.SandboxingOnly(),
+		ConfigName: "sandbox",
+		Tenants: map[string]QuotaPolicy{
+			"q": {
+				Timeout:       2 * time.Second,
+				MaxConcurrent: 1,
+				MaxQueue:      1,
+				RetryAfter:    2 * time.Second,
+			},
+		},
+	})
+	up := uploadSource(t, ts, "q", guestSource)
+	client := &Client{BaseURL: ts.URL, Tenant: "q"}
+	spin := InvokeRequest{Module: up.Module, Function: "spin", Args: []uint64{0}}
+
+	// A occupies the single slot; B fills the queue.
+	done := make(chan struct{}, 2)
+	go func() { client.Invoke(spin); done <- struct{}{} }()
+	waitFor(t, "A in flight", func() bool {
+		return srv.StatsSnapshot().Tenants["q"].Active == 1
+	})
+	go func() { client.Invoke(spin); done <- struct{}{} }()
+	waitFor(t, "B queued", func() bool {
+		return srv.StatsSnapshot().Tenants["q"].QueueDepth == 1
+	})
+
+	// C finds slot and queue full: 429, Retry-After, structured body.
+	resp, _, eb := invoke(t, ts, "q", spin)
+	if resp.StatusCode != http.StatusTooManyRequests || eb.Error.Code != "queue_full" {
+		t.Fatalf("got (%d, %q), want (429, queue_full)", resp.StatusCode, eb.Error.Code)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", ra)
+	}
+	if eb.Error.RetryAfterMs != 2000 {
+		t.Errorf("retry_after_ms = %d, want 2000", eb.Error.RetryAfterMs)
+	}
+
+	<-done
+	<-done // A and B run out their 2s quota (408s); drain before close
+	if got := srv.StatsSnapshot().Tenants["q"].Rejected; got != 1 {
+		t.Errorf("rejected=%d, want 1", got)
+	}
+}
+
+// TestClientDisconnectAbandonsQueuedCheckout pins Pool.GetContext under
+// server load: full hardening again means ONE instance; while tenant a
+// holds it, tenant b's request queues inside the engine pool. When b's
+// client disconnects, the queued checkout must be abandoned immediately
+// — no instance spawned for it, no slot held — and a later request must
+// still get the instance.
+func TestClientDisconnectAbandonsQueuedCheckout(t *testing.T) {
+	ts, srv := newTestServer(t, Options{
+		Config:       cage.FullHardening(),
+		ConfigName:   "full",
+		DefaultQuota: QuotaPolicy{Timeout: 1500 * time.Millisecond},
+	})
+	up := uploadSource(t, ts, "a", guestSource)
+
+	// a: a spin holding the only instance until its quota interrupt.
+	aDone := make(chan struct{})
+	go func() {
+		defer close(aDone)
+		(&Client{BaseURL: ts.URL, Tenant: "a"}).Invoke(InvokeRequest{Module: up.Module, Function: "spin", Args: []uint64{0}})
+	}()
+	waitFor(t, "a holding the instance", func() bool {
+		return srv.StatsSnapshot().Tenants["a"].Active == 1
+	})
+
+	// b: queued on the pool (no admission cap here — the engine's
+	// checkout queue is what b waits in), then disconnects.
+	body, _ := json.Marshal(InvokeRequest{Module: up.Module, Function: "add", Args: []uint64{1, 2}})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/invoke", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TenantHeader, "b")
+	bDone := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req) //nolint:bodyclose — the request is cancelled
+		bDone <- err
+	}()
+	waitFor(t, "b queued on the pool", func() bool {
+		return srv.StatsSnapshot().Tenants["b"].Active == 1
+	})
+
+	cancel()
+	if err := <-bDone; err == nil {
+		t.Fatal("b's request succeeded despite cancellation")
+	}
+	// The abandoned checkout unwinds while a still runs: b leaves the
+	// engine queue without waiting for the instance.
+	waitFor(t, "b abandoned", func() bool {
+		bs := srv.StatsSnapshot().Tenants["b"]
+		return bs.Active == 0 && bs.Canceled == 1
+	})
+	if a := srv.StatsSnapshot().Tenants["a"]; a.Active != 1 {
+		t.Fatalf("a no longer in flight (active=%d) — test lost its timing window", a.Active)
+	}
+
+	// c gets the instance once a's quota fires; b's abandoned checkout
+	// must not have consumed it or spawned a second one.
+	<-aDone
+	resp, res, _ := invoke(t, ts, "c", InvokeRequest{Module: up.Module, Function: "add", Args: []uint64{20, 22}})
+	if resp.StatusCode != http.StatusOK || res.Values[0] != 42 {
+		t.Fatalf("c's add: status %d values %v", resp.StatusCode, res.Values)
+	}
+	if spawned := srv.StatsSnapshot().Modules[up.Module].Pool.Spawned; spawned != 1 {
+		t.Errorf("pool spawned %d instances, want 1 — the abandoned checkout leaked a spawn", spawned)
+	}
+}
+
+// TestQuotaClamping proves the policy is a ceiling the request cannot
+// raise: a request asking for more fuel than the tenant's cap still
+// traps at the cap.
+func TestQuotaClamping(t *testing.T) {
+	ts, _ := newTestServer(t, Options{
+		Config:     cage.Baseline64(),
+		ConfigName: "baseline64",
+		Tenants: map[string]QuotaPolicy{
+			"capped": {Fuel: 5_000},
+		},
+	})
+	up := uploadSource(t, ts, "capped", guestSource)
+
+	// Ask for 100× the cap; the spin must die at ~5k events anyway.
+	resp, _, eb := invoke(t, ts, "capped", InvokeRequest{Module: up.Module, Function: "spin", Args: []uint64{0}, Fuel: 500_000})
+	if resp.StatusCode != http.StatusUnprocessableEntity || eb.Error.Trap != "fuel exhausted" {
+		t.Fatalf("got (%d, trap %q), want (422, fuel exhausted)", resp.StatusCode, eb.Error.Trap)
+	}
+	if !strings.Contains(eb.Error.Message, "5000") {
+		t.Errorf("trap message %q does not carry the clamped budget", eb.Error.Message)
+	}
+
+	// Asking for less than the cap is honored.
+	resp2, _, eb2 := invoke(t, ts, "capped", InvokeRequest{Module: up.Module, Function: "spin", Args: []uint64{0}, Fuel: 1_000})
+	if resp2.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(eb2.Error.Message, "1000") {
+		t.Errorf("sub-cap ask: status %d message %q, want the 1000-event budget", resp2.StatusCode, eb2.Error.Message)
+	}
+}

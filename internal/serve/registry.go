@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cage"
+	"cage/internal/wasm"
+)
+
+// wasmMagic opens every binary wasm image; bodies without it are
+// treated as MiniC source.
+var wasmMagic = []byte{0x00, 'a', 's', 'm'}
+
+// funcSig is the arity of one exported function, pre-resolved at
+// registration so invokes validate the target without a checkout.
+type funcSig struct {
+	params  int
+	results int
+}
+
+// moduleEntry is one registered module.
+type moduleEntry struct {
+	id   string
+	mod  *cage.Module
+	size int64 // canonical encoded size
+	// tenant is the first registrant (informational; ids are global).
+	tenant string
+	funcs  map[string]funcSig
+	m      counters
+}
+
+// exportNames lists the entry's callable exports, sorted.
+func (e *moduleEntry) exportNames() []string {
+	names := make([]string, 0, len(e.funcs))
+	for name := range e.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// registry content-addresses compiled modules: the id is the SHA-256 of
+// the module's canonical binary encoding, so the same program uploaded
+// as source or as binary — by any tenant — lands on one entry, one
+// engine cache slot, and one instance pool.
+type registry struct {
+	mu   sync.RWMutex
+	byID map[string]*moduleEntry
+}
+
+// lookup finds a registered module.
+func (r *registry) lookup(id string) (*moduleEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byID[id]
+	return e, ok
+}
+
+// list snapshots the entries sorted by id.
+func (r *registry) list() []*moduleEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*moduleEntry, 0, len(r.byID))
+	for _, e := range r.byID {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// register adds (or finds) the entry for a compiled module. created
+// reports whether this call inserted it — the caller charges the
+// tenant's MaxModules quota only then.
+func (r *registry) register(tenant string, mod *cage.Module) (e *moduleEntry, created bool, err error) {
+	bin, err := mod.Encode()
+	if err != nil {
+		return nil, false, fmt.Errorf("serve: encoding module for registration: %w", err)
+	}
+	hash := sha256.Sum256(bin)
+	id := "sha256:" + hex.EncodeToString(hash[:])
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.byID[id]; ok {
+		return e, false, nil
+	}
+	e = &moduleEntry{
+		id:     id,
+		mod:    mod,
+		size:   int64(len(bin)),
+		tenant: tenant,
+		funcs:  exportedFuncs(mod.Raw()),
+	}
+	if r.byID == nil {
+		r.byID = make(map[string]*moduleEntry)
+	}
+	r.byID[id] = e
+	return e, true, nil
+}
+
+// exportedFuncs resolves every function export's arity.
+func exportedFuncs(m *wasm.Module) map[string]funcSig {
+	funcs := make(map[string]funcSig)
+	for _, exp := range m.Exports {
+		if exp.Kind != wasm.ExportFunc {
+			continue
+		}
+		ft, err := m.FuncTypeAt(exp.Idx)
+		if err != nil {
+			continue // validated modules never hit this
+		}
+		funcs[exp.Name] = funcSig{params: len(ft.Params), results: len(ft.Results)}
+	}
+	return funcs
+}
+
+// isWasm reports whether an upload body is a binary module image.
+func isWasm(body []byte) bool { return bytes.HasPrefix(body, wasmMagic) }

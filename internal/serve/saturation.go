@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+
+	"cage"
+	"cage/internal/bench"
+)
+
+// Saturation benchmark: a live cage-serve daemon is stood up per
+// sandbox preset, a fixed workload is registered through the real
+// upload path, and the load generator sweeps concurrency levels,
+// recording p50/p99 latency and throughput into the cage-bench
+// "saturation" record (the types live in internal/bench with the rest
+// of the JSON schema).
+
+// saturationSource is the benchmark guest: the quickstart's allocate-
+// and-sum loop — a malloc, a store/load pass, and enough arithmetic to
+// exercise the configuration's memory-access mode.
+const saturationSource = `
+extern char* malloc(long n);
+long run(long n) {
+    long* a = (long*)malloc(n * 8);
+    long s = 0;
+    for (long i = 0; i < n; i++) { a[i] = i; s += a[i]; }
+    return s;
+}
+`
+
+// SaturationConfigs are the four sandbox presets the sweep compares:
+// the two baselines (guard pages, software bounds) against MTE
+// sandboxing alone and the full Cage hardening.
+func SaturationConfigs() []string {
+	return []string{"baseline32", "baseline64", "sandbox", "full"}
+}
+
+// MeasureSaturation stands up a live server per sandbox preset and
+// sweeps concurrency against it over real loopback HTTP. quick selects
+// the CI smoke shape (small problem size, few levels, few requests).
+func MeasureSaturation(quick bool) (*bench.SaturationRecord, error) {
+	levels := []int{1, 2, 4, 8, 16, 32}
+	perClient, n := 50, 4096
+	if quick {
+		levels = []int{1, 4, 16}
+		perClient, n = 8, 256
+	}
+	rec := &bench.SaturationRecord{Workload: "sum", N: n, RequestsPerClient: perClient}
+	for _, name := range SaturationConfigs() {
+		cfg, err := cage.ConfigByName(name)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := New(Options{Config: cfg, ConfigName: name})
+		if err != nil {
+			return nil, err
+		}
+		points, err := sweepServer(srv, name, levels, perClient, n)
+		srv.Close()
+		if err != nil {
+			return nil, err
+		}
+		rec.Points = append(rec.Points, points...)
+	}
+	return rec, nil
+}
+
+// sweepServer runs the concurrency sweep against one live server.
+func sweepServer(srv *Server, name string, levels []int, perClient, n int) ([]bench.SaturationPoint, error) {
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &Client{BaseURL: ts.URL, Tenant: "bench"}
+	id, err := client.Upload([]byte(saturationSource))
+	if err != nil {
+		return nil, fmt.Errorf("serve: registering saturation workload under %s: %w", name, err)
+	}
+	req := InvokeRequest{Module: id, Function: "run", Args: []uint64{uint64(n)}}
+	var points []bench.SaturationPoint
+	for _, cc := range levels {
+		lr := RunLoad(client, req, cc, cc*perClient)
+		points = append(points, bench.SaturationPoint{
+			Config:        name,
+			Concurrency:   cc,
+			Requests:      lr.Requests,
+			Errors:        lr.Errors,
+			P50Ns:         lr.P50.Nanoseconds(),
+			P99Ns:         lr.P99.Nanoseconds(),
+			ThroughputRPS: lr.Throughput,
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cage"
+	"cage/internal/exec"
+)
+
+// TenantHeader names the request header carrying the tenant identity;
+// requests without it run as DefaultTenant.
+const (
+	TenantHeader  = "X-Cage-Tenant"
+	DefaultTenant = "default"
+)
+
+// maxInvokeBody bounds an invoke request body; invocation arguments are
+// a function name plus scalar args, so anything near this is hostile.
+const maxInvokeBody = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Config is the sandbox preset every module is compiled and executed
+	// under (the server's one engine).
+	Config cage.Config
+	// ConfigName labels Config in /v1/stats (e.g. the cage.ConfigByName
+	// preset the CLI resolved).
+	ConfigName string
+	// DefaultQuota applies to every tenant without an explicit entry in
+	// Tenants. The zero policy is unbounded.
+	DefaultQuota QuotaPolicy
+	// Tenants overrides the policy per tenant name.
+	Tenants map[string]QuotaPolicy
+	// PoolLimit overrides the engine's per-module live-instance cap
+	// (0 keeps the config's §7.4 tag budget).
+	PoolLimit int
+	// ExtendedSandboxes lifts the 15-sandbox budget via §6.4 tag reuse.
+	ExtendedSandboxes bool
+}
+
+// Server is the multi-tenant execution daemon: one engine, a
+// content-addressed module registry, per-tenant admission and quotas,
+// and a metrics surface. See the package documentation for the HTTP
+// contract.
+type Server struct {
+	opts Options
+	eng  *cage.Engine
+	reg  registry
+	mux  *http.ServeMux
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+// New builds a Server (and its engine) for the options.
+func New(opts Options) (*Server, error) {
+	eng := cage.NewEngine(opts.Config)
+	if opts.ExtendedSandboxes {
+		if err := eng.EnableExtendedSandboxes(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.PoolLimit > 0 {
+		if err := eng.SetPoolLimit(opts.PoolLimit); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{opts: opts, eng: eng, tenants: make(map[string]*tenant)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/modules", s.handleUpload)
+	mux.HandleFunc("GET /v1/modules", s.handleList)
+	mux.HandleFunc("POST /v1/invoke", s.handleInvoke)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the underlying engine (tests and embedders).
+func (s *Server) Engine() *cage.Engine { return s.eng }
+
+// Close retires every pooled instance. In-flight requests must have
+// drained (the HTTP server shut down) first.
+func (s *Server) Close() { s.eng.Close() }
+
+// tenantFor returns (creating on first sight) the tenant state for a
+// request.
+func (s *Server) tenantFor(r *http.Request) *tenant {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		name = DefaultTenant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		policy, ok := s.opts.Tenants[name]
+		if !ok {
+			policy = s.opts.DefaultQuota
+		}
+		t = newTenant(name, policy)
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// apiError is the structured error body: {"error": {...}}.
+type apiError struct {
+	// Code is a stable machine-readable discriminator.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+	// Trap names the guest trap for code "guest_trap" (exec.TrapCode
+	// strings, e.g. "fuel exhausted").
+	Trap string `json:"trap,omitempty"`
+	// RetryAfterMs accompanies code "queue_full" (it mirrors the
+	// Retry-After header at millisecond resolution).
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+type errorBody struct {
+	Error apiError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, e apiError) {
+	writeJSON(w, status, errorBody{Error: e})
+}
+
+// UploadResponse answers POST /v1/modules.
+type UploadResponse struct {
+	// Module is the content-hash id ("sha256:…") to invoke by.
+	Module string `json:"module"`
+	// Cached reports that the content was already registered.
+	Cached bool `json:"cached"`
+	// Exports lists the module's callable functions.
+	Exports []string `json:"exports"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenantFor(r)
+	body := r.Body
+	if limit := tn.policy.MaxModuleBytes; limit > 0 {
+		body = http.MaxBytesReader(w, r.Body, limit)
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			tn.m.badRequest.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge, apiError{
+				Code:    "module_too_large",
+				Message: fmt.Sprintf("upload exceeds the tenant's %d-byte module quota", tooLarge.Limit),
+			})
+			return
+		}
+		tn.m.canceled.Add(1)
+		return
+	}
+
+	var mod *cage.Module
+	if isWasm(data) {
+		mod, err = s.eng.DecodeModule(data)
+		if err != nil {
+			tn.m.badRequest.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, apiError{
+				Code: "invalid_module", Message: err.Error(),
+			})
+			return
+		}
+	} else {
+		mod, err = s.eng.CompileSource(string(data))
+		if err != nil {
+			tn.m.badRequest.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, apiError{
+				Code: "compile_error", Message: err.Error(),
+			})
+			return
+		}
+	}
+
+	entry, created, err := s.reg.register(tn.name, mod)
+	if err != nil {
+		tn.m.failures.Add(1)
+		writeError(w, http.StatusInternalServerError, apiError{
+			Code: "internal", Message: err.Error(),
+		})
+		return
+	}
+	if created {
+		if max := tn.policy.MaxModules; max > 0 && tn.modules.Add(1) > int64(max) {
+			// Quota exceeded: roll the charge back but keep the entry —
+			// content addressing means some tenant may legitimately use
+			// it; this tenant just cannot register more new content.
+			tn.modules.Add(-1)
+			tn.m.badRequest.Add(1)
+			writeError(w, http.StatusForbidden, apiError{
+				Code:    "module_quota_exceeded",
+				Message: fmt.Sprintf("tenant %q may register at most %d modules", tn.name, max),
+			})
+			return
+		}
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, UploadResponse{Module: entry.id, Cached: !created, Exports: entry.exportNames()})
+}
+
+// ModuleInfo is one GET /v1/modules entry.
+type ModuleInfo struct {
+	Module    string   `json:"module"`
+	SizeBytes int64    `json:"size_bytes"`
+	Exports   []string `json:"exports"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.list()
+	out := struct {
+		Modules []ModuleInfo `json:"modules"`
+	}{Modules: make([]ModuleInfo, 0, len(entries))}
+	for _, e := range entries {
+		out.Modules = append(out.Modules, ModuleInfo{Module: e.id, SizeBytes: e.size, Exports: e.exportNames()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// InvokeRequest is the POST /v1/invoke body.
+type InvokeRequest struct {
+	// Module is a registered module id ("sha256:…").
+	Module string `json:"module"`
+	// Function is the exported function to call.
+	Function string `json:"function"`
+	// Args are the raw 64-bit argument bits.
+	Args []uint64 `json:"args"`
+	// Fuel asks for a per-call fuel budget; the tenant policy clamps it.
+	Fuel uint64 `json:"fuel,omitempty"`
+	// TimeoutMs asks for a per-call wall-clock bound in milliseconds;
+	// the tenant policy clamps it.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// InvokeResponse is the 200 body of POST /v1/invoke.
+type InvokeResponse struct {
+	// Values are the return values as raw 64-bit bits.
+	Values []uint64 `json:"values"`
+	// Fuel is the timing-model event total the call consumed.
+	Fuel uint64 `json:"fuel"`
+	// Events breaks Fuel down by event name (non-zero entries only).
+	Events map[string]uint64 `json:"events,omitempty"`
+}
+
+// decodeInvokeRequest parses an invoke body strictly: unknown fields,
+// trailing garbage, and non-integer args are errors, so a malformed
+// request is a 400, never a silent partial parse.
+func decodeInvokeRequest(body io.Reader) (*InvokeRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(body, maxInvokeBody))
+	dec.DisallowUnknownFields()
+	var req InvokeRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after request object")
+	}
+	if req.Module == "" {
+		return nil, errors.New("missing field \"module\"")
+	}
+	if req.Function == "" {
+		return nil, errors.New("missing field \"function\"")
+	}
+	if req.TimeoutMs < 0 {
+		return nil, errors.New("negative timeout_ms")
+	}
+	return &req, nil
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	tn := s.tenantFor(r)
+	tn.m.requests.Add(1)
+
+	req, err := decodeInvokeRequest(r.Body)
+	if err != nil {
+		tn.m.badRequest.Add(1)
+		writeError(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
+		return
+	}
+	entry, ok := s.reg.lookup(req.Module)
+	if !ok {
+		tn.m.badRequest.Add(1)
+		writeError(w, http.StatusNotFound, apiError{
+			Code: "module_not_found", Message: fmt.Sprintf("no module %q is registered", req.Module),
+		})
+		return
+	}
+	entry.m.requests.Add(1)
+	sig, ok := entry.funcs[req.Function]
+	if !ok {
+		tn.m.badRequest.Add(1)
+		entry.m.badRequest.Add(1)
+		writeError(w, http.StatusNotFound, apiError{
+			Code:    "function_not_found",
+			Message: fmt.Sprintf("module %q exports no function %q", req.Module, req.Function),
+		})
+		return
+	}
+	if len(req.Args) != sig.params {
+		tn.m.badRequest.Add(1)
+		entry.m.badRequest.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, apiError{
+			Code:    "bad_arity",
+			Message: fmt.Sprintf("%s takes %d arguments, got %d", req.Function, sig.params, len(req.Args)),
+		})
+		return
+	}
+
+	// Admission: the tenant's own concurrency gate, before any engine
+	// resource is touched. The wait rides the request context, so a
+	// disconnected client leaves the queue immediately.
+	release, err := tn.admit(r.Context())
+	switch {
+	case errors.Is(err, errQueueFull):
+		tn.m.rejected.Add(1)
+		entry.m.rejected.Add(1)
+		retry := tn.policy.retryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, apiError{
+			Code:         "queue_full",
+			Message:      fmt.Sprintf("tenant %q has %d invocations in flight and a full queue", tn.name, tn.policy.MaxConcurrent),
+			RetryAfterMs: retry.Milliseconds(),
+		})
+		return
+	case err != nil: // client disconnected while queued
+		tn.m.canceled.Add(1)
+		entry.m.canceled.Add(1)
+		return
+	}
+	defer release()
+
+	tn.active.Add(1)
+	defer tn.active.Add(-1)
+
+	opts := tn.policy.callOptions(req.Fuel, time.Duration(req.TimeoutMs)*time.Millisecond)
+	res, err := s.eng.Call(r.Context(), entry.mod, req.Function, req.Args, opts...)
+
+	// Fuel is charged win or lose: a trapped call consumed real events.
+	tn.m.fuel.Add(res.Fuel)
+	entry.m.fuel.Add(res.Fuel)
+
+	switch {
+	case err == nil:
+		tn.m.ok.Add(1)
+		entry.m.ok.Add(1)
+		writeJSON(w, http.StatusOK, InvokeResponse{
+			Values: res.Values,
+			Fuel:   res.Fuel,
+			Events: res.Events.EventCounts(),
+		})
+	case cage.IsInterrupted(err):
+		if r.Context().Err() != nil {
+			// The client is gone; there is no one to answer. The guest
+			// was interrupted at the next checkpoint and its instance
+			// reset — nothing leaks — so just account for it.
+			tn.m.canceled.Add(1)
+			entry.m.canceled.Add(1)
+			return
+		}
+		tn.m.interrupted.Add(1)
+		entry.m.interrupted.Add(1)
+		writeError(w, http.StatusRequestTimeout, apiError{
+			Code:    "timeout",
+			Message: fmt.Sprintf("call exceeded the tenant's %v budget", tn.policy.Timeout),
+			Trap:    exec.TrapInterrupted.String(),
+		})
+	default:
+		var trap *exec.Trap
+		if errors.As(err, &trap) {
+			tn.m.traps.Add(1)
+			entry.m.traps.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, apiError{
+				Code: "guest_trap", Message: err.Error(), Trap: trap.Code.String(),
+			})
+			return
+		}
+		tn.m.failures.Add(1)
+		entry.m.failures.Add(1)
+		writeError(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+	}
+}
+
+// StatsSnapshot assembles the /v1/stats document (exported for
+// embedders that want the counters without HTTP).
+func (s *Server) StatsSnapshot() *Stats {
+	es := s.eng.Stats()
+	out := &Stats{
+		Config:       s.opts.ConfigName,
+		ModuleCache:  cacheSnapshot(es.Cache),
+		ProgramCache: cacheSnapshot(es.Programs),
+		Pools:        poolSnapshot(es.Pools),
+		Tenants:      make(map[string]TenantStats),
+		Modules:      make(map[string]ModuleStats),
+	}
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	for _, t := range tenants {
+		out.Tenants[t.name] = TenantStats{
+			CounterStats: t.m.snapshot(),
+			QueueDepth:   int(t.waiting.Load()),
+			Active:       int(t.active.Load()),
+		}
+	}
+	for _, e := range s.reg.list() {
+		out.Modules[e.id] = ModuleStats{
+			CounterStats: e.m.snapshot(),
+			SizeBytes:    e.size,
+			Pool:         poolSnapshot(s.eng.PoolStatsFor(e.mod)),
+		}
+	}
+	return out
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.StatsSnapshot().writeProm(w)
+}
