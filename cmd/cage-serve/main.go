@@ -12,6 +12,7 @@
 //	           [-stack-depth n] [-stack-words n]
 //	           [-max-concurrent n] [-max-queue n]
 //	           [-max-modules n] [-max-module-bytes n]
+//	           [-max-tenants n] [-max-upload-bytes n]
 //	           [-extended-sandboxes]
 //
 // The quota flags define the default tenant policy, applied to every
@@ -41,7 +42,9 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 64, "per-tenant in-flight invocation cap (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 256, "per-tenant admission queue depth beyond the in-flight cap")
 	maxModules := flag.Int("max-modules", 0, "per-tenant registered-module cap (0 = unlimited)")
-	maxModuleBytes := flag.Int64("max-module-bytes", 16<<20, "per-upload size cap in bytes (0 = unlimited)")
+	maxModuleBytes := flag.Int64("max-module-bytes", 16<<20, "per-upload size cap in bytes (0 = tenant-unlimited; the server-wide cap still applies)")
+	maxTenants := flag.Int("max-tenants", 0, "distinct tenant-state cap; excess unknown tenants share one aggregate (0 = default 256, negative = unlimited)")
+	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "server-wide upload body cap in bytes (0 = default 64 MiB, negative = unlimited)")
 	extended := flag.Bool("extended-sandboxes", false, "lift the 15-sandbox budget via §6.4 tag reuse")
 	flag.Parse()
 
@@ -64,6 +67,8 @@ func main() {
 			MaxModules:     *maxModules,
 			MaxModuleBytes: *maxModuleBytes,
 		},
+		MaxTenants:        *maxTenants,
+		MaxUploadBytes:    *maxUploadBytes,
 		ExtendedSandboxes: *extended,
 	})
 	if err != nil {

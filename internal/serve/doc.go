@@ -18,7 +18,12 @@
 // the "default" tenant). A tenant is a quota namespace and a metrics
 // namespace — nothing more; module ids are global (content-addressed,
 // so two tenants uploading the same bytes share one compiled module,
-// one lowered program, and one instance pool).
+// one lowered program, and one instance pool). The header is
+// unauthenticated, so per-tenant state is bounded: once MaxTenants
+// distinct names exist, unknown names share one aggregate tenant
+// (labeled OverflowTenant) instead of growing the tenant map and the
+// metrics label space without bound; names configured in
+// Options.Tenants always keep their own state.
 //
 // # Quota model
 //
@@ -33,6 +38,16 @@
 // the trapped instance is reset before the pool reuses it, and its
 // §7.4 sandbox tag is back in service for the next request — a tenant
 // can waste its own budget, never the host's.
+//
+// Registry quotas are enforced before resources are consumed, not
+// after: an upload from a tenant with no MaxModules headroom is
+// refused before its body is compiled, and the quota charge is
+// reserved under the registry lock before the entry becomes visible,
+// so a rejected upload leaves no registry entry, no engine-cache
+// slot, and no free cached re-upload path. Upload bodies are bounded
+// twice — by the tenant's MaxModuleBytes and by the server-wide
+// MaxUploadBytes backstop, which holds even for tenants with no byte
+// quota of their own.
 //
 // # Admission control and queueing
 //

@@ -57,11 +57,7 @@ func (q QuotaPolicy) callOptions(askFuel uint64, askTimeout time.Duration) []cag
 	if fuel > 0 {
 		opts = append(opts, cage.WithFuel(fuel))
 	}
-	timeout := askTimeout
-	if q.Timeout > 0 && (timeout <= 0 || timeout > q.Timeout) {
-		timeout = q.Timeout
-	}
-	if timeout > 0 {
+	if timeout := q.effectiveTimeout(askTimeout); timeout > 0 {
 		opts = append(opts, cage.WithTimeout(timeout))
 	}
 	if q.MemoryPages > 0 {
@@ -76,6 +72,18 @@ func (q QuotaPolicy) callOptions(askFuel uint64, askTimeout time.Duration) []cag
 	return opts
 }
 
+// effectiveTimeout folds the request's wall-clock ask with the
+// policy's ceiling: the smaller of the two wins, and an ask of 0
+// inherits the ceiling. This is the bound callOptions enforces, and
+// the one a 408 must report.
+func (q QuotaPolicy) effectiveTimeout(ask time.Duration) time.Duration {
+	timeout := ask
+	if q.Timeout > 0 && (timeout <= 0 || timeout > q.Timeout) {
+		timeout = q.Timeout
+	}
+	return timeout
+}
+
 // retryAfter returns the 429 hint with its default applied.
 func (q QuotaPolicy) retryAfter() time.Duration {
 	if q.RetryAfter > 0 {
@@ -87,6 +95,11 @@ func (q QuotaPolicy) retryAfter() time.Duration {
 // errQueueFull rejects a request that found the tenant's admission
 // queue at capacity.
 var errQueueFull = errors.New("serve: tenant admission queue is full")
+
+// errModuleQuota rejects an upload from a tenant with no MaxModules
+// headroom; registry.register returns it from the reserve callback
+// without inserting anything.
+var errModuleQuota = errors.New("serve: tenant module quota exceeded")
 
 // tenant is one quota + metrics namespace.
 type tenant struct {

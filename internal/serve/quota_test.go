@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -189,6 +191,157 @@ func TestClientDisconnectAbandonsQueuedCheckout(t *testing.T) {
 	}
 	if spawned := srv.StatsSnapshot().Modules[up.Module].Pool.Spawned; spawned != 1 {
 		t.Errorf("pool spawned %d instances, want 1 — the abandoned checkout leaked a spawn", spawned)
+	}
+}
+
+// TestModuleQuotaNotBypassable is the admission-control regression for
+// MaxModules: a rejected upload must leave nothing behind — no registry
+// entry, no invokable module — so re-uploading the same bytes is
+// rejected again instead of riding a cached hit around the quota, and a
+// hostile tenant cannot grow registry or engine-cache memory with
+// uploads it is not entitled to.
+func TestModuleQuotaNotBypassable(t *testing.T) {
+	ts, srv := newTestServer(t, Options{
+		Config:     cage.Baseline64(),
+		ConfigName: "baseline64",
+		Tenants: map[string]QuotaPolicy{
+			"capped": {MaxModules: 1},
+		},
+	})
+	second := `long other(long n) { return n - 1; }`
+
+	up := uploadSource(t, ts, "capped", guestSource)
+
+	// The second distinct module is over quota — and stays over quota on
+	// every retry. Before the fix the first attempt registered the entry
+	// and the second returned 200 cached, free of charge.
+	for attempt := 0; attempt < 2; attempt++ {
+		var eb errorBody
+		resp := postJSON(t, ts, "/v1/modules", "capped", []byte(second), &eb)
+		if resp.StatusCode != http.StatusForbidden || eb.Error.Code != "module_quota_exceeded" {
+			t.Fatalf("attempt %d: got (%d, %q), want (403, module_quota_exceeded)", attempt, resp.StatusCode, eb.Error.Code)
+		}
+	}
+
+	// The rejected module consumed nothing: one registry entry, and its
+	// functions are not invokable under any tenant.
+	if entries := srv.reg.list(); len(entries) != 1 {
+		t.Fatalf("registry holds %d entries after rejections, want 1", len(entries))
+	}
+	mods := srv.Engine().Stats().Cache
+	if mods.Entries > 2 { // guestSource + at most the rejected body's one-time compile
+		t.Errorf("engine module cache holds %d entries — rejected uploads are being cached", mods.Entries)
+	}
+
+	// Re-uploading content the tenant owns stays free.
+	again := uploadSource(t, ts, "capped", guestSource)
+	if again.Module != up.Module || !again.Cached {
+		t.Errorf("re-upload of owned content: got (%q, cached=%t), want (%q, cached=true)", again.Module, again.Cached, up.Module)
+	}
+
+	// Another tenant with headroom can register the same content the
+	// capped tenant was refused — ids stay global.
+	other := uploadSource(t, ts, "roomy", second)
+	if other.Cached {
+		t.Error("roomy's first upload of the rejected content reported cached — the 403 leaked an entry")
+	}
+}
+
+// TestTenantMapBounded pins tenantFor against unauthenticated header
+// flooding: past MaxTenants distinct names, unknown tenants share the
+// OverflowTenant aggregate instead of growing per-tenant state and
+// /metrics label cardinality without bound. Configured tenants are
+// never displaced.
+func TestTenantMapBounded(t *testing.T) {
+	ts, srv := newTestServer(t, Options{
+		Config:     cage.Baseline64(),
+		ConfigName: "baseline64",
+		MaxTenants: 2,
+		Tenants: map[string]QuotaPolicy{
+			"vip": {Fuel: 5_000},
+		},
+	})
+
+	const flood = 20
+	for i := 0; i < flood; i++ {
+		var eb errorBody
+		resp := postJSON(t, ts, "/v1/invoke", fmt.Sprintf("attacker-%d", i), []byte(`{`), &eb)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("flood request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	// A configured tenant arriving after the flood still gets its own
+	// state and policy.
+	postJSON(t, ts, "/v1/invoke", "vip", []byte(`{`), &struct{}{})
+
+	stats := srv.StatsSnapshot()
+	if n := len(stats.Tenants); n > 4 { // 2 first-sight + overflow + vip
+		t.Fatalf("flood grew the tenant map to %d entries: %v", n, sortedKeys(stats.Tenants))
+	}
+	ov, ok := stats.Tenants[OverflowTenant]
+	if !ok {
+		t.Fatal("no overflow aggregate tenant after the flood")
+	}
+	if ov.BadRequest != flood-2 {
+		t.Errorf("overflow bad_request=%d, want %d (the flood minus the two first-sight tenants)", ov.BadRequest, flood-2)
+	}
+	if vip, ok := stats.Tenants["vip"]; !ok || vip.BadRequest != 1 {
+		t.Errorf("configured tenant lost its own state after the flood: %+v", stats.Tenants["vip"])
+	}
+	if srv.tenantFor(httptestRequest("vip")).policy.Fuel != 5_000 {
+		t.Error("configured tenant was handed the overflow policy")
+	}
+}
+
+// httptestRequest builds a bare request carrying a tenant header.
+func httptestRequest(tenant string) *http.Request {
+	req, _ := http.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(TenantHeader, tenant)
+	return req
+}
+
+// TestTimeoutReportsEffectiveBudget: when the request's timeout_ms is
+// the binding constraint (the tenant policy has none), the 408 must
+// report that budget, not the policy's zero.
+func TestTimeoutReportsEffectiveBudget(t *testing.T) {
+	ts, _ := newTestServer(t, Options{Config: cage.Baseline64(), ConfigName: "baseline64"})
+	up := uploadSource(t, ts, "", guestSource)
+
+	resp, _, eb := invoke(t, ts, "", InvokeRequest{Module: up.Module, Function: "spin", Args: []uint64{0}, TimeoutMs: 100})
+	if resp.StatusCode != http.StatusRequestTimeout || eb.Error.Code != "timeout" {
+		t.Fatalf("got (%d, %q), want (408, timeout)", resp.StatusCode, eb.Error.Code)
+	}
+	if !strings.Contains(eb.Error.Message, "100ms") {
+		t.Errorf("408 message %q does not carry the request's 100ms budget", eb.Error.Message)
+	}
+	if strings.Contains(eb.Error.Message, "0s") {
+		t.Errorf("408 message %q reports the policy's zero timeout", eb.Error.Message)
+	}
+}
+
+// TestServerWideUploadCap: a tenant policy with MaxModuleBytes 0 must
+// not mean an unbounded io.ReadAll — the server-wide cap backstops it.
+func TestServerWideUploadCap(t *testing.T) {
+	ts, _ := newTestServer(t, Options{
+		Config:         cage.Baseline64(),
+		ConfigName:     "baseline64",
+		MaxUploadBytes: 1 << 10,
+		// DefaultQuota deliberately zero: no tenant-level byte cap.
+	})
+
+	var eb errorBody
+	resp := postJSON(t, ts, "/v1/modules", "", bytes.Repeat([]byte{'x'}, 1<<12), &eb)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || eb.Error.Code != "module_too_large" {
+		t.Fatalf("got (%d, %q), want (413, module_too_large)", resp.StatusCode, eb.Error.Code)
+	}
+	if !strings.Contains(eb.Error.Message, "1024") {
+		t.Errorf("413 message %q does not carry the effective limit", eb.Error.Message)
+	}
+
+	// A small module still uploads fine under the cap.
+	up := uploadSource(t, ts, "", `long f(long n) { return n; }`)
+	if up.Module == "" {
+		t.Fatal("small upload failed under the server-wide cap")
 	}
 }
 

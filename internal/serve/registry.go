@@ -51,6 +51,20 @@ func (e *moduleEntry) exportNames() []string {
 type registry struct {
 	mu   sync.RWMutex
 	byID map[string]*moduleEntry
+	// bySrc maps the SHA-256 of the bytes a creating upload POSTed to
+	// its entry, so a byte-identical re-upload is answered before any
+	// compile or engine-cache work. One alias per entry (the creating
+	// body only), so the index is bounded by the registry itself.
+	bySrc map[[32]byte]*moduleEntry
+}
+
+// lookupSource finds the entry a byte-identical upload created.
+func (r *registry) lookupSource(body []byte) (*moduleEntry, bool) {
+	key := sha256.Sum256(body)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.bySrc[key]
+	return e, ok
 }
 
 // lookup finds a registered module.
@@ -74,9 +88,15 @@ func (r *registry) list() []*moduleEntry {
 }
 
 // register adds (or finds) the entry for a compiled module. created
-// reports whether this call inserted it — the caller charges the
-// tenant's MaxModules quota only then.
-func (r *registry) register(tenant string, mod *cage.Module) (e *moduleEntry, created bool, err error) {
+// reports whether this call inserted it. Before inserting a new entry
+// — and still holding the registry lock, so the outcome is atomic —
+// register calls reserve, the caller's claim against its MaxModules
+// quota; a reserve error aborts the insert and is returned verbatim,
+// leaving no trace of the rejected module in the registry. Finding an
+// existing entry never calls reserve (re-registering content is free).
+// src is the upload body that produced mod, indexed on creation so
+// byte-identical re-uploads skip compilation entirely.
+func (r *registry) register(tenant string, src []byte, mod *cage.Module, reserve func() error) (e *moduleEntry, created bool, err error) {
 	bin, err := mod.Encode()
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: encoding module for registration: %w", err)
@@ -89,6 +109,11 @@ func (r *registry) register(tenant string, mod *cage.Module) (e *moduleEntry, cr
 	if e, ok := r.byID[id]; ok {
 		return e, false, nil
 	}
+	if reserve != nil {
+		if err := reserve(); err != nil {
+			return nil, false, err
+		}
+	}
 	e = &moduleEntry{
 		id:     id,
 		mod:    mod,
@@ -98,8 +123,10 @@ func (r *registry) register(tenant string, mod *cage.Module) (e *moduleEntry, cr
 	}
 	if r.byID == nil {
 		r.byID = make(map[string]*moduleEntry)
+		r.bySrc = make(map[[32]byte]*moduleEntry)
 	}
 	r.byID[id] = e
+	r.bySrc[sha256.Sum256(src)] = e
 	return e, true, nil
 }
 

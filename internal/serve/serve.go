@@ -15,10 +15,24 @@ import (
 )
 
 // TenantHeader names the request header carrying the tenant identity;
-// requests without it run as DefaultTenant.
+// requests without it run as DefaultTenant. The header is the only
+// tenant credential, so per-tenant state must stay bounded against
+// hostile values: past Options.MaxTenants distinct names, unknown
+// tenants share the OverflowTenant aggregate.
 const (
-	TenantHeader  = "X-Cage-Tenant"
-	DefaultTenant = "default"
+	TenantHeader   = "X-Cage-Tenant"
+	DefaultTenant  = "default"
+	OverflowTenant = "(other)"
+)
+
+const (
+	// DefaultMaxTenants bounds first-sight tenant creation when
+	// Options.MaxTenants is 0.
+	DefaultMaxTenants = 256
+	// DefaultMaxUploadBytes is the server-wide upload cap applied when
+	// Options.MaxUploadBytes is 0, so a tenant policy with no
+	// MaxModuleBytes still cannot stream an unbounded body into memory.
+	DefaultMaxUploadBytes = 64 << 20
 )
 
 // maxInvokeBody bounds an invoke request body; invocation arguments are
@@ -38,6 +52,19 @@ type Options struct {
 	DefaultQuota QuotaPolicy
 	// Tenants overrides the policy per tenant name.
 	Tenants map[string]QuotaPolicy
+	// MaxTenants caps how many distinct tenant states (admission
+	// semaphore, counters, metrics label series) the server creates on
+	// first sight of an unknown X-Cage-Tenant value — the header is
+	// unauthenticated, so unbounded creation is a memory and metrics-
+	// cardinality DoS. Names listed in Tenants always get their own
+	// state; past the cap every other unknown name shares one aggregate
+	// state (DefaultQuota, labeled OverflowTenant). 0 means
+	// DefaultMaxTenants; negative lifts the cap.
+	MaxTenants int
+	// MaxUploadBytes is the server-wide hard cap on one upload body,
+	// enforced even for tenants whose policy leaves MaxModuleBytes at 0
+	// (unlimited). 0 means DefaultMaxUploadBytes; negative lifts the cap.
+	MaxUploadBytes int64
 	// PoolLimit overrides the engine's per-module live-instance cap
 	// (0 keeps the config's §7.4 tag budget).
 	PoolLimit int
@@ -98,7 +125,10 @@ func (s *Server) Engine() *cage.Engine { return s.eng }
 func (s *Server) Close() { s.eng.Close() }
 
 // tenantFor returns (creating on first sight) the tenant state for a
-// request.
+// request. Creation is bounded: once MaxTenants distinct states exist,
+// unknown names collapse into the shared OverflowTenant aggregate, so
+// an attacker cycling header values cannot grow the tenant map or the
+// /metrics label space without bound.
 func (s *Server) tenantFor(r *http.Request) *tenant {
 	name := r.Header.Get(TenantHeader)
 	if name == "" {
@@ -106,16 +136,51 @@ func (s *Server) tenantFor(r *http.Request) *tenant {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tenants[name]
-	if !ok {
-		policy, ok := s.opts.Tenants[name]
-		if !ok {
-			policy = s.opts.DefaultQuota
-		}
-		t = newTenant(name, policy)
-		s.tenants[name] = t
+	if t, ok := s.tenants[name]; ok {
+		return t
 	}
+	policy, known := s.opts.Tenants[name]
+	if !known {
+		policy = s.opts.DefaultQuota
+		if limit := s.maxTenants(); limit >= 0 && len(s.tenants) >= limit {
+			name = OverflowTenant
+			if t, ok := s.tenants[name]; ok {
+				return t
+			}
+		}
+	}
+	t := newTenant(name, policy)
+	s.tenants[name] = t
 	return t
+}
+
+// maxTenants resolves Options.MaxTenants (0 → default, negative → no
+// cap, reported as -1).
+func (s *Server) maxTenants() int {
+	switch {
+	case s.opts.MaxTenants > 0:
+		return s.opts.MaxTenants
+	case s.opts.MaxTenants < 0:
+		return -1
+	}
+	return DefaultMaxTenants
+}
+
+// uploadLimit resolves the effective body cap for one tenant's upload:
+// the tenant's MaxModuleBytes quota tightened by the server-wide
+// MaxUploadBytes backstop. 0 means genuinely unlimited (both caps
+// explicitly lifted).
+func (s *Server) uploadLimit(policy QuotaPolicy) int64 {
+	limit := s.opts.MaxUploadBytes
+	if limit == 0 {
+		limit = DefaultMaxUploadBytes
+	} else if limit < 0 {
+		limit = 0
+	}
+	if q := policy.MaxModuleBytes; q > 0 && (limit == 0 || q < limit) {
+		limit = q
+	}
+	return limit
 }
 
 // apiError is the structured error body: {"error": {...}}.
@@ -161,7 +226,7 @@ type UploadResponse struct {
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	tn := s.tenantFor(r)
 	body := r.Body
-	if limit := tn.policy.MaxModuleBytes; limit > 0 {
+	if limit := s.uploadLimit(tn.policy); limit > 0 {
 		body = http.MaxBytesReader(w, r.Body, limit)
 	}
 	data, err := io.ReadAll(body)
@@ -171,11 +236,29 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			tn.m.badRequest.Add(1)
 			writeError(w, http.StatusRequestEntityTooLarge, apiError{
 				Code:    "module_too_large",
-				Message: fmt.Sprintf("upload exceeds the tenant's %d-byte module quota", tooLarge.Limit),
+				Message: fmt.Sprintf("upload exceeds the %d-byte module size limit", tooLarge.Limit),
 			})
 			return
 		}
 		tn.m.canceled.Add(1)
+		return
+	}
+
+	// A byte-identical re-upload is answered from the registry before
+	// any compile, engine-cache, or quota work — re-registering
+	// existing content is free and costs the server nothing.
+	if entry, ok := s.reg.lookupSource(data); ok {
+		writeJSON(w, http.StatusOK, UploadResponse{Module: entry.id, Cached: true, Exports: entry.exportNames()})
+		return
+	}
+
+	// A tenant with no quota headroom is refused before its body is
+	// compiled: rejected uploads must not consume engine-cache memory.
+	// (This also refuses a re-upload of registered content whose bytes
+	// differ from the creating upload's — dedup against the canonical
+	// encoding would require the compile this check exists to avoid.)
+	if max := tn.policy.MaxModules; max > 0 && tn.modules.Load() >= int64(max) {
+		s.rejectModuleQuota(w, tn)
 		return
 	}
 
@@ -200,33 +283,45 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	entry, created, err := s.reg.register(tn.name, mod)
-	if err != nil {
+	// The MaxModules charge is reserved under the registry lock, before
+	// the entry is inserted: a rejected upload leaves no entry behind,
+	// so re-uploading the same bytes cannot ride a cached hit around
+	// the quota. Finding existing content reserves nothing.
+	entry, created, err := s.reg.register(tn.name, data, mod, func() error {
+		if max := tn.policy.MaxModules; max > 0 {
+			if tn.modules.Add(1) > int64(max) {
+				tn.modules.Add(-1)
+				return errModuleQuota
+			}
+		}
+		return nil
+	})
+	switch {
+	case errors.Is(err, errModuleQuota):
+		s.rejectModuleQuota(w, tn)
+		return
+	case err != nil:
 		tn.m.failures.Add(1)
 		writeError(w, http.StatusInternalServerError, apiError{
 			Code: "internal", Message: err.Error(),
 		})
 		return
 	}
-	if created {
-		if max := tn.policy.MaxModules; max > 0 && tn.modules.Add(1) > int64(max) {
-			// Quota exceeded: roll the charge back but keep the entry —
-			// content addressing means some tenant may legitimately use
-			// it; this tenant just cannot register more new content.
-			tn.modules.Add(-1)
-			tn.m.badRequest.Add(1)
-			writeError(w, http.StatusForbidden, apiError{
-				Code:    "module_quota_exceeded",
-				Message: fmt.Sprintf("tenant %q may register at most %d modules", tn.name, max),
-			})
-			return
-		}
-	}
 	status := http.StatusOK
 	if created {
 		status = http.StatusCreated
 	}
 	writeJSON(w, status, UploadResponse{Module: entry.id, Cached: !created, Exports: entry.exportNames()})
+}
+
+// rejectModuleQuota answers an upload from a tenant with no MaxModules
+// headroom.
+func (s *Server) rejectModuleQuota(w http.ResponseWriter, tn *tenant) {
+	tn.m.badRequest.Add(1)
+	writeError(w, http.StatusForbidden, apiError{
+		Code:    "module_quota_exceeded",
+		Message: fmt.Sprintf("tenant %q may register at most %d modules", tn.name, tn.policy.MaxModules),
+	})
 }
 
 // ModuleInfo is one GET /v1/modules entry.
@@ -390,9 +485,10 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		tn.m.interrupted.Add(1)
 		entry.m.interrupted.Add(1)
 		writeError(w, http.StatusRequestTimeout, apiError{
-			Code:    "timeout",
-			Message: fmt.Sprintf("call exceeded the tenant's %v budget", tn.policy.Timeout),
-			Trap:    exec.TrapInterrupted.String(),
+			Code: "timeout",
+			Message: fmt.Sprintf("call exceeded its %v budget",
+				tn.policy.effectiveTimeout(time.Duration(req.TimeoutMs)*time.Millisecond)),
+			Trap: exec.TrapInterrupted.String(),
 		})
 	default:
 		var trap *exec.Trap

@@ -328,7 +328,10 @@ func TestMultiTenantIsolation(t *testing.T) {
 func TestStatsAndMetrics(t *testing.T) {
 	ts, srv := newTestServer(t, Options{Config: cage.Baseline64(), ConfigName: "baseline64"})
 	up := uploadSource(t, ts, "obs", guestSource)
-	uploadSource(t, ts, "obs", guestSource) // engine + registry cache hit
+	// Registry source-index hit: answered before the engine is touched.
+	if again := uploadSource(t, ts, "obs", guestSource); !again.Cached {
+		t.Error("re-upload not served from the registry")
+	}
 	for i := 0; i < 3; i++ {
 		resp, _, _ := invoke(t, ts, "obs", InvokeRequest{Module: up.Module, Function: "add", Args: []uint64{uint64(i), 1}})
 		if resp.StatusCode != http.StatusOK {
@@ -340,8 +343,8 @@ func TestStatsAndMetrics(t *testing.T) {
 	if stats.Config != "baseline64" {
 		t.Errorf("config label = %q", stats.Config)
 	}
-	if stats.ModuleCache.Hits == 0 {
-		t.Error("re-upload did not hit the compiled-module cache")
+	if stats.ModuleCache.Misses != 1 {
+		t.Errorf("module cache misses = %d, want 1 — the re-upload must not recompile", stats.ModuleCache.Misses)
 	}
 	if stats.ProgramCache.Misses == 0 {
 		t.Error("no lowered program was ever built")
