@@ -395,6 +395,15 @@ func (h *hostState) WASISystem() *wasi.System        { return h.wasi }
 // registered embedder host modules), and instantiates a module. The
 // first Instantiate freezes the runtime's host surface.
 func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
+	return rt.instantiate(m, nil)
+}
+
+// instantiate is Instantiate with an optional snapshot: when snap is
+// non-nil the instance is forked from the frozen image (exec restores
+// memory/globals/table/tags, the allocator adopts the image's heap
+// bookkeeping) instead of replaying data segments, tagging memory, and
+// running the start function.
+func (rt *Runtime) instantiate(m *Module, snap *Snapshot) (*Instance, error) {
 	table, err := rt.importTable(m)
 	if err != nil {
 		return nil, err
@@ -407,6 +416,9 @@ func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
 		ProcessKey: rt.key,
 		Seed:       rt.seed.Add(1),
 		Sandboxes:  rt.sandboxes,
+	}
+	if snap != nil {
+		ecfg.Snapshot = snap.exec
 	}
 	prog, err := rt.loweredProgram(m, ecfg)
 	if err != nil {
@@ -423,6 +435,9 @@ func (rt *Runtime) Instantiate(m *Module) (*Instance, error) {
 		if err != nil {
 			inst.Close() // return the sandbox tag
 			return nil, err
+		}
+		if snap != nil && snap.hasHeap {
+			out.alloc.Restore(snap.heap)
 		}
 		state.alloc = out.alloc
 	}

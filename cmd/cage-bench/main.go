@@ -25,10 +25,18 @@ func main() {
 	quick := flag.Bool("quick", false, "use small problem sizes")
 	exp := flag.String("exp", "all", "which experiment to run")
 	jsonOut := flag.Bool("json", false, "emit per-kernel JSON (ns/op, event counts, fuel) instead of the report tables")
+	snapshotOut := flag.Bool("snapshot", false, "emit only the snapshot (fresh vs restore) JSON record")
 	flag.Parse()
 
 	w := os.Stdout
 	var err error
+	if *snapshotOut {
+		if err := bench.WriteSnapshotJSON(w, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut {
 		if *exp != "all" {
 			// -json is its own sweep (every kernel × every Table 3

@@ -11,9 +11,16 @@
 //
 // Usage:
 //
+// With -preinit fn the engine runs fn() once, snapshots the post-init
+// state (Wizer-style pre-initialization), and serves every invocation
+// from an instance forked off the frozen image — -repeat N then prices
+// warm checkouts instead of cold starts.
+//
+// Usage:
+//
 //	cage-run [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox]
 //	         [-invoke name] [-args "1 2 3"] [-repeat n] [-stats]
-//	         [-timeout d] [-fuel n] module.wasm
+//	         [-timeout d] [-fuel n] [-preinit fn] module.wasm
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print engine cache/pool statistics to stderr")
 	timeout := flag.Duration("timeout", 0, "per-invocation deadline (0 = none)")
 	fuel := flag.Uint64("fuel", 0, "per-invocation fuel budget in timing-model events (0 = unmetered)")
+	preinit := flag.String("preinit", "", "run this exported function once, snapshot the result, and fork every invocation from it")
 	flag.Parse()
 
 	if flag.NArg() != 1 || *repeat < 1 {
@@ -75,6 +83,18 @@ func main() {
 	}
 	if *fuel > 0 {
 		opts = append(opts, cage.WithFuel(*fuel))
+	}
+	if *preinit != "" {
+		snap, err := eng.Snapshot(context.Background(), mod,
+			cage.WithInit(*preinit), cage.WithInitOptions(opts...))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cage-run: preinit %q: %v\n", *preinit, err)
+			os.Exit(1)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "cage-run: preinit %q consumed %d fuel once; forking via %s restore\n",
+				*preinit, snap.InitFuel(), eng.RestoreMode())
+		}
 	}
 	var res cage.Result
 	var fuelTotal uint64

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cage/internal/core"
 	"cage/internal/engine"
@@ -39,6 +40,17 @@ type Engine struct {
 
 	modules engine.Cache[*Module]
 	pools   engine.PoolSet
+
+	// Snapshot subsystem (snapshot.go): snapshots memoizes frozen
+	// post-initialization images keyed by (module hash, config, init
+	// spec); active maps each module to the image its pool currently
+	// forks from — the automatic post-start baseline until an explicit
+	// Engine.Snapshot replaces it. autoSnapshotOff disables the
+	// baseline capture (SetAutoSnapshot).
+	snapshots       engine.SnapshotCache[*Snapshot]
+	snapMu          sync.RWMutex
+	active          map[*Module]*Snapshot
+	autoSnapshotOff atomic.Bool
 
 	// idle broadcasts instance checkins to spawns queued on the shared
 	// tag budget (a Release alone never fires for a tag that moved to a
@@ -147,23 +159,43 @@ func (e *Engine) DecodeModule(bin []byte) (*Module, error) {
 }
 
 // pooledInstance adapts a linked Instance (interpreter instance plus
-// hardened allocator) to the pool's Resetter protocol.
-type pooledInstance Instance
-
-func (p *pooledInstance) Reset(seed uint64) error {
-	// Same order as a fresh instantiation: restore state, rewind the
-	// allocator, then run the start function — which may itself
-	// allocate through the (now empty) heap.
-	if err := p.inst.ResetState(seed); err != nil {
-		return err
-	}
-	if p.alloc != nil {
-		p.alloc.Reset()
-	}
-	return p.inst.RunStart()
+// hardened allocator) to the pool's Resetter protocol. It carries the
+// engine and module so a reset can fork from the module's currently
+// registered snapshot — including one registered after this instance
+// spawned (an Engine.Snapshot with an init function upgrades in-flight
+// instances at their next checkin).
+type pooledInstance struct {
+	i   *Instance
+	eng *Engine
+	mod *Module
 }
 
-func (p *pooledInstance) Close() error { return p.inst.Close() }
+func (p *pooledInstance) Reset(seed uint64) error {
+	// Fast path: fork from the registered snapshot — one restore helper
+	// (Instance.restoreFrom) shared with snapshot-based spawning, so
+	// the copy/COW image is the only initialization story.
+	if s := p.eng.activeSnapshot(p.mod); s != nil {
+		if err := p.i.restoreFrom(s, seed); err == nil {
+			p.eng.snapshots.NoteRestore()
+			return nil
+		}
+		// An image that cannot restore (e.g. its COW backing vanished)
+		// falls through to the full replay below rather than poisoning
+		// the pool.
+	}
+	// Full replay, same order as a fresh instantiation: restore state,
+	// rewind the allocator, then run the start function — which may
+	// itself allocate through the (now empty) heap.
+	if err := p.i.inst.ResetState(seed); err != nil {
+		return err
+	}
+	if p.i.alloc != nil {
+		p.i.alloc.Reset()
+	}
+	return p.i.inst.RunStart()
+}
+
+func (p *pooledInstance) Close() error { return p.i.inst.Close() }
 
 // notifyIdle wakes spawns queued on the tag budget after a checkin.
 func (e *Engine) notifyIdle() {
@@ -202,9 +234,27 @@ func (e *Engine) idleWait() <-chan struct{} {
 func (e *Engine) pool(m *Module) *engine.Pool {
 	return e.pools.For(m, func(ctx context.Context) (engine.Resetter, error) {
 		for {
-			inst, err := e.rt.Instantiate(m)
+			var inst *Instance
+			var err error
+			if snap := e.activeSnapshot(m); snap != nil {
+				// Fork the new instance straight from the registered
+				// image: no data-segment replay, no whole-memory
+				// tagging, no start/init execution.
+				inst, err = e.rt.instantiate(m, snap)
+				if err == nil {
+					e.snapshots.NoteRestore()
+				}
+			} else {
+				inst, err = e.rt.Instantiate(m)
+				if err == nil && !e.autoSnapshotOff.Load() {
+					// First spawn: freeze this pristine post-start state
+					// as the image every later spawn and reset forks
+					// from.
+					e.captureBaseline(m, inst)
+				}
+			}
 			if err == nil {
-				return (*pooledInstance)(inst), nil
+				return &pooledInstance{i: inst, eng: e, mod: m}, nil
 			}
 			if !errors.Is(err, core.ErrSandboxesExhausted) {
 				return nil, err
@@ -271,23 +321,25 @@ func (e *Engine) WithInstanceContext(ctx context.Context, m *Module, f func(inst
 		p.Put(r)
 		e.notifyIdle()
 	}()
-	return f((*Instance)(r.(*pooledInstance)))
+	return f(r.(*pooledInstance).i)
 }
 
 // EngineStats aggregates the engine's cache and pool counters.
 type EngineStats struct {
-	Cache    engine.CacheStats
-	Programs engine.CacheStats
-	Pools    engine.PoolStats
+	Cache     engine.CacheStats
+	Programs  engine.CacheStats
+	Snapshots engine.SnapshotCacheStats
+	Pools     engine.PoolStats
 }
 
-// Stats snapshots the module cache, the lowered-program cache, and the
-// (summed) per-module pools.
+// Stats snapshots the module cache, the lowered-program cache, the
+// snapshot cache, and the (summed) per-module pools.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Cache:    e.modules.Stats(),
-		Programs: e.rt.ProgramCacheStats(),
-		Pools:    e.pools.Stats(),
+		Cache:     e.modules.Stats(),
+		Programs:  e.rt.ProgramCacheStats(),
+		Snapshots: e.snapshots.Stats(),
+		Pools:     e.pools.Stats(),
 	}
 }
 

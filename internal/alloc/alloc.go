@@ -91,6 +91,45 @@ func (a *Allocator) Reset() {
 	a.InUse, a.Peak, a.Meta = 0, 0, 0
 }
 
+// HeapState is the allocator's snapshotted bookkeeping: break pointer,
+// free list, and §7.3 statistics. It pairs with an exec.Snapshot of the
+// backing instance — the heap's data and tags live in the instance
+// image; this is the host-side metadata that must travel with them.
+// A HeapState is immutable once captured and safe to Restore from
+// concurrently into different allocators.
+type HeapState struct {
+	heapEnd uint64
+	free    []block
+	allocs  uint64
+	frees   uint64
+	inUse   uint64
+	peak    uint64
+	meta    uint64
+}
+
+// Snapshot captures the allocator's current bookkeeping.
+func (a *Allocator) Snapshot() HeapState {
+	return HeapState{
+		heapEnd: a.heapEnd,
+		free:    append([]block(nil), a.free...),
+		allocs:  a.Allocs,
+		frees:   a.Frees,
+		inUse:   a.InUse,
+		peak:    a.Peak,
+		meta:    a.Meta,
+	}
+}
+
+// Restore rewinds the allocator to a captured HeapState. The caller
+// must have restored the backing instance from the matching snapshot
+// first, exactly as Reset assumes a re-zeroed memory.
+func (a *Allocator) Restore(s HeapState) {
+	a.heapEnd = s.heapEnd
+	a.free = append(a.free[:0], s.free...)
+	a.Allocs, a.Frees = s.allocs, s.frees
+	a.InUse, a.Peak, a.Meta = s.inUse, s.peak, s.meta
+}
+
 // Hardened reports whether allocations are tagged.
 func (a *Allocator) Hardened() bool { return a.hardened }
 

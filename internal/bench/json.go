@@ -64,6 +64,9 @@ type JSONReport struct {
 	// sandbox preset), emitted by cage-loadgen; a compatible addition —
 	// consumers tolerate unknown fields.
 	Saturation *SaturationRecord `json:"saturation,omitempty"`
+	// Snapshot prices warm checkouts (snapshot restore, copy and COW)
+	// against cold starts across heap sizes; a compatible addition.
+	Snapshot *SnapshotRecord `json:"snapshot,omitempty"`
 }
 
 // runKernelRecord instantiates kernel k under variant v and measures
@@ -125,6 +128,25 @@ func WriteJSON(w io.Writer, quick bool) error {
 		return err
 	}
 	rep.CallOverhead = callOverhead
+	snapshot, err := MeasureSnapshot(quick)
+	if err != nil {
+		return err
+	}
+	rep.Snapshot = snapshot
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteSnapshotJSON emits a document carrying only the snapshot
+// record — the fast path for regenerating BENCH_snapshot.json without
+// the full kernel sweep.
+func WriteSnapshotJSON(w io.Writer, quick bool) error {
+	rec, err := MeasureSnapshot(quick)
+	if err != nil {
+		return err
+	}
+	rep := JSONReport{Schema: JSONSchema, Quick: quick, Snapshot: rec}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"cage/internal/alloc"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/minicc"
+	"cage/internal/mte"
+	"cage/internal/polybench"
+	"cage/internal/wasm"
+)
+
+// Snapshot benchmark: prices a warm checkout against a cold start. The
+// "fresh" leg is everything a cold start pays — instantiation (data
+// segments, whole-memory tagging under MTE) plus the init call that
+// populates the heap; the restore legs rewind a live instance from the
+// frozen post-init image by bulk copy and, under the cagecow build tag,
+// by mapping a copy-on-write view. Heap size is the independent
+// variable: copy restores scale with it, COW restores should not.
+
+// SnapshotPoint is one heap-size measurement.
+type SnapshotPoint struct {
+	HeapBytes int64 `json:"heap_bytes"`
+	// FreshNs is instantiate + init(heap_bytes) + first call.
+	FreshNs int64 `json:"fresh_ns_per_op"`
+	// CopyRestoreNs is bulk-copy restore + first call.
+	CopyRestoreNs int64 `json:"copy_restore_ns_per_op"`
+	// CowRestoreNs is MAP_PRIVATE restore + first call; 0 when the
+	// build has no COW support (restore_mode "copy").
+	CowRestoreNs int64 `json:"cow_restore_ns_per_op,omitempty"`
+}
+
+// SnapshotRecord is the cage-bench JSON "snapshot" record.
+type SnapshotRecord struct {
+	// Config names the sandbox feature set the measurement ran under.
+	Config string `json:"config"`
+	// RestoreMode is the build's native restore fast path ("cow" under
+	// the cagecow build tag on Linux, "copy" otherwise).
+	RestoreMode string          `json:"restore_mode"`
+	Points      []SnapshotPoint `json:"points"`
+}
+
+// snapshotGuestSource allocates and dirties a caller-sized heap in
+// init — the work a snapshot amortizes — and serves trivial calls.
+const snapshotGuestSource = `
+extern char* malloc(long n);
+
+long init(long bytes) {
+    char* p = malloc(bytes);
+    for (long i = 0; i < bytes; i = i + 64) { p[i] = 1; }
+    return (long)p;
+}
+
+long ping(long x) { return x + 1; }
+`
+
+// newSnapshotInstance instantiates the snapshot guest with the
+// hardened allocator wired up, optionally from a snapshot image.
+func newSnapshotInstance(m *wasm.Module, feats core.Features, snap *exec.Snapshot, seed uint64) (*exec.Instance, error) {
+	host := &alloc.Host{}
+	inst, err := exec.NewInstance(m, exec.Config{
+		Features: feats, HostModules: polybench.HostModules(), HostData: host,
+		Seed: seed, Snapshot: snap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	heapBase, ok := inst.GlobalValue("__heap_base")
+	if !ok {
+		return nil, fmt.Errorf("bench: snapshot guest lacks __heap_base")
+	}
+	host.A, err = alloc.New(inst, heapBase)
+	if err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// MeasureSnapshot runs the fresh-vs-restore comparison across heap
+// sizes under the sandbox feature set (MTE sandboxing, sync mode —
+// the configuration whose cold starts pay whole-memory tagging).
+func MeasureSnapshot(quick bool) (*SnapshotRecord, error) {
+	feats := core.Features{Sandbox: true, MTEMode: mte.ModeSync}
+	rec := &SnapshotRecord{Config: "sandbox", RestoreMode: exec.SnapshotRestoreMode()}
+
+	heaps := []int64{1 << 20, 16 << 20, 64 << 20}
+	freshIters, restoreIters := 3, 30
+	if quick {
+		heaps = heaps[:2]
+		freshIters, restoreIters = 2, 10
+	}
+
+	file, err := minicc.Parse(snapshotGuestSource)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		return nil, err
+	}
+	m, err := codegen.Compile(prog, codegen.Options{Wasm64: true})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, heap := range heaps {
+		pt := SnapshotPoint{HeapBytes: heap}
+
+		// Fresh: every iteration builds, initializes, and serves one
+		// call from scratch — the cost every cold start pays.
+		t0 := time.Now()
+		for i := 0; i < freshIters; i++ {
+			inst, err := newSnapshotInstance(m, feats, nil, uint64(100+i))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := inst.Invoke("init", uint64(heap)); err != nil {
+				return nil, err
+			}
+			if _, err := inst.Invoke("ping", 1); err != nil {
+				return nil, err
+			}
+			inst.Close()
+		}
+		pt.FreshNs = time.Since(t0).Nanoseconds() / int64(freshIters)
+
+		// One builder produces the frozen post-init image both restore
+		// legs fork from.
+		builder, err := newSnapshotInstance(m, feats, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := builder.Invoke("init", uint64(heap)); err != nil {
+			return nil, err
+		}
+		snap, err := builder.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		builder.Close()
+
+		measureRestore := func(s *exec.Snapshot) (int64, error) {
+			target, err := newSnapshotInstance(m, feats, s, 2)
+			if err != nil {
+				return 0, err
+			}
+			defer target.Close()
+			t0 := time.Now()
+			for i := 0; i < restoreIters; i++ {
+				if err := target.RestoreFromSnapshot(s, uint64(200+i)); err != nil {
+					return 0, err
+				}
+				if _, err := target.Invoke("ping", 1); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(t0).Nanoseconds() / int64(restoreIters), nil
+		}
+
+		if pt.CopyRestoreNs, err = measureRestore(snap.WithoutCOW()); err != nil {
+			return nil, err
+		}
+		if rec.RestoreMode == "cow" {
+			if pt.CowRestoreNs, err = measureRestore(snap); err != nil {
+				return nil, err
+			}
+		}
+		snap.Close()
+		rec.Points = append(rec.Points, pt)
+	}
+	return rec, nil
+}

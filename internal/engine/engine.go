@@ -17,6 +17,10 @@
 //     (re-zero memory, re-tag, re-seed), and bounds live instances to
 //     the §7.4 sandbox-tag budget, queueing excess checkouts until an
 //     instance is returned or the checkout's context ends.
+//   - SnapshotCache memoizes frozen post-initialization images per
+//     (module hash, config, init), so start/init execution and
+//     whole-memory tagging run once and every later instance is a
+//     fork (restore) of the image rather than a rebuild.
 //
 // The package is deliberately ignorant of wasm: Cache is generic over
 // the cached value and Pool works against the small Resetter interface,

@@ -1,0 +1,44 @@
+package engine
+
+import "sync/atomic"
+
+// SnapshotCache memoizes frozen post-initialization instance images,
+// sitting alongside the program cache in the engine's amortization
+// story: the program cache pays lowering once per (module, config), the
+// snapshot cache pays start/init execution and whole-memory tagging
+// once per (module, config, init) — after which every instance is a
+// fork, not a rebuild. Like the rest of the package it is ignorant of
+// wasm: V is whatever image the embedder freezes (the cage facade
+// caches its *Snapshot pairing instance state with allocator state).
+//
+// On top of Cache's hit/miss/singleflight accounting it counts
+// restores — forks served from a cached image — which is the number
+// that makes the cache worth having. The zero value is ready to use.
+type SnapshotCache[V any] struct {
+	cache    Cache[V]
+	restores atomic.Uint64
+}
+
+// SnapshotCacheStats extends the cache counters with restore
+// accounting.
+type SnapshotCacheStats struct {
+	CacheStats
+	// Restores counts instance forks served from a cached snapshot
+	// (pool spawns, resets, and explicit NewFromSnapshot calls).
+	Restores uint64
+}
+
+// GetOrBuild returns the cached snapshot for key, building (capturing)
+// it on first use with singleflight semantics; failed captures are not
+// cached and will be retried.
+func (c *SnapshotCache[V]) GetOrBuild(key Key, build func() (V, error)) (V, error) {
+	return c.cache.GetOrBuild(key, build)
+}
+
+// NoteRestore records one fork served from a cached snapshot.
+func (c *SnapshotCache[V]) NoteRestore() { c.restores.Add(1) }
+
+// Stats returns a snapshot of the cache and restore counters.
+func (c *SnapshotCache[V]) Stats() SnapshotCacheStats {
+	return SnapshotCacheStats{CacheStats: c.cache.Stats(), Restores: c.restores.Load()}
+}

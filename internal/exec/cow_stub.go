@@ -1,0 +1,20 @@
+//go:build !(cagecow && linux && (amd64 || arm64))
+
+package exec
+
+// snapshotRestoreMode: without the cagecow build tag (or off Linux)
+// snapshots restore by bulk copy into retained capacity.
+const snapshotRestoreMode = "copy"
+
+// cowImage is the stub image: never materialized, never mappable. The
+// restore path checks for a nil image and falls back to copying, so
+// this build compiles out the mmap machinery entirely.
+type cowImage struct{}
+
+func newCOWImage(mem, tags []byte) *cowImage { return nil }
+
+func (c *cowImage) mapView() (mem, tags []byte, unmap func(), err error) {
+	return nil, nil, nil, errCOWUnavailable
+}
+
+func (c *cowImage) close() {}

@@ -1,0 +1,6 @@
+//go:build cagecow && linux && amd64
+
+package exec
+
+// memfd_create on linux/amd64.
+const sysMemfdCreate = 319

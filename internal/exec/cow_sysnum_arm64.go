@@ -1,0 +1,6 @@
+//go:build cagecow && linux && arm64
+
+package exec
+
+// memfd_create on linux/arm64.
+const sysMemfdCreate = 279

@@ -104,6 +104,51 @@
 // guest trap with TrapInterrupted, and even a host function that
 // swallows the cancellation is caught by the post-host meter check.
 //
+// # Snapshots and forking
+//
+// Instance.Snapshot freezes a quiescent instance's full mutable state —
+// linear memory (plus host reserve), globals, indirect-call table, MTE
+// tag image and generator state, PAC keys, and the §7.2/§7.4 accounting
+// — into an immutable Snapshot. The image is consumed two ways, both
+// through the single restore helper RestoreFromSnapshot:
+//
+//   - Config.Snapshot at instantiation: NewInstance skips data-segment
+//     replay, whole-memory tagging, and the start function, restoring
+//     the image instead (the engine's pool-spawn fast path).
+//   - RestoreFromSnapshot on a live instance: the pooled-reset fast
+//     path — rewind a recycled instance to the post-init state instead
+//     of replaying Reset's zero + data segments + start.
+//
+// This is Wizer-style pre-initialization: run the expensive start/init
+// once, snapshot, and fork every subsequent instance from the frozen
+// image. Restores are safe concurrently against one shared snapshot.
+//
+// Restore cost by build (SnapshotRestoreMode reports which is active):
+//
+//   - default ("copy"): one bulk copy into retained capacity — or,
+//     when the image is mostly zeros (the usual post-init shape, found
+//     by a capture-time non-zero-span scan), a zero-fill plus span
+//     copy, which runs at memclr speed and beats legacy Reset.
+//   - cagecow && linux && (amd64 || arm64) ("cow"): capture also seals
+//     the image into a memfd, and each restore maps it MAP_PRIVATE —
+//     O(1)-ish in heap size; pages are copied by the kernel only when
+//     written. If the mapping fails at runtime the restore falls back
+//     to the copy path; other platforms compile the stub and always
+//     copy. GOOS=darwin (and every non-Linux target) builds cleanly
+//     with or without the tag.
+//
+// Reset-semantics migration note: Reset always rotates the PAC
+// modifier, so pointers signed in a previous lifetime fail
+// authentication (§6.3). A snapshot restore preserves that property
+// when it can prove the image carries no signatures (no
+// i64.pointer_sign executed before capture — the common case, checked
+// at capture time): each fork derives a fresh modifier from its seed.
+// When the image does carry signed pointers, forks must adopt the
+// snapshot's keys so stored signatures keep authenticating — forks of
+// such an image share one modifier, a deliberate relaxation of the
+// one-modifier-per-lifetime rule that embedders snapshotting
+// signature-bearing state opt into.
+//
 // Paper map:
 //
 //   - NewInstance      — instantiation: linking, lowering, sandbox-tag
@@ -117,6 +162,9 @@
 //     the freshly-instantiated state (memory, tags, PAC modifier)
 //     without re-paying validation, precompilation, or the frame
 //     machine's arena
+//   - Instance.Snapshot / RestoreFromSnapshot — Wizer-style
+//     pre-initialization: freeze the post-init state once, fork every
+//     later instance from the image (copy or MAP_PRIVATE COW)
 //   - Instance.Close   — teardown returning the sandbox tag to the
 //     §6.4/§7.4 budget
 //   - Trap             — the trap taxonomy embedders classify violations

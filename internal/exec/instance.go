@@ -74,6 +74,13 @@ type Config struct {
 	// HostReserve appends a host-owned, runtime-tagged region after the
 	// guest memory for sandbox-escape demonstrations; 0 means 4 KiB.
 	HostReserve uint64
+	// Snapshot, when non-nil, instantiates by restoring this frozen
+	// image (Instance.Snapshot) instead of replaying data segments,
+	// tagging the whole memory, and running the start function — the
+	// §7.2 costs a pre-initialized fork skips. The snapshot must have
+	// been captured from an instance of the same module under the same
+	// Features.
+	Snapshot *Snapshot
 }
 
 // strategyFor derives the sandboxing strategy from the module's memory
@@ -192,6 +199,16 @@ type Instance struct {
 	// HostContext.Data (Config.HostData).
 	hostData any
 
+	// Snapshot/restore state (snapshot.go). memUnmap releases the
+	// copy-on-write view backing mem (nil when mem is heap-allocated).
+	// tagsStatic arms the O(1) tag restore fast path: it records that
+	// the last restore left the static no-segments tag layout in place,
+	// and tagRestoreMark is the segment counter value that restore
+	// observed (any segment activity since invalidates the layout).
+	memUnmap       func()
+	tagsStatic     bool
+	tagRestoreMark uint64
+
 	// StartupGranulesTagged records how many granules were tagged at
 	// instantiation (the §7.2 startup-cost experiment).
 	StartupGranulesTagged uint64
@@ -267,9 +284,14 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 	inst.hostReserve = hostReserve
 	if len(m.Mems) > 0 {
 		inst.memType = m.Mems[0]
-		inst.memSize = inst.memType.Limits.Min * wasm.PageSize
-		inst.mem = make([]byte, inst.memSize+hostReserve)
-		inst.fillHostReserve()
+		// When restoring from a snapshot the image supplies the memory
+		// (and its tag layout) wholesale; allocating and tagging here
+		// would be thrown away.
+		if cfg.Snapshot == nil {
+			inst.memSize = inst.memType.Limits.Min * wasm.PageSize
+			inst.mem = make([]byte, inst.memSize+hostReserve)
+			inst.fillHostReserve()
+		}
 	}
 	inst.strategy = strategyFor(inst.memType, cfg.Features)
 	if inst.strategy == stratGuard32 && (cfg.Features.MemSafety || cfg.Features.Sandbox) {
@@ -331,12 +353,15 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 
 	// Globals, table + element segments, data segments. Shared with
 	// Instance recycling (reset.go), which must replay them identically.
-	inst.initGlobals()
-	if err := inst.initTable(); err != nil {
-		return nil, err
-	}
-	if err := inst.initData(); err != nil {
-		return nil, err
+	// A snapshot restore installs all three from the image instead.
+	if cfg.Snapshot == nil {
+		inst.initGlobals()
+		if err := inst.initTable(); err != nil {
+			return nil, err
+		}
+		if err := inst.initData(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Lower function bodies to the flat executable form, or adopt a
@@ -357,8 +382,14 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		inst.prog = prog
 	}
 
-	// Start function (shared with recycling, reset.go).
-	if err := inst.RunStart(); err != nil {
+	// Start function (shared with recycling, reset.go) — or, for a
+	// pre-initialized fork, the snapshot restore that replaces it (the
+	// image was captured after the start/init already ran).
+	if cfg.Snapshot != nil {
+		if err := inst.RestoreFromSnapshot(cfg.Snapshot, cfg.Seed); err != nil {
+			return nil, err
+		}
+	} else if err := inst.RunStart(); err != nil {
 		return nil, err
 	}
 	instantiated = true

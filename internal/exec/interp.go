@@ -190,6 +190,9 @@ func (inst *Instance) memoryGrow(deltaPages uint64) uint64 {
 			}
 		}
 	}
+	// The grown buffer (and the grown tag array) replaced every
+	// reference into a copy-on-write view; release it.
+	inst.releaseMapping()
 	return oldPages
 }
 

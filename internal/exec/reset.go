@@ -63,11 +63,23 @@ func (inst *Instance) ResetState(seed uint64) error {
 		initSize = inst.memType.Limits.Min * wasm.PageSize
 	}
 	if inst.memSize != initSize {
+		// Replacing the buffer abandons any copy-on-write view backing
+		// it; detach the tag array from the view first (the tag scrub
+		// below still writes through it), then unmap.
+		if inst.tags != nil {
+			inst.tags.EnsurePrivate()
+		}
 		inst.mem = make([]byte, initSize+inst.hostReserve)
 		inst.memSize = initSize
+		inst.releaseMapping()
 	} else {
+		// In place — if mem is a copy-on-write view this dirties private
+		// pages, which the next snapshot restore throws away wholesale.
 		clear(inst.mem)
 	}
+	// A full reset rebuilds the tag layout below; the snapshot fast path
+	// must not trust a layout it did not itself establish.
+	inst.tagsStatic = false
 	// Refill the host-reserve pattern in both paths: a previous lifetime
 	// may have corrupted it (async-mode or bounds-check-disabled escape
 	// demos write past memSize), and a recycled instance must be
@@ -152,5 +164,13 @@ func (inst *Instance) Close() error {
 	if inst.sandboxes != nil && inst.sandbox != core.RuntimeTag {
 		inst.sandboxes.Release(inst.sandbox)
 	}
+	// Release the copy-on-write view, if any. The memory and any adopted
+	// tag array become unreferencable; a closed instance must not be
+	// touched again.
+	if inst.tags != nil {
+		inst.tags.AdoptTags(nil, 0)
+	}
+	inst.mem = nil
+	inst.releaseMapping()
 	return nil
 }

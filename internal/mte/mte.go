@@ -91,6 +91,10 @@ type Memory struct {
 	pending *TagFault
 	exclude uint16 // bit i set => tag i never produced by RandomTag
 	rng     uint64 // xorshift64 state, deterministic and seedable
+	// adopted marks tag storage borrowed from a caller-owned mapping
+	// (AdoptTags); such storage must never be reused as a private
+	// array, since the mapping can be unmapped underneath it.
+	adopted bool
 }
 
 // NewMemory creates tag storage covering size bytes (rounded up to a whole
@@ -145,10 +149,11 @@ func (m *Memory) Grow(newSize uint64) {
 		return
 	}
 	need := granules(newSize)
-	if uint64(len(m.tags)) < need {
+	if uint64(len(m.tags)) < need || m.adopted {
 		grown := make([]uint8, need)
 		copy(grown, m.tags)
 		m.tags = grown
+		m.adopted = false
 	}
 	m.size = newSize
 }
@@ -283,4 +288,79 @@ func (m *Memory) ZeroAllTags() {
 	for i := range m.tags {
 		m.tags[i] = 0
 	}
+}
+
+// Snapshot/restore accessors: an instance snapshot captures the tag
+// state as three values — the per-granule tag image, the deterministic
+// RNG state, and the covered size — and restore puts them back without
+// re-running the stg loops that created them (the §7.2 cost the
+// snapshot exists to avoid).
+
+// CloneTags returns a copy of the per-granule tag image.
+func (m *Memory) CloneTags() []uint8 {
+	out := make([]uint8, len(m.tags))
+	copy(out, m.tags)
+	return out
+}
+
+// RandState returns the deterministic tag generator's state, so a
+// restored instance draws the same tag sequence the snapshotted one
+// would have.
+func (m *Memory) RandState() uint64 { return m.rng }
+
+// SetRandState restores the tag generator state captured by RandState.
+func (m *Memory) SetRandState(s uint64) {
+	if s == 0 {
+		s = 1
+	}
+	m.rng = s
+}
+
+// RestoreTags overwrites the tag image from src (covering size data
+// bytes), remapping granules tagged from to the tag to — the sandbox
+// identity of the restoring instance differs from the snapshotted one's
+// under per-instance tagging — and clears any latched fault. A from ==
+// to remap is a plain bulk copy. The destination is always a private
+// array: storage borrowed via AdoptTags is abandoned, never written
+// through, so the caller may unmap its old view after RestoreTags
+// returns.
+func (m *Memory) RestoreTags(src []uint8, size uint64, from, to uint8) {
+	if len(m.tags) != len(src) || m.adopted {
+		m.tags = make([]uint8, len(src))
+		m.adopted = false
+	}
+	copy(m.tags, src)
+	if from != to {
+		for i, t := range m.tags {
+			if t == from {
+				m.tags[i] = to
+			}
+		}
+	}
+	m.size = size
+	m.pending = nil
+}
+
+// AdoptTags replaces the tag storage with tags (covering size data
+// bytes) without copying — the copy-on-write restore path hands the
+// mmap'd snapshot view straight in, so tag restore is O(1) regardless
+// of heap size. The caller guarantees tags stays valid until the next
+// AdoptTags/RestoreTags/Grow replaces it.
+func (m *Memory) AdoptTags(tags []uint8, size uint64) {
+	m.tags = tags
+	m.size = size
+	m.pending = nil
+	m.adopted = true
+}
+
+// EnsurePrivate replaces adopted tag storage with a private copy, so
+// the borrowed mapping can be unmapped. No-op for owned storage.
+func (m *Memory) EnsurePrivate() {
+	if !m.adopted {
+		return
+	}
+	private := make([]uint8, len(m.tags))
+	copy(private, m.tags)
+	m.tags = private
+	m.adopted = false
 }

@@ -90,6 +90,18 @@ func cacheSnapshot(s engine.CacheStats) CacheSnapshot {
 	return CacheSnapshot{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries}
 }
 
+// SnapshotCacheSnapshot mirrors engine.SnapshotCacheStats with JSON
+// tags: the snapshot cache's hit/miss/entry counters plus how many
+// instance checkouts were served by forking a cached image.
+type SnapshotCacheSnapshot struct {
+	CacheSnapshot
+	Restores uint64 `json:"restores"`
+}
+
+func snapshotCacheSnapshot(s engine.SnapshotCacheStats) SnapshotCacheSnapshot {
+	return SnapshotCacheSnapshot{CacheSnapshot: cacheSnapshot(s.CacheStats), Restores: s.Restores}
+}
+
 // ModuleStats is one module's /v1/stats entry.
 type ModuleStats struct {
 	CounterStats
@@ -103,11 +115,18 @@ type ModuleStats struct {
 type Stats struct {
 	// Config is the server's sandbox preset name ("full", "sandbox", …).
 	Config string `json:"config"`
+	// RestoreMode names the snapshot-restore fast path this build forks
+	// instances with: "cow" (MAP_PRIVATE copy-on-write image) or "copy"
+	// (bulk copy).
+	RestoreMode string `json:"restore_mode"`
 	// Modules/Programs are the engine's compiled-module and
 	// lowered-program cache counters; Pools sums every module pool.
 	ModuleCache  CacheSnapshot `json:"module_cache"`
 	ProgramCache CacheSnapshot `json:"program_cache"`
-	Pools        PoolSnapshot  `json:"pools"`
+	// Snapshots counts the post-initialization image cache and the
+	// checkouts served by forking from it.
+	Snapshots SnapshotCacheSnapshot `json:"snapshots"`
+	Pools     PoolSnapshot          `json:"pools"`
 
 	Tenants map[string]TenantStats `json:"tenants"`
 	Modules map[string]ModuleStats `json:"modules"`
@@ -179,9 +198,16 @@ func (s *Stats) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE cage_cache_hits_total counter\n")
 	fmt.Fprintf(w, "cage_cache_hits_total{cache=\"module\"} %d\n", s.ModuleCache.Hits)
 	fmt.Fprintf(w, "cage_cache_hits_total{cache=\"program\"} %d\n", s.ProgramCache.Hits)
+	fmt.Fprintf(w, "cage_cache_hits_total{cache=\"snapshot\"} %d\n", s.Snapshots.Hits)
 	fmt.Fprintf(w, "# TYPE cage_cache_misses_total counter\n")
 	fmt.Fprintf(w, "cage_cache_misses_total{cache=\"module\"} %d\n", s.ModuleCache.Misses)
 	fmt.Fprintf(w, "cage_cache_misses_total{cache=\"program\"} %d\n", s.ProgramCache.Misses)
+	fmt.Fprintf(w, "cage_cache_misses_total{cache=\"snapshot\"} %d\n", s.Snapshots.Misses)
+
+	fmt.Fprintf(w, "# TYPE cage_snapshot_restores_total counter\n")
+	fmt.Fprintf(w, "cage_snapshot_restores_total %d\n", s.Snapshots.Restores)
+	fmt.Fprintf(w, "# TYPE cage_snapshot_restore_mode gauge\n")
+	fmt.Fprintf(w, "cage_snapshot_restore_mode{mode=%q} 1\n", s.RestoreMode)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -32,6 +32,18 @@ type moduleEntry struct {
 	tenant string
 	funcs  map[string]funcSig
 	m      counters
+
+	// initFn is the pre-initialization function named by the creating
+	// upload's ?init= parameter ("" for none). The first invocation runs
+	// it once under Engine.Snapshot; every later checkout forks from the
+	// frozen post-init image.
+	initFn string
+	// snapMu serializes the one-time snapshot build; snapDone latches
+	// success. Failures do not latch, so a transient build error (e.g.
+	// the triggering client disconnecting mid-init) is retried by the
+	// next invocation instead of bricking the module.
+	snapMu   sync.Mutex
+	snapDone bool
 }
 
 // exportNames lists the entry's callable exports, sorted.
@@ -95,8 +107,11 @@ func (r *registry) list() []*moduleEntry {
 // leaving no trace of the rejected module in the registry. Finding an
 // existing entry never calls reserve (re-registering content is free).
 // src is the upload body that produced mod, indexed on creation so
-// byte-identical re-uploads skip compilation entirely.
-func (r *registry) register(tenant string, src []byte, mod *cage.Module, reserve func() error) (e *moduleEntry, created bool, err error) {
+// byte-identical re-uploads skip compilation entirely. initFn is the
+// creating upload's pre-initialization function; content is
+// first-registrant-wins, so a re-register of existing content keeps the
+// original init spec.
+func (r *registry) register(tenant string, src []byte, mod *cage.Module, initFn string, reserve func() error) (e *moduleEntry, created bool, err error) {
 	bin, err := mod.Encode()
 	if err != nil {
 		return nil, false, fmt.Errorf("serve: encoding module for registration: %w", err)
@@ -120,6 +135,7 @@ func (r *registry) register(tenant string, src []byte, mod *cage.Module, reserve
 		size:   int64(len(bin)),
 		tenant: tenant,
 		funcs:  exportedFuncs(mod.Raw()),
+		initFn: initFn,
 	}
 	if r.byID == nil {
 		r.byID = make(map[string]*moduleEntry)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -221,6 +222,11 @@ type UploadResponse struct {
 	Cached bool `json:"cached"`
 	// Exports lists the module's callable functions.
 	Exports []string `json:"exports"`
+	// Init is the module's registered pre-initialization function, ""
+	// for none. Ids are content-addressed and first-registrant-wins, so
+	// a cached re-upload reports the original registration's init, not
+	// the re-upload's ?init= parameter.
+	Init string `json:"init,omitempty"`
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +254,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	// any compile, engine-cache, or quota work — re-registering
 	// existing content is free and costs the server nothing.
 	if entry, ok := s.reg.lookupSource(data); ok {
-		writeJSON(w, http.StatusOK, UploadResponse{Module: entry.id, Cached: true, Exports: entry.exportNames()})
+		writeJSON(w, http.StatusOK, UploadResponse{Module: entry.id, Cached: true, Exports: entry.exportNames(), Init: entry.initFn})
 		return
 	}
 
@@ -283,11 +289,36 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// ?init= names a Wizer-style pre-initialization function: the first
+	// invocation runs it once and snapshots the result; every checkout
+	// after that forks from the frozen image. Validated here so a bad
+	// name fails the upload, not the first unlucky invoke.
+	initFn := r.URL.Query().Get("init")
+	if initFn != "" {
+		sig, ok := exportedFuncs(mod.Raw())[initFn]
+		if !ok {
+			tn.m.badRequest.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, apiError{
+				Code:    "init_not_found",
+				Message: fmt.Sprintf("module exports no function %q to pre-initialize with", initFn),
+			})
+			return
+		}
+		if sig.params != 0 {
+			tn.m.badRequest.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, apiError{
+				Code:    "init_bad_signature",
+				Message: fmt.Sprintf("init function %q takes %d arguments; pre-initialization functions take none", initFn, sig.params),
+			})
+			return
+		}
+	}
+
 	// The MaxModules charge is reserved under the registry lock, before
 	// the entry is inserted: a rejected upload leaves no entry behind,
 	// so re-uploading the same bytes cannot ride a cached hit around
 	// the quota. Finding existing content reserves nothing.
-	entry, created, err := s.reg.register(tn.name, data, mod, func() error {
+	entry, created, err := s.reg.register(tn.name, data, mod, initFn, func() error {
 		if max := tn.policy.MaxModules; max > 0 {
 			if tn.modules.Add(1) > int64(max) {
 				tn.modules.Add(-1)
@@ -311,7 +342,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, UploadResponse{Module: entry.id, Cached: !created, Exports: entry.exportNames()})
+	writeJSON(w, status, UploadResponse{Module: entry.id, Cached: !created, Exports: entry.exportNames(), Init: entry.initFn})
 }
 
 // rejectModuleQuota answers an upload from a tenant with no MaxModules
@@ -329,6 +360,7 @@ type ModuleInfo struct {
 	Module    string   `json:"module"`
 	SizeBytes int64    `json:"size_bytes"`
 	Exports   []string `json:"exports"`
+	Init      string   `json:"init,omitempty"`
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -337,7 +369,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Modules []ModuleInfo `json:"modules"`
 	}{Modules: make([]ModuleInfo, 0, len(entries))}
 	for _, e := range entries {
-		out.Modules = append(out.Modules, ModuleInfo{Module: e.id, SizeBytes: e.size, Exports: e.exportNames()})
+		out.Modules = append(out.Modules, ModuleInfo{Module: e.id, SizeBytes: e.size, Exports: e.exportNames(), Init: e.initFn})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -457,6 +489,31 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	tn.active.Add(1)
 	defer tn.active.Add(-1)
 
+	// Pre-initialization: the first admitted invocation of an ?init=
+	// module builds the post-init snapshot (charging the one-time init
+	// fuel to this tenant); everyone after forks the frozen image free.
+	if err := s.ensureSnapshot(r.Context(), tn, entry); err != nil {
+		var trap *exec.Trap
+		switch {
+		case errors.As(err, &trap):
+			tn.m.traps.Add(1)
+			entry.m.traps.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, apiError{
+				Code:    "init_trap",
+				Message: fmt.Sprintf("pre-initialization %q trapped: %v", entry.initFn, err),
+				Trap:    trap.Code.String(),
+			})
+		case r.Context().Err() != nil:
+			tn.m.canceled.Add(1)
+			entry.m.canceled.Add(1)
+		default:
+			tn.m.failures.Add(1)
+			entry.m.failures.Add(1)
+			writeError(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+		}
+		return
+	}
+
 	opts := tn.policy.callOptions(req.Fuel, time.Duration(req.TimeoutMs)*time.Millisecond)
 	res, err := s.eng.Call(r.Context(), entry.mod, req.Function, req.Args, opts...)
 
@@ -506,14 +563,45 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// ensureSnapshot makes sure a module registered with an init function
+// has its post-init snapshot built, running the init at most once for
+// the module's lifetime. The one-time init fuel is charged to the
+// tenant whose invocation triggered the build — never again to anyone:
+// every later request forks the frozen image without re-running init
+// (see the quota regression test). The init runs under the triggering
+// tenant's own call policy, so a hostile init cannot outrun the quotas
+// its owner's requests live under.
+func (s *Server) ensureSnapshot(ctx context.Context, tn *tenant, entry *moduleEntry) error {
+	if entry.initFn == "" {
+		return nil
+	}
+	entry.snapMu.Lock()
+	defer entry.snapMu.Unlock()
+	if entry.snapDone {
+		return nil
+	}
+	snap, err := s.eng.Snapshot(ctx, entry.mod,
+		cage.WithInit(entry.initFn),
+		cage.WithInitOptions(tn.policy.callOptions(0, 0)...))
+	if err != nil {
+		return err
+	}
+	entry.snapDone = true
+	tn.m.fuel.Add(snap.InitFuel())
+	entry.m.fuel.Add(snap.InitFuel())
+	return nil
+}
+
 // StatsSnapshot assembles the /v1/stats document (exported for
 // embedders that want the counters without HTTP).
 func (s *Server) StatsSnapshot() *Stats {
 	es := s.eng.Stats()
 	out := &Stats{
 		Config:       s.opts.ConfigName,
+		RestoreMode:  s.eng.RestoreMode(),
 		ModuleCache:  cacheSnapshot(es.Cache),
 		ProgramCache: cacheSnapshot(es.Programs),
+		Snapshots:    snapshotCacheSnapshot(es.Snapshots),
 		Pools:        poolSnapshot(es.Pools),
 		Tenants:      make(map[string]TenantStats),
 		Modules:      make(map[string]ModuleStats),
