@@ -124,6 +124,16 @@ type Config struct {
 	Sandboxing bool
 	// PointerAuth signs and authenticates function pointers.
 	PointerAuth bool
+	// SpectreHarden layers the Swivel-style speculation mitigations on
+	// top of the selected components, in the timing model only: the
+	// lowering inserts fence barriers before indirect branches and
+	// returns, and the executor charges a BTB flush at every sandbox
+	// transition. Execution semantics are bit-identical to the same
+	// configuration without it — results, traps, and memory images match
+	// — so the flag surfaces purely as extra fence/btb_flush events and
+	// the fuel they cost (the mitigation tax of the paper's threat-model
+	// discussion).
+	SpectreHarden bool
 }
 
 // Preset configurations (paper Table 3).
@@ -148,14 +158,26 @@ func FullHardening() Config {
 	return Config{Wasm64: true, MemorySafety: true, Sandboxing: true, PointerAuth: true}
 }
 
+// Hardened is FullHardening plus the modeled Spectre mitigations:
+// speculation fences at indirect branches and returns, and BTB flushes
+// at sandbox transitions. Same semantics as FullHardening — only the
+// event/fuel accounting differs.
+func Hardened() Config {
+	cfg := FullHardening()
+	cfg.SpectreHarden = true
+	return cfg
+}
+
 // ConfigByName maps the preset names the CLI tools share (full,
-// baseline32, baseline64, memsafety, ptrauth, sandbox) to their
-// Config, so every tool resolves a name to the exact same
+// hardened, baseline32, baseline64, memsafety, ptrauth, sandbox) to
+// their Config, so every tool resolves a name to the exact same
 // configuration.
 func ConfigByName(name string) (Config, error) {
 	switch name {
 	case "full":
 		return FullHardening(), nil
+	case "hardened":
+		return Hardened(), nil
 	case "baseline32":
 		return Baseline32(), nil
 	case "baseline64":
@@ -179,10 +201,11 @@ func (c Config) Features() core.Features { return c.features() }
 
 func (c Config) features() core.Features {
 	return core.Features{
-		MemSafety: c.MemorySafety,
-		Sandbox:   c.Sandboxing,
-		PtrAuth:   c.PointerAuth,
-		MTEMode:   mte.ModeSync,
+		MemSafety:     c.MemorySafety,
+		Sandbox:       c.Sandboxing,
+		PtrAuth:       c.PointerAuth,
+		MTEMode:       mte.ModeSync,
+		SpectreHarden: c.SpectreHarden,
 	}
 }
 

@@ -7,17 +7,26 @@
 // perf-trajectory artifact. v2 is a superset of v1; see
 // internal/bench.JSONSchema for the compatibility note.
 //
+// With -mitigation it emits only the Spectre-mitigation record: the
+// per-kernel fuel/cycle tax the hardened preset pays over full (whose
+// results it must reproduce bit-identically) together with the
+// adversary verdict table — every scenario of internal/adversary under
+// every preset. CI archives the document as BENCH_mitigation.json.
+//
 // Usage:
 //
 //	cage-bench [-quick] [-exp all|table1|table2|fig4|fig14|fig15|fig16|startup|mem|security]
 //	cage-bench [-quick] -json
+//	cage-bench [-quick] -mitigation
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"cage/internal/adversary"
 	"cage/internal/bench"
 )
 
@@ -26,12 +35,33 @@ func main() {
 	exp := flag.String("exp", "all", "which experiment to run")
 	jsonOut := flag.Bool("json", false, "emit per-kernel JSON (ns/op, event counts, fuel) instead of the report tables")
 	snapshotOut := flag.Bool("snapshot", false, "emit only the snapshot (fresh vs restore) JSON record")
+	mitigationOut := flag.Bool("mitigation", false, "emit only the Spectre-mitigation (hardened vs full) JSON record")
 	flag.Parse()
 
 	w := os.Stdout
 	var err error
 	if *snapshotOut {
 		if err := bench.WriteSnapshotJSON(w, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mitigationOut {
+		// The scenario half of the record is the adversary verdict
+		// table, evaluated here and attached pre-encoded (internal/bench
+		// cannot import internal/adversary; see MitigationRecord).
+		tbl, err := adversary.Run(adversary.DefaultMatrix())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cage-bench: adversary matrix: %v\n", err)
+			os.Exit(1)
+		}
+		var buf bytes.Buffer
+		if err := tbl.WriteJSON(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteMitigationJSON(w, *quick, buf.Bytes()); err != nil {
 			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
 			os.Exit(1)
 		}

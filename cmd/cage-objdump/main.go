@@ -14,7 +14,12 @@
 //
 // Usage:
 //
-//	cage-objdump [-lowered] [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox] module.wasm
+//	cage-objdump [-lowered] [-config full|hardened|baseline32|baseline64|memsafety|ptrauth|sandbox] module.wasm
+//
+// Under -config=hardened the lowered listing additionally shows the
+// speculation barriers of the Spectre-hardened preset: a fence
+// annotation immediately before every return, call_indirect, and
+// br_table.
 package main
 
 import (
@@ -64,8 +69,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\n;; lowered program (config=%s mode=%s memsafety=%t ptrauth=%t)\n",
-		*cfgName, lcfg.Mode, lcfg.MemSafety, lcfg.PtrAuth)
+	fmt.Printf("\n;; lowered program (config=%s mode=%s memsafety=%t ptrauth=%t harden=%t)\n",
+		*cfgName, lcfg.Mode, lcfg.MemSafety, lcfg.PtrAuth, lcfg.Harden)
 	numImports := len(m.Imports)
 	for i := range prog.Funcs {
 		fn := &prog.Funcs[i]

@@ -18,7 +18,7 @@
 //
 // Usage:
 //
-//	cage-run [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox]
+//	cage-run [-config full|hardened|baseline32|baseline64|memsafety|ptrauth|sandbox]
 //	         [-invoke name] [-args "1 2 3"] [-repeat n] [-stats]
 //	         [-timeout d] [-fuel n] [-preinit fn] module.wasm
 package main

@@ -7,16 +7,20 @@
 // Usage:
 //
 //	cage-serve [-addr :8080]
-//	           [-config full|baseline32|baseline64|memsafety|ptrauth|sandbox]
+//	           [-config full|hardened|baseline32|baseline64|memsafety|ptrauth|sandbox]
 //	           [-fuel n] [-timeout d] [-memory-pages n]
 //	           [-stack-depth n] [-stack-words n]
 //	           [-max-concurrent n] [-max-queue n]
 //	           [-max-modules n] [-max-module-bytes n]
 //	           [-max-tenants n] [-max-upload-bytes n]
 //	           [-extended-sandboxes]
+//	           [-hardened-tenants a,b,c]
 //
 // The quota flags define the default tenant policy, applied to every
 // tenant (tenants are named by the X-Cage-Tenant request header).
+// -hardened-tenants names tenants whose invocations run on the
+// Spectre-hardened twin of -config: identical semantics, with the
+// mitigation's fence/BTB-flush events charged against their fuel.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"cage"
@@ -46,6 +51,7 @@ func main() {
 	maxTenants := flag.Int("max-tenants", 0, "distinct tenant-state cap; excess unknown tenants share one aggregate (0 = default 256, negative = unlimited)")
 	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "server-wide upload body cap in bytes (0 = default 64 MiB, negative = unlimited)")
 	extended := flag.Bool("extended-sandboxes", false, "lift the 15-sandbox budget via §6.4 tag reuse")
+	hardenedTenants := flag.String("hardened-tenants", "", "comma-separated tenants whose calls run on the Spectre-hardened engine")
 	flag.Parse()
 
 	cfg, err := cage.ConfigByName(*cfgName)
@@ -53,20 +59,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cage-serve: %v\n", err)
 		os.Exit(2)
 	}
+	quota := serve.QuotaPolicy{
+		Fuel:           *fuel,
+		Timeout:        *timeout,
+		MemoryPages:    *memPages,
+		StackDepth:     *stackDepth,
+		StackWords:     *stackWords,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		MaxModules:     *maxModules,
+		MaxModuleBytes: *maxModuleBytes,
+	}
+	var tenants map[string]serve.QuotaPolicy
+	if *hardenedTenants != "" {
+		tenants = make(map[string]serve.QuotaPolicy)
+		for _, name := range strings.Split(*hardenedTenants, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			p := quota
+			p.SpectreHardened = true
+			tenants[name] = p
+		}
+	}
 	srv, err := serve.New(serve.Options{
-		Config:     cfg,
-		ConfigName: *cfgName,
-		DefaultQuota: serve.QuotaPolicy{
-			Fuel:           *fuel,
-			Timeout:        *timeout,
-			MemoryPages:    *memPages,
-			StackDepth:     *stackDepth,
-			StackWords:     *stackWords,
-			MaxConcurrent:  *maxConcurrent,
-			MaxQueue:       *maxQueue,
-			MaxModules:     *maxModules,
-			MaxModuleBytes: *maxModuleBytes,
-		},
+		Config:            cfg,
+		ConfigName:        *cfgName,
+		DefaultQuota:      quota,
+		Tenants:           tenants,
 		MaxTenants:        *maxTenants,
 		MaxUploadBytes:    *maxUploadBytes,
 		ExtendedSandboxes: *extended,

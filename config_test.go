@@ -20,6 +20,7 @@ func TestConfigByName(t *testing.T) {
 		{"memsafety", Config{Wasm64: true, MemorySafety: true}},
 		{"ptrauth", Config{Wasm64: true, PointerAuth: true}},
 		{"sandbox", Config{Wasm64: true, Sandboxing: true}},
+		{"hardened", Config{Wasm64: true, MemorySafety: true, Sandboxing: true, PointerAuth: true, SpectreHarden: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -51,6 +52,7 @@ func TestConfigByName(t *testing.T) {
 			"memsafety":  MemorySafetyOnly(),
 			"ptrauth":    PointerAuthOnly(),
 			"sandbox":    SandboxingOnly(),
+			"hardened":   Hardened(),
 		} {
 			got, err := ConfigByName(name)
 			if err != nil {

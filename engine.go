@@ -136,7 +136,8 @@ func (e *Engine) SetPoolLimit(n int) error {
 // cacheVariant encodes everything besides the source that influences
 // compilation, so distinct configurations never share a cache entry.
 func (c Config) cacheVariant() string {
-	return fmt.Sprintf("w64=%t ms=%t sb=%t pa=%t", c.Wasm64, c.MemorySafety, c.Sandboxing, c.PointerAuth)
+	return fmt.Sprintf("w64=%t ms=%t sb=%t pa=%t sh=%t",
+		c.Wasm64, c.MemorySafety, c.Sandboxing, c.PointerAuth, c.SpectreHarden)
 }
 
 // CompileSource compiles a MiniC translation unit, memoizing on the

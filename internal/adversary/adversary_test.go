@@ -1,0 +1,136 @@
+package adversary
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// runDefault evaluates the default matrix once per test binary.
+var matrixTable *Table
+
+func defaultTable(t *testing.T) *Table {
+	t.Helper()
+	if matrixTable == nil {
+		tbl, err := Run(DefaultMatrix())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		matrixTable = tbl
+	}
+	return matrixTable
+}
+
+// TestMatrixMatchesOracle is the headline assertion: every cell of the
+// scenario × preset matrix agrees with its oracle.
+func TestMatrixMatchesOracle(t *testing.T) {
+	tbl := defaultTable(t)
+	wantCells := len(AllScenarios()) * len(Presets())
+	if len(tbl.Cells) != wantCells {
+		t.Fatalf("matrix has %d cells, want %d", len(tbl.Cells), wantCells)
+	}
+	for _, c := range tbl.Mismatches() {
+		t.Errorf("%s under %s: observed %+v, oracle expects %+v",
+			c.Scenario, c.Config, c.Observed, c.Expected)
+	}
+}
+
+// TestTable2StillMitigatedUnderHardened pins the acceptance criterion
+// that the Spectre hardening does not regress Table 2: every CVE case
+// traps with the memory-safety class under full AND hardened.
+func TestTable2StillMitigatedUnderHardened(t *testing.T) {
+	tbl := defaultTable(t)
+	for _, s := range Table2Scenarios() {
+		for _, cfg := range []string{"full", "hardened"} {
+			c, ok := tbl.Cell(s.Name(), cfg)
+			if !ok {
+				t.Fatalf("no cell for %s under %s", s.Name(), cfg)
+			}
+			if c.Observed.Verdict != VerdictTrapped {
+				t.Errorf("%s under %s: %s, want trapped", s.Name(), cfg, c.Observed.Verdict)
+			}
+		}
+	}
+}
+
+// TestSpeculativeMitigatedOnlyByHardened pins the second criterion: the
+// modeled speculative leaks are closed by hardened and by nothing else.
+func TestSpeculativeMitigatedOnlyByHardened(t *testing.T) {
+	tbl := defaultTable(t)
+	for _, s := range SpeculativeScenarios() {
+		for _, p := range Presets() {
+			c, ok := tbl.Cell(s.Name(), p.Name)
+			if !ok {
+				t.Fatalf("no cell for %s under %s", s.Name(), p.Name)
+			}
+			want := VerdictExploited
+			if p.Name == "hardened" {
+				want = VerdictMitigatedTiming
+			}
+			if c.Observed.Verdict != want {
+				t.Errorf("%s under %s: %s (%s), want %s",
+					s.Name(), p.Name, c.Observed.Verdict, c.Observed.Detail, want)
+			}
+		}
+	}
+}
+
+// TestCorruptionUnmitigatedEverywhere pins the third criterion:
+// in-sandbox corruption succeeds under every preset — a trap here would
+// be a false positive in some defense.
+func TestCorruptionUnmitigatedEverywhere(t *testing.T) {
+	tbl := defaultTable(t)
+	for _, s := range CorruptionScenarios() {
+		for _, p := range Presets() {
+			c, ok := tbl.Cell(s.Name(), p.Name)
+			if !ok {
+				t.Fatalf("no cell for %s under %s", s.Name(), p.Name)
+			}
+			if c.Observed.Verdict != VerdictExploited {
+				t.Errorf("%s under %s: %s (%s), want exploited",
+					s.Name(), p.Name, c.Observed.Verdict, c.Observed.Detail)
+			}
+		}
+	}
+}
+
+// TestTableJSONRoundTrip pins the machine-readable encoding: schema
+// tag, stable field names, and a lossless decode.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := defaultTable(t)
+	var buf bytes.Buffer
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded Table
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if decoded.Schema != TableSchema {
+		t.Fatalf("schema %q, want %q", decoded.Schema, TableSchema)
+	}
+	if len(decoded.Cells) != len(tbl.Cells) {
+		t.Fatalf("decoded %d cells, want %d", len(decoded.Cells), len(tbl.Cells))
+	}
+	for i, c := range decoded.Cells {
+		if c != tbl.Cells[i] {
+			t.Fatalf("cell %d round-trip mismatch: %+v vs %+v", i, c, tbl.Cells[i])
+		}
+	}
+}
+
+// TestPresetsResolve pins the matrix columns to the shared CLI names.
+func TestPresetsResolve(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 6 {
+		t.Fatalf("have %d presets, want 6", len(ps))
+	}
+	for _, p := range ps {
+		if p.Name == "hardened" && !p.Config.SpectreHarden {
+			t.Errorf("hardened preset lost SpectreHarden")
+		}
+		if p.Name != "hardened" && p.Config.SpectreHarden {
+			t.Errorf("%s preset unexpectedly SpectreHarden", p.Name)
+		}
+	}
+}

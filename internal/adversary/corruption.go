@@ -1,0 +1,68 @@
+package adversary
+
+import "cage"
+
+// In-sandbox corruption scenarios: intra-instance heap and stack
+// smashing that stays inside one allocation — one MTE tag granule — so
+// no tag check, bounds check, or pointer authentication can see it.
+// This is the corruption the paper's §3 threat model explicitly leaves
+// to the guest program: WebAssembly (and Cage) isolate allocations from
+// each other and the sandbox from the host, not a program from itself.
+// The oracle therefore expects exploited under every configuration;
+// a preset that trapped here would be a false positive.
+
+// CorruptionScenarios returns the in-sandbox corruption family.
+func CorruptionScenarios() []Scenario {
+	return []Scenario{
+		&prog{
+			name:   "intra-allocation-heap-overflow",
+			family: "corruption",
+			// One malloc carries one tag: slots 0..5 model a data
+			// buffer and slots 6..7 a control field of the same logical
+			// record. Overflowing the buffer clobbers the field without
+			// ever leaving the allocation.
+			source: `
+extern char* malloc(long n);
+long attack(long evil) {
+    long* record = (long*)malloc(8 * 8);
+    record[6] = 777;
+    long len = 6;
+    if (evil) { len = 7; }
+    for (long i = 0; i < len; i++) { record[i] = -1; }
+    if (record[6] != 777) { return 1; }
+    return 0;
+}`,
+			entry:    "attack",
+			arg:      1,
+			expect:   expectCorruption,
+			classify: classifyDamage,
+		},
+		&prog{
+			name:   "intra-frame-stack-smash",
+			family: "corruption",
+			// The stack sanitizer tags each stack array as one unit, so
+			// an overflow inside the array — the parser state machine
+			// whose slot 3 is the privilege flag — is in-bounds for
+			// every check any configuration performs.
+			source: `
+long attack(long evil) {
+    long state[4];
+    state[3] = 0;
+    long n = 3;
+    if (evil) { n = 4; }
+    for (long i = 0; i < n; i++) { state[i] = 7; }
+    if (state[3] != 0) { return 1; }
+    return 0;
+}`,
+			entry:    "attack",
+			arg:      1,
+			expect:   expectCorruption,
+			classify: classifyDamage,
+		},
+	}
+}
+
+// expectCorruption: unmitigated by every configuration, by design.
+func expectCorruption(cfg cage.Config) Outcome {
+	return Outcome{Verdict: VerdictExploited}
+}

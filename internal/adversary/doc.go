@@ -1,0 +1,45 @@
+// Package adversary is the scenario-harness generalization of the
+// Table 2 runner in cage/internal/exploit: instead of one hard-coded
+// baseline-vs-Cage comparison per CVE, it evaluates a matrix of
+// adversarial scenarios against every preset configuration and emits a
+// machine-readable verdict table.
+//
+// A Scenario is a guest program (MiniC compiled by the preset's
+// toolchain, or a raw wasm module) plus its oracle: the verdict the
+// scenario must produce under each configuration. Verdicts share the
+// exploit package's vocabulary — a run is
+//
+//   - exploited: it completed and the damage (or leakage) indicator
+//     fired;
+//   - trapped: a runtime defense aborted it, carrying the
+//     exploit.TrapClass of the trap (memory-safety, sandbox, ptrauth);
+//   - mitigated-timing: the attack's speculative channel is closed by
+//     the hardened preset's modeled mitigations — every executed
+//     return/indirect-branch site was fenced and sandbox transitions
+//     flushed the BTB — observable purely in the event stream;
+//   - harmless: it completed without damage (benign inputs only; in a
+//     matrix cell this means the attack failed to demonstrate anything
+//     and the cell is a mismatch).
+//
+// Three scenario families ship with the package:
+//
+//   - table2: the eight exploit.Cases CVE reproductions, with the
+//     oracle delegated to exploit.Expected so the two suites can never
+//     disagree on what "mitigated" means.
+//   - speculative: Spectre-style leak models — a bounds-check-bypass
+//     gadget and a poisoned indirect-branch gadget. The programs are
+//     architecturally benign; the leak is modeled, and the verdict is
+//     derived from the event stream: a configuration mitigates the
+//     scenario exactly when its fence events cover every executed
+//     speculation site and a BTB flush guards the sandbox boundary.
+//     Only the hardened preset does.
+//   - corruption: in-sandbox corruption — intra-allocation heap and
+//     stack smashing that stays inside one MTE tag granule. No
+//     WebAssembly configuration can stop these (the paper's §3 threat
+//     model excludes them), and the oracle expects every preset to
+//     report exploited.
+//
+// Run executes every scenario against every preset and returns the
+// Table; Table.Mismatches is the empty slice exactly when the
+// implementation honors the paper's security claims.
+package adversary

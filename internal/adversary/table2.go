@@ -1,0 +1,40 @@
+package adversary
+
+import (
+	"cage"
+	"cage/internal/exploit"
+)
+
+// Table2Scenarios wraps the exploit package's eight CVE case studies as
+// one scenario family. The programs and the expectation both come from
+// cage/internal/exploit — this file adapts, it does not duplicate — so
+// the matrix and the Table 2 suite share one verdict vocabulary by
+// construction.
+func Table2Scenarios() []Scenario {
+	cases := exploit.Cases()
+	out := make([]Scenario, 0, len(cases))
+	for _, cs := range cases {
+		out = append(out, &prog{
+			name:     cs.CVE,
+			family:   "table2",
+			source:   cs.Source,
+			entry:    "attack",
+			arg:      cs.Arg,
+			expect:   expectTable2,
+			classify: classifyDamage,
+		})
+	}
+	return out
+}
+
+// expectTable2 translates the exploit package's shared expectation
+// table into the matrix vocabulary: configurations with the
+// memory-safety extension trap with the memory-safety class, all
+// others are exploited.
+func expectTable2(cfg cage.Config) Outcome {
+	exp := exploit.Expected(cfg.Features())
+	if exp.Trap {
+		return Outcome{Verdict: VerdictTrapped, Class: exp.Class}
+	}
+	return Outcome{Verdict: VerdictExploited}
+}

@@ -82,6 +82,19 @@ const (
 	// cycle of host-side work, so metered calls can account for time the
 	// guest spends on the other side of the sandbox boundary.
 	EvHost
+	// EvFence covers the Swivel-style speculation barrier the hardened
+	// lowering inserts before every indirect branch and return: a
+	// full-pipeline serialization (isb/sb-class) that closes the
+	// speculative window a poisoned predictor would otherwise exploit.
+	// Out-of-order cores pay for the drained window; the in-order A510
+	// barely speculates, so its barrier is nearly free — the inverse of
+	// the bounds-check asymmetry above.
+	EvFence
+	// EvBTBFlush covers the branch-target-buffer invalidation charged at
+	// each sandbox transition (host→guest entry) under the hardened
+	// config, so a tenant cannot leave poisoned predictor state for the
+	// code on the other side of the boundary.
+	EvBTBFlush
 	// NumEvents is the table size.
 	NumEvents
 )
@@ -96,7 +109,7 @@ var eventNames = [...]string{
 	EvTagCheckLoad: "tagcheck_ld", EvTagCheckStore: "tagcheck_st",
 	EvIRG: "irg", EvADDG: "addg", EvSTGGranule: "stg_granule",
 	EvPACSign: "pac_sign", EvPACAuth: "pac_auth", EvMemGrow: "memgrow",
-	EvHost: "host",
+	EvHost: "host", EvFence: "fence", EvBTBFlush: "btb_flush",
 }
 
 // String returns the event's short name.
@@ -201,6 +214,7 @@ var (
 		EvTagCheckLoad: 0.012, EvTagCheckStore: 0.012,
 		EvIRG: 0.90, EvADDG: 0.50, EvSTGGranule: 1.20,
 		EvPACSign: 1.2, EvPACAuth: 1.5, EvMemGrow: 300, EvHost: 1.0,
+		EvFence: 22.0, EvBTBFlush: 260,
 	}
 	wasmCostsA715 = WasmCosts{
 		EvConst: 0.06, EvLocal: 0.06, EvGlobal: 0.20, EvALU: 0.22,
@@ -212,6 +226,7 @@ var (
 		EvTagCheckLoad: 0.05, EvTagCheckStore: 0.05,
 		EvIRG: 1.30, EvADDG: 0.27, EvSTGGranule: 2.00,
 		EvPACSign: 1.1, EvPACAuth: 1.4, EvMemGrow: 300, EvHost: 1.1,
+		EvFence: 18.0, EvBTBFlush: 220,
 	}
 	wasmCostsA510 = WasmCosts{
 		EvConst: 0.20, EvLocal: 0.25, EvGlobal: 0.55, EvALU: 0.60,
@@ -223,5 +238,6 @@ var (
 		EvTagCheckLoad: 0.25, EvTagCheckStore: 0.25,
 		EvIRG: 2.00, EvADDG: 0.45, EvSTGGranule: 2.50,
 		EvPACSign: 5.2, EvPACAuth: 8.2, EvMemGrow: 300, EvHost: 2.0,
+		EvFence: 3.0, EvBTBFlush: 80,
 	}
 )

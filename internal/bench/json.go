@@ -67,6 +67,10 @@ type JSONReport struct {
 	// Snapshot prices warm checkouts (snapshot restore, copy and COW)
 	// against cold starts across heap sizes; a compatible addition.
 	Snapshot *SnapshotRecord `json:"snapshot,omitempty"`
+	// Mitigation prices the Spectre-hardened preset against full — the
+	// per-kernel fuel/cycle tax plus the adversary verdict table; a
+	// compatible addition emitted by cage-bench -mitigation.
+	Mitigation *MitigationRecord `json:"mitigation,omitempty"`
 }
 
 // runKernelRecord instantiates kernel k under variant v and measures

@@ -25,6 +25,13 @@ type Features struct {
 	// MTEMode is the tag-check mode; Cage uses synchronous checks so
 	// violations trap before their effects are observable (paper §6.3).
 	MTEMode mte.Mode
+	// SpectreHarden models Swivel-style speculation mitigations in the
+	// timing model: the lowering inserts fence barriers before indirect
+	// branches and returns, and the executor charges a BTB flush at
+	// every sandbox transition. Semantics are unchanged — only the
+	// event/fuel accounting differs — so it does not participate in tag
+	// policy derivation (NewPolicy ignores it).
+	SpectreHarden bool
 }
 
 // CageAll returns the full Cage configuration (all features, sync MTE).
@@ -343,7 +350,17 @@ func (s *Segments) New(ptr, length, offset uint64) (uint64, error) {
 	if err := s.check("segment.new", addr, length); err != nil {
 		return 0, err
 	}
-	tag := s.tags.RandomTag()
+	// irg with per-draw exclusion: rule out the block's current tag
+	// and — because segment.free stamps NextTag(owner) — the previous
+	// owner's tag recovered via PrevTag. A stale pointer from the
+	// immediately preceding lifetime therefore always mismatches
+	// (Scudo-style previous-tag exclusion); temporal safety for older
+	// generations stays probabilistic (§7.4).
+	extra := uint16(0)
+	if cur, uniform := s.tags.RangeTag(addr, length); uniform {
+		extra = 1<<cur | 1<<s.tags.PrevTag(cur)
+	}
+	tag := s.tags.RandomTagExcluding(extra)
 	s.TagsGenerated++
 	if err := s.tags.SetTagRange(addr, length, tag); err != nil {
 		return 0, &SegmentError{Op: "segment.new", Addr: addr, Len: length, Msg: err.Error()}
@@ -386,12 +403,12 @@ func (s *Segments) Free(tagged, length, offset uint64) error {
 		return &SegmentError{Op: "segment.free", Addr: addr, Len: length,
 			Msg: fmt.Sprintf("pointer tag %#x does not own segment (memory tag %#x) — double free or invalid free", ptrTag, memTag)}
 	}
-	// free_tag: any tag different from the segment's current one.
-	freeTag := s.tags.RandomTag()
+	// free_tag: deterministically the owner's successor tag. It always
+	// differs from the owner's — every stale access between free and
+	// reuse traps — and it encodes the owner (PrevTag recovers it), so
+	// segment.new can exclude the previous lifetime's tag on reuse.
+	freeTag := s.tags.NextTag(ptrTag)
 	s.TagsGenerated++
-	for freeTag == ptrTag {
-		freeTag = s.tags.NextTag(freeTag)
-	}
 	if err := s.tags.SetTagRange(addr, length, freeTag); err != nil {
 		return &SegmentError{Op: "segment.free", Addr: addr, Len: length, Msg: err.Error()}
 	}

@@ -114,6 +114,13 @@ func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 		return nil, newTrap(TrapIndirectCall, "function %d expects %d args, got %d",
 			fidx, fn.NumParams, len(args))
 	}
+	if inst.features.SpectreHarden {
+		// Sandbox transition (host→guest entry): the hardened config
+		// flushes the branch-target buffer so predictor state trained on
+		// one side of the boundary cannot steer indirect branches on the
+		// other.
+		inst.counter.Add(arch.EvBTBFlush, 1)
+	}
 
 	// Re-entry barrier: everything below this entry's frame belongs to
 	// an outer activation and is restored verbatim on exit.
@@ -304,6 +311,11 @@ func (inst *Instance) run(barrier int) error {
 			goto ret
 		case ir.OpRetEnd:
 			goto ret
+
+		case ir.OpFence:
+			// Speculation barrier of the hardened lowering: no semantic
+			// effect, priced as a pipeline drain by the timing model.
+			ctr.Add(arch.EvFence, 1)
 
 		case ir.OpCall:
 			ctr.Add(arch.EvCall, 1)
@@ -768,6 +780,12 @@ func (inst *Instance) run(barrier int) error {
 				inst.depth--
 				if err != nil {
 					return err
+				}
+				if inst.features.SpectreHarden {
+					// Returning from the host re-enters the sandbox: same
+					// BTB flush as the entry in invoke, so host-trained
+					// predictor state never survives into guest code.
+					ctr.Add(arch.EvBTBFlush, 1)
 				}
 				// A re-entrant call may have grown the arena; re-derive
 				// the views from inst.vals before touching the stack.

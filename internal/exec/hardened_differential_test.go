@@ -1,0 +1,229 @@
+package exec_test
+
+// Differential tests for the Spectre-hardened configuration: hardened
+// must be bit-identical to full — same results, same reference
+// checksums, same trap codes, and identical counts for every event
+// except the mitigation's own fence/btb_flush — with the fences placed
+// exactly at indirect branches and returns in the lowered stream. The
+// mitigation is allowed to cost fuel; it is never allowed to change
+// what the program computes.
+
+import (
+	"errors"
+	"testing"
+
+	"cage/internal/alloc"
+	"cage/internal/arch"
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/ir"
+	"cage/internal/minicc"
+	"cage/internal/polybench"
+)
+
+// hardenedFeatures is full Cage plus the modeled Spectre mitigations.
+func hardenedFeatures() core.Features {
+	f := core.CageAll()
+	f.SpectreHarden = true
+	return f
+}
+
+func TestHardenedMatchesFullOnPolybench(t *testing.T) {
+	kernels := []string{"gemm", "2mm", "atax", "jacobi-1d", "durbin"}
+	opts := codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}
+	for _, name := range kernels {
+		t.Run(name, func(t *testing.T) {
+			k, err := polybench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := polybench.Build(k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var ctrFull arch.Counter
+			full := newKernelInstance(t, m, core.CageAll(), &ctrFull)
+			fullRes, fullErr := full.Invoke("run", uint64(k.TestN))
+
+			var ctrHard arch.Counter
+			hard := newKernelInstance(t, m, hardenedFeatures(), &ctrHard)
+			hardRes, hardErr := hard.Invoke("run", uint64(k.TestN))
+
+			if (fullErr == nil) != (hardErr == nil) {
+				t.Fatalf("error mismatch: full=%v hardened=%v", fullErr, hardErr)
+			}
+			if fullErr != nil {
+				t.Fatalf("kernel failed under both configs: %v", fullErr)
+			}
+			if len(fullRes) != len(hardRes) {
+				t.Fatalf("result arity: full=%d hardened=%d", len(fullRes), len(hardRes))
+			}
+			for i := range fullRes {
+				if fullRes[i] != hardRes[i] {
+					t.Fatalf("result[%d]: full=%#x hardened=%#x", i, fullRes[i], hardRes[i])
+				}
+			}
+			// The hardened checksum must still match the C reference.
+			if got, want := exec.F64Val(hardRes[0]), k.Reference(k.TestN); got != want {
+				diff := got - want
+				if diff < 0 {
+					diff = -diff
+				}
+				scale := want
+				if scale < 0 {
+					scale = -scale
+				}
+				if diff > 1e-9*scale {
+					t.Fatalf("hardened checksum %g, reference %g", got, want)
+				}
+			}
+			// Every event except the mitigation's own pair must be
+			// identical; the pair must be zero under full and nonzero
+			// under hardened.
+			for ev := arch.Event(0); ev < arch.NumEvents; ev++ {
+				if ev == arch.EvFence || ev == arch.EvBTBFlush {
+					continue
+				}
+				if ctrFull.Get(ev) != ctrHard.Get(ev) {
+					t.Errorf("event %v: full=%d hardened=%d", ev, ctrFull.Get(ev), ctrHard.Get(ev))
+				}
+			}
+			if n := ctrFull.Get(arch.EvFence) + ctrFull.Get(arch.EvBTBFlush); n != 0 {
+				t.Errorf("full charged %d mitigation events, want 0", n)
+			}
+			if ctrHard.Get(arch.EvFence) == 0 {
+				t.Error("hardened run produced no fence events")
+			}
+			if ctrHard.Get(arch.EvBTBFlush) == 0 {
+				t.Error("hardened run produced no BTB-flush events")
+			}
+			// Fence coverage: the lowering fences every executed return,
+			// call_indirect, and br_table, so the fence count must cover
+			// the executed speculation sites.
+			sites := ctrHard.Get(arch.EvReturn) + ctrHard.Get(arch.EvCallIndirect) +
+				ctrHard.Get(arch.EvBrTable)
+			if ctrHard.Get(arch.EvFence) < sites {
+				t.Errorf("fences %d do not cover %d speculation sites",
+					ctrHard.Get(arch.EvFence), sites)
+			}
+		})
+	}
+}
+
+// TestHardenedFencePlacement statically pins the lowering contract: in
+// a hardened program, an OpFence appears exactly where a speculation
+// site follows — every fence is immediately followed by a return,
+// function-end return, call_indirect, or br_table, and every such site
+// is immediately preceded by a fence. Without Harden there are no
+// fences at all.
+func TestHardenedFencePlacement(t *testing.T) {
+	fenced := func(op ir.Op) bool {
+		return op == ir.OpReturn || op == ir.OpRetEnd ||
+			op == ir.OpCallIndirect || op == ir.OpBrTable
+	}
+	kernels := []string{"gemm", "2mm", "atax", "jacobi-1d", "durbin"}
+	opts := codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}
+	for _, name := range kernels {
+		t.Run(name, func(t *testing.T) {
+			k, err := polybench.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := polybench.Build(k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lcfg := exec.LowerConfig(m, exec.Config{Features: hardenedFeatures()})
+			if !lcfg.Harden {
+				t.Fatal("LowerConfig dropped Harden")
+			}
+			prog, err := ir.Lower(m, lcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fences := 0
+			for fi := range prog.Funcs {
+				code := prog.Funcs[fi].Code
+				for pc, in := range code {
+					if in.Op == ir.OpFence {
+						fences++
+						if pc+1 >= len(code) || !fenced(code[pc+1].Op) {
+							t.Errorf("func %d pc %d: fence not followed by a speculation site", fi, pc)
+						}
+					}
+					if fenced(in.Op) && (pc == 0 || code[pc-1].Op != ir.OpFence) {
+						t.Errorf("func %d pc %d: %v not preceded by a fence", fi, pc, in.Op)
+					}
+				}
+			}
+			if fences == 0 {
+				t.Error("hardened lowering emitted no fences")
+			}
+
+			// The same module without Harden lowers fence-free.
+			lcfg.Harden = false
+			plain, err := ir.Lower(m, lcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for fi := range plain.Funcs {
+				for pc, in := range plain.Funcs[fi].Code {
+					if in.Op == ir.OpFence {
+						t.Fatalf("func %d pc %d: fence in non-hardened lowering", fi, pc)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHardenedTrapParity pins trap identity: a memory-safety violation
+// must produce the same trap code under full and hardened.
+func TestHardenedTrapParity(t *testing.T) {
+	const src = `
+extern char* malloc(long n);
+long f(long n) {
+    long* a = (long*)malloc(2 * 8);
+    a[n] = 1;
+    return a[0];
+}`
+	file, err := minicc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := minicc.Analyze(file, minicc.Layout64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := codegen.Compile(prog, codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trapUnder := func(feats core.Features) *exec.Trap {
+		t.Helper()
+		host := &alloc.Host{}
+		inst, err := exec.NewInstance(m, exec.Config{
+			Features: feats, HostModules: alloc.HostModules(), HostData: host, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heapBase, _ := inst.GlobalValue("__heap_base")
+		if host.A, err = alloc.New(inst, heapBase); err != nil {
+			t.Fatal(err)
+		}
+		_, callErr := inst.Invoke("f", 8)
+		var tr *exec.Trap
+		if !errors.As(callErr, &tr) {
+			t.Fatalf("expected a trap, got %v", callErr)
+		}
+		return tr
+	}
+	fullTrap := trapUnder(core.CageAll())
+	hardTrap := trapUnder(hardenedFeatures())
+	if fullTrap.Code != hardTrap.Code {
+		t.Errorf("trap mismatch: full=%v hardened=%v", fullTrap.Code, hardTrap.Code)
+	}
+}

@@ -116,6 +116,7 @@ func LowerConfig(m *wasm.Module, cfg Config) ir.Config {
 		SkipBounds: cfg.SkipBoundsChecks,
 		MemSafety:  cfg.Features.MemSafety,
 		PtrAuth:    cfg.Features.PtrAuth,
+		Harden:     cfg.Features.SpectreHarden,
 	}
 }
 

@@ -89,6 +89,15 @@ const (
 	OpStoreMTE
 	OpStoreMTENC
 
+	// OpFence is the Swivel-style speculation barrier the hardened
+	// lowering (Config.Harden) inserts immediately before every indirect
+	// branch (call_indirect, br_table) and every return. It has no
+	// semantic effect — no operands, no stack motion — and exists purely
+	// to charge the timing model's fence event, so a hardened program is
+	// bit-identical to its unhardened twin in results and traps while
+	// the mitigation tax stays visible in the event stream.
+	OpFence
+
 	numNamedOps
 )
 
@@ -130,6 +139,7 @@ var opNames = [...]string{
 	OpStoreB64: "store.b64", OpStoreB64NC: "store.b64.nc",
 	OpStoreB64Tag: "store.b64.tag", OpStoreB64NCTag: "store.b64.nc.tag",
 	OpStoreMTE: "store.mte", OpStoreMTENC: "store.mte.nc",
+	OpFence: "fence",
 }
 
 // String returns the lowered mnemonic.
@@ -223,6 +233,8 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s %#x", in.Op, in.A)
 	case OpSegmentNew, OpSegmentSetTag, OpSegmentFree:
 		return fmt.Sprintf("%s offset=%d", in.Op, in.A)
+	case OpFence:
+		return "fence ;; speculation barrier (hardened)"
 	}
 	if in.Op.IsLoad() || in.Op.IsStore() {
 		return fmt.Sprintf("%s offset=%d size=%d (%s)",
@@ -275,6 +287,10 @@ type Config struct {
 	// PtrAuth enables i64.pointer_sign/auth; off lowers them to the
 	// event-only Nop variants.
 	PtrAuth bool
+	// Harden inserts OpFence speculation barriers before indirect
+	// branches and returns (the Swivel-style hardened preset). Purely a
+	// timing-model change: the lowered semantics are unaffected.
+	Harden bool
 }
 
 // Func is one lowered function body.

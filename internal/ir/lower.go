@@ -76,6 +76,16 @@ func lowerFunc(m *wasm.Module, f *wasm.Function, cfg Config) (Func, error) {
 		code = append(code, in)
 		return len(code) - 1
 	}
+	// fence emits the hardened config's speculation barrier. It is
+	// called immediately before an indirect branch or return is emitted,
+	// so branch fixups that resolve to the protected instruction's
+	// position land on the fence and fall through into it — the barrier
+	// is never skippable.
+	fence := func() {
+		if cfg.Harden {
+			emit(Instr{Op: OpFence})
+		}
+	}
 
 	depth := 0
 	unreachable := false
@@ -217,6 +227,10 @@ func lowerFunc(m *wasm.Module, f *wasm.Function, cfg Config) (Func, error) {
 			note()
 			unreachable = !reachable
 			if fr.kind == kindFunc {
+				// Branches targeting the function end were patched to
+				// endPC above, which is where this fence lands: they
+				// run the barrier, then the epilogue.
+				fence()
 				emit(Instr{Op: OpRetEnd, A: uint64(fr.results)})
 				if pc != len(f.Body)-1 {
 					return out, fmt.Errorf("pc %d: code after function end", pc)
@@ -257,6 +271,7 @@ func lowerFunc(m *wasm.Module, f *wasm.Function, cfg Config) (Func, error) {
 				return out, fmt.Errorf("pc %d: br_table with empty stack", pc)
 			}
 			depth--
+			fence()
 			targets := make([]BranchTarget, 0, len(in.Targets)+1)
 			idx := emit(Instr{Op: OpBrTable})
 			for k, d := range append(append([]uint32{}, in.Targets...), uint32(in.X)) {
@@ -277,6 +292,7 @@ func lowerFunc(m *wasm.Module, f *wasm.Function, cfg Config) (Func, error) {
 			unreachable = true
 
 		case wasm.OpReturn:
+			fence()
 			emit(Instr{Op: OpReturn, A: uint64(len(typ.Results))})
 			unreachable = true
 
@@ -296,6 +312,7 @@ func lowerFunc(m *wasm.Module, f *wasm.Function, cfg Config) (Func, error) {
 				return out, fmt.Errorf("pc %d: call_indirect type %d out of range", pc, in.X)
 			}
 			want := m.Types[in.X]
+			fence()
 			emit(Instr{Op: OpCallIndirect, A: in.X, B: uint64(len(want.Params))})
 			depth += len(want.Results) - len(want.Params) - 1
 			if depth < 0 {

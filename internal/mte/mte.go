@@ -169,9 +169,26 @@ func (m *Memory) next() uint64 {
 
 // RandomTag returns a uniformly random non-excluded tag (irg).
 func (m *Memory) RandomTag() uint8 {
+	return m.RandomTagExcluding(0)
+}
+
+// RandomTagExcluding returns a uniformly random tag outside both the
+// global exclude mask and extra — irg's Xm exclusion operand, which
+// lets a caller rule out specific tags per draw (Cage's allocator
+// excludes a reused block's current and previous-owner tags so a stale
+// pointer from the immediately preceding lifetime can never draw a
+// colliding tag). An extra mask that would leave no usable tag is
+// ignored in favour of the global mask alone. Tags come from the
+// xorshift state's high bits; the low bits are too weakly mixed to cut
+// a 4-bit tag from.
+func (m *Memory) RandomTagExcluding(extra uint16) uint8 {
+	mask := m.exclude | extra
+	if mask == 0xFFFF {
+		mask = m.exclude
+	}
 	for {
-		t := uint8(m.next() & (NumTags - 1))
-		if m.exclude&(1<<t) == 0 {
+		t := uint8(m.next() >> (64 - TagBits))
+		if mask&(1<<t) == 0 {
 			return t
 		}
 	}
@@ -184,6 +201,21 @@ func (m *Memory) RandomTag() uint8 {
 func (m *Memory) NextTag(t uint8) uint8 {
 	for i := 0; i < NumTags; i++ {
 		t = (t + 1) & (NumTags - 1)
+		if m.exclude&(1<<t) == 0 {
+			return t
+		}
+	}
+	return t
+}
+
+// PrevTag returns the tag before t, wrapping modulo 16 and skipping
+// excluded tags — NextTag's inverse. Cage's allocator uses it to
+// recover a freed block's previous-owner tag from the free tag
+// segment.free stamped (NextTag of the owner), so reallocation can
+// exclude it.
+func (m *Memory) PrevTag(t uint8) uint8 {
+	for i := 0; i < NumTags; i++ {
+		t = (t - 1) & (NumTags - 1)
 		if m.exclude&(1<<t) == 0 {
 			return t
 		}

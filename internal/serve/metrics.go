@@ -58,6 +58,9 @@ type TenantStats struct {
 	// right now; Active how many are between admission and response.
 	QueueDepth int `json:"queue_depth"`
 	Active     int `json:"active"`
+	// Hardened reports that the tenant's policy runs its invocations on
+	// the Spectre-hardened engine.
+	Hardened bool `json:"hardened,omitempty"`
 }
 
 // PoolSnapshot mirrors engine.PoolStats with JSON tags.

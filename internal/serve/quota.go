@@ -43,6 +43,15 @@ type QuotaPolicy struct {
 	MaxModules int
 	// MaxModuleBytes caps one upload body; 0 is unlimited.
 	MaxModuleBytes int64
+
+	// SpectreHardened runs the tenant's invocations under the
+	// Spectre-hardened twin of the server's configuration (fence events
+	// at indirect branches and returns, BTB flushes at sandbox
+	// transitions). Semantics are identical to the base config; the
+	// tenant pays the mitigation's fuel tax, so per-call Fuel ceilings
+	// bite sooner. The server builds the sibling hardened engine only
+	// when some policy sets this.
+	SpectreHardened bool
 }
 
 // callOptions folds the policy's per-call ceilings with the request's

@@ -39,11 +39,13 @@ type moduleEntry struct {
 	// frozen post-init image.
 	initFn string
 	// snapMu serializes the one-time snapshot build; snapDone latches
-	// success. Failures do not latch, so a transient build error (e.g.
-	// the triggering client disconnecting mid-init) is retried by the
-	// next invocation instead of bricking the module.
+	// success per engine — the base and Spectre-hardened engines keep
+	// separate pools, so each needs its own post-init image. Failures do
+	// not latch, so a transient build error (e.g. the triggering client
+	// disconnecting mid-init) is retried by the next invocation instead
+	// of bricking the module.
 	snapMu   sync.Mutex
-	snapDone bool
+	snapDone map[*cage.Engine]bool
 }
 
 // exportNames lists the entry's callable exports, sorted.

@@ -73,15 +73,22 @@ type Options struct {
 	ExtendedSandboxes bool
 }
 
-// Server is the multi-tenant execution daemon: one engine, a
+// Server is the multi-tenant execution daemon: one engine (plus a
+// Spectre-hardened sibling when some tenant policy asks for it), a
 // content-addressed module registry, per-tenant admission and quotas,
 // and a metrics surface. See the package documentation for the HTTP
 // contract.
 type Server struct {
 	opts Options
 	eng  *cage.Engine
-	reg  registry
-	mux  *http.ServeMux
+	// hardEng is the Spectre-hardened twin of eng — Options.Config with
+	// SpectreHarden set, otherwise identical — serving tenants whose
+	// policy sets SpectreHardened. nil when no policy does: the sibling
+	// engine carries its own instance pools and §7.4 tag budget, so it
+	// is not built speculatively.
+	hardEng *cage.Engine
+	reg     registry
+	mux     *http.ServeMux
 
 	mu      sync.Mutex
 	tenants map[string]*tenant
@@ -89,18 +96,36 @@ type Server struct {
 
 // New builds a Server (and its engine) for the options.
 func New(opts Options) (*Server, error) {
-	eng := cage.NewEngine(opts.Config)
-	if opts.ExtendedSandboxes {
-		if err := eng.EnableExtendedSandboxes(); err != nil {
-			return nil, err
+	tune := func(eng *cage.Engine) error {
+		if opts.ExtendedSandboxes {
+			if err := eng.EnableExtendedSandboxes(); err != nil {
+				return err
+			}
 		}
+		if opts.PoolLimit > 0 {
+			if err := eng.SetPoolLimit(opts.PoolLimit); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if opts.PoolLimit > 0 {
-		if err := eng.SetPoolLimit(opts.PoolLimit); err != nil {
-			return nil, err
-		}
+	eng := cage.NewEngine(opts.Config)
+	if err := tune(eng); err != nil {
+		return nil, err
 	}
 	s := &Server{opts: opts, eng: eng, tenants: make(map[string]*tenant)}
+	needHardened := opts.DefaultQuota.SpectreHardened
+	for _, p := range opts.Tenants {
+		needHardened = needHardened || p.SpectreHardened
+	}
+	if needHardened {
+		hcfg := opts.Config
+		hcfg.SpectreHarden = true
+		s.hardEng = cage.NewEngine(hcfg)
+		if err := tune(s.hardEng); err != nil {
+			return nil, err
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/modules", s.handleUpload)
 	mux.HandleFunc("GET /v1/modules", s.handleList)
@@ -123,7 +148,22 @@ func (s *Server) Engine() *cage.Engine { return s.eng }
 
 // Close retires every pooled instance. In-flight requests must have
 // drained (the HTTP server shut down) first.
-func (s *Server) Close() { s.eng.Close() }
+func (s *Server) Close() {
+	s.eng.Close()
+	if s.hardEng != nil {
+		s.hardEng.Close()
+	}
+}
+
+// engineFor picks the engine a tenant's invocations run on: the
+// Spectre-hardened sibling when its policy asks for it, the base
+// engine otherwise.
+func (s *Server) engineFor(tn *tenant) *cage.Engine {
+	if tn.policy.SpectreHardened && s.hardEng != nil {
+		return s.hardEng
+	}
+	return s.eng
+}
 
 // tenantFor returns (creating on first sight) the tenant state for a
 // request. Creation is bounded: once MaxTenants distinct states exist,
@@ -489,10 +529,12 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	tn.active.Add(1)
 	defer tn.active.Add(-1)
 
+	eng := s.engineFor(tn)
+
 	// Pre-initialization: the first admitted invocation of an ?init=
 	// module builds the post-init snapshot (charging the one-time init
 	// fuel to this tenant); everyone after forks the frozen image free.
-	if err := s.ensureSnapshot(r.Context(), tn, entry); err != nil {
+	if err := s.ensureSnapshot(r.Context(), tn, entry, eng); err != nil {
 		var trap *exec.Trap
 		switch {
 		case errors.As(err, &trap):
@@ -515,7 +557,7 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := tn.policy.callOptions(req.Fuel, time.Duration(req.TimeoutMs)*time.Millisecond)
-	res, err := s.eng.Call(r.Context(), entry.mod, req.Function, req.Args, opts...)
+	res, err := eng.Call(r.Context(), entry.mod, req.Function, req.Args, opts...)
 
 	// Fuel is charged win or lose: a trapped call consumed real events.
 	tn.m.fuel.Add(res.Fuel)
@@ -564,29 +606,34 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 }
 
 // ensureSnapshot makes sure a module registered with an init function
-// has its post-init snapshot built, running the init at most once for
-// the module's lifetime. The one-time init fuel is charged to the
-// tenant whose invocation triggered the build — never again to anyone:
-// every later request forks the frozen image without re-running init
-// (see the quota regression test). The init runs under the triggering
-// tenant's own call policy, so a hostile init cannot outrun the quotas
-// its owner's requests live under.
-func (s *Server) ensureSnapshot(ctx context.Context, tn *tenant, entry *moduleEntry) error {
+// has its post-init snapshot built on eng, running the init at most
+// once per engine for the module's lifetime (the base and hardened
+// engines keep separate pools, so each forks its own image). The
+// one-time init fuel is charged to the tenant whose invocation
+// triggered the build — never again to anyone: every later request on
+// that engine forks the frozen image without re-running init (see the
+// quota regression test). The init runs under the triggering tenant's
+// own call policy, so a hostile init cannot outrun the quotas its
+// owner's requests live under.
+func (s *Server) ensureSnapshot(ctx context.Context, tn *tenant, entry *moduleEntry, eng *cage.Engine) error {
 	if entry.initFn == "" {
 		return nil
 	}
 	entry.snapMu.Lock()
 	defer entry.snapMu.Unlock()
-	if entry.snapDone {
+	if entry.snapDone[eng] {
 		return nil
 	}
-	snap, err := s.eng.Snapshot(ctx, entry.mod,
+	snap, err := eng.Snapshot(ctx, entry.mod,
 		cage.WithInit(entry.initFn),
 		cage.WithInitOptions(tn.policy.callOptions(0, 0)...))
 	if err != nil {
 		return err
 	}
-	entry.snapDone = true
+	if entry.snapDone == nil {
+		entry.snapDone = make(map[*cage.Engine]bool)
+	}
+	entry.snapDone[eng] = true
 	tn.m.fuel.Add(snap.InitFuel())
 	entry.m.fuel.Add(snap.InitFuel())
 	return nil
@@ -617,6 +664,7 @@ func (s *Server) StatsSnapshot() *Stats {
 			CounterStats: t.m.snapshot(),
 			QueueDepth:   int(t.waiting.Load()),
 			Active:       int(t.active.Load()),
+			Hardened:     t.policy.SpectreHardened,
 		}
 	}
 	for _, e := range s.reg.list() {
