@@ -102,10 +102,13 @@ import (
 	"cage/internal/core"
 	"cage/internal/engine"
 	"cage/internal/exec"
+	"cage/internal/fuse"
 	"cage/internal/ir"
 	"cage/internal/minicc"
 	"cage/internal/mte"
 	"cage/internal/pac"
+	"cage/internal/profile"
+	"cage/internal/vmem"
 	"cage/internal/wasi"
 	"cage/internal/wasm"
 )
@@ -319,6 +322,14 @@ type Runtime struct {
 	// influence linking).
 	programs engine.Cache[*ir.Program]
 	imports  engine.Cache[*exec.ImportTable]
+
+	// dispatch is the hot-sequence profile driving superinstruction
+	// fusion (internal/fuse) over freshly lowered programs. It defaults
+	// to the checked-in polybench corpus; SetDispatchProfile swaps it
+	// (nil disables fusion). The profile's identity is part of the
+	// program cache key, so programs fused under different profiles
+	// never alias.
+	dispatch atomic.Pointer[profile.Profile]
 }
 
 // NewRuntime creates a process-level runtime for the configuration.
@@ -332,7 +343,30 @@ func NewRuntime(cfg Config) *Runtime {
 	rt.hostMods = append(rt.hostMods, wasi.HostModule())
 	rt.hostMods = append(rt.hostMods, envHostModules(rt)...)
 	rt.seed.Store(1)
+	rt.dispatch.Store(profile.Default())
 	return rt
+}
+
+// SetDispatchProfile selects the hot-sequence profile that drives
+// superinstruction fusion for programs lowered after the call; nil
+// disables fusion entirely (the unfused tier). Programs already cached
+// under another profile are unaffected — the profile identity is part
+// of the cache key — so the method is safe at any point, though setting
+// it before the first Instantiate avoids lowering twice. The default is
+// the checked-in polybench corpus (profile.Default).
+func (rt *Runtime) SetDispatchProfile(p *profile.Profile) { rt.dispatch.Store(p) }
+
+// DispatchMode reports the execution tier this runtime builds programs
+// for: the linear-memory backend ("guard" when the cageguard build
+// backs guard32 memories with a vmem reservation, "bounds" otherwise)
+// and the identity of the fusion profile driving the superinstruction
+// pass ("none" when fusion is disabled).
+func (rt *Runtime) DispatchMode() (memory, fusion string) {
+	memory = "bounds"
+	if vmem.Supported() {
+		memory = "guard"
+	}
+	return memory, rt.dispatch.Load().ID()
 }
 
 // NewHostModule creates an embedder host module named name and
@@ -475,14 +509,24 @@ func (rt *Runtime) instantiate(m *Module, snap *Snapshot) (*Instance, error) {
 // toolchain) is lowered privately instead of cached.
 func (rt *Runtime) loweredProgram(m *Module, ecfg exec.Config) (*ir.Program, error) {
 	lcfg := exec.LowerConfig(m.wasm, ecfg)
+	prof := rt.dispatch.Load()
+	build := func() (*ir.Program, error) {
+		p, err := ir.Lower(m.wasm, lcfg)
+		if err != nil || prof == nil {
+			return p, err
+		}
+		return fuse.Fuse(p, prof), nil
+	}
 	hash, err := m.contentHash()
 	if err != nil {
-		return ir.Lower(m.wasm, lcfg)
+		return build()
 	}
-	key := engine.Key{Hash: hash, Variant: fmt.Sprintf("ir|%+v", lcfg)}
-	return rt.programs.GetOrBuild(key, func() (*ir.Program, error) {
-		return ir.Lower(m.wasm, lcfg)
-	})
+	variant := fmt.Sprintf("ir|%+v", lcfg)
+	if prof != nil {
+		variant += "|fuse|" + prof.ID()
+	}
+	key := engine.Key{Hash: hash, Variant: variant}
+	return rt.programs.GetOrBuild(key, build)
 }
 
 // ProgramCacheStats snapshots the lowered-program cache counters.

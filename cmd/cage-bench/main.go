@@ -13,11 +13,24 @@
 // adversary verdict table — every scenario of internal/adversary under
 // every preset. CI archives the document as BENCH_mitigation.json.
 //
+// With -dispatch it emits only the dispatch-tier record: legacy vs
+// lowered vs profile-guided fused wall time per kernel and config
+// (guard32 and full-cage), with the fusion profile recorded in-run. On
+// cageguard builds the guard32 rows run on the vmem guard backend. CI
+// archives the document as BENCH_dispatch.json.
+//
+// With -record-profile it runs the polybench kernels with the
+// hot-sequence recorder armed and emits the merged profile — the
+// document checked in as internal/profile/corpus/polybench.json, the
+// runtime's default fusion profile.
+//
 // Usage:
 //
 //	cage-bench [-quick] [-exp all|table1|table2|fig4|fig14|fig15|fig16|startup|mem|security]
 //	cage-bench [-quick] -json
 //	cage-bench [-quick] -mitigation
+//	cage-bench [-quick] -dispatch
+//	cage-bench [-quick] -record-profile
 package main
 
 import (
@@ -36,10 +49,26 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit per-kernel JSON (ns/op, event counts, fuel) instead of the report tables")
 	snapshotOut := flag.Bool("snapshot", false, "emit only the snapshot (fresh vs restore) JSON record")
 	mitigationOut := flag.Bool("mitigation", false, "emit only the Spectre-mitigation (hardened vs full) JSON record")
+	dispatchOut := flag.Bool("dispatch", false, "emit only the dispatch-tier (legacy vs lowered vs fused) JSON record")
+	recordProfile := flag.Bool("record-profile", false, "record the polybench hot-sequence corpus and emit it as a profile JSON document")
 	flag.Parse()
 
 	w := os.Stdout
 	var err error
+	if *recordProfile {
+		if err := bench.WriteProfileJSON(w, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dispatchOut {
+		if err := bench.WriteDispatchJSON(w, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *snapshotOut {
 		if err := bench.WriteSnapshotJSON(w, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "cage-bench: %v\n", err)

@@ -12,9 +12,21 @@
 // back-edges) and every call/call_indirect is a cancellation and fuel
 // checkpoint of the context-first Call API.
 //
+// The lowered listing shows the program in the form the engine caches
+// and executes: after the profile-guided superinstruction pass
+// (internal/fuse) driven by the checked-in polybench corpus, or by a
+// profile recorded with `cage-bench -record-profile` and passed via
+// -profile. Each fused superinstruction is printed with its
+// constituent ops expanded inline, so the listing remains auditable
+// against the wasm source; -nofuse shows the raw pre-fusion stream.
+//
 // Usage:
 //
-//	cage-objdump [-lowered] [-config full|hardened|baseline32|baseline64|memsafety|ptrauth|sandbox] module.wasm
+//	cage-objdump [-lowered] [-nofuse] [-profile file.json] [-config full|hardened|baseline32|baseline64|memsafety|ptrauth|sandbox] module.wasm
+//	cage-objdump -profile file.json
+//
+// With -profile and no module, the recorded hot-sequence table itself
+// is dumped, hottest first — the view of what drives fusion decisions.
 //
 // Under -config=hardened the lowered listing additionally shows the
 // speculation barriers of the Spectre-hardened preset: a fence
@@ -26,20 +38,57 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cage"
 	"cage/internal/exec"
+	"cage/internal/fuse"
 	"cage/internal/ir"
+	"cage/internal/profile"
 	"cage/internal/wasm"
 )
 
+// loadProfile resolves the -profile flag: a path to a recorded JSON
+// profile, or the empty string for the embedded polybench corpus.
+func loadProfile(path string) (*profile.Profile, error) {
+	if path == "" {
+		return profile.Default(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return profile.ReadJSON(f)
+}
+
+// dumpProfile prints the hot-sequence table, hottest first.
+func dumpProfile(p *profile.Profile) {
+	fmt.Printf(";; hot-sequence profile (id=%s, %d seqs)\n", p.ID(), len(p.Seqs))
+	for _, s := range p.Seqs {
+		fmt.Printf("%10d  %s\n", s.Count, strings.Join(s.Ops, " ; "))
+	}
+}
+
 func main() {
 	lowered := flag.Bool("lowered", false, "also disassemble the lowered internal/ir program")
+	nofuse := flag.Bool("nofuse", false, "show the lowered program before the superinstruction pass")
+	profPath := flag.String("profile", "", "recorded hot-sequence profile (JSON); empty = embedded polybench corpus")
 	cfgName := flag.String("config", "full", "configuration the lowered program is specialized for")
 	flag.Parse()
 
+	if flag.NArg() == 0 && *profPath != "" {
+		// Profile-table mode: no module, just dump the recorded table.
+		p, err := loadProfile(*profPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cage-objdump: %v\n", err)
+			os.Exit(1)
+		}
+		dumpProfile(p)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: cage-objdump [-lowered] [-config name] module.wasm")
+		fmt.Fprintln(os.Stderr, "usage: cage-objdump [-lowered] [-nofuse] [-profile file.json] [-config name] module.wasm")
 		os.Exit(2)
 	}
 	bin, err := os.ReadFile(flag.Arg(0))
@@ -69,8 +118,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("\n;; lowered program (config=%s mode=%s memsafety=%t ptrauth=%t harden=%t)\n",
-		*cfgName, lcfg.Mode, lcfg.MemSafety, lcfg.PtrAuth, lcfg.Harden)
+	fusion := "nofuse"
+	if !*nofuse {
+		prof, err := loadProfile(*profPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cage-objdump: %v\n", err)
+			os.Exit(1)
+		}
+		prog = fuse.Fuse(prog, prof)
+		fusion = "profile=" + prof.ID()
+	}
+
+	fmt.Printf("\n;; lowered program (config=%s mode=%s memsafety=%t ptrauth=%t harden=%t %s)\n",
+		*cfgName, lcfg.Mode, lcfg.MemSafety, lcfg.PtrAuth, lcfg.Harden, fusion)
 	numImports := len(m.Imports)
 	for i := range prog.Funcs {
 		fn := &prog.Funcs[i]
@@ -83,6 +143,11 @@ func main() {
 			fn.NumParams, fn.NumParams, fn.StackBase(), fn.StackBase(), fn.FrameSize)
 		for pc, in := range fn.Code {
 			fmt.Printf("  %4d: %s\n", pc, in)
+			// A superinstruction's constituents, expanded inline so the
+			// listing stays auditable against the wasm source.
+			for _, c := range in.Constituents() {
+				fmt.Printf("        ;; = %s\n", c)
+			}
 		}
 	}
 }

@@ -344,6 +344,10 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// DispatchMode reports the runtime's execution tier; see
+// Runtime.DispatchMode.
+func (e *Engine) DispatchMode() (memory, fusion string) { return e.rt.DispatchMode() }
+
 // PoolStatsFor snapshots the instance pool serving one module (zero
 // stats before the module's first checkout). Engine.Stats sums every
 // pool; a multi-module embedder (the serve daemon) uses this to report

@@ -128,20 +128,28 @@ type WasmCosts [NumEvents]float64
 // all three cores.
 type Counter struct {
 	counts [NumEvents]uint64
-	// total is maintained incrementally so Total() is O(1): the fuel
-	// metering of the exec layer compares it at every interrupt
-	// checkpoint of a metered call.
-	total uint64
 }
 
-// Add records n occurrences of ev.
-func (c *Counter) Add(ev Event, n uint64) { c.counts[ev] += n; c.total += n }
+// Add records n occurrences of ev. It is the single hottest call in the
+// dispatch loop (one per lowered operation), so it does exactly one
+// read-modify-write; Total sums on demand instead of maintaining a
+// running total here.
+func (c *Counter) Add(ev Event, n uint64) { c.counts[ev] += n }
 
 // Get returns the count for ev.
 func (c *Counter) Get(ev Event) uint64 { return c.counts[ev] }
 
-// Total returns the total event count.
-func (c *Counter) Total() uint64 { return c.total }
+// Total returns the total event count. It walks the (small, fixed)
+// event table; callers on hot paths — the fuel metering of the exec
+// layer compares totals at interrupt checkpoints — only run at branch
+// and call boundaries, where the walk is noise.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for _, n := range c.counts {
+		t += n
+	}
+	return t
+}
 
 // Reset zeroes all counts.
 func (c *Counter) Reset() { *c = Counter{} }
@@ -151,7 +159,6 @@ func (c *Counter) Merge(other *Counter) {
 	for i, n := range other.counts {
 		c.counts[i] += n
 	}
-	c.total += other.total
 }
 
 // Snapshot returns a copy of the counter.
@@ -165,7 +172,6 @@ func (c *Counter) DeltaSince(prev Counter) Counter {
 	for i := range c.counts {
 		d.counts[i] = c.counts[i] - prev.counts[i]
 	}
-	d.total = c.total - prev.total
 	return d
 }
 

@@ -7,16 +7,22 @@ import (
 	"cage/internal/codegen"
 	"cage/internal/core"
 	"cage/internal/exec"
+	"cage/internal/fuse"
 	"cage/internal/minicc"
 	"cage/internal/polybench"
+	"cage/internal/profile"
 )
 
-// BenchmarkLoweredVsLegacy is the before/after of the lowered-IR
-// execution pipeline: the same instantiated PolyBench kernel invoked
-// through the legacy re-scanning interpreter (the pre-refactor engine,
-// preserved in legacy_test.go) and through the lowered flat-dispatch
-// loop. Kernels free their allocations, so one instance serves every
-// iteration and the delta is pure dispatch.
+// BenchmarkLoweredVsLegacy is the before/after of the dispatch tiers:
+// the same instantiated PolyBench kernel invoked through the legacy
+// re-scanning interpreter (the pre-refactor engine, preserved in
+// legacy.go), through the lowered flat-dispatch loop, and through the
+// fused superinstruction tier driven by the checked-in polybench
+// corpus (the runtime's default profile). The guard32 rows run wasm32
+// kernels — on cageguard builds they use the vmem guard-region backend,
+// so guard32/fused is the full tentpole configuration the ≥2.5×-over-
+// legacy target is measured on. Kernels free their allocations, so one
+// instance serves every iteration and the delta is pure dispatch.
 func BenchmarkLoweredVsLegacy(b *testing.B) {
 	for _, kernel := range []string{"gemm", "jacobi-1d"} {
 		k, err := polybench.ByName(kernel)
@@ -28,6 +34,7 @@ func BenchmarkLoweredVsLegacy(b *testing.B) {
 			opts  codegen.Options
 			feats core.Features
 		}{
+			{"guard32", codegen.Options{Wasm64: false}, core.Features{}},
 			{"baseline64", codegen.Options{Wasm64: true}, core.Features{}},
 			{"full-cage", codegen.Options{Wasm64: true, StackSanitizer: true, PtrAuth: true}, core.CageAll()},
 		} {
@@ -54,6 +61,21 @@ func BenchmarkLoweredVsLegacy(b *testing.B) {
 			b.Run(kernel+"/"+cfg.name+"/lowered", func(b *testing.B) {
 				var ctr arch.Counter
 				inst := newKernelInstance(b, m, cfg.feats, &ctr)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := inst.Invoke("run", n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(kernel+"/"+cfg.name+"/fused", func(b *testing.B) {
+				prog, err := exec.LowerModule(m, exec.Config{Features: cfg.feats})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var ctr arch.Counter
+				inst := newFusedBenchInstance(b, m, cfg.feats, &ctr,
+					fuse.Fuse(prog, profile.Default()))
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := inst.Invoke("run", n); err != nil {

@@ -303,15 +303,22 @@ func trapModule(results []wasm.ValType, body []wasm.Instr, mem *wasm.MemoryType,
 	return m
 }
 
-func TestLoweredMatchesLegacyTraps(t *testing.T) {
+// trapCase is one entry of the trap-parity matrix shared by the
+// legacy-oracle and fused-tier differential suites.
+type trapCase struct {
+	name  string
+	mod   *wasm.Module
+	feats core.Features
+	code  exec.TrapCode
+}
+
+// trapCases builds the trap matrix fresh on each call (instances
+// mutate nothing, but modules must not be shared across fused/unfused
+// lowering in one test).
+func trapCases() []trapCase {
 	mem64 := &wasm.MemoryType{Limits: wasm.Limits{Min: 1}, Memory64: true}
 	mem32 := &wasm.MemoryType{Limits: wasm.Limits{Min: 1}}
-	cases := []struct {
-		name  string
-		mod   *wasm.Module
-		feats core.Features
-		code  exec.TrapCode
-	}{
+	cases := []trapCase{
 		{
 			"unreachable",
 			trapModule(nil, []wasm.Instr{wasm.Op(wasm.OpUnreachable), wasm.Op(wasm.OpEnd)}, nil, 0),
@@ -370,11 +377,17 @@ func TestLoweredMatchesLegacyTraps(t *testing.T) {
 			core.Features{MemSafety: true, MTEMode: mte.ModeSync}, exec.TrapSegment,
 		},
 	}
-	for _, tc := range cases {
+	for i := range cases {
+		if cases[i].name == "segment-double-free" {
+			cases[i].mod.Funcs[0].Locals = []wasm.ValType{wasm.I64}
+		}
+	}
+	return cases
+}
+
+func TestLoweredMatchesLegacyTraps(t *testing.T) {
+	for _, tc := range trapCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			if tc.name == "segment-double-free" {
-				tc.mod.Funcs[0].Locals = []wasm.ValType{wasm.I64}
-			}
 			low, err := exec.NewInstance(tc.mod, exec.Config{Features: tc.feats, Seed: 7})
 			if err != nil {
 				t.Fatalf("instantiate lowered: %v", err)

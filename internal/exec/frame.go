@@ -140,7 +140,7 @@ func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 	}
 	copy(inst.vals[base:], args)
 
-	if err := inst.run(barrier); err != nil {
+	if err := inst.runProtected(barrier); err != nil {
 		return nil, err
 	}
 	res := make([]uint64, fn.NumResults)
@@ -221,6 +221,10 @@ func (inst *Instance) run(barrier int) error {
 	// every call is an interrupt checkpoint, and the unmetered variant
 	// of that checkpoint is a single never-taken nil test.
 	mtr := inst.meter
+	// rec is the hot-sequence recorder, nil unless the embedder armed
+	// profiling (Config.Profile): the unarmed cost is one never-taken
+	// nil test per retired instruction.
+	rec := inst.prof
 
 	entry := &inst.frames[len(inst.frames)-1]
 	code := entry.fn.Code
@@ -233,9 +237,19 @@ func (inst *Instance) run(barrier int) error {
 	// callee); declared outside the loop so the per-iteration fast path
 	// never touches them.
 	callIdx, callN := 0, 0
+	// aluOp feeds the shared fused-ALU block at the bottom of the loop
+	// (the ALU-carrying fused superinstructions converge there); like
+	// callIdx/callN it lives outside the loop so the fast path never
+	// touches it. aluOp2 holds the pending second ALU of the two-ALU
+	// superinstructions; the fused-ALU block always consumes it, so it
+	// is zero whenever the main switch dispatches.
+	var aluOp, aluOp2 wasm.Opcode
 
 	for {
 		in := &code[pc]
+		if rec != nil {
+			rec.Note(&code[0], pc, in.Op)
+		}
 		switch in.Op {
 		case ir.OpUnreachable:
 			return newTrap(TrapUnreachable, "at pc %d", pc)
@@ -507,6 +521,17 @@ func (inst *Instance) run(barrier int) error {
 				return err
 			}
 			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B), readScalar(inst.mem, addr, sz))
+		case ir.OpLoadG32G:
+			// Guard-region load: no Go-level bounds check at all. gmem is
+			// the full 4 GiB+headroom reservation, so the index math can
+			// never trip a slice bound; an uncommitted page faults in the
+			// MMU and runProtected converts it to TrapOutOfBounds. Event
+			// accounting matches OpLoadG32 exactly (guard32 charges no
+			// per-access check events either way).
+			ctr.Add(arch.EvLoad, 1)
+			addr := uint64(uint32(stack[len(stack)-1])) + in.A
+			stack[len(stack)-1] = extendLoad(ir.MemOp(in.B),
+				readScalarFast(inst.gmem, addr, ir.MemSize(in.B)))
 
 		// Stores, same specialization.
 		case ir.OpStoreG32:
@@ -581,6 +606,149 @@ func (inst *Instance) run(barrier int) error {
 			}
 			writeScalar(inst.mem, addr, sz, stack[len(stack)-1])
 			stack = stack[:len(stack)-2]
+		case ir.OpStoreG32G:
+			// Guard-region store; see OpLoadG32G. The probe read of the
+			// access's last byte makes the store all-or-nothing: if any
+			// byte falls past the committed prefix the probe faults before
+			// the write starts, so a trapped store is never partially
+			// visible.
+			ctr.Add(arch.EvStore, 1)
+			sz := ir.MemSize(in.B)
+			addr := uint64(uint32(stack[len(stack)-2])) + in.A
+			gm := inst.gmem
+			guardProbeSink = gm[addr+sz-1]
+			writeScalarFast(gm, addr, sz, stack[len(stack)-1])
+			stack = stack[:len(stack)-2]
+
+		// Fused superinstructions (internal/fuse): each case executes its
+		// constituents in order with the constituents' exact events and
+		// trap points, so a fused program is observationally identical to
+		// its unfused twin — results, traps, and event stream — and only
+		// the dispatch count differs. Operand-stack peaks are also
+		// identical (the constituents run one by one), so the frame's
+		// precomputed MaxStack still bounds every append below. The
+		// ALU-carrying cases converge on the fusedALU block at the bottom
+		// of the loop, which runs the constituent without leaving the
+		// dispatch frame.
+		case ir.OpFusedGetGet:
+			ctr.Add(arch.EvLocal, 2)
+			stack = append(stack, locals[in.A], locals[in.B])
+		case ir.OpFusedGet4:
+			ctr.Add(arch.EvLocal, 4)
+			stack = append(stack, locals[in.A>>48], locals[(in.A>>32)&0xFFFF],
+				locals[(in.A>>16)&0xFFFF], locals[in.A&0xFFFF])
+		case ir.OpFusedGetConst:
+			ctr.Add(arch.EvLocal, 1)
+			ctr.Add(arch.EvConst, 1)
+			stack = append(stack, locals[in.A], in.B)
+		case ir.OpFusedConstALU:
+			ctr.Add(arch.EvConst, 1)
+			stack = append(stack, in.A)
+			aluOp = wasm.Opcode(in.B)
+			goto fusedALU
+		case ir.OpFusedGetALU:
+			ctr.Add(arch.EvLocal, 1)
+			stack = append(stack, locals[in.A])
+			aluOp = wasm.Opcode(in.B)
+			goto fusedALU
+		case ir.OpFusedGetGetALU:
+			ctr.Add(arch.EvLocal, 2)
+			stack = append(stack, locals[in.A>>32], locals[uint32(in.A)])
+			aluOp = wasm.Opcode(in.B)
+			goto fusedALU
+		case ir.OpFusedGetConstALU:
+			ctr.Add(arch.EvLocal, 1)
+			ctr.Add(arch.EvConst, 1)
+			stack = append(stack, locals[ir.FusedBranchAux(in.B)], in.A)
+			aluOp = wasm.Opcode(uint32(in.B))
+			goto fusedALU
+		case ir.OpFusedALUSet:
+			aluOp = wasm.Opcode(in.B)
+			goto fusedALU
+		case ir.OpFusedSetGet:
+			// set then get, in order: when both name the same local the
+			// get observes the just-set value, exactly like the unfused
+			// pair.
+			ctr.Add(arch.EvLocal, 2)
+			locals[in.A] = stack[len(stack)-1]
+			stack[len(stack)-1] = locals[in.B]
+		case ir.OpFusedSetBr:
+			ctr.Add(arch.EvLocal, 1)
+			locals[ir.FusedBranchAux(in.B)] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ctr.Add(arch.EvBranch, 1)
+			stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
+			pc = ir.FusedBranchTarget(in.B)
+			if mtr != nil {
+				if err := mtr.check(ctr); err != nil {
+					return err
+				}
+			}
+			continue
+		case ir.OpFusedCmpBrIf, ir.OpFusedCmpBrIfZ, ir.OpFusedCmpEqzBrIf:
+			aluOp = wasm.Opcode(ir.FusedBranchAux(in.B))
+			goto fusedALU
+		case ir.OpFusedLoadALU:
+			// Load constituent first: EvLoad, then the guard-region direct
+			// access (no Go-level bounds check; see OpLoadG32G) or the
+			// per-variant translated path out of line.
+			ctr.Add(arch.EvLoad, 1)
+			if ir.FusedMemVariant(in.B) == ir.OpLoadG32G {
+				addr := uint64(uint32(stack[len(stack)-1])) + in.A
+				stack[len(stack)-1] = extendLoad(ir.FusedMemOp(in.B),
+					readScalarFast(inst.gmem, addr, ir.FusedMemSize(in.B)))
+			} else {
+				v, err := inst.fusedMemLoad(in, in.A, stack[len(stack)-1])
+				if err != nil {
+					return err
+				}
+				stack[len(stack)-1] = v
+			}
+			aluOp = ir.FusedMemALU(in.B)
+			goto fusedALU
+		case ir.OpFusedALULoad, ir.OpFusedALUStore:
+			aluOp = ir.FusedMemALU(in.B)
+			goto fusedALU
+		case ir.OpFusedConstALUALU:
+			ctr.Add(arch.EvConst, 1)
+			stack = append(stack, in.A)
+			aluOp = wasm.Opcode(in.B & 0xFF)
+			aluOp2 = wasm.Opcode((in.B >> 8) & 0xFF)
+			goto fusedALU
+		case ir.OpFusedGetALUGetALU:
+			ctr.Add(arch.EvLocal, 1)
+			stack = append(stack, locals[in.A>>32])
+			aluOp = wasm.Opcode(in.B & 0xFF)
+			aluOp2 = wasm.Opcode((in.B >> 8) & 0xFF)
+			goto fusedALU
+		case ir.OpFusedGetGetCmpEqzBr:
+			ctr.Add(arch.EvLocal, 2)
+			stack = append(stack, locals[in.A>>32], locals[uint32(in.A)])
+			aluOp = wasm.Opcode(ir.FusedBranchAux(in.B))
+			goto fusedALU
+		case ir.OpFusedIncBr:
+			ctr.Add(arch.EvLocal, 1)
+			ctr.Add(arch.EvConst, 1)
+			stack = append(stack, locals[ir.FusedBranchAux(in.B)], in.A>>8)
+			aluOp = wasm.Opcode(in.A & 0xFF)
+			goto fusedALU
+		case ir.OpFusedGet3ALUGetALU:
+			ctr.Add(arch.EvLocal, 3)
+			stack = append(stack, locals[in.A>>48], locals[(in.A>>32)&0xFFFF],
+				locals[(in.A>>16)&0xFFFF])
+			aluOp = wasm.Opcode(in.B & 0xFF)
+			aluOp2 = wasm.Opcode((in.B >> 8) & 0xFF)
+			goto fusedALU
+		case ir.OpFusedConstALUALULoadALU:
+			ctr.Add(arch.EvConst, 1)
+			stack = append(stack, in.A>>32)
+			aluOp = wasm.Opcode((in.B >> 32) & 0xFF)
+			aluOp2 = wasm.Opcode((in.B >> 40) & 0xFF)
+			goto fusedALU
+		case ir.OpFusedALUSetIncBr:
+			aluOp = wasm.Opcode(in.A >> 48)
+			aluOp2 = wasm.Opcode(in.A & 0xFF)
+			goto fusedALU
 
 		default:
 			// Fast path for the hottest pure-value opcodes, inlined so a
@@ -748,6 +916,266 @@ func (inst *Instance) run(barrier int) error {
 				}
 				stack = stack[:n]
 			}
+		}
+		pc++
+		continue
+
+	fusedALU:
+		// Shared ALU-constituent executor for the fused superinstructions:
+		// one inline copy of the hottest constituents (the profile
+		// corpus's top ALU ops), with the out-of-line executor as the
+		// fallback for the rest. Event charges are copied from the
+		// dispatch fast path above, so fused streams stay event-identical
+		// to unfused ones. The ALU-first superinstructions then run their
+		// second constituent in the switch below; ALU-last ones retire
+		// directly.
+		{
+			l := len(stack)
+			switch aluOp {
+			case wasm.OpI32Add:
+				ctr.Add(arch.EvALU, 1)
+				stack[l-2] = uint64(uint32(stack[l-2]) + uint32(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI64Add:
+				ctr.Add(arch.EvALU, 1)
+				stack[l-2] += stack[l-1]
+				stack = stack[:l-1]
+			case wasm.OpI32Mul:
+				ctr.Add(arch.EvMul, 1)
+				stack[l-2] = uint64(uint32(stack[l-2]) * uint32(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI64Mul:
+				ctr.Add(arch.EvMul, 1)
+				stack[l-2] *= stack[l-1]
+				stack = stack[:l-1]
+			case wasm.OpF64Add:
+				ctr.Add(arch.EvFAdd, 1)
+				stack[l-2] = math.Float64bits(math.Float64frombits(stack[l-2]) + math.Float64frombits(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpF64Mul:
+				ctr.Add(arch.EvFMul, 1)
+				stack[l-2] = math.Float64bits(math.Float64frombits(stack[l-2]) * math.Float64frombits(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI32LtS:
+				ctr.Add(arch.EvCmp, 1)
+				stack[l-2] = b2u(int32(stack[l-2]) < int32(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI64LtS:
+				ctr.Add(arch.EvCmp, 1)
+				stack[l-2] = b2u(int64(stack[l-2]) < int64(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI32Eqz:
+				ctr.Add(arch.EvCmp, 1)
+				stack[l-1] = b2u(uint32(stack[l-1]) == 0)
+			case wasm.OpI64ExtendI32S:
+				ctr.Add(arch.EvConv, 1)
+				stack[l-1] = uint64(int64(int32(stack[l-1])))
+			case wasm.OpI32Sub:
+				ctr.Add(arch.EvALU, 1)
+				stack[l-2] = uint64(uint32(stack[l-2]) - uint32(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI64Sub:
+				ctr.Add(arch.EvALU, 1)
+				stack[l-2] -= stack[l-1]
+				stack = stack[:l-1]
+			case wasm.OpF64Sub:
+				ctr.Add(arch.EvFAdd, 1)
+				stack[l-2] = math.Float64bits(math.Float64frombits(stack[l-2]) - math.Float64frombits(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpF64ConvertI32S:
+				ctr.Add(arch.EvConv, 1)
+				stack[l-1] = math.Float64bits(float64(int32(stack[l-1])))
+			case wasm.OpF64ConvertI64S:
+				ctr.Add(arch.EvConv, 1)
+				stack[l-1] = math.Float64bits(float64(int64(stack[l-1])))
+			default:
+				var err error
+				if stack, err = inst.fusedALUSlow(aluOp, stack); err != nil {
+					return err
+				}
+			}
+		}
+		if aluOp2 != 0 {
+			// First ALU of a two-ALU superinstruction just ran; stage the
+			// interleaved constituent (the second local.get, when the op
+			// has one), promote the pending ALU, and loop back. aluOp2 is
+			// zero on the second pass, so the op then retires through the
+			// switch below.
+			switch in.Op {
+			case ir.OpFusedGetALUGetALU:
+				ctr.Add(arch.EvLocal, 1)
+				stack = append(stack, locals[uint32(in.A)])
+			case ir.OpFusedGet3ALUGetALU:
+				ctr.Add(arch.EvLocal, 1)
+				stack = append(stack, locals[in.A&0xFFFF])
+			case ir.OpFusedALUSetIncBr:
+				// set x; get y; const c — retire the reduction, then set
+				// up the induction-variable bump for the second ALU.
+				ctr.Add(arch.EvLocal, 2)
+				ctr.Add(arch.EvConst, 1)
+				locals[(in.A>>32)&0xFFFF] = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				stack = append(stack, locals[(in.A>>16)&0xFFFF], (in.A>>8)&0xFF)
+			}
+			aluOp, aluOp2 = aluOp2, 0
+			goto fusedALU
+		}
+		switch in.Op {
+		case ir.OpFusedALUSet:
+			ctr.Add(arch.EvLocal, 1)
+			locals[in.A] = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		case ir.OpFusedALULoad:
+			ctr.Add(arch.EvLoad, 1)
+			if ir.FusedMemVariant(in.B) == ir.OpLoadG32G {
+				addr := uint64(uint32(stack[len(stack)-1])) + in.A
+				stack[len(stack)-1] = extendLoad(ir.FusedMemOp(in.B),
+					readScalarFast(inst.gmem, addr, ir.FusedMemSize(in.B)))
+			} else {
+				v, err := inst.fusedMemLoad(in, in.A, stack[len(stack)-1])
+				if err != nil {
+					return err
+				}
+				stack[len(stack)-1] = v
+			}
+		case ir.OpFusedConstALUALULoadALU:
+			// The load constituent (offset lives in A's low half; the
+			// high half is the already-pushed constant), then the
+			// trailing ALU — inlined for the multiply-accumulate ops the
+			// pattern exists for, out of line for the rest.
+			ctr.Add(arch.EvLoad, 1)
+			if ir.FusedMemVariant(in.B) == ir.OpLoadG32G {
+				addr := uint64(uint32(stack[len(stack)-1])) + uint64(uint32(in.A))
+				stack[len(stack)-1] = extendLoad(ir.FusedMemOp(in.B),
+					readScalarFast(inst.gmem, addr, ir.FusedMemSize(in.B)))
+			} else {
+				v, err := inst.fusedMemLoad(in, uint64(uint32(in.A)), stack[len(stack)-1])
+				if err != nil {
+					return err
+				}
+				stack[len(stack)-1] = v
+			}
+			l := len(stack)
+			switch alu3 := ir.FusedMemALU(in.B); alu3 {
+			case wasm.OpF64Add:
+				ctr.Add(arch.EvFAdd, 1)
+				stack[l-2] = math.Float64bits(math.Float64frombits(stack[l-2]) + math.Float64frombits(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpF64Mul:
+				ctr.Add(arch.EvFMul, 1)
+				stack[l-2] = math.Float64bits(math.Float64frombits(stack[l-2]) * math.Float64frombits(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI32Add:
+				ctr.Add(arch.EvALU, 1)
+				stack[l-2] = uint64(uint32(stack[l-2]) + uint32(stack[l-1]))
+				stack = stack[:l-1]
+			case wasm.OpI64Add:
+				ctr.Add(arch.EvALU, 1)
+				stack[l-2] += stack[l-1]
+				stack = stack[:l-1]
+			default:
+				var err error
+				if stack, err = inst.fusedALUSlow(alu3, stack); err != nil {
+					return err
+				}
+			}
+		case ir.OpFusedALUStore:
+			ctr.Add(arch.EvStore, 1)
+			if ir.FusedMemVariant(in.B) == ir.OpStoreG32G {
+				// Guard-region store with the all-or-nothing probe; see
+				// OpStoreG32G.
+				sz := ir.FusedMemSize(in.B)
+				addr := uint64(uint32(stack[len(stack)-2])) + in.A
+				gm := inst.gmem
+				guardProbeSink = gm[addr+sz-1]
+				writeScalarFast(gm, addr, sz, stack[len(stack)-1])
+			} else if err := inst.fusedMemStore(in, stack[len(stack)-2], stack[len(stack)-1]); err != nil {
+				return err
+			}
+			stack = stack[:len(stack)-2]
+		case ir.OpFusedCmpBrIf:
+			ctr.Add(arch.EvBranch, 1)
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if uint32(c) != 0 {
+				stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
+				pc = ir.FusedBranchTarget(in.B)
+				if mtr != nil {
+					if err := mtr.check(ctr); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		case ir.OpFusedCmpBrIfZ:
+			ctr.Add(arch.EvBranch, 1)
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if uint32(c) == 0 {
+				pc = ir.FusedBranchTarget(in.B)
+				if mtr != nil {
+					if err := mtr.check(ctr); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		case ir.OpFusedCmpEqzBrIf:
+			ctr.Add(arch.EvCmp, 1) // the i32.eqz constituent
+			eq := uint32(stack[len(stack)-1]) == 0
+			stack = stack[:len(stack)-1]
+			ctr.Add(arch.EvBranch, 1)
+			if eq {
+				stack = branchRepair(stack, ir.BranchKeep(in.A), ir.BranchArity(in.A))
+				pc = ir.FusedBranchTarget(in.B)
+				if mtr != nil {
+					if err := mtr.check(ctr); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		case ir.OpFusedGetGetCmpEqzBr:
+			ctr.Add(arch.EvCmp, 1) // the i32.eqz constituent
+			eq := uint32(stack[len(stack)-1]) == 0
+			stack = stack[:len(stack)-1]
+			ctr.Add(arch.EvBranch, 1)
+			if eq {
+				// Zero repair pack (the fuse pass only matches it):
+				// keep=0, arity=0 truncates the operand stack.
+				stack = stack[:0]
+				pc = ir.FusedBranchTarget(in.B)
+				if mtr != nil {
+					if err := mtr.check(ctr); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		case ir.OpFusedIncBr:
+			ctr.Add(arch.EvLocal, 1)
+			locals[ir.FusedBranchAux(in.B)] = stack[len(stack)-1]
+			ctr.Add(arch.EvBranch, 1)
+			stack = stack[:0] // zero repair pack; see OpFusedGetGetCmpEqzBr
+			pc = ir.FusedBranchTarget(in.B)
+			if mtr != nil {
+				if err := mtr.check(ctr); err != nil {
+					return err
+				}
+			}
+			continue
+		case ir.OpFusedALUSetIncBr:
+			ctr.Add(arch.EvLocal, 1)
+			locals[(in.A>>16)&0xFFFF] = stack[len(stack)-1]
+			ctr.Add(arch.EvBranch, 1)
+			stack = stack[:0] // zero repair pack; see OpFusedGetGetCmpEqzBr
+			pc = ir.FusedBranchTarget(in.B)
+			if mtr != nil {
+				if err := mtr.check(ctr); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		pc++
 		continue

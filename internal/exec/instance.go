@@ -10,7 +10,9 @@ import (
 	"cage/internal/ir"
 	"cage/internal/mte"
 	"cage/internal/pac"
+	"cage/internal/profile"
 	"cage/internal/ptrlayout"
+	"cage/internal/vmem"
 	"cage/internal/wasm"
 )
 
@@ -74,6 +76,12 @@ type Config struct {
 	// HostReserve appends a host-owned, runtime-tagged region after the
 	// guest memory for sandbox-escape demonstrations; 0 means 4 KiB.
 	HostReserve uint64
+	// Profile, when non-nil, records the hot opcode sequences this
+	// instance executes (the pair/triple counters behind the
+	// superinstruction pass, internal/fuse). Recording costs one
+	// predictable branch per retired instruction when armed and nothing
+	// when nil; the recorder is single-goroutine like the instance.
+	Profile *profile.Recorder
 	// Snapshot, when non-nil, instantiates by restoring this frozen
 	// image (Instance.Snapshot) instead of replaying data segments,
 	// tagging the whole memory, and running the start function — the
@@ -117,6 +125,12 @@ func LowerConfig(m *wasm.Module, cfg Config) ir.Config {
 		MemSafety:  cfg.Features.MemSafety,
 		PtrAuth:    cfg.Features.PtrAuth,
 		Harden:     cfg.Features.SpectreHarden,
+		// Guard-region opcodes only make sense for the guard32 strategy
+		// with real bounds checks, and only when the build can back them
+		// with a vmem reservation. Supported() is constant per process,
+		// so this derivation (and the program-cache identity built on it)
+		// is stable.
+		Guard: mode == ir.ModeGuard32 && !cfg.SkipBoundsChecks && vmem.Supported(),
 	}
 }
 
@@ -150,6 +164,20 @@ type Instance struct {
 	table   []int32
 	prog    *ir.Program
 	imports []HostFunc
+
+	// Guard-region memory backend (cageguard build tag; programs with
+	// Cfg.Guard set). gmap is the vmem reservation and gmem its full
+	// Bytes() — ReservationSize long, PROT_NONE past the committed
+	// prefix — which the OpLoadG32G/OpStoreG32G handlers index directly
+	// so the MMU performs the bounds check. mem remains the committed
+	// guest-visible prefix view (gmem[:memSize]); hostReserve is 0 for
+	// guard instances. Both are nil on the heap backend.
+	gmem []byte
+	gmap *vmem.Mapping
+
+	// prof, when armed (Config.Profile), receives every retired
+	// instruction for hot-sequence recording.
+	prof *profile.Recorder
 
 	features core.Features
 	policy   core.Policy
@@ -232,6 +260,7 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		maxCallDepth: cfg.MaxCallDepth,
 		skipBounds:   cfg.SkipBoundsChecks,
 		hostData:     cfg.HostData,
+		prof:         cfg.Profile,
 	}
 	if inst.counter == nil {
 		inst.counter = &arch.Counter{}
@@ -244,11 +273,18 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		inst.maxStackWords = defaultMaxStackWords
 	}
 	// If any later instantiation step fails, return the sandbox tag so a
-	// pooled engine retrying instantiation does not leak tag budget.
+	// pooled engine retrying instantiation does not leak tag budget, and
+	// release the guard-region reservation so retries do not leak 4 GiB
+	// of address space per attempt.
 	instantiated := false
 	defer func() {
-		if !instantiated && inst.sandboxes != nil {
-			inst.sandboxes.Release(inst.sandbox)
+		if !instantiated {
+			if inst.sandboxes != nil {
+				inst.sandboxes.Release(inst.sandbox)
+			}
+			if inst.gmap != nil {
+				inst.gmap.Unmap()
+			}
 		}
 	}()
 
@@ -277,26 +313,78 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		inst.imports = table.funcs
 	}
 
-	// Memory.
-	hostReserve := cfg.HostReserve
-	if hostReserve == 0 {
-		hostReserve = defaultHostReserve
-	}
-	inst.hostReserve = hostReserve
+	// Strategy and lowering before memory: the (possibly adopted)
+	// program's Guard bit decides which memory backend the instance
+	// needs, so the program must exist first.
 	if len(m.Mems) > 0 {
 		inst.memType = m.Mems[0]
-		// When restoring from a snapshot the image supplies the memory
-		// (and its tag layout) wholesale; allocating and tagging here
-		// would be thrown away.
-		if cfg.Snapshot == nil {
-			inst.memSize = inst.memType.Limits.Min * wasm.PageSize
-			inst.mem = make([]byte, inst.memSize+hostReserve)
-			inst.fillHostReserve()
-		}
 	}
 	inst.strategy = strategyFor(inst.memType, cfg.Features)
 	if inst.strategy == stratGuard32 && (cfg.Features.MemSafety || cfg.Features.Sandbox) {
 		return nil, fmt.Errorf("exec: Cage features require a 64-bit memory (wasm64)")
+	}
+
+	// Lower function bodies to the flat executable form, or adopt a
+	// shared pre-lowered program (engine caches lower once per module
+	// hash + configuration and hand the result to every instance). An
+	// adopted program's Guard bit is authoritative: a program lowered
+	// without guard opcodes (an embedder cache built off-build, a
+	// hand-constructed test program) runs on the heap backend even when
+	// this build could guard, and vice versa fails cleanly below when
+	// the backend is unavailable.
+	lcfg := LowerConfig(m, cfg)
+	if cfg.Program != nil {
+		lcfg.Guard = cfg.Program.Cfg.Guard
+		if !cfg.Program.Matches(m, lcfg) {
+			return nil, fmt.Errorf("exec: pre-lowered program does not match module/configuration (have %+v, want %+v)",
+				cfg.Program.Cfg, lcfg)
+		}
+		inst.prog = cfg.Program
+	} else {
+		prog, err := ir.Lower(m, lcfg)
+		if err != nil {
+			return nil, err
+		}
+		inst.prog = prog
+	}
+
+	// Memory. Guard programs get the vmem reservation (no host-reserve
+	// region: every byte past the guest prefix is PROT_NONE, which is
+	// the point); everything else gets the heap buffer with the
+	// host-reserve tail.
+	hostReserve := cfg.HostReserve
+	if hostReserve == 0 {
+		hostReserve = defaultHostReserve
+	}
+	if inst.prog.Cfg.Guard {
+		hostReserve = 0
+	}
+	inst.hostReserve = hostReserve
+	if len(m.Mems) > 0 {
+		// When restoring from a snapshot the image supplies the memory
+		// (and its tag layout) wholesale; allocating and tagging here
+		// would be thrown away — but a guard instance still needs its
+		// reservation (RestoreFromSnapshot commits into it).
+		initSize := inst.memType.Limits.Min * wasm.PageSize
+		switch {
+		case inst.prog.Cfg.Guard:
+			commit := initSize
+			if cfg.Snapshot != nil {
+				commit = 0
+			}
+			gm, err := vmem.Map(commit)
+			if err != nil {
+				return nil, err
+			}
+			inst.gmap = gm
+			inst.gmem = gm.Bytes()
+			inst.mem = inst.gmem[:commit]
+			inst.memSize = commit
+		case cfg.Snapshot == nil:
+			inst.memSize = initSize
+			inst.mem = make([]byte, inst.memSize+hostReserve)
+			inst.fillHostReserve()
+		}
 	}
 
 	// MTE state.
@@ -363,24 +451,6 @@ func NewInstance(m *wasm.Module, cfg Config) (*Instance, error) {
 		if err := inst.initData(); err != nil {
 			return nil, err
 		}
-	}
-
-	// Lower function bodies to the flat executable form, or adopt a
-	// shared pre-lowered program (engine caches lower once per module
-	// hash + configuration and hand the result to every instance).
-	lcfg := LowerConfig(m, cfg)
-	if cfg.Program != nil {
-		if !cfg.Program.Matches(m, lcfg) {
-			return nil, fmt.Errorf("exec: pre-lowered program does not match module/configuration (have %+v, want %+v)",
-				cfg.Program.Cfg, lcfg)
-		}
-		inst.prog = cfg.Program
-	} else {
-		prog, err := ir.Lower(m, lcfg)
-		if err != nil {
-			return nil, err
-		}
-		inst.prog = prog
 	}
 
 	// Start function (shared with recycling, reset.go) — or, for a

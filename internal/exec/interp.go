@@ -1,17 +1,19 @@
 package exec
 
 import (
+	"encoding/binary"
 	"math"
 	"math/bits"
 
 	"cage/internal/arch"
 	"cage/internal/mte"
 	"cage/internal/ptrlayout"
+	"cage/internal/vmem"
 	"cage/internal/wasm"
 )
 
 // This file holds the opcode semantics shared by the frame machine
-// (frame.go) and the test-only legacy oracle (legacy_test.go): address
+// (frame.go) and the legacy oracle (legacy.go): address
 // translation per sandboxing strategy, scalar memory access, bulk
 // memory operations, Cage segment instructions, and the numeric ALU.
 // The stack-consuming helpers take the operand stack as a value slice
@@ -127,6 +129,38 @@ func writeScalar(mem []byte, addr, size, val uint64) {
 	}
 }
 
+// readScalarFast is readScalar as single whole-width accesses. Only the
+// frame machine's guard and fused handlers use it: the legacy oracle
+// keeps the byte loop, so the dispatch-tier benchmarks price the real
+// historical baseline, not a retro-optimized one.
+func readScalarFast(mem []byte, addr, size uint64) uint64 {
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(mem[addr:])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(mem[addr:]))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(mem[addr:]))
+	default:
+		return uint64(mem[addr])
+	}
+}
+
+// writeScalarFast is writeScalar as single whole-width accesses; see
+// readScalarFast for where it may be used.
+func writeScalarFast(mem []byte, addr, size, val uint64) {
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(mem[addr:], val)
+	case 4:
+		binary.LittleEndian.PutUint32(mem[addr:], uint32(val))
+	case 2:
+		binary.LittleEndian.PutUint16(mem[addr:], uint16(val))
+	default:
+		mem[addr] = byte(val)
+	}
+}
+
 // extendLoad applies a load opcode's sign/zero extension to raw bytes.
 func extendLoad(op wasm.Opcode, raw uint64) uint64 {
 	switch op {
@@ -172,6 +206,22 @@ func (inst *Instance) memoryGrow(deltaPages uint64) uint64 {
 	}
 	if newPages > 1<<32 { // 256 TiB cap to keep the simulation sane
 		return ^uint64(0)
+	}
+	if inst.gmap != nil {
+		// Guard-region backend: growth is an mprotect on the reservation,
+		// never a reallocation, so gmem (and every guard handler's view of
+		// it) stays valid. wasm32 page counts cannot exceed the guest
+		// limit, but guard against drift defensively.
+		newSize := newPages * wasm.PageSize
+		if newSize > vmem.GuestLimit {
+			return ^uint64(0)
+		}
+		if err := inst.gmap.SetCommitted(newSize); err != nil {
+			return ^uint64(0)
+		}
+		inst.mem = inst.gmem[:newSize]
+		inst.memSize = newSize
+		return oldPages
 	}
 	hostLen := uint64(len(inst.mem)) - inst.memSize
 	newSize := newPages * wasm.PageSize

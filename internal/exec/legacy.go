@@ -1,16 +1,18 @@
 package exec
 
-// Test-only copy of the pre-lowering re-scanning interpreter: function
-// bodies keep their wasm.Instr form, control flow is resolved into
-// matchEnd/matchElse side tables re-consulted at every block, if, and
-// branch, and calls recurse through Go with freshly allocated locals,
-// args, and results per activation. It serves as the oracle for the
-// frame machine — the differential tests require identical results,
-// identical traps, and identical timing-model event counts — and as
-// the "before" side of BenchmarkLoweredVsLegacy and
-// BenchmarkCallOverhead. It shares the instance's state and the
-// un-specialized effectiveAddr path, so any semantic drift between the
-// two executors is a real bug, not a harness artifact.
+// The pre-lowering re-scanning interpreter: function bodies keep their
+// wasm.Instr form, control flow is resolved into matchEnd/matchElse
+// side tables re-consulted at every block, if, and branch, and calls
+// recurse through Go with freshly allocated locals, args, and results
+// per activation. It serves as the oracle for the frame machine — the
+// differential tests require identical results, identical traps, and
+// identical timing-model event counts — and as the legacy tier of the
+// dispatch benchmarks (BenchmarkLoweredVsLegacy, BenchmarkCallOverhead,
+// and internal/bench's dispatch record), which is why it lives in the
+// package proper rather than a _test file. It shares the instance's
+// state and the un-specialized effectiveAddr path, so any semantic
+// drift between the two executors is a real bug, not a harness
+// artifact.
 
 import (
 	"errors"

@@ -62,7 +62,18 @@ func (inst *Instance) ResetState(seed uint64) error {
 	if len(inst.module.Mems) > 0 {
 		initSize = inst.memType.Limits.Min * wasm.PageSize
 	}
-	if inst.memSize != initSize {
+	switch {
+	case inst.gmap != nil:
+		// Guard-region backend: recommit the reservation to the initial
+		// size (shrink decommits and zeroes the tail) and scrub the
+		// retained prefix, whose pages keep their contents.
+		if err := inst.gmap.SetCommitted(initSize); err != nil {
+			return err
+		}
+		inst.mem = inst.gmem[:initSize]
+		inst.memSize = initSize
+		clear(inst.mem)
+	case inst.memSize != initSize:
 		// Replacing the buffer abandons any copy-on-write view backing
 		// it; detach the tag array from the view first (the tag scrub
 		// below still writes through it), then unmap.
@@ -72,7 +83,7 @@ func (inst *Instance) ResetState(seed uint64) error {
 		inst.mem = make([]byte, initSize+inst.hostReserve)
 		inst.memSize = initSize
 		inst.releaseMapping()
-	} else {
+	default:
 		// In place — if mem is a copy-on-write view this dirties private
 		// pages, which the next snapshot restore throws away wholesale.
 		clear(inst.mem)
@@ -172,5 +183,12 @@ func (inst *Instance) Close() error {
 	}
 	inst.mem = nil
 	inst.releaseMapping()
+	if inst.gmap != nil {
+		inst.gmem = nil
+		if err := inst.gmap.Unmap(); err != nil {
+			return err
+		}
+		inst.gmap = nil
+	}
 	return nil
 }

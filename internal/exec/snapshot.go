@@ -231,6 +231,44 @@ func (inst *Instance) RestoreFromSnapshot(s *Snapshot, seed uint64) error {
 	oldUnmap := inst.memUnmap
 	inst.memUnmap = nil
 
+	if inst.gmap != nil {
+		// Guard-region backend: the reservation must never be replaced by
+		// a COW view or a heap buffer — the guard handlers index gmem
+		// directly — so restore is always recommit + copy. Spans are
+		// clipped to the guest size: an image captured on the heap
+		// backend carries host-reserve bytes past memSize that have no
+		// home (and no mapping) here.
+		if err := inst.gmap.SetCommitted(s.memSize); err != nil {
+			return err
+		}
+		inst.mem = inst.gmem[:s.memSize]
+		clear(inst.mem)
+		copySpansClipped(inst.mem, s)
+		inst.memSize = s.memSize
+		// hostReserve stays 0: the guard layout has no host region.
+
+		inst.globals = append(inst.globals[:0], s.globals...)
+		inst.table = append(inst.table[:0], s.table...)
+		switch {
+		case s.signedPtrs:
+			inst.keys = s.keys
+		case !inst.fixedModifier && seed != 0:
+			inst.keys = core.NewInstanceKeys(inst.keys.Key, deriveModifier(seed))
+		}
+		inst.StartupGranulesTagged = s.startupGranules
+		inst.depth = 0
+		inst.arenaTop = 0
+		inst.frames = inst.frames[:0]
+		clear(inst.vals)
+		inst.meter = nil
+		inst.callCtx = nil
+		inst.memLimitPages = 0
+		if oldUnmap != nil {
+			oldUnmap()
+		}
+		return nil
+	}
+
 	restored := false
 	if s.cow != nil {
 		if mem, tagView, unmap, err := s.cow.mapView(); err == nil {
@@ -344,6 +382,22 @@ func (inst *Instance) restoreTags(s *Snapshot, cowTags []uint8) {
 func copySpans(dst []byte, s *Snapshot) {
 	for _, sp := range s.spans {
 		copy(dst[sp.off:sp.end], s.mem[sp.off:sp.end])
+	}
+}
+
+// copySpansClipped is copySpans for a destination shorter than the
+// image (the guard backend's guest-only view of a heap-backed image,
+// whose host-reserve tail is dropped).
+func copySpansClipped(dst []byte, s *Snapshot) {
+	for _, sp := range s.spans {
+		if sp.off >= len(dst) {
+			return
+		}
+		end := sp.end
+		if end > len(dst) {
+			end = len(dst)
+		}
+		copy(dst[sp.off:end], s.mem[sp.off:end])
 	}
 }
 

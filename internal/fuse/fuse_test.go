@@ -1,0 +1,201 @@
+package fuse_test
+
+// Structural tests for the superinstruction pass. Semantic equivalence
+// (results, traps, event counts) is pinned by the differential suite in
+// internal/exec; here we check the rewrite's static contracts: fused
+// instructions expand back to their constituents, fences survive
+// untouched, every branch target lands inside the rewritten stream,
+// profile gating works, and the pass refuses to run twice.
+
+import (
+	"testing"
+
+	"cage/internal/codegen"
+	"cage/internal/core"
+	"cage/internal/exec"
+	"cage/internal/fuse"
+	"cage/internal/ir"
+	"cage/internal/polybench"
+	"cage/internal/profile"
+)
+
+// lowerKernel builds and lowers a polybench kernel under feats.
+func lowerKernel(t *testing.T, name string, wasm64 bool, feats core.Features) *ir.Program {
+	t.Helper()
+	k, err := polybench.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := polybench.Build(k, codegen.Options{
+		Wasm64:         wasm64,
+		StackSanitizer: feats.MemSafety,
+		PtrAuth:        feats.PtrAuth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := exec.LowerModule(m, exec.Config{Features: feats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func countFused(p *ir.Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, in := range f.Code {
+			if in.Op.IsFused() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestFuseRoundTrip: walking the fused and unfused streams in lockstep,
+// every fused instruction's Constituents() must reproduce the original
+// instructions it replaced — same opcodes, and same immediates for the
+// non-branch constituents (branch constituents carry remapped PCs,
+// checked separately by TestFuseBranchTargetsValid and the differential
+// suite).
+func TestFuseRoundTrip(t *testing.T) {
+	p := lowerKernel(t, "gemm", true, core.Features{})
+	q := fuse.Fuse(p, nil)
+	if countFused(q) == 0 {
+		t.Fatal("exhaustive fusion produced no fused instructions")
+	}
+	for fi := range q.Funcs {
+		orig, fused := p.Funcs[fi].Code, q.Funcs[fi].Code
+		i := 0
+		for _, in := range fused {
+			cons := in.Constituents()
+			if cons == nil {
+				// Unfused instruction: must match the original verbatim
+				// except for remapped branch immediates.
+				if in.Op != orig[i].Op {
+					t.Fatalf("func %d pc %d: op %v, original %v", fi, i, in.Op, orig[i].Op)
+				}
+				i++
+				continue
+			}
+			for _, c := range cons {
+				if c.Op != orig[i].Op {
+					t.Fatalf("func %d pc %d: constituent %v, original %v", fi, i, c.Op, orig[i].Op)
+				}
+				switch c.Op {
+				case ir.OpLocalGet, ir.OpLocalSet, ir.OpConst:
+					if c.A != orig[i].A {
+						t.Fatalf("func %d pc %d: %v immediate %#x, original %#x",
+							fi, i, c.Op, c.A, orig[i].A)
+					}
+				}
+				i++
+			}
+		}
+		if i != len(orig) {
+			t.Fatalf("func %d: expansion covers %d of %d instructions", fi, i, len(orig))
+		}
+	}
+}
+
+// TestFusePreservesFences: under the hardened preset every speculation
+// barrier must survive fusion in place — no pattern may absorb or cross
+// an OpFence.
+func TestFusePreservesFences(t *testing.T) {
+	feats := core.CageAll()
+	feats.SpectreHarden = true
+	p := lowerKernel(t, "gemm", true, feats)
+	q := fuse.Fuse(p, nil)
+	if countFused(q) == 0 {
+		t.Fatal("hardened program fused nothing")
+	}
+	count := func(p *ir.Program) (n int) {
+		for _, f := range p.Funcs {
+			for _, in := range f.Code {
+				if in.Op == ir.OpFence {
+					n++
+				}
+				for _, c := range in.Constituents() {
+					if c.Op == ir.OpFence {
+						t.Fatal("fused instruction contains a fence constituent")
+					}
+				}
+			}
+		}
+		return
+	}
+	before, after := count(p), count(q)
+	if before == 0 {
+		t.Fatal("hardened lowering produced no fences")
+	}
+	if before != after {
+		t.Fatalf("fence count changed: %d before fusion, %d after", before, after)
+	}
+}
+
+// TestFuseBranchTargetsValid: after the PC remap, every branch —
+// plain, table, and packed inside a fused instruction — must target a
+// PC inside the rewritten stream.
+func TestFuseBranchTargetsValid(t *testing.T) {
+	for _, name := range []string{"gemm", "jacobi-1d", "durbin"} {
+		p := fuse.Fuse(lowerKernel(t, name, true, core.Features{}), nil)
+		for fi, f := range p.Funcs {
+			check := func(pc, target int) {
+				if target < 0 || target >= len(f.Code) {
+					t.Fatalf("%s func %d pc %d: branch target %d outside [0,%d)",
+						name, fi, pc, target, len(f.Code))
+				}
+			}
+			for pc, in := range f.Code {
+				switch in.Op {
+				case ir.OpGoto, ir.OpBr, ir.OpBrIf, ir.OpBrIfZ:
+					check(pc, int(in.B))
+				case ir.OpBrTable:
+					for _, bt := range in.Targets {
+						check(pc, int(bt.PC))
+					}
+				case ir.OpFusedSetBr, ir.OpFusedCmpBrIf, ir.OpFusedCmpBrIfZ, ir.OpFusedCmpEqzBrIf:
+					check(pc, ir.FusedBranchTarget(in.B))
+				}
+			}
+		}
+	}
+}
+
+// TestFuseProfileGating: an empty profile fuses nothing (no sequence
+// reaches MinCount); a profile naming one hot pair fuses only that
+// pattern.
+func TestFuseProfileGating(t *testing.T) {
+	p := lowerKernel(t, "gemm", true, core.Features{})
+
+	empty := &profile.Profile{}
+	if n := countFused(fuse.Fuse(p, empty)); n != 0 {
+		t.Fatalf("empty profile fused %d instructions, want 0", n)
+	}
+
+	one := &profile.Profile{Seqs: []profile.Seq{{
+		Ops:   []string{ir.OpLocalGet.String(), ir.OpLocalGet.String()},
+		Count: 1000,
+	}}}
+	q := fuse.Fuse(p, one)
+	if n := countFused(q); n == 0 {
+		t.Fatal("single-pair profile fused nothing")
+	}
+	for _, f := range q.Funcs {
+		for _, in := range f.Code {
+			if in.Op.IsFused() && in.Op != ir.OpFusedGetGet {
+				t.Fatalf("profile named only get+get, got %v", in.Op)
+			}
+		}
+	}
+}
+
+// TestFuseIdempotent: a fused program is returned unchanged — PCs have
+// already moved once and must not move again.
+func TestFuseIdempotent(t *testing.T) {
+	p := fuse.Fuse(lowerKernel(t, "gemm", true, core.Features{}), nil)
+	if q := fuse.Fuse(p, nil); q != p {
+		t.Fatal("refusing a fused program must return it unchanged")
+	}
+}

@@ -2,6 +2,8 @@ package ir
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"cage/internal/wasm"
 )
@@ -78,6 +80,15 @@ const (
 	OpLoadB64NCTag
 	OpLoadMTE
 	OpLoadMTENC
+	// OpLoadG32G is the guard-region variant of OpLoadG32, selected when
+	// Config.Guard is set and the memarg offset fits GuardMaxOffset: the
+	// executor's linear memory is an mmap reservation whose tail is
+	// PROT_NONE (internal/vmem), so the access needs no explicit Go-level
+	// bounds check — an out-of-bounds address faults in the MMU exactly
+	// like the paper's guard pages, and the executor converts the fault
+	// to TrapOutOfBounds. Event accounting is unchanged: the guard32
+	// strategy charges no per-access check events either way.
+	OpLoadG32G
 
 	// Stores: same immediates as loads.
 	OpStoreG32
@@ -88,6 +99,9 @@ const (
 	OpStoreB64NCTag
 	OpStoreMTE
 	OpStoreMTENC
+	// OpStoreG32G is the guard-region variant of OpStoreG32; see
+	// OpLoadG32G.
+	OpStoreG32G
 
 	// OpFence is the Swivel-style speculation barrier the hardened
 	// lowering (Config.Harden) inserts immediately before every indirect
@@ -101,21 +115,163 @@ const (
 	numNamedOps
 )
 
-// OpNumericBase offsets pass-through numeric opcodes: a lowered op
-// >= OpNumericBase encodes wasm.Opcode(op - OpNumericBase).
+// OpNumericBase offsets pass-through numeric opcodes: a lowered op in
+// [OpNumericBase, OpNumericBase+0x100) encodes
+// wasm.Opcode(op - OpNumericBase). Wasm numeric opcodes are single
+// bytes, so the block is exactly 0x100 wide; the fused-superinstruction
+// block (OpFusedBase) sits above it.
 const OpNumericBase Op = 0x100
 
 // IsNumeric reports whether op is a pass-through numeric opcode.
-func (op Op) IsNumeric() bool { return op >= OpNumericBase }
+func (op Op) IsNumeric() bool { return op >= OpNumericBase && op < OpNumericBase+0x100 }
 
 // Wasm returns the wasm opcode of a pass-through numeric op.
 func (op Op) Wasm() wasm.Opcode { return wasm.Opcode(op - OpNumericBase) }
 
 // IsLoad reports whether op is a lowered load.
-func (op Op) IsLoad() bool { return op >= OpLoadG32 && op <= OpLoadMTENC }
+func (op Op) IsLoad() bool { return op >= OpLoadG32 && op <= OpLoadG32G }
 
 // IsStore reports whether op is a lowered store.
-func (op Op) IsStore() bool { return op >= OpStoreG32 && op <= OpStoreMTENC }
+func (op Op) IsStore() bool { return op >= OpStoreG32 && op <= OpStoreG32G }
+
+// GuardMaxOffset is the largest memarg offset the guard lowering
+// (Config.Guard) leaves unchecked. The guard reservation's PROT_NONE
+// tail (internal/vmem's headroom) must cover the worst case
+// 32-bit index + GuardMaxOffset + 8-byte access beyond the 4 GiB
+// guest limit; offsets above it fall back to the explicitly checked
+// opcode at lower time, so correctness never depends on headroom an
+// embedder might shrink.
+const GuardMaxOffset = 1 << 20
+
+// OpFusedBase offsets the superinstruction block: fused opcodes the
+// profile-guided pass (internal/fuse) rewrites hot adjacent pairs and
+// triples into. Each fused opcode executes its constituent lowered
+// instructions in order — identical semantics, identical trap points,
+// identical timing-model events — in a single dispatch. Branch targets
+// embedded in fused opcodes are absolute PCs into the *fused* code.
+const OpFusedBase Op = 0x200
+
+// Fused superinstructions. Immediate encodings (aux fields are
+// documented per opcode; "alu" is always a single-byte wasm numeric
+// opcode, "x"/"y" local indices, "target" an absolute fused PC):
+//
+//	OpFusedGetGet      local.get x; local.get y          A=x, B=y
+//	OpFusedGetConst    local.get x; const c              A=x, B=c
+//	OpFusedConstALU    const c; alu                      A=c, B=alu
+//	OpFusedGetALU      local.get x; alu                  A=x, B=alu
+//	OpFusedGetGetALU   local.get x; local.get y; alu     A=x<<32|y, B=alu
+//	OpFusedGetConstALU local.get x; const c; alu         A=c, B=x<<32|alu
+//	OpFusedALUSet      alu; local.set x                  A=x, B=alu
+//	OpFusedSetGet      local.set x; local.get y          A=x, B=y
+//	OpFusedSetBr       local.set x; br                   A=PackBranch, B=x<<32|target
+//	OpFusedCmpBrIf     alu; br_if                        A=PackBranch, B=alu<<32|target
+//	OpFusedCmpBrIfZ    alu; br_ifz                       A=PackBranch, B=alu<<32|target
+//	OpFusedCmpEqzBrIf  alu; i32.eqz; br_if               A=PackBranch, B=alu<<32|target
+//	OpFusedLoadALU     load; alu                         A=offset, B=PackFusedMem
+//	OpFusedALULoad     alu; load                         A=offset, B=PackFusedMem
+//	OpFusedALUStore    alu; store                        A=offset, B=PackFusedMem
+//	OpFusedConstALUALU const c; alu1; alu2               A=c, B=alu2<<8|alu1
+//	OpFusedGetALUGetALU  get x; alu1; get y; alu2        A=x<<32|y, B=alu2<<8|alu1
+//	OpFusedGetGetCmpEqzBr get x; get y; cmp; i32.eqz; br_if  A=x<<32|y, B=cmp<<32|target
+//	OpFusedIncBr       get x; const c; alu; set x; br    A=c<<8|alu, B=x<<32|target
+//	OpFusedGet4        get w; get x; get y; get z        A=w<<48|x<<32|y<<16|z
+//	OpFusedGet3ALUGetALU  get w; get x; get y; alu1; get z; alu2  A=w<<48|x<<32|y<<16|z, B=alu2<<8|alu1
+//	OpFusedConstALUALULoadALU  const c; alu1; alu2; load; alu3  A=c<<32|offset, B=alu2<<40|alu1<<32|PackFusedMem
+//	OpFusedALUSetIncBr alu0; set x; get y; const c; alu1; set y; br  A=alu0<<48|x<<32|y<<16|c<<8|alu1, B=target
+//
+// The two loop-shaped quintuples (OpFusedGetGetCmpEqzBr heads,
+// OpFusedIncBr latches) only match branches with a zero repair pack
+// (keep=0, arity=0) — the shape structured lowering gives every loop
+// back-edge — so their handlers truncate the operand stack outright.
+const (
+	OpFusedGetGet Op = OpFusedBase + iota
+	OpFusedGetConst
+	OpFusedConstALU
+	OpFusedGetALU
+	OpFusedGetGetALU
+	OpFusedGetConstALU
+	OpFusedALUSet
+	OpFusedSetGet
+	OpFusedSetBr
+	OpFusedCmpBrIf
+	OpFusedCmpBrIfZ
+	OpFusedCmpEqzBrIf
+	OpFusedLoadALU
+	OpFusedALULoad
+	OpFusedALUStore
+	OpFusedConstALUALU
+	OpFusedGetALUGetALU
+	OpFusedGetGetCmpEqzBr
+	OpFusedIncBr
+	OpFusedGet4
+	OpFusedGet3ALUGetALU
+	OpFusedConstALUALULoadALU
+	OpFusedALUSetIncBr
+	endFusedOps
+)
+
+// IsFused reports whether op is a fused superinstruction.
+func (op Op) IsFused() bool { return op >= OpFusedBase && op < endFusedOps }
+
+var fusedNames = [...]string{
+	OpFusedGetGet - OpFusedBase:             "fused.get+get",
+	OpFusedGetConst - OpFusedBase:           "fused.get+const",
+	OpFusedConstALU - OpFusedBase:           "fused.const+alu",
+	OpFusedGetALU - OpFusedBase:             "fused.get+alu",
+	OpFusedGetGetALU - OpFusedBase:          "fused.get+get+alu",
+	OpFusedGetConstALU - OpFusedBase:        "fused.get+const+alu",
+	OpFusedALUSet - OpFusedBase:             "fused.alu+set",
+	OpFusedSetGet - OpFusedBase:             "fused.set+get",
+	OpFusedSetBr - OpFusedBase:              "fused.set+br",
+	OpFusedCmpBrIf - OpFusedBase:            "fused.cmp+br_if",
+	OpFusedCmpBrIfZ - OpFusedBase:           "fused.cmp+br_ifz",
+	OpFusedCmpEqzBrIf - OpFusedBase:         "fused.cmp+eqz+br_if",
+	OpFusedLoadALU - OpFusedBase:            "fused.load+alu",
+	OpFusedALULoad - OpFusedBase:            "fused.alu+load",
+	OpFusedALUStore - OpFusedBase:           "fused.alu+store",
+	OpFusedConstALUALU - OpFusedBase:        "fused.const+alu+alu",
+	OpFusedGetALUGetALU - OpFusedBase:       "fused.get+alu+get+alu",
+	OpFusedGetGetCmpEqzBr - OpFusedBase:     "fused.get+get+cmp+eqz+br_if",
+	OpFusedIncBr - OpFusedBase:              "fused.inc+br",
+	OpFusedGet4 - OpFusedBase:               "fused.get+get+get+get",
+	OpFusedGet3ALUGetALU - OpFusedBase:      "fused.get3+alu+get+alu",
+	OpFusedConstALUALULoadALU - OpFusedBase: "fused.const+alu+alu+load+alu",
+	OpFusedALUSetIncBr - OpFusedBase:        "fused.alu+set+inc+br",
+}
+
+// PackFusedMem packs the memory half of a fused load/store — access
+// width, the specialized (unfused) memory opcode, the ALU constituent,
+// and the originating wasm memory opcode — into the B immediate. All
+// four fields are single bytes: named lowered opcodes, wasm numeric
+// opcodes, and wasm load/store opcodes each fit 8 bits.
+func PackFusedMem(size uint64, mem Op, alu wasm.Opcode, memOp wasm.Opcode) uint64 {
+	return size<<24 | uint64(mem)<<16 | uint64(alu)<<8 | uint64(uint8(memOp))
+}
+
+// FusedMemSize unpacks the access width of a fused load/store.
+func FusedMemSize(b uint64) uint64 { return (b >> 24) & 0xFF }
+
+// FusedMemVariant unpacks the specialized memory opcode the fused
+// access executes as (OpLoadG32, OpStoreB64Tag, ...).
+func FusedMemVariant(b uint64) Op { return Op((b >> 16) & 0xFF) }
+
+// FusedMemALU unpacks the ALU constituent of a fused load/store.
+func FusedMemALU(b uint64) wasm.Opcode { return wasm.Opcode((b >> 8) & 0xFF) }
+
+// FusedMemOp unpacks the originating wasm memory opcode (which fixes
+// the load extension).
+func FusedMemOp(b uint64) wasm.Opcode { return wasm.Opcode(b & 0xFF) }
+
+// PackFusedBranch packs a fused branch's auxiliary field (the local
+// index of OpFusedSetBr, the ALU opcode of OpFusedCmpBrIf*) above its
+// absolute target PC.
+func PackFusedBranch(aux, target uint64) uint64 { return aux<<32 | uint64(uint32(target)) }
+
+// FusedBranchTarget unpacks a fused branch's absolute target PC.
+func FusedBranchTarget(b uint64) int { return int(uint32(b)) }
+
+// FusedBranchAux unpacks a fused branch's auxiliary field.
+func FusedBranchAux(b uint64) uint64 { return b >> 32 }
 
 var opNames = [...]string{
 	OpInvalid: "invalid", OpUnreachable: "unreachable", OpGoto: "goto",
@@ -135,11 +291,13 @@ var opNames = [...]string{
 	OpLoadB64: "load.b64", OpLoadB64NC: "load.b64.nc",
 	OpLoadB64Tag: "load.b64.tag", OpLoadB64NCTag: "load.b64.nc.tag",
 	OpLoadMTE: "load.mte", OpLoadMTENC: "load.mte.nc",
+	OpLoadG32G: "load.g32.guard",
 	OpStoreG32: "store.g32", OpStoreG32NC: "store.g32.nc",
 	OpStoreB64: "store.b64", OpStoreB64NC: "store.b64.nc",
 	OpStoreB64Tag: "store.b64.tag", OpStoreB64NCTag: "store.b64.nc.tag",
 	OpStoreMTE: "store.mte", OpStoreMTENC: "store.mte.nc",
-	OpFence: "fence",
+	OpStoreG32G: "store.g32.guard",
+	OpFence:     "fence",
 }
 
 // String returns the lowered mnemonic.
@@ -147,10 +305,56 @@ func (op Op) String() string {
 	if op.IsNumeric() {
 		return op.Wasm().String()
 	}
+	if op.IsFused() {
+		return fusedNames[op-OpFusedBase]
+	}
 	if int(op) < len(opNames) && opNames[op] != "" {
 		return opNames[op]
 	}
 	return fmt.Sprintf("irop(0x%x)", uint16(op))
+}
+
+// ParseOp resolves a lowered mnemonic (the Op.String form: named ops,
+// pass-through numerics by their wasm mnemonic, fused names) back to
+// its opcode. Profiles serialize opcodes by name so a checked-in corpus
+// survives opcode renumbering; this is the read-side resolver.
+func ParseOp(name string) (Op, bool) {
+	op, ok := opsByName()[name]
+	return op, ok
+}
+
+var (
+	opsByNameOnce sync.Once
+	opsByNameMap  map[string]Op
+)
+
+func opsByName() map[string]Op {
+	opsByNameOnce.Do(func() {
+		m := make(map[string]Op, 256)
+		for op := Op(0); op < numNamedOps; op++ {
+			if int(op) < len(opNames) && opNames[op] != "" {
+				m[opNames[op]] = op
+			}
+		}
+		for w := 0; w < 0x100; w++ {
+			op := OpNumericBase + Op(w)
+			name := wasm.Opcode(w).String()
+			// Skip the unknown-opcode fallback, and never shadow a named
+			// op: wasm mnemonics like "local.get" belong to opcodes the
+			// lowering always rewrites, so they can only name the named
+			// form (numeric pass-throughs never carry them).
+			if !strings.HasPrefix(name, "op(") {
+				if _, taken := m[name]; !taken {
+					m[name] = op
+				}
+			}
+		}
+		for op := OpFusedBase; op < endFusedOps; op++ {
+			m[fusedNames[op-OpFusedBase]] = op
+		}
+		opsByNameMap = m
+	})
+	return opsByNameMap
 }
 
 // BranchTarget is one resolved br_table destination.
@@ -235,12 +439,159 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s offset=%d", in.Op, in.A)
 	case OpFence:
 		return "fence ;; speculation barrier (hardened)"
+	case OpFusedSetBr, OpFusedCmpBrIf, OpFusedCmpBrIfZ, OpFusedCmpEqzBrIf:
+		return fmt.Sprintf("%s ->%d keep=%d arity=%d",
+			in.Op, FusedBranchTarget(in.B), BranchKeep(in.A), BranchArity(in.A))
+	case OpFusedLoadALU, OpFusedALULoad, OpFusedALUStore:
+		return fmt.Sprintf("%s offset=%d size=%d (%s; %s)",
+			in.Op, in.A, FusedMemSize(in.B), FusedMemOp(in.B), FusedMemALU(in.B))
+	}
+	if in.Op.IsFused() {
+		return in.Op.String()
 	}
 	if in.Op.IsLoad() || in.Op.IsStore() {
 		return fmt.Sprintf("%s offset=%d size=%d (%s)",
 			in.Op, in.A, MemSize(in.B), MemOp(in.B))
 	}
 	return in.Op.String()
+}
+
+// Constituents expands a fused superinstruction into the exact lowered
+// instructions it executes, in order — the expansion cage-objdump
+// prints inline and the fuse pass's round-trip validation checks
+// against. Branch constituents carry the fused instruction's (already
+// remapped) target. For non-fused instructions it returns nil.
+func (in Instr) Constituents() []Instr {
+	num := func(alu wasm.Opcode) Instr { return Instr{Op: OpNumericBase + Op(alu)} }
+	switch in.Op {
+	case OpFusedGetGet:
+		return []Instr{{Op: OpLocalGet, A: in.A}, {Op: OpLocalGet, A: in.B}}
+	case OpFusedGetConst:
+		return []Instr{{Op: OpLocalGet, A: in.A}, {Op: OpConst, A: in.B}}
+	case OpFusedConstALU:
+		return []Instr{{Op: OpConst, A: in.A}, num(wasm.Opcode(in.B))}
+	case OpFusedGetALU:
+		return []Instr{{Op: OpLocalGet, A: in.A}, num(wasm.Opcode(in.B))}
+	case OpFusedGetGetALU:
+		return []Instr{
+			{Op: OpLocalGet, A: in.A >> 32},
+			{Op: OpLocalGet, A: uint64(uint32(in.A))},
+			num(wasm.Opcode(in.B)),
+		}
+	case OpFusedGetConstALU:
+		return []Instr{
+			{Op: OpLocalGet, A: FusedBranchAux(in.B)},
+			{Op: OpConst, A: in.A},
+			num(wasm.Opcode(uint32(in.B))),
+		}
+	case OpFusedALUSet:
+		return []Instr{num(wasm.Opcode(in.B)), {Op: OpLocalSet, A: in.A}}
+	case OpFusedSetGet:
+		return []Instr{{Op: OpLocalSet, A: in.A}, {Op: OpLocalGet, A: in.B}}
+	case OpFusedSetBr:
+		return []Instr{
+			{Op: OpLocalSet, A: FusedBranchAux(in.B)},
+			{Op: OpBr, A: in.A, B: uint64(FusedBranchTarget(in.B))},
+		}
+	case OpFusedCmpBrIf:
+		return []Instr{
+			num(wasm.Opcode(FusedBranchAux(in.B))),
+			{Op: OpBrIf, A: in.A, B: uint64(FusedBranchTarget(in.B))},
+		}
+	case OpFusedCmpBrIfZ:
+		return []Instr{
+			num(wasm.Opcode(FusedBranchAux(in.B))),
+			{Op: OpBrIfZ, A: in.A, B: uint64(FusedBranchTarget(in.B))},
+		}
+	case OpFusedCmpEqzBrIf:
+		return []Instr{
+			num(wasm.Opcode(FusedBranchAux(in.B))),
+			num(wasm.OpI32Eqz),
+			{Op: OpBrIf, A: in.A, B: uint64(FusedBranchTarget(in.B))},
+		}
+	case OpFusedLoadALU:
+		return []Instr{
+			{Op: FusedMemVariant(in.B), A: in.A, B: PackMem(FusedMemSize(in.B), FusedMemOp(in.B))},
+			num(FusedMemALU(in.B)),
+		}
+	case OpFusedALULoad:
+		return []Instr{
+			num(FusedMemALU(in.B)),
+			{Op: FusedMemVariant(in.B), A: in.A, B: PackMem(FusedMemSize(in.B), FusedMemOp(in.B))},
+		}
+	case OpFusedALUStore:
+		return []Instr{
+			num(FusedMemALU(in.B)),
+			{Op: FusedMemVariant(in.B), A: in.A, B: PackMem(FusedMemSize(in.B), FusedMemOp(in.B))},
+		}
+	case OpFusedConstALUALU:
+		return []Instr{
+			{Op: OpConst, A: in.A},
+			num(wasm.Opcode(in.B & 0xFF)),
+			num(wasm.Opcode((in.B >> 8) & 0xFF)),
+		}
+	case OpFusedGetALUGetALU:
+		return []Instr{
+			{Op: OpLocalGet, A: in.A >> 32},
+			num(wasm.Opcode(in.B & 0xFF)),
+			{Op: OpLocalGet, A: uint64(uint32(in.A))},
+			num(wasm.Opcode((in.B >> 8) & 0xFF)),
+		}
+	case OpFusedGetGetCmpEqzBr:
+		return []Instr{
+			{Op: OpLocalGet, A: in.A >> 32},
+			{Op: OpLocalGet, A: uint64(uint32(in.A))},
+			num(wasm.Opcode(FusedBranchAux(in.B))),
+			num(wasm.OpI32Eqz),
+			{Op: OpBrIf, B: uint64(FusedBranchTarget(in.B))},
+		}
+	case OpFusedIncBr:
+		x := FusedBranchAux(in.B)
+		return []Instr{
+			{Op: OpLocalGet, A: x},
+			{Op: OpConst, A: in.A >> 8},
+			num(wasm.Opcode(in.A & 0xFF)),
+			{Op: OpLocalSet, A: x},
+			{Op: OpBr, B: uint64(FusedBranchTarget(in.B))},
+		}
+	case OpFusedGet4:
+		return []Instr{
+			{Op: OpLocalGet, A: in.A >> 48},
+			{Op: OpLocalGet, A: (in.A >> 32) & 0xFFFF},
+			{Op: OpLocalGet, A: (in.A >> 16) & 0xFFFF},
+			{Op: OpLocalGet, A: in.A & 0xFFFF},
+		}
+	case OpFusedGet3ALUGetALU:
+		return []Instr{
+			{Op: OpLocalGet, A: in.A >> 48},
+			{Op: OpLocalGet, A: (in.A >> 32) & 0xFFFF},
+			{Op: OpLocalGet, A: (in.A >> 16) & 0xFFFF},
+			num(wasm.Opcode(in.B & 0xFF)),
+			{Op: OpLocalGet, A: in.A & 0xFFFF},
+			num(wasm.Opcode((in.B >> 8) & 0xFF)),
+		}
+	case OpFusedConstALUALULoadALU:
+		return []Instr{
+			{Op: OpConst, A: in.A >> 32},
+			num(wasm.Opcode((in.B >> 32) & 0xFF)),
+			num(wasm.Opcode((in.B >> 40) & 0xFF)),
+			{Op: FusedMemVariant(in.B), A: uint64(uint32(in.A)),
+				B: PackMem(FusedMemSize(in.B), FusedMemOp(in.B))},
+			num(FusedMemALU(in.B)),
+		}
+	case OpFusedALUSetIncBr:
+		y := (in.A >> 16) & 0xFFFF
+		return []Instr{
+			num(wasm.Opcode(in.A >> 48)),
+			{Op: OpLocalSet, A: (in.A >> 32) & 0xFFFF},
+			{Op: OpLocalGet, A: y},
+			{Op: OpConst, A: (in.A >> 8) & 0xFF},
+			num(wasm.Opcode(in.A & 0xFF)),
+			{Op: OpLocalSet, A: y},
+			{Op: OpBr, B: uint64(FusedBranchTarget(in.B))},
+		}
+	}
+	return nil
 }
 
 // Mode is the address-translation strategy a program was lowered for.
@@ -291,6 +642,14 @@ type Config struct {
 	// branches and returns (the Swivel-style hardened preset). Purely a
 	// timing-model change: the lowered semantics are unaffected.
 	Harden bool
+	// Guard selects the guard-region opcode variants for ModeGuard32
+	// accesses whose offset fits GuardMaxOffset: the executor backs the
+	// linear memory with an mmap reservation (internal/vmem) whose tail
+	// is PROT_NONE, so the MMU performs the bounds check. Set only when
+	// the build provides the backing (cageguard tag on Linux); it is
+	// part of the cache identity like every other field, so guard and
+	// non-guard programs never mix.
+	Guard bool
 }
 
 // Func is one lowered function body.
@@ -335,6 +694,11 @@ func (f *Func) StackBase() int { return f.NumParams + f.NumLocals }
 type Program struct {
 	Cfg   Config
 	Funcs []Func
+	// Fused marks a program rewritten by the superinstruction pass
+	// (internal/fuse). Fused programs execute identically — the pass is
+	// semantics- and event-preserving — but their PCs differ from the
+	// plain lowering, so the pass refuses to run twice.
+	Fused bool
 }
 
 // Matches reports whether the program can execute module m under cfg —

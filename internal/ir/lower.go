@@ -390,9 +390,9 @@ func lowerFunc(m *wasm.Module, f *wasm.Function, cfg Config) (Func, error) {
 		default:
 			switch {
 			case op.IsLoad():
-				emit(Instr{Op: cfg.loadOp(), A: in.Offset, B: PackMem(op.AccessSize(), op)})
+				emit(Instr{Op: cfg.loadOpFor(in.Offset), A: in.Offset, B: PackMem(op.AccessSize(), op)})
 			case op.IsStore():
-				emit(Instr{Op: cfg.storeOp(), A: in.Offset, B: PackMem(op.AccessSize(), op)})
+				emit(Instr{Op: cfg.storeOpFor(in.Offset), A: in.Offset, B: PackMem(op.AccessSize(), op)})
 				depth -= 2
 			default:
 				pop, push, ok := numericEffect(op)
@@ -473,6 +473,35 @@ func (c Config) storeOp() Op {
 		}
 		return OpStoreMTE
 	}
+}
+
+// loadOpFor picks the load opcode for one access: the config's
+// specialized opcode, upgraded to the guard-region variant when the
+// guard backend is active and the memarg offset is within the
+// reservation headroom's guarantee. Offsets past GuardMaxOffset keep
+// the explicit check — rare enough that the fallback costs nothing.
+func (c Config) loadOpFor(offset uint64) Op {
+	op := c.loadOp()
+	if op == OpLoadG32 && c.Guard && offset <= GuardMaxOffset {
+		return OpLoadG32G
+	}
+	return op
+}
+
+// storeOpFor is loadOpFor for stores.
+func (c Config) storeOpFor(offset uint64) Op {
+	op := c.storeOp()
+	if op == OpStoreG32 && c.Guard && offset <= GuardMaxOffset {
+		return OpStoreG32G
+	}
+	return op
+}
+
+// NumericStackEffect returns the operand-stack effect of a pure value
+// instruction, or ok=false for opcodes that are not pass-through
+// numerics. The fuse pass uses it to classify ALU constituents.
+func NumericStackEffect(op wasm.Opcode) (pop, push int, ok bool) {
+	return numericEffect(op)
 }
 
 // numericEffect returns the operand-stack effect of a pure value

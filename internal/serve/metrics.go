@@ -122,6 +122,15 @@ type Stats struct {
 	// instances with: "cow" (MAP_PRIVATE copy-on-write image) or "copy"
 	// (bulk copy).
 	RestoreMode string `json:"restore_mode"`
+	// MemoryMode names the linear-memory backend the dispatch tier runs
+	// guard32 accesses on: "guard" (cageguard build, vmem reservation,
+	// no per-access bounds check) or "bounds" (explicit checks).
+	MemoryMode string `json:"memory_mode"`
+	// FusionProfile is the identity of the hot-sequence profile driving
+	// the superinstruction pass ("none" when fusion is disabled); part
+	// of the program-cache key, so it tells a scraper which fused
+	// programs this server's caches hold.
+	FusionProfile string `json:"fusion_profile"`
 	// Modules/Programs are the engine's compiled-module and
 	// lowered-program cache counters; Pools sums every module pool.
 	ModuleCache  CacheSnapshot `json:"module_cache"`
@@ -211,6 +220,8 @@ func (s *Stats) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "cage_snapshot_restores_total %d\n", s.Snapshots.Restores)
 	fmt.Fprintf(w, "# TYPE cage_snapshot_restore_mode gauge\n")
 	fmt.Fprintf(w, "cage_snapshot_restore_mode{mode=%q} 1\n", s.RestoreMode)
+	fmt.Fprintf(w, "# TYPE cage_dispatch_mode gauge\n")
+	fmt.Fprintf(w, "cage_dispatch_mode{memory=%q,fusion=%q} 1\n", s.MemoryMode, s.FusionProfile)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -643,15 +643,18 @@ func (s *Server) ensureSnapshot(ctx context.Context, tn *tenant, entry *moduleEn
 // embedders that want the counters without HTTP).
 func (s *Server) StatsSnapshot() *Stats {
 	es := s.eng.Stats()
+	memMode, fusion := s.eng.DispatchMode()
 	out := &Stats{
-		Config:       s.opts.ConfigName,
-		RestoreMode:  s.eng.RestoreMode(),
-		ModuleCache:  cacheSnapshot(es.Cache),
-		ProgramCache: cacheSnapshot(es.Programs),
-		Snapshots:    snapshotCacheSnapshot(es.Snapshots),
-		Pools:        poolSnapshot(es.Pools),
-		Tenants:      make(map[string]TenantStats),
-		Modules:      make(map[string]ModuleStats),
+		Config:        s.opts.ConfigName,
+		RestoreMode:   s.eng.RestoreMode(),
+		MemoryMode:    memMode,
+		FusionProfile: fusion,
+		ModuleCache:   cacheSnapshot(es.Cache),
+		ProgramCache:  cacheSnapshot(es.Programs),
+		Snapshots:     snapshotCacheSnapshot(es.Snapshots),
+		Pools:         poolSnapshot(es.Pools),
+		Tenants:       make(map[string]TenantStats),
+		Modules:       make(map[string]ModuleStats),
 	}
 	s.mu.Lock()
 	tenants := make([]*tenant, 0, len(s.tenants))
