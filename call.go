@@ -26,6 +26,7 @@ type callSettings struct {
 	timeout     time.Duration
 	deadline    time.Time
 	hasDeadline bool
+	results     []uint64
 }
 
 // WithFuel caps the call at n fuel units. One fuel unit is one
@@ -86,6 +87,50 @@ func resolveCallSettings(opts []CallOption) callSettings {
 	return s
 }
 
+// CallSpec is the allocation-free sibling of the CallOption list: a
+// plain value struct carrying the same per-call bounds. Where each
+// WithFuel/WithTimeout call allocates a closure, a CallSpec can live in
+// a request-scoped pool or a per-tenant policy and be passed by value —
+// Engine.CallWith with a zero-timeout spec and a non-cancellable ctx
+// stays off the heap entirely, which is what the serve hot path (and
+// its zero-alloc CI gate) runs on. The zero value means "no bounds",
+// like an empty option list.
+type CallSpec struct {
+	// Fuel caps the call in timing-model events; 0 leaves it unmetered.
+	Fuel uint64
+	// StackDepth/StackWords bound frames and the value arena; 0 keeps
+	// the engine defaults. See WithStackDepth/WithValueStack.
+	StackDepth int
+	StackWords uint64
+	// MemoryPages caps memory.grow for the call; see WithMemoryLimit.
+	MemoryPages uint64
+	// Timeout interrupts the call that long after entry; Deadline (when
+	// set) at an absolute instant. The earliest of these and the ctx
+	// deadline wins. See WithTimeout/WithDeadline.
+	Timeout     time.Duration
+	Deadline    time.Time
+	HasDeadline bool
+	// Results, when non-nil, backs Result.Values: if its capacity covers
+	// the function's result count the call writes into it instead of
+	// allocating. The caller must treat the previous call's Values as
+	// dead once it passes the buffer again.
+	Results []uint64
+}
+
+// settings converts the spec to the internal resolved form.
+func (c CallSpec) settings() callSettings {
+	return callSettings{
+		fuel:        c.Fuel,
+		stackDepth:  c.StackDepth,
+		stackWords:  c.StackWords,
+		memPages:    c.MemoryPages,
+		timeout:     c.Timeout,
+		deadline:    c.Deadline,
+		hasDeadline: c.HasDeadline,
+		results:     c.Results,
+	}
+}
+
 // context derives the effective call context: the caller's ctx bounded
 // by WithTimeout/WithDeadline. The returned cancel func must always be
 // called (it is a no-op when no option applied).
@@ -111,6 +156,7 @@ func (s callSettings) execOptions() exec.CallOptions {
 		MaxCallDepth:     s.stackDepth,
 		MaxStackWords:    s.stackWords,
 		MemoryLimitPages: s.memPages,
+		Results:          s.results,
 	}
 }
 
@@ -152,16 +198,32 @@ func (r Result) F64(fn string) (float64, error) {
 // With a background context and no options the interpreter runs its
 // unmetered fast path; the per-call machinery costs nothing.
 func (e *Engine) Call(ctx context.Context, m *Module, fn string, args []uint64, opts ...CallOption) (Result, error) {
-	s := resolveCallSettings(opts)
+	return e.callSettings(ctx, m, fn, args, resolveCallSettings(opts))
+}
+
+// CallWith is Call with the bounds passed as a CallSpec value instead
+// of an option list. Semantics are identical; the difference is purely
+// allocation: the whole checkout → invoke → checkin round trip is
+// heap-free when spec carries no timeout/deadline and ctx is not
+// cancellable, so a server can run millions of admitted requests per
+// GC cycle. This is the path cage-serve's invoke handler uses.
+func (e *Engine) CallWith(ctx context.Context, m *Module, fn string, args []uint64, spec CallSpec) (Result, error) {
+	return e.callSettings(ctx, m, fn, args, spec.settings())
+}
+
+// callSettings runs the checkout → invoke → checkin round trip with
+// resolved settings, with no intermediate closures.
+func (e *Engine) callSettings(ctx context.Context, m *Module, fn string, args []uint64, s callSettings) (Result, error) {
 	ctx, cancel := s.context(ctx)
 	defer cancel()
-	var res Result
-	err := e.WithInstanceContext(ctx, m, func(inst *Instance) error {
-		var err error
-		res, err = inst.callResolved(ctx, fn, args, s)
-		return err
-	})
-	return res, err
+	p := e.pool(m)
+	r, err := p.GetContext(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	pi := r.(*pooledInstance)
+	defer pi.checkin()
+	return pi.i.callResolved(ctx, fn, args, s)
 }
 
 // Call invokes an exported function under ctx and per-call bounds. See

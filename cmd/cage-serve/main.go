@@ -15,12 +15,22 @@
 //	           [-max-tenants n] [-max-upload-bytes n]
 //	           [-extended-sandboxes]
 //	           [-hardened-tenants a,b,c]
+//	           [-legacy-hot-path]
+//	           [-pprof addr] [-mutex-profile-fraction n] [-block-profile-rate n]
 //
 // The quota flags define the default tenant policy, applied to every
 // tenant (tenants are named by the X-Cage-Tenant request header).
 // -hardened-tenants names tenants whose invocations run on the
 // Spectre-hardened twin of -config: identical semantics, with the
 // mitigation's fence/BTB-flush events charged against their fuel.
+//
+// -pprof starts a side HTTP server (never the serving address) exposing
+// net/http/pprof; -mutex-profile-fraction and -block-profile-rate feed
+// the contention profiles that the multicore scale-out work is tuned
+// against. -legacy-hot-path routes invocations through the pre-scale-out
+// locked dispatch path — the same-binary A/B switch the scaling
+// benchmark uses — so a regression can be bisected in production without
+// rebuilding.
 package main
 
 import (
@@ -28,7 +38,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -52,6 +64,10 @@ func main() {
 	maxUploadBytes := flag.Int64("max-upload-bytes", 0, "server-wide upload body cap in bytes (0 = default 64 MiB, negative = unlimited)")
 	extended := flag.Bool("extended-sandboxes", false, "lift the 15-sandbox budget via §6.4 tag reuse")
 	hardenedTenants := flag.String("hardened-tenants", "", "comma-separated tenants whose calls run on the Spectre-hardened engine")
+	legacyHotPath := flag.Bool("legacy-hot-path", false, "route invocations through the pre-scale-out locked dispatch path (A/B bisection aid)")
+	pprofAddr := flag.String("pprof", "", "listen address for a net/http/pprof side server (empty = disabled)")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 = off)")
+	blockRate := flag.Int("block-profile-rate", 0, "sample blocking events >= n ns for /debug/pprof/block (0 = off)")
 	flag.Parse()
 
 	cfg, err := cage.ConfigByName(*cfgName)
@@ -91,12 +107,36 @@ func main() {
 		MaxTenants:        *maxTenants,
 		MaxUploadBytes:    *maxUploadBytes,
 		ExtendedSandboxes: *extended,
+		LegacyHotPath:     *legacyHotPath,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cage-serve: %v\n", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
+
+	// Contention profiling knobs and the pprof side server. The profile
+	// rates are process-global, so they take effect whether or not the
+	// side server is enabled (a later SIGQUIT dump still carries them);
+	// the pprof listener is kept off the serving address so profiling
+	// endpoints are never reachable by tenants.
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// http.DefaultServeMux carries the net/http/pprof handlers
+			// registered by the blank import.
+			ps := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("cage-serve: pprof on %s", *pprofAddr)
+			if err := ps.ListenAndServe(); err != nil {
+				log.Printf("cage-serve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("cage-serve: config %s, listening on %s", *cfgName, *addr)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}

@@ -45,18 +45,21 @@ type Engine struct {
 	// post-initialization images keyed by (module hash, config, init
 	// spec); active maps each module to the image its pool currently
 	// forks from — the automatic post-start baseline until an explicit
-	// Engine.Snapshot replaces it. autoSnapshotOff disables the
-	// baseline capture (SetAutoSnapshot).
+	// Engine.Snapshot replaces it. The map is immutable and republished
+	// under snapMu on change, so the per-reset read (every pool checkin
+	// forks from it) is a lock-free pointer load. autoSnapshotOff
+	// disables the baseline capture (SetAutoSnapshot).
 	snapshots       engine.SnapshotCache[*Snapshot]
-	snapMu          sync.RWMutex
-	active          map[*Module]*Snapshot
+	snapMu          sync.Mutex
+	active          atomic.Pointer[map[*Module]*Snapshot]
 	autoSnapshotOff atomic.Bool
 
 	// idle broadcasts instance checkins to spawns queued on the shared
 	// tag budget (a Release alone never fires for a tag that moved to a
-	// sibling pool's idle list).
-	idleMu sync.Mutex
-	idleCh chan struct{}
+	// sibling pool's idle list). The channel rides an atomic pointer so
+	// the checkin hot path pays one load when nobody is queued, never a
+	// mutex.
+	idleCh atomic.Pointer[chan struct{}]
 }
 
 // NewEngine creates an engine for the configuration. The zero pool
@@ -175,6 +178,11 @@ func (p *pooledInstance) Reset(seed uint64) error {
 	// Fast path: fork from the registered snapshot — one restore helper
 	// (Instance.restoreFrom) shared with snapshot-based spawning, so
 	// the copy/COW image is the only initialization story.
+	if !engine.FastPaths() {
+		// Locked A/B mode prices the pre-elision restore: every checkin
+		// pays the full clear+copy even if the call wrote nothing.
+		p.i.inst.MarkMemoryDirty()
+	}
 	if s := p.eng.activeSnapshot(p.mod); s != nil {
 		if err := p.i.restoreFrom(s, seed); err == nil {
 			p.eng.snapshots.NoteRestore()
@@ -198,25 +206,37 @@ func (p *pooledInstance) Reset(seed uint64) error {
 
 func (p *pooledInstance) Close() error { return p.i.inst.Close() }
 
+// checkin returns the instance to its module's pool and signals spawns
+// queued on the tag budget. It allocates nothing: the pool lookup is a
+// snapshot-map read and the no-waiter notify is one atomic load.
+func (p *pooledInstance) checkin() {
+	// The pool always exists here — this instance was checked out of it.
+	pool, _ := p.eng.pools.Lookup(p.mod)
+	pool.Put(p)
+	p.eng.notifyIdle()
+}
+
 // notifyIdle wakes spawns queued on the tag budget after a checkin.
 func (e *Engine) notifyIdle() {
-	e.idleMu.Lock()
-	if e.idleCh != nil {
-		close(e.idleCh)
-		e.idleCh = nil
+	if e.idleCh.Load() == nil {
+		return // nobody queued: the common case, one atomic load
 	}
-	e.idleMu.Unlock()
+	if ch := e.idleCh.Swap(nil); ch != nil {
+		close(*ch)
+	}
 }
 
 // idleWait returns a channel closed at the next checkin.
 func (e *Engine) idleWait() <-chan struct{} {
-	e.idleMu.Lock()
-	if e.idleCh == nil {
-		e.idleCh = make(chan struct{})
+	for {
+		if ch := e.idleCh.Load(); ch != nil {
+			return *ch
+		}
+		ch := make(chan struct{})
+		if e.idleCh.CompareAndSwap(nil, &ch) {
+			return ch
+		}
 	}
-	ch := e.idleCh
-	e.idleMu.Unlock()
-	return ch
 }
 
 // pool returns (creating on first use) the instance pool for m.
@@ -233,6 +253,12 @@ func (e *Engine) idleWait() <-chan struct{} {
 // The queued wait honors the checkout's context, so a caller with a
 // deadline abandons the queue cleanly without holding any tag.
 func (e *Engine) pool(m *Module) *engine.Pool {
+	// Steady state: the pool exists and Lookup finds it lock-free, so
+	// the per-call cost is a map read — no mutex, no spawn-closure
+	// allocation.
+	if p, ok := e.pools.Lookup(m); ok {
+		return p
+	}
 	return e.pools.For(m, func(ctx context.Context) (engine.Resetter, error) {
 		for {
 			var inst *Instance
@@ -318,11 +344,9 @@ func (e *Engine) WithInstanceContext(ctx context.Context, m *Module, f func(inst
 	if err != nil {
 		return err
 	}
-	defer func() {
-		p.Put(r)
-		e.notifyIdle()
-	}()
-	return f(r.(*pooledInstance).i)
+	pi := r.(*pooledInstance)
+	defer pi.checkin()
+	return f(pi.i)
 }
 
 // EngineStats aggregates the engine's cache and pool counters.

@@ -88,9 +88,22 @@ func TestBlockingHostCallTimesOutWithTrapInterrupted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Cancel only once the guest is provably parked inside the host
+	// function: a fixed timeout can expire during the first checkout
+	// (instantiation under a loaded CPU), which legitimately returns a
+	// bare context error instead of the trap this test pins down.
 	start := time.Now()
-	_, err = eng.Call(context.Background(), mod, "run", []uint64{0},
-		WithTimeout(50*time.Millisecond))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-entered:
+			entered <- struct{}{} // re-arm for the entry check below
+		case <-time.After(10 * time.Second):
+		}
+		cancel()
+	}()
+	_, err = eng.Call(ctx, mod, "run", []uint64{0})
 	if !IsInterrupted(err) {
 		t.Fatalf("blocking host call = %v, want interrupted", err)
 	}

@@ -1,0 +1,58 @@
+package bench
+
+// Scaling record: the multicore scale-out benchmark's JSON shape. The
+// measurement lives in internal/serve (serve.MeasureScaling) — it
+// drives the serve handler in-process (no network round-trip, so the
+// numbers price the serve/engine hot path itself rather than loopback
+// TCP) under two modes: "locked", the pre-scale-out path (mutex-guarded
+// engine caches, condvar-only pool checkout, the allocating legacy
+// request handler), and "fast", the sharded/lock-free/zero-alloc path.
+// The record is the PR's trajectory artifact: the fast path must pull
+// ahead as concurrency exceeds GOMAXPROCS, where lock convoys and
+// allocator pressure dominate the locked path.
+
+// ScalingPoint is one (path, GOMAXPROCS, concurrency) measurement.
+type ScalingPoint struct {
+	// Path is "locked" (pre-PR semantics: mutexed caches, condvar pool,
+	// allocating handler) or "fast" (sharded caches, Treiber-stack
+	// checkout, zero-alloc handler).
+	Path string `json:"path"`
+	// GOMAXPROCS is the scheduler width the point ran under.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Concurrency is the number of in-flight client goroutines.
+	Concurrency int `json:"concurrency"`
+	// Requests is how many invocations the point measured; Errors counts
+	// failures (a healthy sweep stays inside quota, so this should be 0).
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// P50Ns/P99Ns are request-latency percentiles, comparable within one
+	// run of one machine only.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// ThroughputRPS is successful requests per second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// MutexWaitNs is the runtime/metrics /sync/mutex/wait/total delta
+	// across the point — total goroutine-nanoseconds blocked on mutexes,
+	// the direct witness that the fast path removed lock convoys.
+	MutexWaitNs int64 `json:"mutex_wait_ns"`
+	// AllocsPerOp is heap objects allocated per request
+	// (/gc/heap/allocs:objects delta over requests).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// ScalingRecord is the cage-bench JSON "scaling" record: same-binary
+// A/B of the locked and fast serve paths across GOMAXPROCS ×
+// concurrency.
+type ScalingRecord struct {
+	// Workload names the benchmark guest; N is its problem size.
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	// RequestsPerClient is the per-concurrency-level request multiplier.
+	RequestsPerClient int `json:"requests_per_client"`
+	// Points holds every (path, gomaxprocs, concurrency) measurement in
+	// sweep order.
+	Points []ScalingPoint `json:"points"`
+	// Speedup maps "g<gomaxprocs>/c<concurrency>" to fast÷locked
+	// throughput at that cell.
+	Speedup map[string]float64 `json:"speedup"`
+}

@@ -1,134 +1,11 @@
-// Package engine provides the process-level machinery that amortizes
-// Cage's per-instance hardening costs across many invocations: a keyed
-// compiled-module cache and a concurrent instance pool.
-//
-// The paper prices two one-time costs that dominate short-lived
-// executions: compiling and validating the module, and tagging the
-// whole linear memory at instantiation (§7.2, Table 4/Fig. 16). A
-// service handling many requests per module pays both once per request
-// if it naively re-instantiates. This package lets an embedder pay them
-// once per process instead:
-//
-//   - Cache deduplicates compilation: identical (content hash, config)
-//     pairs share one validated module, with singleflight semantics so
-//     concurrent first requests compile once.
-//   - Pool recycles instances: a checkout/checkin protocol over
-//     resettable instances replaces full re-instantiation with a reset
-//     (re-zero memory, re-tag, re-seed), and bounds live instances to
-//     the §7.4 sandbox-tag budget, queueing excess checkouts until an
-//     instance is returned or the checkout's context ends.
-//   - SnapshotCache memoizes frozen post-initialization images per
-//     (module hash, config, init), so start/init execution and
-//     whole-memory tagging run once and every later instance is a
-//     fork (restore) of the image rather than a rebuild.
-//
-// The package is deliberately ignorant of wasm: Cache is generic over
-// the cached value and Pool works against the small Resetter interface,
-// so the cage facade can pool fully-linked instances (interpreter
-// instance + hardened allocator) while tests can pool anything.
 package engine
 
 import (
 	"context"
-	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
-
-// Key identifies a cached artifact: a content hash plus a variant string
-// encoding everything else that influences the build (the Table 3
-// configuration, the ABI, the toolchain revision...).
-type Key struct {
-	Hash    [sha256.Size]byte
-	Variant string
-}
-
-// KeyOf hashes content and pairs it with a variant.
-func KeyOf(content []byte, variant string) Key {
-	return Key{Hash: sha256.Sum256(content), Variant: variant}
-}
-
-// KeyOfString is KeyOf for string content (e.g. MiniC source).
-func KeyOfString(content, variant string) Key {
-	return Key{Hash: sha256.Sum256([]byte(content)), Variant: variant}
-}
-
-// CacheStats is a point-in-time cache counter snapshot.
-type CacheStats struct {
-	Hits    uint64 // lookups served from (or joined onto) an entry
-	Misses  uint64 // lookups that ran the build function
-	Entries int    // values currently cached
-}
-
-// cacheEntry is a singleflight slot: the first goroutine to claim a key
-// builds; everyone else blocks on done.
-type cacheEntry[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
-}
-
-// Cache is a concurrency-safe build cache with singleflight semantics:
-// for each key the build function runs at most once at a time, losers
-// wait for the winner's result, and failed builds are not cached (a
-// later lookup retries).
-//
-// The zero value is ready to use.
-type Cache[V any] struct {
-	mu      sync.Mutex
-	entries map[Key]*cacheEntry[V]
-	hits    uint64
-	misses  uint64
-}
-
-// GetOrBuild returns the cached value for key, building it with build on
-// first use. Concurrent callers of the same key share one build.
-func (c *Cache[V]) GetOrBuild(key Key, build func() (V, error)) (V, error) {
-	c.mu.Lock()
-	if c.entries == nil {
-		c.entries = make(map[Key]*cacheEntry[V])
-	}
-	if e, ok := c.entries[key]; ok {
-		c.hits++
-		c.mu.Unlock()
-		<-e.done
-		return e.val, e.err
-	}
-	e := &cacheEntry[V]{done: make(chan struct{})}
-	c.entries[key] = e
-	c.misses++
-	c.mu.Unlock()
-
-	e.val, e.err = build()
-	close(e.done)
-	if e.err != nil {
-		// Do not cache failures: the build may be retried (and an error
-		// kept alive forever would pin its inputs).
-		c.mu.Lock()
-		if c.entries[key] == e {
-			delete(c.entries, key)
-		}
-		c.mu.Unlock()
-	}
-	return e.val, e.err
-}
-
-// Stats returns a snapshot of the cache counters.
-func (c *Cache[V]) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, e := range c.entries {
-		select {
-		case <-e.done:
-			if e.err == nil {
-				n++
-			}
-		default: // still building
-		}
-	}
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: n}
-}
 
 // Resetter is the unit a Pool recycles. Reset must return the value to
 // its initial state (seed drives any fresh randomness the new lifetime
@@ -158,6 +35,12 @@ type PoolStats struct {
 // again, so state poisoned by a trapped execution never leaks into the
 // next checkout; instances whose reset fails are closed and discarded.
 //
+// The uncontended checkout/checkin pair is lock-free: idle instances
+// live on a Treiber stack (see lifo) and Get/Put exchange them in at
+// most two CAS operations each, with the mutex-and-condvar path below
+// reserved for spawning, cap exhaustion, and teardown. See the package
+// documentation for the full concurrency model.
+//
 // All methods are safe for concurrent use.
 type Pool struct {
 	spawn func(ctx context.Context) (Resetter, error)
@@ -169,14 +52,36 @@ type Pool struct {
 	// is only safe for a process with a single pool.
 	NextSeed func() uint64
 
+	// fast is the lock-free idle stack; nil when the pool latched the
+	// legacy single-mutex layout (SetFastPaths(false)).
+	fast *lifo
+
+	// waiters counts checkouts registered on the condvar and not yet
+	// woken. A lock-free Put broadcasts only when it observes one, so
+	// the empty-queue steady state pays an atomic load, not a lock.
+	waiters atomic.Int32
+
+	// closedHint mirrors closed for the lock-free paths; authoritative
+	// state is still closed, under mu.
+	closedHint atomic.Bool
+
+	// Monotonic counters and gauges, atomic so Stats never touches mu.
+	// liveN and idleSlowN are written only under mu (the fast stack
+	// keeps its own size); spawned/recycled/discarded are written
+	// wherever the event happens.
+	spawned   atomic.Uint64
+	recycled  atomic.Uint64
+	discarded atomic.Uint64
+	liveN     atomic.Int64
+	idleSlowN atomic.Int64
+
+	seed atomic.Uint64 // pool-private seed counter (NextSeed == nil)
+
 	mu       sync.Mutex
-	idle     []Resetter
-	live     int // materialized instances: checked out + idle
-	spawning int // spawn attempts in flight (reserve cap slots)
+	idle     []Resetter // slow-path idle list: legacy mode and fast-stack overflow
+	spawning int        // spawn attempts in flight (reserve cap slots)
 	max      int
-	seed     uint64
 	closed   bool
-	stats    PoolStats
 	// wake is a channel-shaped broadcast condition variable: it is
 	// closed (and lazily replaced) whenever a checkout might newly
 	// succeed — checkin, discard, reclaim, close, failed spawn — so
@@ -188,6 +93,11 @@ type Pool struct {
 	wake chan struct{}
 }
 
+// lifoDefaultCap sizes the fast stack when the pool is uncapped (or
+// absurdly capped): enough idle slots for any realistic core count,
+// with overflow spilling harmlessly to the mutex-guarded idle list.
+const lifoDefaultCap = 256
+
 // NewPool creates a pool over spawn. The spawn function receives the
 // checkout's context so a queued spawn (e.g. one waiting on a shared
 // sandbox-tag budget) can be abandoned with it. max bounds live
@@ -195,7 +105,16 @@ type Pool struct {
 // running under a sandbox-tag budget (§7.4) should pass the budget as
 // max so checkouts queue instead of failing with ErrSandboxesExhausted.
 func NewPool(max int, spawn func(ctx context.Context) (Resetter, error)) *Pool {
-	return &Pool{spawn: spawn, max: max, seed: 0x6361_6765} // "cage"
+	p := &Pool{spawn: spawn, max: max}
+	p.seed.Store(0x6361_6765) // "cage"
+	if FastPaths() {
+		c := max
+		if c <= 0 || c > 4096 {
+			c = lifoDefaultCap
+		}
+		p.fast = newLifo(c)
+	}
+	return p
 }
 
 // waitLocked returns the channel closed at the next wakeLocked.
@@ -220,11 +139,7 @@ func (p *Pool) nextSeed() uint64 {
 	if p.NextSeed != nil {
 		return p.NextSeed()
 	}
-	p.mu.Lock()
-	p.seed++
-	s := p.seed
-	p.mu.Unlock()
-	return s
+	return p.seed.Add(1)
 }
 
 // ErrPoolClosed is returned by Get after Close.
@@ -241,7 +156,26 @@ func (p *Pool) Get() (Resetter, error) {
 // cap or inside a spawn waiting on a shared budget — is abandoned
 // cleanly when ctx ends: GetContext returns ctx.Err() and no instance
 // or budget reservation leaks.
+//
+// The hit path (an idle instance is available) is lock-free and
+// allocation-free: one pop off the Treiber stack, at most two CAS ops.
 func (p *Pool) GetContext(ctx context.Context) (Resetter, error) {
+	if p.fast != nil && !p.closedHint.Load() && ctx.Err() == nil {
+		if inst, ok := p.fast.pop(); ok {
+			return inst, nil
+		}
+	}
+	return p.getSlow(ctx)
+}
+
+// getSlow is the spawn/queue path, entered when the fast stack is
+// empty. It preserves the pre-fast-path semantics exactly: cap slots
+// are reserved across spawns, spawn failures with live instances wait
+// for a checkin instead of failing, and queued checkouts abandon on
+// ctx. The fast stack is re-polled at every turn of the loop (and once
+// after each condvar registration — see sleepLocked) so a lock-free
+// checkin cannot strand a queued waiter.
+func (p *Pool) getSlow(ctx context.Context) (Resetter, error) {
 	p.mu.Lock()
 	for {
 		if p.closed {
@@ -252,13 +186,20 @@ func (p *Pool) GetContext(ctx context.Context) (Resetter, error) {
 			p.mu.Unlock()
 			return nil, err
 		}
+		if p.fast != nil {
+			if inst, ok := p.fast.pop(); ok {
+				p.mu.Unlock()
+				return inst, nil
+			}
+		}
 		if n := len(p.idle); n > 0 {
 			inst := p.idle[n-1]
 			p.idle = p.idle[:n-1]
+			p.idleSlowN.Store(int64(len(p.idle)))
 			p.mu.Unlock()
 			return inst, nil
 		}
-		if p.max == 0 || p.live+p.spawning < p.max {
+		if p.max == 0 || int(p.liveN.Load())+p.spawning < p.max {
 			p.spawning++
 			p.mu.Unlock()
 			inst, err := p.spawn(ctx)
@@ -274,19 +215,22 @@ func (p *Pool) GetContext(ctx context.Context) (Resetter, error) {
 					p.mu.Unlock()
 					return nil, ctx.Err()
 				}
-				if p.live > 0 && !p.closed {
+				if p.liveN.Load() > 0 && !p.closed {
 					// Spawning can fail on a shared budget the cap does
 					// not see (several pools over one sandbox
 					// allocator). This pool's live instances will be
 					// checked in eventually; wait for one instead of
 					// failing the request — unless one arrived while we
 					// were spawning.
+					if p.fast != nil {
+						if inst, ok := p.fast.pop(); ok {
+							p.mu.Unlock()
+							return inst, nil
+						}
+					}
 					if len(p.idle) == 0 {
-						ch := p.waitLocked()
-						p.mu.Unlock()
-						select {
-						case <-ch:
-						case <-ctx.Done():
+						if inst, ok := p.sleepLocked(ctx); ok {
+							return inst, nil
 						}
 						p.mu.Lock()
 					}
@@ -295,31 +239,79 @@ func (p *Pool) GetContext(ctx context.Context) (Resetter, error) {
 				p.mu.Unlock()
 				return nil, err
 			}
-			p.live++
-			p.stats.Spawned++
+			p.liveN.Add(1)
+			p.spawned.Add(1)
 			p.mu.Unlock()
 			return inst, nil
 		}
-		ch := p.waitLocked()
-		p.mu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
+		if inst, ok := p.sleepLocked(ctx); ok {
+			return inst, nil
 		}
 		p.mu.Lock()
 	}
 }
 
+// sleepLocked parks the checkout until the next pool event or ctx end.
+// Called with mu held; releases it. The waiter registers (obtains the
+// wake channel, bumps waiters), then re-polls the fast stack once
+// before sleeping: a lock-free Put either lands its push before that
+// re-poll (we take the instance) or runs its waiters check after our
+// registration (it broadcasts) — sequential consistency of the atomics
+// leaves no third ordering, so no wakeup is lost. On a hit the
+// instance is returned with mu released; otherwise the caller must
+// re-lock and re-examine the pool.
+func (p *Pool) sleepLocked(ctx context.Context) (Resetter, bool) {
+	ch := p.waitLocked()
+	p.waiters.Add(1)
+	p.mu.Unlock()
+	if p.fast != nil {
+		if inst, ok := p.fast.pop(); ok {
+			p.waiters.Add(-1)
+			return inst, true
+		}
+	}
+	select {
+	case <-ch:
+	case <-ctx.Done():
+	}
+	p.waiters.Add(-1)
+	return nil, false
+}
+
 // Put checks an instance back in. The instance is reset first; a reset
 // failure closes and discards it (freeing its slot under the cap).
+//
+// When the reset succeeds and the pool is open, checkin is lock-free:
+// one push onto the Treiber stack, at most two CAS ops, no allocation.
 func (p *Pool) Put(inst Resetter) {
 	err := inst.Reset(p.nextSeed())
+	if err == nil && p.fast != nil && !p.closedHint.Load() {
+		if p.fast.push(inst) {
+			p.recycled.Add(1)
+			if p.closedHint.Load() {
+				// Close raced our push; drain so nothing lingers live
+				// in a closed pool.
+				p.drainFast()
+			}
+			if p.waiters.Load() > 0 {
+				p.mu.Lock()
+				p.wakeLocked()
+				p.mu.Unlock()
+			}
+			return
+		}
+	}
+	p.putSlow(inst, err)
+}
 
+// putSlow handles reset failures, closed pools, legacy mode, and
+// fast-stack overflow under the pool mutex.
+func (p *Pool) putSlow(inst Resetter, err error) {
 	p.mu.Lock()
 	if err != nil || p.closed {
-		p.live--
+		p.liveN.Add(-1)
 		if err != nil {
-			p.stats.Discarded++
+			p.discarded.Add(1)
 		}
 		p.wakeLocked()
 		p.mu.Unlock()
@@ -327,9 +319,26 @@ func (p *Pool) Put(inst Resetter) {
 		return
 	}
 	p.idle = append(p.idle, inst)
-	p.stats.Recycled++
+	p.idleSlowN.Store(int64(len(p.idle)))
+	p.recycled.Add(1)
 	p.wakeLocked()
 	p.mu.Unlock()
+}
+
+// drainFast closes everything on the fast stack; only called once the
+// pool is closed, when no checkout can legitimately race the pops.
+func (p *Pool) drainFast() {
+	for {
+		inst, ok := p.fast.pop()
+		if !ok {
+			return
+		}
+		p.mu.Lock()
+		p.liveN.Add(-1)
+		p.wakeLocked()
+		p.mu.Unlock()
+		inst.Close()
+	}
 }
 
 // ReclaimIdle closes up to n idle instances, freeing whatever shared
@@ -343,17 +352,28 @@ func (p *Pool) ReclaimIdle(n int) int {
 	if k > len(p.idle) {
 		k = len(p.idle)
 	}
-	evicted := p.idle[len(p.idle)-k:]
+	evicted := make([]Resetter, 0, k)
+	evicted = append(evicted, p.idle[len(p.idle)-k:]...)
 	p.idle = p.idle[:len(p.idle)-k]
-	p.live -= k
-	if k > 0 {
+	p.idleSlowN.Store(int64(len(p.idle)))
+	if p.fast != nil {
+		for len(evicted) < n {
+			inst, ok := p.fast.pop()
+			if !ok {
+				break
+			}
+			evicted = append(evicted, inst)
+		}
+	}
+	p.liveN.Add(-int64(len(evicted)))
+	if len(evicted) > 0 {
 		p.wakeLocked() // cap slots freed
 	}
 	p.mu.Unlock()
 	for _, inst := range evicted {
 		inst.Close()
 	}
-	return k
+	return len(evicted)
 }
 
 // Discard removes a checked-out instance from the pool without
@@ -361,8 +381,8 @@ func (p *Pool) ReclaimIdle(n int) int {
 // fatal for the instance).
 func (p *Pool) Discard(inst Resetter) {
 	p.mu.Lock()
-	p.live--
-	p.stats.Discarded++
+	p.liveN.Add(-1)
+	p.discarded.Add(1)
 	p.wakeLocked()
 	p.mu.Unlock()
 	inst.Close()
@@ -373,9 +393,20 @@ func (p *Pool) Discard(inst Resetter) {
 func (p *Pool) Close() {
 	p.mu.Lock()
 	p.closed = true
+	p.closedHint.Store(true)
 	idle := p.idle
 	p.idle = nil
-	p.live -= len(idle)
+	p.idleSlowN.Store(0)
+	if p.fast != nil {
+		for {
+			inst, ok := p.fast.pop()
+			if !ok {
+				break
+			}
+			idle = append(idle, inst)
+		}
+	}
+	p.liveN.Add(-int64(len(idle)))
 	p.wakeLocked()
 	p.mu.Unlock()
 	for _, inst := range idle {
@@ -383,26 +414,37 @@ func (p *Pool) Close() {
 	}
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. It reads only atomics
+// — never the pool mutex — so scraping cannot stall checkouts.
 func (p *Pool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := p.stats
-	s.Idle = len(p.idle)
-	s.Live = p.live
-	return s
+	idle := p.idleSlowN.Load()
+	if p.fast != nil {
+		idle += int64(p.fast.size.Load())
+	}
+	return PoolStats{
+		Spawned:   p.spawned.Load(),
+		Recycled:  p.recycled.Load(),
+		Discarded: p.discarded.Load(),
+		Idle:      int(idle),
+		Live:      int(p.liveN.Load()),
+	}
 }
 
 // PoolSet lazily manages one Pool per key (e.g. per compiled module).
-// The zero value is ready to use.
+// Lookup of an existing pool is lock-free (the key→pool table is an
+// immutable map republished on insert); only pool creation takes the
+// set mutex. The zero value is ready to use.
 type PoolSet struct {
 	// NextSeed, when non-nil, is installed on every created pool so all
 	// pools of one process share a seed source (see Pool.NextSeed).
 	NextSeed func() uint64
 
+	// snap is the published key→pool table; mutations clone under mu
+	// and republish.
+	snap atomic.Pointer[map[any]*Pool]
+
 	mu      sync.Mutex
-	limit   int // live-instance cap applied to pools as they are created
-	pools   map[any]*Pool
+	limit   int  // live-instance cap applied to pools as they are created
 	started bool // a pool has been built; limit is frozen
 	closed  bool
 }
@@ -413,10 +455,10 @@ var ErrSetStarted = fmt.Errorf("engine: pool set already built a pool; set the l
 
 // SetLimit sets the live-instance cap applied to pools as they are
 // created (0 = unlimited). The check and the mutation share the set's
-// lock with For, so a SetLimit racing the first checkout either wins
-// (the pool sees the new limit) or fails with ErrSetStarted — it can
-// never return success while a pool built under the old limit ignores
-// it.
+// lock with pool creation, so a SetLimit racing the first checkout
+// either wins (the pool sees the new limit) or fails with
+// ErrSetStarted — it can never return success while a pool built under
+// the old limit ignores it.
 func (s *PoolSet) SetLimit(n int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -427,36 +469,64 @@ func (s *PoolSet) SetLimit(n int) error {
 	return nil
 }
 
+// Lookup returns the pool for key if one has been created, without
+// locking. Callers on the hot path use it to skip For's spawn-closure
+// setup entirely once the pool exists.
+func (s *PoolSet) Lookup(key any) (*Pool, bool) {
+	if m := s.snap.Load(); m != nil {
+		p, ok := (*m)[key]
+		return p, ok
+	}
+	return nil, false
+}
+
 // For returns the pool for key, creating it with spawn on first use.
 func (s *PoolSet) For(key any, spawn func(ctx context.Context) (Resetter, error)) *Pool {
+	if p, ok := s.Lookup(key); ok {
+		return p
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.started = true
-	if s.pools == nil {
-		s.pools = make(map[any]*Pool)
-	}
-	p, ok := s.pools[key]
-	if !ok {
-		p = NewPool(s.limit, spawn)
-		p.NextSeed = s.NextSeed
-		if s.closed {
-			// A closed set must not resurrect: hand out a pool whose
-			// Get fails with ErrPoolClosed instead of silently leaking
-			// fresh instances past the one Close that already ran.
-			p.closed = true
+	if m := s.snap.Load(); m != nil {
+		if p, ok := (*m)[key]; ok {
+			return p
 		}
-		s.pools[key] = p
 	}
+	p := NewPool(s.limit, spawn)
+	p.NextSeed = s.NextSeed
+	if s.closed {
+		// A closed set must not resurrect: hand out a pool whose
+		// Get fails with ErrPoolClosed instead of silently leaking
+		// fresh instances past the one Close that already ran.
+		p.closed = true
+		p.closedHint.Store(true)
+	}
+	old := s.snap.Load()
+	n := 1
+	if old != nil {
+		n += len(*old)
+	}
+	next := make(map[any]*Pool, n)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[key] = p
+	s.snap.Store(&next)
 	return p
 }
 
 // ReclaimIdle closes up to n idle instances across the set's pools,
 // returning how many were reclaimed. See Pool.ReclaimIdle.
 func (s *PoolSet) ReclaimIdle(n int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m := s.snap.Load()
+	if m == nil {
+		return 0
+	}
 	freed := 0
-	for _, p := range s.pools {
+	for _, p := range *m {
 		if freed >= n {
 			break
 		}
@@ -469,23 +539,23 @@ func (s *PoolSet) ReclaimIdle(n int) int {
 // has been created for it yet (no checkout has happened). Services
 // exporting per-module occupancy (cage-serve's /stats) use this to
 // attribute live instances, recycles, and discards to one module
-// instead of the set-wide sum.
+// instead of the set-wide sum. Lock-free, like Pool.Stats.
 func (s *PoolSet) StatsFor(key any) (stats PoolStats, ok bool) {
-	s.mu.Lock()
-	p, ok := s.pools[key]
-	s.mu.Unlock()
+	p, ok := s.Lookup(key)
 	if !ok {
 		return PoolStats{}, false
 	}
 	return p.Stats(), true
 }
 
-// Stats sums the counters of every pool in the set.
+// Stats sums the counters of every pool in the set without locking.
 func (s *PoolSet) Stats() PoolStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	m := s.snap.Load()
+	if m == nil {
+		return PoolStats{}
+	}
 	var sum PoolStats
-	for _, p := range s.pools {
+	for _, p := range *m {
 		ps := p.Stats()
 		sum.Spawned += ps.Spawned
 		sum.Recycled += ps.Recycled
@@ -500,11 +570,14 @@ func (s *PoolSet) Stats() PoolStats {
 // fail checkout with ErrPoolClosed.
 func (s *PoolSet) Close() {
 	s.mu.Lock()
-	pools := s.pools
-	s.pools = nil
+	m := s.snap.Load()
+	s.snap.Store(nil)
 	s.closed = true
 	s.mu.Unlock()
-	for _, p := range pools {
+	if m == nil {
+		return
+	}
+	for _, p := range *m {
 		p.Close()
 	}
 }

@@ -1,0 +1,23 @@
+package engine
+
+import "sync/atomic"
+
+// fastPathsOn selects, at construction/first-use time, whether caches
+// and pools use the lock-free sharded layout (the default) or the
+// pre-sharding single-mutex layout. It exists so benchmarks can run a
+// same-binary A/B of the two paths; it is latched per object (a Cache
+// on first use, a Pool at NewPool), so flipping it mid-flight never
+// splits one object's state across two disciplines.
+var fastPathsOn atomic.Bool
+
+func init() { fastPathsOn.Store(true) }
+
+// SetFastPaths selects the concurrency layout for caches and pools
+// created (or first used) after the call: true (the default) is the
+// lock-free sharded fast path, false is the legacy single-mutex path.
+// It is a measurement hook for same-binary A/B runs, not a production
+// knob.
+func SetFastPaths(on bool) { fastPathsOn.Store(on) }
+
+// FastPaths reports the layout new caches and pools will latch.
+func FastPaths() bool { return fastPathsOn.Load() }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether this build carries the race detector,
+// whose shadow-memory instrumentation adds allocations that would
+// fail the zero-alloc gates.
+const raceEnabled = false

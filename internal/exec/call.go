@@ -35,6 +35,13 @@ type CallOptions struct {
 	// fails with the architectural -1 result, exactly like exceeding the
 	// declared maximum.
 	MemoryLimitPages uint64
+	// Results, when non-nil, is the backing array for the returned
+	// Values: if its capacity covers the function's result count the
+	// call writes into it instead of allocating a fresh slice. The
+	// caller must not read a previous call's Values after passing the
+	// same buffer again — this is the knob that makes a pooled
+	// server's invoke path allocation-free.
+	Results []uint64
 }
 
 // CallResult is the outcome of a bounded invocation.
@@ -194,7 +201,7 @@ func (inst *Instance) InvokeWith(ctx context.Context, name string, args []uint64
 		}
 	}
 
-	res, err := inst.invoke(fidx, args)
+	res, err := inst.invokeInto(fidx, args, opts.Results)
 
 	if err == nil {
 		err = inst.pollAsyncFault()

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"testing"
+
+	"cage/internal/core"
+	"cage/internal/mte"
+	"cage/internal/wasm"
+)
+
+// Clean-memory restore elision tests. RestoreFromSnapshot may skip the
+// memory clear+copy only when it can prove nothing wrote guest memory
+// since the last restore of the same image. These tests attack that
+// proof: every write channel — guest stores, host writes, raw Memory()
+// views, memory.grow — must break the witness, or a pooled instance
+// would leak one tenant's writes into the next tenant's checkout.
+
+// elisionModule builds a module exporting peek(addr) and poke(addr,
+// val) plus a pure add(a, b) that never touches memory.
+func elisionModule() *wasm.Module {
+	m := &wasm.Module{}
+	peek := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+	poke := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I64, wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+	m.Mems = []wasm.MemoryType{{Limits: wasm.Limits{Min: 1, Max: 16, HasMax: true}, Memory64: true}}
+	m.Funcs = []wasm.Function{
+		{TypeIdx: peek, Body: []wasm.Instr{
+			wasm.LocalGet(0), wasm.Load(wasm.OpI64Load, 0), wasm.End()}},
+		{TypeIdx: poke, Body: []wasm.Instr{
+			wasm.LocalGet(0), wasm.LocalGet(1), wasm.Store(wasm.OpI64Store, 0),
+			wasm.LocalGet(1), wasm.End()}},
+		{TypeIdx: poke, Body: []wasm.Instr{
+			wasm.LocalGet(0), wasm.LocalGet(1), wasm.Op(wasm.OpI64Add), wasm.End()}},
+	}
+	m.Exports = []wasm.Export{
+		{Name: "peek", Kind: wasm.ExportFunc, Idx: 0},
+		{Name: "poke", Kind: wasm.ExportFunc, Idx: 1},
+		{Name: "add", Kind: wasm.ExportFunc, Idx: 2},
+	}
+	return m
+}
+
+// elisionFeatures are the sandbox shapes the witness must hold under:
+// every address-translation strategy has its own store sites.
+var elisionFeatures = []struct {
+	name  string
+	feats core.Features
+}{
+	{"plain", core.Features{}},
+	{"sandbox", core.Features{Sandbox: true, MTEMode: mte.ModeSync}},
+	{"memsafety", core.Features{MemSafety: true, MTEMode: mte.ModeSync}},
+}
+
+func TestRestoreElisionGuestStores(t *testing.T) {
+	for _, tc := range elisionFeatures {
+		t.Run(tc.name, func(t *testing.T) {
+			m := elisionModule()
+			inst, err := NewInstance(m, Config{Features: tc.feats})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Close()
+			snap, err := inst.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for round := 0; round < 4; round++ {
+				// Dirty the heap, then restore: the write must vanish.
+				if _, err := inst.Invoke("poke", 128, 0xDEAD+uint64(round)); err != nil {
+					t.Fatalf("round %d poke: %v", round, err)
+				}
+				if err := inst.RestoreFromSnapshot(snap, uint64(round+1)); err != nil {
+					t.Fatalf("round %d restore: %v", round, err)
+				}
+				if res, err := inst.Invoke("peek", 128); err != nil || res[0] != 0 {
+					t.Fatalf("round %d: write leaked across restore: peek = %v, %v", round, res, err)
+				}
+				// The peek dirtied nothing; the next restore must elide
+				// (white-box: the witness is armed) — and a pure call
+				// after it must still see clean memory.
+				if inst.lastImage != snap || inst.memDirty || inst.memExposed {
+					t.Fatalf("round %d: witness not armed (lastImage=%v dirty=%v exposed=%v)",
+						round, inst.lastImage == snap, inst.memDirty, inst.memExposed)
+				}
+				if err := inst.RestoreFromSnapshot(snap, uint64(round+100)); err != nil {
+					t.Fatalf("round %d elided restore: %v", round, err)
+				}
+				if res, err := inst.Invoke("add", 3, 4); err != nil || res[0] != 7 {
+					t.Fatalf("round %d add after elided restore: %v, %v", round, res, err)
+				}
+				if res, err := inst.Invoke("peek", 128); err != nil || res[0] != 0 {
+					t.Fatalf("round %d: stale byte after elided restore: %v, %v", round, res, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRestoreElisionHostWrites(t *testing.T) {
+	m := elisionModule()
+	inst, err := NewInstance(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	snap, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm the witness with one elidable round trip.
+	if err := inst.RestoreFromSnapshot(snap, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A runtime-privilege host write must break it.
+	if err := inst.WriteU64(256, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.RestoreFromSnapshot(snap, 2); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := inst.Invoke("peek", 256); err != nil || res[0] != 0 {
+		t.Fatalf("host write leaked across restore: %v, %v", res, err)
+	}
+}
+
+func TestRestoreElisionRawMemoryView(t *testing.T) {
+	m := elisionModule()
+	inst, err := NewInstance(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	snap, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.RestoreFromSnapshot(snap, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Once a raw view has escaped, every later restore must pay the
+	// full copy — the holder can write between any two restores. (The
+	// view itself must be re-acquired per round: under cagecow a
+	// restore remaps the backing, invalidating old slices.)
+	for round := 0; round < 3; round++ {
+		inst.Memory()[512] = 0xAB
+		if err := inst.RestoreFromSnapshot(snap, uint64(round+2)); err != nil {
+			t.Fatal(err)
+		}
+		if res, err := inst.Invoke("peek", 512); err != nil || res[0] != 0 {
+			t.Fatalf("round %d: raw-view write leaked across restore: %v, %v", round, res, err)
+		}
+	}
+}
+
+func TestRestoreElisionAfterGrow(t *testing.T) {
+	m := elisionModule()
+	// Extra func: grow(pages) -> old size, via memory.grow.
+	grow := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I64}, Results: []wasm.ValType{wasm.I64}})
+	m.Funcs = append(m.Funcs, wasm.Function{TypeIdx: grow, Body: []wasm.Instr{
+		wasm.LocalGet(0), wasm.Op(wasm.OpMemoryGrow), wasm.End()}})
+	m.Exports = append(m.Exports, wasm.Export{Name: "grow", Kind: wasm.ExportFunc, Idx: 3})
+
+	inst, err := NewInstance(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	snap, err := inst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.RestoreFromSnapshot(snap, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("grow", 1); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if got := inst.MemorySize(); got != 2*wasm.PageSize {
+		t.Fatalf("after grow: size %d", got)
+	}
+	if err := inst.RestoreFromSnapshot(snap, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := inst.MemorySize(); got != snap.MemorySize() {
+		t.Fatalf("grow survived restore: size %d, want %d", got, snap.MemorySize())
+	}
+	if res, err := inst.Invoke("peek", 128); err != nil || res[0] != 0 {
+		t.Fatalf("post-grow restore: %v, %v", res, err)
+	}
+}

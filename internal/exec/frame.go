@@ -89,6 +89,13 @@ func (inst *Instance) pushGuestFrame(callee *ir.Func, newBase int) error {
 // panic out of a host function — the barrier state is restored, so an
 // outer in-flight activation can always continue.
 func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
+	return inst.invokeInto(fidx, args, nil)
+}
+
+// invokeInto is invoke with an optional caller-provided result buffer
+// (see CallOptions.Results): when resBuf has the capacity, the result
+// values are written into it and no slice is allocated.
+func (inst *Instance) invokeInto(fidx uint32, args []uint64, resBuf []uint64) ([]uint64, error) {
 	// Interrupt checkpoint: every call boundary polls the per-call meter
 	// (if armed), so cancellation reaches even loop-free recursion.
 	if m := inst.meter; m != nil {
@@ -143,7 +150,12 @@ func (inst *Instance) invoke(fidx uint32, args []uint64) ([]uint64, error) {
 	if err := inst.runProtected(barrier); err != nil {
 		return nil, err
 	}
-	res := make([]uint64, fn.NumResults)
+	var res []uint64
+	if cap(resBuf) >= fn.NumResults {
+		res = resBuf[:fn.NumResults]
+	} else {
+		res = make([]uint64, fn.NumResults)
+	}
 	copy(res, inst.vals[base:base+fn.NumResults])
 	return res, nil
 }
@@ -536,6 +548,7 @@ func (inst *Instance) run(barrier int) error {
 		// Stores, same specialization.
 		case ir.OpStoreG32:
 			ctr.Add(arch.EvStore, 1)
+			inst.memDirty = true
 			sz := ir.MemSize(in.B)
 			addr, err := inst.addrG32(stack[len(stack)-2], in.A, sz, inst.memSize)
 			if err != nil {
@@ -545,6 +558,7 @@ func (inst *Instance) run(barrier int) error {
 			stack = stack[:len(stack)-2]
 		case ir.OpStoreG32NC:
 			ctr.Add(arch.EvStore, 1)
+			inst.memDirty = true
 			sz := ir.MemSize(in.B)
 			addr, err := inst.addrG32(stack[len(stack)-2], in.A, sz, uint64(len(inst.mem)))
 			if err != nil {
@@ -613,6 +627,7 @@ func (inst *Instance) run(barrier int) error {
 			// the write starts, so a trapped store is never partially
 			// visible.
 			ctr.Add(arch.EvStore, 1)
+			inst.memDirty = true
 			sz := ir.MemSize(in.B)
 			addr := uint64(uint32(stack[len(stack)-2])) + in.A
 			gm := inst.gmem
@@ -1081,6 +1096,7 @@ func (inst *Instance) run(barrier int) error {
 			}
 		case ir.OpFusedALUStore:
 			ctr.Add(arch.EvStore, 1)
+			inst.memDirty = true
 			if ir.FusedMemVariant(in.B) == ir.OpStoreG32G {
 				// Guard-region store with the all-or-nothing probe; see
 				// OpStoreG32G.

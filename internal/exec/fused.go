@@ -252,6 +252,7 @@ func (inst *Instance) fusedMemLoad(in *ir.Instr, offset, idx uint64) (uint64, er
 // in the dispatch loop): per-variant address translation, write. The
 // EvStore charge happens at the call site, before translation.
 func (inst *Instance) fusedMemStore(in *ir.Instr, idx, val uint64) error {
+	inst.memDirty = true
 	sz := ir.FusedMemSize(in.B)
 	addr, err := inst.fusedMemAddr(ir.FusedMemVariant(in.B), idx, in.A, sz)
 	if err != nil {

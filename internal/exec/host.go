@@ -64,6 +64,7 @@ func (inst *Instance) WriteU64(addr, v uint64) error {
 	if err := inst.hostRange(addr, 8); err != nil {
 		return err
 	}
+	inst.memDirty = true
 	binary.LittleEndian.PutUint64(inst.mem[addr:], v)
 	return nil
 }
@@ -83,6 +84,7 @@ func (inst *Instance) WriteBytes(addr uint64, b []byte) error {
 	if err := inst.hostRange(addr, uint64(len(b))); err != nil {
 		return err
 	}
+	inst.memDirty = true
 	copy(inst.mem[addr:], b)
 	return nil
 }

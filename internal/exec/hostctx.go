@@ -160,6 +160,7 @@ func (m Memory) WriteBytes(p uint64, b []byte) error {
 	if err != nil {
 		return err
 	}
+	m.inst.memDirty = true
 	copy(m.inst.mem[addr:], b)
 	return nil
 }
@@ -188,6 +189,7 @@ func (m Memory) WriteU64(p, v uint64) error {
 	if err != nil {
 		return err
 	}
+	m.inst.memDirty = true
 	binary.LittleEndian.PutUint64(m.inst.mem[addr:], v)
 	return nil
 }
@@ -207,6 +209,7 @@ func (m Memory) WriteU32(p uint64, v uint32) error {
 	if err != nil {
 		return err
 	}
+	m.inst.memDirty = true
 	binary.LittleEndian.PutUint32(m.inst.mem[addr:], v)
 	return nil
 }

@@ -238,6 +238,20 @@ type Instance struct {
 	tagsStatic     bool
 	tagRestoreMark uint64
 
+	// Memory-clean witness (snapshot.go): lastImage is the snapshot the
+	// last restore left memory equal to, and memDirty records whether
+	// any potentially-writing access happened since — every guest store
+	// path, host write, grow, and fill/copy sets it. While the witness
+	// holds (same image, no writes), a restore can skip the memory
+	// clear+copy entirely, making pooled recycling of a read-mostly
+	// guest O(1) in heap size. memExposed latches permanently once a
+	// raw view escapes via Memory/HostRegion: the caller may retain the
+	// slice and write through it at any time, so such an instance can
+	// never prove its memory clean again.
+	lastImage  *Snapshot
+	memDirty   bool
+	memExposed bool
+
 	// StartupGranulesTagged records how many granules were tagged at
 	// instantiation (the §7.2 startup-cost experiment).
 	StartupGranulesTagged uint64
@@ -536,15 +550,25 @@ func (inst *Instance) SetHostData(v any) { inst.hostData = v }
 // Program returns the lowered instruction stream the instance executes.
 func (inst *Instance) Program() *ir.Program { return inst.prog }
 
-// Memory returns the guest-visible linear memory.
-func (inst *Instance) Memory() []byte { return inst.mem[:inst.memSize] }
+// Memory returns the guest-visible linear memory. The returned slice
+// aliases live instance state and may be retained and written at any
+// time, so calling this permanently disables the clean-memory restore
+// elision for the instance.
+func (inst *Instance) Memory() []byte {
+	inst.memExposed = true
+	return inst.mem[:inst.memSize]
+}
 
 // MemorySize returns the guest memory size in bytes.
 func (inst *Instance) MemorySize() uint64 { return inst.memSize }
 
 // HostRegion returns the host-owned bytes after the guest memory (used
-// by sandbox-escape demonstrations).
-func (inst *Instance) HostRegion() []byte { return inst.mem[inst.memSize:] }
+// by sandbox-escape demonstrations). Like Memory, the view aliases live
+// state, so it permanently disables the clean-memory restore elision.
+func (inst *Instance) HostRegion() []byte {
+	inst.memExposed = true
+	return inst.mem[inst.memSize:]
+}
 
 // Counter returns the instruction-event counter.
 func (inst *Instance) Counter() *arch.Counter { return inst.counter }

@@ -38,6 +38,9 @@ func (inst *Instance) addrG32(idx, offset, size, limit uint64) (uint64, error) {
 // host mapping), plus the MTE memory-safety tag check when enabled.
 func (inst *Instance) addrB64(idx, offset, size uint64, write, check, tagCheck bool) (uint64, error) {
 	ctr := inst.counter
+	if write {
+		inst.memDirty = true
+	}
 	full := idx + offset
 	tag := ptrlayout.Tag(full)
 	addr := ptrlayout.Address(ptrlayout.StripTag(full))
@@ -67,6 +70,9 @@ func (inst *Instance) addrB64(idx, offset, size uint64, write, check, tagCheck b
 // base, and let the tag check catch any escape.
 func (inst *Instance) addrMTE(idx, offset, size uint64, write, mask bool) (uint64, error) {
 	ctr := inst.counter
+	if write {
+		inst.memDirty = true
+	}
 	masked := idx
 	if mask {
 		ctr.Add(arch.EvMask, 1)
@@ -99,6 +105,9 @@ func (inst *Instance) addrMTE(idx, offset, size uint64, write, mask bool) (uint6
 // specialized lowered opcodes instead, which call the same per-mode
 // helpers, so the semantics cannot drift apart.
 func (inst *Instance) effectiveAddr(idx, offset, size uint64, write bool) (uint64, error) {
+	if write {
+		inst.memDirty = true
+	}
 	switch inst.strategy {
 	case stratGuard32:
 		limit := inst.memSize
@@ -221,6 +230,7 @@ func (inst *Instance) memoryGrow(deltaPages uint64) uint64 {
 		}
 		inst.mem = inst.gmem[:newSize]
 		inst.memSize = newSize
+		inst.memDirty = true
 		return oldPages
 	}
 	hostLen := uint64(len(inst.mem)) - inst.memSize
@@ -229,6 +239,7 @@ func (inst *Instance) memoryGrow(deltaPages uint64) uint64 {
 	copy(grown, inst.mem[:inst.memSize])
 	copy(grown[newSize:], inst.mem[inst.memSize:])
 	inst.mem = grown
+	inst.memDirty = true
 	oldSize := inst.memSize
 	inst.memSize = newSize
 	if inst.tags != nil {

@@ -56,6 +56,9 @@ func (inst *Instance) ResetState(seed uint64) error {
 	if inst.closed {
 		return fmt.Errorf("exec: reset of closed instance")
 	}
+	// Reset leaves memory at the initial (pre-init) image, not a
+	// snapshot's, so the clean-memory restore witness no longer holds.
+	inst.lastImage = nil
 	// Memory: shrink back to the initial page count if memory.grow ran,
 	// otherwise zero in place (the common, cheap path).
 	var initSize uint64

@@ -226,6 +226,17 @@ func (inst *Instance) RestoreFromSnapshot(s *Snapshot, seed uint64) error {
 			s.features, inst.features)
 	}
 
+	// Clean-memory elision: when the last restore left memory equal to
+	// this same image and nothing could have written it since — no
+	// store path ran (memDirty), no raw view ever escaped (memExposed)
+	// — the memory bytes, size, and backing mapping are all already
+	// exactly the image, so the clear+copy (the dominant cost of
+	// recycling a pooled instance) is skipped. grow sets memDirty, so a
+	// clean instance also has the image's sizes. Tag state and the
+	// frame-machine scrub below still run; their own witnesses keep
+	// them O(1) in the common case.
+	memClean := inst.lastImage == s && !inst.memDirty && !inst.memExposed
+
 	// The previous mapping (if any) must outlive every read from state
 	// that may still alias it; it is released at the end.
 	oldUnmap := inst.memUnmap
@@ -238,12 +249,14 @@ func (inst *Instance) RestoreFromSnapshot(s *Snapshot, seed uint64) error {
 		// clipped to the guest size: an image captured on the heap
 		// backend carries host-reserve bytes past memSize that have no
 		// home (and no mapping) here.
-		if err := inst.gmap.SetCommitted(s.memSize); err != nil {
-			return err
+		if !memClean {
+			if err := inst.gmap.SetCommitted(s.memSize); err != nil {
+				return err
+			}
+			inst.mem = inst.gmem[:s.memSize]
+			clear(inst.mem)
+			copySpansClipped(inst.mem, s)
 		}
-		inst.mem = inst.gmem[:s.memSize]
-		clear(inst.mem)
-		copySpansClipped(inst.mem, s)
 		inst.memSize = s.memSize
 		// hostReserve stays 0: the guard layout has no host region.
 
@@ -263,6 +276,8 @@ func (inst *Instance) RestoreFromSnapshot(s *Snapshot, seed uint64) error {
 		inst.meter = nil
 		inst.callCtx = nil
 		inst.memLimitPages = 0
+		inst.lastImage = s
+		inst.memDirty = false
 		if oldUnmap != nil {
 			oldUnmap()
 		}
@@ -270,7 +285,15 @@ func (inst *Instance) RestoreFromSnapshot(s *Snapshot, seed uint64) error {
 	}
 
 	restored := false
-	if s.cow != nil {
+	if memClean {
+		// Memory (and any private mapping backing it) already equals the
+		// image; keep both untouched.
+		inst.memUnmap = oldUnmap
+		oldUnmap = nil
+		inst.restoreTags(s, nil)
+		restored = true
+	}
+	if !restored && s.cow != nil {
 		if mem, tagView, unmap, err := s.cow.mapView(); err == nil {
 			inst.mem = mem
 			inst.memUnmap = unmap
@@ -327,12 +350,20 @@ func (inst *Instance) RestoreFromSnapshot(s *Snapshot, seed uint64) error {
 	inst.meter = nil
 	inst.callCtx = nil
 	inst.memLimitPages = 0
+	inst.lastImage = s
+	inst.memDirty = false
 
 	if oldUnmap != nil {
 		oldUnmap()
 	}
 	return nil
 }
+
+// MarkMemoryDirty discards the clean-memory witness, forcing the next
+// RestoreFromSnapshot to take the full clear+copy path. The scale-out
+// benchmark's locked mode uses it to price the pre-elision restore;
+// it is never needed for correctness.
+func (inst *Instance) MarkMemoryDirty() { inst.memDirty = true }
 
 // restoreTags restores the MTE tag state from s. cowTags, when non-nil,
 // is the tag region of a freshly mapped private view of the snapshot

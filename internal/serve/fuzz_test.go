@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"testing"
 
 	"cage"
@@ -92,6 +93,34 @@ func FuzzServeRequest(f *testing.F) {
 		}
 		if !json.Valid(rec.Body.Bytes()) {
 			t.Fatalf("POST %s: status %d with non-JSON body %q", path, rec.Code, rec.Body.String())
+		}
+
+		// Parser differential: whenever the zero-alloc fast parser
+		// accepts an invoke body, the strict stdlib decoder must agree
+		// on every field — or reject with exactly the validation error
+		// the fast path raises itself. Any body the fast parser gets
+		// wrong it must refuse (falling back to the stdlib path), so a
+		// divergence here is a real correctness bug, not a style gap.
+		if !upload && len(body) <= maxInvokeBody {
+			sc := getScratch()
+			sc.buf = append(sc.buf[:0], body...)
+			if sc.parseInvokeFast() {
+				decoded, err := decodeInvokeRequest(bytes.NewReader(body))
+				if err != nil {
+					verr := sc.validate()
+					if verr == nil || verr.Error() != err.Error() {
+						t.Fatalf("body %q: stdlib rejects (%v) but fast validate says %v", body, err, verr)
+					}
+				} else if string(sc.module) != decoded.Module ||
+					string(sc.function) != decoded.Function ||
+					sc.fuel != decoded.Fuel || sc.timeoutMs != decoded.TimeoutMs ||
+					!slices.Equal(sc.args, decoded.Args) {
+					t.Fatalf("body %q: fast parse (%q %q %v fuel=%d t=%d) disagrees with stdlib (%q %q %v fuel=%d t=%d)",
+						body, sc.module, sc.function, sc.args, sc.fuel, sc.timeoutMs,
+						decoded.Module, decoded.Function, decoded.Args, decoded.Fuel, decoded.TimeoutMs)
+				}
+			}
+			putScratch(sc)
 		}
 	})
 }

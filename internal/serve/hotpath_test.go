@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cage"
+)
+
+// TestServeRequestZeroAlloc is the serve-layer CI gate: one admitted
+// invoke — tenant resolution, body parse, module/function lookup,
+// admission, pooled checkout, guest call, response encode — performs
+// zero steady-state heap allocations when the tenant policy carries no
+// fuel or timeout bound and the context is not cancellable. This is
+// the contract the whole hot path exists for; any regression here is a
+// per-request allocation at serving rates.
+func TestServeRequestZeroAlloc(t *testing.T) {
+	if raceServeEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	srv, err := New(Options{
+		Config:       cage.SandboxingOnly(),
+		ConfigName:   "sandbox",
+		DefaultQuota: QuotaPolicy{MaxConcurrent: 8, MaxQueue: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Register through the real handler once (setup may allocate).
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/modules", bytes.NewReader([]byte(guestSource))))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("upload: status %d", rec.Code)
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
+		t.Fatal(err)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/invoke", nil)
+	tn := srv.tenantFor(req)
+	body := fmt.Sprintf(`{"module":%q,"function":"add","args":[3,4]}`, up.Module)
+	ctx := context.Background()
+
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.buf = append(sc.buf[:0], body...)
+
+	// Warm: spawn the instance, build the pool, publish every snapshot
+	// map, and verify the response while we are at it.
+	srv.invokePooled(ctx, tn, sc)
+	if sc.status != http.StatusOK {
+		t.Fatalf("warm invoke: status %d (%+v)", sc.status, sc.apiErr)
+	}
+	var resp InvokeResponse
+	if err := json.Unmarshal(sc.out, &resp); err != nil {
+		t.Fatalf("response %q is not JSON: %v", sc.out, err)
+	}
+	if len(resp.Values) != 1 || resp.Values[0] != 7 {
+		t.Fatalf("add(3,4) = %v, want [7]", resp.Values)
+	}
+	if resp.Fuel == 0 || len(resp.Events) == 0 {
+		t.Fatalf("telemetry missing: fuel=%d events=%v", resp.Fuel, resp.Events)
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		srv.invokePooled(ctx, tn, sc)
+		if sc.status != http.StatusOK {
+			panic("invoke failed mid-measurement")
+		}
+	}); n != 0 {
+		t.Fatalf("admitted invoke allocates %v/op steady-state, want 0", n)
+	}
+}
+
+// BenchmarkServeRequest prices one admitted invoke through the full
+// hot path (parse, lookup, admission, pooled checkout, guest call,
+// encode), the serve-layer companion to the engine-layer checkout and
+// cache benchmarks.
+func BenchmarkServeRequest(b *testing.B) {
+	srv, err := New(Options{Config: cage.SandboxingOnly(), ConfigName: "sandbox"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/modules", bytes.NewReader([]byte(guestSource))))
+	if rec.Code != http.StatusCreated {
+		b.Fatalf("upload: status %d", rec.Code)
+	}
+	var up UploadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &up); err != nil {
+		b.Fatal(err)
+	}
+	tn := srv.tenantFor(httptest.NewRequest(http.MethodPost, "/v1/invoke", nil))
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.buf = append(sc.buf[:0], fmt.Sprintf(`{"module":%q,"function":"add","args":[3,4]}`, up.Module)...)
+	ctx := context.Background()
+	srv.invokePooled(ctx, tn, sc)
+	if sc.status != http.StatusOK {
+		b.Fatalf("status %d (%+v)", sc.status, sc.apiErr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.invokePooled(ctx, tn, sc)
+	}
+}
+
+// TestHotPathMatchesLegacy runs the same request corpus against a hot
+// server and a LegacyHotPath server and requires identical status
+// codes and semantically identical JSON bodies — the A/B knob must be
+// a pure performance switch, never a behavior switch.
+func TestHotPathMatchesLegacy(t *testing.T) {
+	mk := func(legacy bool) (*httptest.Server, string) {
+		opts := Options{
+			Config:        cage.SandboxingOnly(),
+			ConfigName:    "sandbox",
+			DefaultQuota:  QuotaPolicy{Fuel: 1_000_000, MaxConcurrent: 4, MaxQueue: 4},
+			LegacyHotPath: legacy,
+		}
+		ts, _ := newTestServer(t, opts)
+		up := uploadSource(t, ts, "", guestSource)
+		return ts, up.Module
+	}
+	hot, hotMod := mk(false)
+	leg, legMod := mk(true)
+	if hotMod != legMod {
+		t.Fatalf("content addressing diverged: %q vs %q", hotMod, legMod)
+	}
+
+	bodies := []string{
+		fmt.Sprintf(`{"module":%q,"function":"add","args":[3,4]}`, hotMod),
+		fmt.Sprintf(`{"module":%q,"function":"add","args":[3,4],"fuel":100000}`, hotMod),
+		fmt.Sprintf(`  {  "function" : "add" , "module" : %q , "args" : [ 1 , 2 ] }  `, hotMod),
+		fmt.Sprintf(`{"module":%q,"function":"crash","args":[5]}`, hotMod),
+		fmt.Sprintf(`{"module":%q,"function":"spin","args":[0],"fuel":10000}`, hotMod),
+		fmt.Sprintf(`{"module":%q,"function":"add","args":[3]}`, hotMod),      // bad arity
+		fmt.Sprintf(`{"module":%q,"function":"nope","args":[]}`, hotMod),      // unknown function
+		fmt.Sprintf(`{"module":%q,"function":"add","args":null}`, hotMod),     // null args
+		fmt.Sprintf(`{"module":%q,"function":"add","argz":[1,2]}`, hotMod),    // unknown field
+		fmt.Sprintf(`{"module":%q,"function":"add","args":[1.5,2]}`, hotMod),  // float arg
+		fmt.Sprintf(`{"module":%q,"function":"add","args":[-1,2]}`, hotMod),   // negative arg
+		fmt.Sprintf(`{"module":%q,"function":"add","args":[01,2]}`, hotMod),   // leading zero
+		fmt.Sprintf(`{"module":%q,"function":"add"}{"x":1}`, hotMod),          // trailing data
+		fmt.Sprintf(`{"module":%q,"function":"add","timeout_ms":-5}`, hotMod), // negative timeout
+		`{"module":"sha256:x","function":"add","args":[]}`,                    // escaped string
+		`{"module":"sha256:feed","function":"add","args":[1,2]}`,              // unknown module
+		`{"module":"","function":""}`,
+		`{"function":"add"}`,
+		`{}`,
+		`{`,
+		``,
+		`[]`,
+		`{"module":"m","function":"f","args":[18446744073709551615]}`,
+		`{"module":"m","function":"f","args":[18446744073709551616]}`, // uint64 overflow
+	}
+
+	for i, body := range bodies {
+		var hotRaw, legRaw json.RawMessage
+		hotResp := postJSON(t, hot, "/v1/invoke", "ab", []byte(body), &hotRaw)
+		legResp := postJSON(t, leg, "/v1/invoke", "ab", []byte(body), &legRaw)
+		if hotResp.StatusCode != legResp.StatusCode {
+			t.Errorf("body %d %q: hot status %d, legacy %d", i, body, hotResp.StatusCode, legResp.StatusCode)
+			continue
+		}
+		var hv, lv any
+		if err := json.Unmarshal(hotRaw, &hv); err != nil {
+			t.Errorf("body %d: hot response not JSON: %v", i, err)
+			continue
+		}
+		if err := json.Unmarshal(legRaw, &lv); err != nil {
+			t.Errorf("body %d: legacy response not JSON: %v", i, err)
+			continue
+		}
+		if fmt.Sprintf("%v", hv) != fmt.Sprintf("%v", lv) {
+			t.Errorf("body %d %q: hot %s, legacy %s", i, body, hotRaw, legRaw)
+		}
+	}
+}
+
+// TestParseInvokeFastDifferential pins the fast parser against the
+// strict stdlib decoder on a corpus of accept/fallback edges: whenever
+// the fast parser accepts a body, the stdlib decoder must agree on
+// every field (or reject with exactly the validation error the fast
+// path raises itself).
+func TestParseInvokeFastDifferential(t *testing.T) {
+	bodies := []string{
+		`{"module":"m","function":"f","args":[1,2,3],"fuel":9,"timeout_ms":50}`,
+		`{"module":"m","function":"f"}`,
+		`{"args":[7],"function":"f","module":"m"}`,
+		`{"module":"m","function":"f","args":[]}`,
+		`{"module":"m","function":"f","args":null}`,
+		`{"module":"m","function":"f","args":[0]}`,
+		`{"module":"m","function":"f","args":[18446744073709551615]}`,
+		`  { "module" : "m" , "function" : "f" }  `,
+		`{"module":"","function":""}`,
+		`{}`,
+		`{"module":"m","function":"f","args":[1],"args":[2,3]}`, // duplicate key: last wins
+		`{"module":"m","module":"n","function":"f"}`,
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	for _, body := range bodies {
+		sc.buf = append(sc.buf[:0], body...)
+		if !sc.parseInvokeFast() {
+			t.Errorf("fast parser refused in-grammar body %q", body)
+			continue
+		}
+		req, err := decodeInvokeRequest(bytes.NewReader([]byte(body)))
+		if err != nil {
+			verr := sc.validate()
+			if verr == nil || verr.Error() != err.Error() {
+				t.Errorf("body %q: stdlib rejects (%v), fast validate says %v", body, err, verr)
+			}
+			continue
+		}
+		if string(sc.module) != req.Module || string(sc.function) != req.Function ||
+			sc.fuel != req.Fuel || sc.timeoutMs != req.TimeoutMs ||
+			fmt.Sprint(sc.args) != fmt.Sprint([]uint64(req.Args)) {
+			t.Errorf("body %q: fast (%q %q %v fuel=%d t=%d) != stdlib (%q %q %v fuel=%d t=%d)",
+				body, sc.module, sc.function, sc.args, sc.fuel, sc.timeoutMs,
+				req.Module, req.Function, req.Args, req.Fuel, req.TimeoutMs)
+		}
+	}
+
+	// Out-of-grammar bodies must fall back, never mis-parse.
+	for _, body := range []string{
+		`{"module":"m","function":"f","args":[1.5]}`,
+		`{"module":"m","function":"f","args":[-1]}`,
+		`{"module":"m","function":"f","args":[01]}`,
+		`{"module":"m","function":"f","args":[1e3]}`,
+		`{"module":"m","function":"f","fuel":18446744073709551616}`,
+		`{"module":"m","function":"f","timeout_ms":-5}`,
+		`{"module":"m","function":"f","unknown":1}`,
+		`{"module":"m\n","function":"f"}`,
+		`{"module":"m","function":"f"}{"x":1}`,
+		`{"module":"m","function":"f"} trailing`,
+		`{"module":"m","function":"f",}`,
+		`{"module":"m" "function":"f"}`,
+		`[1,2]`,
+		`{`,
+		``,
+	} {
+		sc.buf = append(sc.buf[:0], body...)
+		if sc.parseInvokeFast() {
+			t.Errorf("fast parser accepted out-of-grammar body %q", body)
+		}
+	}
+}

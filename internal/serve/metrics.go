@@ -5,14 +5,21 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+	"unsafe"
 
 	"cage/internal/engine"
 )
 
-// counters is one outcome-classified request tally, kept per tenant and
-// per module. All fields are monotonic; gauges (queue depth, in-flight,
-// pool occupancy) live on the tenant and pool instead.
-type counters struct {
+// counterStripes is how many independent copies of each tally a
+// counters value spreads its increments across. Power of two so the
+// stripe pick is a mask, sized so concurrent requests on different
+// cores rarely bounce the same cache line.
+const counterStripes = 8
+
+// counterStripe is one copy of the outcome tally. The padding rounds
+// the nine hot words up to two cache lines so neighbouring stripes
+// never share a line — without it the striping would be cosmetic.
+type counterStripe struct {
 	requests    atomic.Uint64 // invoke requests received
 	ok          atomic.Uint64 // 200 responses
 	traps       atomic.Uint64 // guest traps (422)
@@ -22,6 +29,28 @@ type counters struct {
 	canceled    atomic.Uint64 // client disconnects (no response sent)
 	failures    atomic.Uint64 // internal errors (500)
 	fuel        atomic.Uint64 // timing-model events consumed, traps included
+	_           [128 - 9*8]byte
+}
+
+// counters is one outcome-classified request tally, kept per tenant and
+// per module. All fields are monotonic; gauges (queue depth, in-flight,
+// pool occupancy) live on the tenant and pool instead. Increments go
+// through stripe() so concurrent requests spread across padded copies
+// instead of serializing on one cache line; snapshot sums the stripes.
+type counters struct {
+	stripes [counterStripes]counterStripe
+}
+
+// stripe picks this goroutine's copy of the tally. Goroutines have no
+// visible identity, so the pick hashes the address of a stack local:
+// distinct goroutines live on distinct stacks, the address costs
+// nothing to produce, and the uintptr conversion never lets the
+// pointer escape. Collisions only cost contention, never correctness.
+func (c *counters) stripe() *counterStripe {
+	var probe byte
+	p := uintptr(unsafe.Pointer(&probe))
+	p ^= p >> 15
+	return &c.stripes[(p>>10)%counterStripes]
 }
 
 // CounterStats is the JSON snapshot of one counters value.
@@ -38,17 +67,20 @@ type CounterStats struct {
 }
 
 func (c *counters) snapshot() CounterStats {
-	return CounterStats{
-		Requests:    c.requests.Load(),
-		OK:          c.ok.Load(),
-		Traps:       c.traps.Load(),
-		Interrupted: c.interrupted.Load(),
-		Rejected:    c.rejected.Load(),
-		BadRequest:  c.badRequest.Load(),
-		Canceled:    c.canceled.Load(),
-		Failures:    c.failures.Load(),
-		Fuel:        c.fuel.Load(),
+	var out CounterStats
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		out.Requests += s.requests.Load()
+		out.OK += s.ok.Load()
+		out.Traps += s.traps.Load()
+		out.Interrupted += s.interrupted.Load()
+		out.Rejected += s.rejected.Load()
+		out.BadRequest += s.badRequest.Load()
+		out.Canceled += s.canceled.Load()
+		out.Failures += s.failures.Load()
+		out.Fuel += s.fuel.Load()
 	}
+	return out
 }
 
 // TenantStats is one tenant's /v1/stats entry.

@@ -115,6 +115,12 @@ type tenant struct {
 	name   string
 	policy QuotaPolicy
 
+	// spec carries the policy's per-call ceilings as a precomputed
+	// cage.CallSpec; callSpec folds a request's asks into a copy without
+	// touching the heap, which is why the hot path can skip the
+	// CallOption closures entirely.
+	spec cage.CallSpec
+
 	// sem is the admission semaphore (nil when MaxConcurrent == 0);
 	// waiting counts requests queued on it, bounded by MaxQueue with a
 	// CAS so the bound is exact under concurrent arrivals.
@@ -131,29 +137,51 @@ type tenant struct {
 
 func newTenant(name string, policy QuotaPolicy) *tenant {
 	t := &tenant{name: name, policy: policy}
+	t.spec = cage.CallSpec{
+		Fuel:        policy.Fuel,
+		StackDepth:  policy.StackDepth,
+		StackWords:  policy.StackWords,
+		MemoryPages: policy.MemoryPages,
+		Timeout:     policy.Timeout,
+	}
 	if policy.MaxConcurrent > 0 {
 		t.sem = make(chan struct{}, policy.MaxConcurrent)
 	}
 	return t
 }
 
+// callSpec folds the policy's precomputed spec with one request's asks
+// — the same smaller-wins rule callOptions applies, without the option
+// closures. The returned value is heap-free; the caller sets Results.
+func (t *tenant) callSpec(askFuel uint64, askTimeout time.Duration) cage.CallSpec {
+	s := t.spec
+	if askFuel > 0 && (s.Fuel == 0 || askFuel < s.Fuel) {
+		s.Fuel = askFuel
+	}
+	s.Timeout = t.policy.effectiveTimeout(askTimeout)
+	return s
+}
+
 // admit acquires an admission slot, queueing up to the policy's bound.
-// It returns the release func, errQueueFull when the queue is at
-// capacity, or ctx.Err() when the caller disconnected while queued —
-// the queued wait is abandoned immediately, holding nothing.
-func (t *tenant) admit(ctx context.Context) (release func(), err error) {
+// It returns nil on admission (pair with release), errQueueFull when
+// the queue is at capacity, or ctx.Err() when the caller disconnected
+// while queued — the queued wait is abandoned immediately, holding
+// nothing. admit used to return a release closure; the method pair
+// keeps `defer tn.release()` open-coded, so admission costs no heap
+// allocation on the serve hot path.
+func (t *tenant) admit(ctx context.Context) error {
 	if t.sem == nil {
-		return func() {}, nil
+		return nil
 	}
 	select {
 	case t.sem <- struct{}{}:
-		return t.release, nil
+		return nil
 	default:
 	}
 	for {
 		w := t.waiting.Load()
 		if w >= int64(t.policy.MaxQueue) {
-			return nil, errQueueFull
+			return errQueueFull
 		}
 		if t.waiting.CompareAndSwap(w, w+1) {
 			break
@@ -162,10 +190,16 @@ func (t *tenant) admit(ctx context.Context) (release func(), err error) {
 	defer t.waiting.Add(-1)
 	select {
 	case t.sem <- struct{}{}:
-		return t.release, nil
+		return nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
 }
 
-func (t *tenant) release() { <-t.sem }
+// release returns the slot admit acquired; a no-op for unlimited
+// tenants, so callers defer it unconditionally.
+func (t *tenant) release() {
+	if t.sem != nil {
+		<-t.sem
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceServeEnabled skips allocation-count gates under -race, whose
+// instrumentation allocates on paths that are heap-free in real builds.
+const raceServeEnabled = false

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cage"
 	"cage/internal/wasm"
@@ -19,6 +20,11 @@ var wasmMagic = []byte{0x00, 'a', 's', 'm'}
 // funcSig is the arity of one exported function, pre-resolved at
 // registration so invokes validate the target without a checkout.
 type funcSig struct {
+	// name is the canonical exported name. The hot path parses the
+	// request's function name as a []byte view and looks it up with a
+	// no-copy map index; this field gives it an interned string to hand
+	// to Engine.CallWith without converting (and so allocating) its own.
+	name    string
 	params  int
 	results int
 }
@@ -70,6 +76,12 @@ type registry struct {
 	// compile or engine-cache work. One alias per entry (the creating
 	// body only), so the index is bounded by the registry itself.
 	bySrc map[[32]byte]*moduleEntry
+	// snap is the immutable published copy of byID. Invokes resolve
+	// modules off it with a plain atomic load — no lock, no allocation —
+	// while register (rare, upload path) clones and republishes under
+	// mu. Readers of a snapshot map never see writes: every mutation
+	// builds a fresh map.
+	snap atomic.Pointer[map[string]*moduleEntry]
 }
 
 // lookupSource finds the entry a byte-identical upload created.
@@ -81,20 +93,38 @@ func (r *registry) lookupSource(body []byte) (*moduleEntry, bool) {
 	return e, ok
 }
 
-// lookup finds a registered module.
+// lookup finds a registered module. Lock-free: it reads the published
+// snapshot, so a stats scrape or upload burst never stalls an invoke.
 func (r *registry) lookup(id string) (*moduleEntry, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	e, ok := r.byID[id]
+	m := r.snap.Load()
+	if m == nil {
+		return nil, false
+	}
+	e, ok := (*m)[id]
+	return e, ok
+}
+
+// lookupBytes is lookup for an id still held as a []byte view into the
+// request buffer. The map index converts without copying (a compiler-
+// recognized pattern), so the hot path resolves modules with zero
+// allocations.
+func (r *registry) lookupBytes(id []byte) (*moduleEntry, bool) {
+	m := r.snap.Load()
+	if m == nil {
+		return nil, false
+	}
+	e, ok := (*m)[string(id)]
 	return e, ok
 }
 
 // list snapshots the entries sorted by id.
 func (r *registry) list() []*moduleEntry {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*moduleEntry, 0, len(r.byID))
-	for _, e := range r.byID {
+	m := r.snap.Load()
+	if m == nil {
+		return nil
+	}
+	out := make([]*moduleEntry, 0, len(*m))
+	for _, e := range *m {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
@@ -145,6 +175,11 @@ func (r *registry) register(tenant string, src []byte, mod *cage.Module, initFn 
 	}
 	r.byID[id] = e
 	r.bySrc[sha256.Sum256(src)] = e
+	snap := make(map[string]*moduleEntry, len(r.byID))
+	for k, v := range r.byID {
+		snap[k] = v
+	}
+	r.snap.Store(&snap)
 	return e, true, nil
 }
 
@@ -159,7 +194,7 @@ func exportedFuncs(m *wasm.Module) map[string]funcSig {
 		if err != nil {
 			continue // validated modules never hit this
 		}
-		funcs[exp.Name] = funcSig{params: len(ft.Params), results: len(ft.Results)}
+		funcs[exp.Name] = funcSig{name: exp.Name, params: len(ft.Params), results: len(ft.Results)}
 	}
 	return funcs
 }

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cage"
@@ -71,6 +72,12 @@ type Options struct {
 	PoolLimit int
 	// ExtendedSandboxes lifts the 15-sandbox budget via §6.4 tag reuse.
 	ExtendedSandboxes bool
+	// LegacyHotPath routes POST /v1/invoke through the original
+	// allocate-per-request handler (stdlib JSON decode/encode, CallOption
+	// closures) instead of the pooled zero-allocation path. Semantics
+	// are identical; the knob exists so the scaling benchmark can A/B
+	// the two paths inside one binary. Leave it off in production.
+	LegacyHotPath bool
 }
 
 // Server is the multi-tenant execution daemon: one engine (plus a
@@ -90,8 +97,14 @@ type Server struct {
 	reg     registry
 	mux     *http.ServeMux
 
-	mu      sync.Mutex
-	tenants map[string]*tenant
+	// tenants is the authoritative name → state map, written only under
+	// mu; tenantSnap is its immutable published copy. Every request
+	// resolves its tenant off the snapshot with one atomic load — the
+	// mutex is touched only the first time a name is seen, so neither a
+	// tenant burst nor a stats scrape can stall the invoke hot path.
+	mu         sync.Mutex
+	tenants    map[string]*tenant
+	tenantSnap atomic.Pointer[map[string]*tenant]
 }
 
 // New builds a Server (and its engine) for the options.
@@ -175,6 +188,19 @@ func (s *Server) tenantFor(r *http.Request) *tenant {
 	if name == "" {
 		name = DefaultTenant
 	}
+	// Fast path: every tenant that has ever sent a request is in the
+	// published snapshot — one atomic load, one map index, no lock.
+	if m := s.tenantSnap.Load(); m != nil {
+		if t, ok := (*m)[name]; ok {
+			return t
+		}
+	}
+	return s.tenantForSlow(name)
+}
+
+// tenantForSlow creates (or races to find) the state for a first-sight
+// name under the mutex, then republishes the snapshot.
+func (s *Server) tenantForSlow(name string) *tenant {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t, ok := s.tenants[name]; ok {
@@ -192,6 +218,11 @@ func (s *Server) tenantFor(r *http.Request) *tenant {
 	}
 	t := newTenant(name, policy)
 	s.tenants[name] = t
+	snap := make(map[string]*tenant, len(s.tenants))
+	for k, v := range s.tenants {
+		snap[k] = v
+	}
+	s.tenantSnap.Store(&snap)
 	return t
 }
 
@@ -279,14 +310,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			tn.m.badRequest.Add(1)
+			tn.m.stripe().badRequest.Add(1)
 			writeError(w, http.StatusRequestEntityTooLarge, apiError{
 				Code:    "module_too_large",
 				Message: fmt.Sprintf("upload exceeds the %d-byte module size limit", tooLarge.Limit),
 			})
 			return
 		}
-		tn.m.canceled.Add(1)
+		tn.m.stripe().canceled.Add(1)
 		return
 	}
 
@@ -312,7 +343,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if isWasm(data) {
 		mod, err = s.eng.DecodeModule(data)
 		if err != nil {
-			tn.m.badRequest.Add(1)
+			tn.m.stripe().badRequest.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, apiError{
 				Code: "invalid_module", Message: err.Error(),
 			})
@@ -321,7 +352,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	} else {
 		mod, err = s.eng.CompileSource(string(data))
 		if err != nil {
-			tn.m.badRequest.Add(1)
+			tn.m.stripe().badRequest.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, apiError{
 				Code: "compile_error", Message: err.Error(),
 			})
@@ -337,7 +368,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if initFn != "" {
 		sig, ok := exportedFuncs(mod.Raw())[initFn]
 		if !ok {
-			tn.m.badRequest.Add(1)
+			tn.m.stripe().badRequest.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, apiError{
 				Code:    "init_not_found",
 				Message: fmt.Sprintf("module exports no function %q to pre-initialize with", initFn),
@@ -345,7 +376,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if sig.params != 0 {
-			tn.m.badRequest.Add(1)
+			tn.m.stripe().badRequest.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, apiError{
 				Code:    "init_bad_signature",
 				Message: fmt.Sprintf("init function %q takes %d arguments; pre-initialization functions take none", initFn, sig.params),
@@ -372,7 +403,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.rejectModuleQuota(w, tn)
 		return
 	case err != nil:
-		tn.m.failures.Add(1)
+		tn.m.stripe().failures.Add(1)
 		writeError(w, http.StatusInternalServerError, apiError{
 			Code: "internal", Message: err.Error(),
 		})
@@ -388,7 +419,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 // rejectModuleQuota answers an upload from a tenant with no MaxModules
 // headroom.
 func (s *Server) rejectModuleQuota(w http.ResponseWriter, tn *tenant) {
-	tn.m.badRequest.Add(1)
+	tn.m.stripe().badRequest.Add(1)
 	writeError(w, http.StatusForbidden, apiError{
 		Code:    "module_quota_exceeded",
 		Message: fmt.Sprintf("tenant %q may register at most %d modules", tn.name, tn.policy.MaxModules),
@@ -464,29 +495,35 @@ func decodeInvokeRequest(body io.Reader) (*InvokeRequest, error) {
 	return &req, nil
 }
 
-func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+// handleInvokeLegacy is the original allocate-per-request invoke
+// handler: stdlib JSON decode and (indented) encode, CallOption
+// closures, an EventCounts map per response. It answers bit-for-bit
+// like the hot path in hotpath.go and is kept callable behind
+// Options.LegacyHotPath so the scaling benchmark can measure the two
+// inside one binary.
+func (s *Server) handleInvokeLegacy(w http.ResponseWriter, r *http.Request) {
 	tn := s.tenantFor(r)
-	tn.m.requests.Add(1)
+	tn.m.stripe().requests.Add(1)
 
 	req, err := decodeInvokeRequest(r.Body)
 	if err != nil {
-		tn.m.badRequest.Add(1)
+		tn.m.stripe().badRequest.Add(1)
 		writeError(w, http.StatusBadRequest, apiError{Code: "bad_request", Message: err.Error()})
 		return
 	}
 	entry, ok := s.reg.lookup(req.Module)
 	if !ok {
-		tn.m.badRequest.Add(1)
+		tn.m.stripe().badRequest.Add(1)
 		writeError(w, http.StatusNotFound, apiError{
 			Code: "module_not_found", Message: fmt.Sprintf("no module %q is registered", req.Module),
 		})
 		return
 	}
-	entry.m.requests.Add(1)
+	entry.m.stripe().requests.Add(1)
 	sig, ok := entry.funcs[req.Function]
 	if !ok {
-		tn.m.badRequest.Add(1)
-		entry.m.badRequest.Add(1)
+		tn.m.stripe().badRequest.Add(1)
+		entry.m.stripe().badRequest.Add(1)
 		writeError(w, http.StatusNotFound, apiError{
 			Code:    "function_not_found",
 			Message: fmt.Sprintf("module %q exports no function %q", req.Module, req.Function),
@@ -494,8 +531,8 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Args) != sig.params {
-		tn.m.badRequest.Add(1)
-		entry.m.badRequest.Add(1)
+		tn.m.stripe().badRequest.Add(1)
+		entry.m.stripe().badRequest.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, apiError{
 			Code:    "bad_arity",
 			Message: fmt.Sprintf("%s takes %d arguments, got %d", req.Function, sig.params, len(req.Args)),
@@ -506,11 +543,11 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	// Admission: the tenant's own concurrency gate, before any engine
 	// resource is touched. The wait rides the request context, so a
 	// disconnected client leaves the queue immediately.
-	release, err := tn.admit(r.Context())
+	err = tn.admit(r.Context())
 	switch {
 	case errors.Is(err, errQueueFull):
-		tn.m.rejected.Add(1)
-		entry.m.rejected.Add(1)
+		tn.m.stripe().rejected.Add(1)
+		entry.m.stripe().rejected.Add(1)
 		retry := tn.policy.retryAfter()
 		w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 		writeError(w, http.StatusTooManyRequests, apiError{
@@ -520,11 +557,11 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	case err != nil: // client disconnected while queued
-		tn.m.canceled.Add(1)
-		entry.m.canceled.Add(1)
+		tn.m.stripe().canceled.Add(1)
+		entry.m.stripe().canceled.Add(1)
 		return
 	}
-	defer release()
+	defer tn.release()
 
 	tn.active.Add(1)
 	defer tn.active.Add(-1)
@@ -538,19 +575,19 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		var trap *exec.Trap
 		switch {
 		case errors.As(err, &trap):
-			tn.m.traps.Add(1)
-			entry.m.traps.Add(1)
+			tn.m.stripe().traps.Add(1)
+			entry.m.stripe().traps.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, apiError{
 				Code:    "init_trap",
 				Message: fmt.Sprintf("pre-initialization %q trapped: %v", entry.initFn, err),
 				Trap:    trap.Code.String(),
 			})
 		case r.Context().Err() != nil:
-			tn.m.canceled.Add(1)
-			entry.m.canceled.Add(1)
+			tn.m.stripe().canceled.Add(1)
+			entry.m.stripe().canceled.Add(1)
 		default:
-			tn.m.failures.Add(1)
-			entry.m.failures.Add(1)
+			tn.m.stripe().failures.Add(1)
+			entry.m.stripe().failures.Add(1)
 			writeError(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
 		}
 		return
@@ -560,13 +597,13 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	res, err := eng.Call(r.Context(), entry.mod, req.Function, req.Args, opts...)
 
 	// Fuel is charged win or lose: a trapped call consumed real events.
-	tn.m.fuel.Add(res.Fuel)
-	entry.m.fuel.Add(res.Fuel)
+	tn.m.stripe().fuel.Add(res.Fuel)
+	entry.m.stripe().fuel.Add(res.Fuel)
 
 	switch {
 	case err == nil:
-		tn.m.ok.Add(1)
-		entry.m.ok.Add(1)
+		tn.m.stripe().ok.Add(1)
+		entry.m.stripe().ok.Add(1)
 		writeJSON(w, http.StatusOK, InvokeResponse{
 			Values: res.Values,
 			Fuel:   res.Fuel,
@@ -577,12 +614,12 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			// The client is gone; there is no one to answer. The guest
 			// was interrupted at the next checkpoint and its instance
 			// reset — nothing leaks — so just account for it.
-			tn.m.canceled.Add(1)
-			entry.m.canceled.Add(1)
+			tn.m.stripe().canceled.Add(1)
+			entry.m.stripe().canceled.Add(1)
 			return
 		}
-		tn.m.interrupted.Add(1)
-		entry.m.interrupted.Add(1)
+		tn.m.stripe().interrupted.Add(1)
+		entry.m.stripe().interrupted.Add(1)
 		writeError(w, http.StatusRequestTimeout, apiError{
 			Code: "timeout",
 			Message: fmt.Sprintf("call exceeded its %v budget",
@@ -592,15 +629,15 @@ func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	default:
 		var trap *exec.Trap
 		if errors.As(err, &trap) {
-			tn.m.traps.Add(1)
-			entry.m.traps.Add(1)
+			tn.m.stripe().traps.Add(1)
+			entry.m.stripe().traps.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, apiError{
 				Code: "guest_trap", Message: err.Error(), Trap: trap.Code.String(),
 			})
 			return
 		}
-		tn.m.failures.Add(1)
-		entry.m.failures.Add(1)
+		tn.m.stripe().failures.Add(1)
+		entry.m.stripe().failures.Add(1)
 		writeError(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
 	}
 }
@@ -634,8 +671,8 @@ func (s *Server) ensureSnapshot(ctx context.Context, tn *tenant, entry *moduleEn
 		entry.snapDone = make(map[*cage.Engine]bool)
 	}
 	entry.snapDone[eng] = true
-	tn.m.fuel.Add(snap.InitFuel())
-	entry.m.fuel.Add(snap.InitFuel())
+	tn.m.stripe().fuel.Add(snap.InitFuel())
+	entry.m.stripe().fuel.Add(snap.InitFuel())
 	return nil
 }
 
@@ -656,12 +693,13 @@ func (s *Server) StatsSnapshot() *Stats {
 		Tenants:       make(map[string]TenantStats),
 		Modules:       make(map[string]ModuleStats),
 	}
-	s.mu.Lock()
-	tenants := make([]*tenant, 0, len(s.tenants))
-	for _, t := range s.tenants {
-		tenants = append(tenants, t)
+	var tenants []*tenant
+	if m := s.tenantSnap.Load(); m != nil {
+		tenants = make([]*tenant, 0, len(*m))
+		for _, t := range *m {
+			tenants = append(tenants, t)
+		}
 	}
-	s.mu.Unlock()
 	for _, t := range tenants {
 		out.Tenants[t.name] = TenantStats{
 			CounterStats: t.m.snapshot(),

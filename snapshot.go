@@ -198,12 +198,36 @@ func (i *Instance) restoreFrom(s *Snapshot, seed uint64) error {
 }
 
 // activeSnapshot returns the image the module's pool currently forks
-// from (nil when none is registered yet).
+// from (nil when none is registered yet). It runs on every pool reset,
+// so it is a lock-free read of the published map.
 func (e *Engine) activeSnapshot(m *Module) *Snapshot {
-	e.snapMu.RLock()
-	s := e.active[m]
-	e.snapMu.RUnlock()
-	return s
+	if mp := e.active.Load(); mp != nil {
+		return (*mp)[m]
+	}
+	return nil
+}
+
+// publishActiveLocked clones the active map, applies one binding, and
+// republishes; replace false preserves an existing binding (the
+// first-spawn baseline must not displace an explicit Snapshot that
+// landed while the baseline was being captured). Caller holds snapMu.
+func (e *Engine) publishActiveLocked(m *Module, s *Snapshot, replace bool) {
+	old := e.active.Load()
+	n := 1
+	if old != nil {
+		n += len(*old)
+	}
+	next := make(map[*Module]*Snapshot, n)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	if _, ok := next[m]; ok && !replace {
+		return
+	}
+	next[m] = s
+	e.active.Store(&next)
 }
 
 // setActiveSnapshot registers s as the image m's pool forks from,
@@ -211,10 +235,7 @@ func (e *Engine) activeSnapshot(m *Module) *Snapshot {
 // image). Instances already checked out pick it up at their next reset.
 func (e *Engine) setActiveSnapshot(m *Module, s *Snapshot) {
 	e.snapMu.Lock()
-	if e.active == nil {
-		e.active = make(map[*Module]*Snapshot)
-	}
-	e.active[m] = s
+	e.publishActiveLocked(m, s, true)
 	e.snapMu.Unlock()
 }
 
@@ -237,12 +258,7 @@ func (e *Engine) captureBaseline(m *Module, inst *Instance) {
 		return
 	}
 	e.snapMu.Lock()
-	if e.active == nil {
-		e.active = make(map[*Module]*Snapshot)
-	}
-	if _, ok := e.active[m]; !ok {
-		e.active[m] = s
-	}
+	e.publishActiveLocked(m, s, false)
 	e.snapMu.Unlock()
 }
 
